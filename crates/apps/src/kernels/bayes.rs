@@ -1,0 +1,169 @@
+//! Bayes: Bayesian-network structure learning — threads evaluate candidate
+//! dependencies by scanning shared sufficient-statistics counters (a long
+//! read) and insert the best edges into a shared network under a global
+//! score. Long transactions, very high contention (STAMP's worst scaler).
+
+use crate::driver::TmApp;
+use polytm::{PolyTm, Worker};
+use std::sync::Arc;
+use txcore::util::XorShift64;
+use txcore::{Addr, TmSystem, TxResult};
+
+/// The bayes kernel state: an adjacency matrix over `n_vars` variables,
+/// per-pair statistics counters, and the global network score.
+#[derive(Debug)]
+pub struct Bayes {
+    /// n × n adjacency (0/1).
+    adjacency: Addr,
+    /// n × n observed co-occurrence counters (read-heavy).
+    stats: Addr,
+    n_vars: u64,
+    score: Addr,
+    edges: Addr,
+    max_parents: u64,
+}
+
+impl Bayes {
+    /// A learner over `n_vars` variables with at most `max_parents` parents
+    /// per variable.
+    pub fn setup(sys: &Arc<TmSystem>, n_vars: u64, max_parents: u64) -> Self {
+        let heap = &sys.heap;
+        let adjacency = heap.alloc((n_vars * n_vars) as usize);
+        let stats = heap.alloc((n_vars * n_vars) as usize);
+        let mut rng = XorShift64::new(0xBA4E5);
+        for i in 0..(n_vars * n_vars) {
+            heap.write_raw(stats.field(i as u32), rng.next_below(1000));
+        }
+        Bayes {
+            adjacency,
+            stats,
+            n_vars,
+            score: heap.alloc(1),
+            edges: heap.alloc(1),
+            max_parents: max_parents.max(1),
+        }
+    }
+
+    fn cell(&self, from: u64, to: u64) -> u32 {
+        (from * self.n_vars + to) as u32
+    }
+
+    /// Edges inserted so far.
+    pub fn edges(&self, sys: &Arc<TmSystem>) -> u64 {
+        sys.heap.read_raw(self.edges)
+    }
+
+    /// Quiescent checks: the edge counter matches the adjacency matrix, no
+    /// self-loops, and no variable exceeds `max_parents`.
+    pub fn check_network(&self, sys: &Arc<TmSystem>) {
+        let heap = &sys.heap;
+        let mut count = 0u64;
+        for to in 0..self.n_vars {
+            let mut parents = 0u64;
+            for from in 0..self.n_vars {
+                let v = heap.read_raw(self.adjacency.field(self.cell(from, to)));
+                assert!(v <= 1, "adjacency cell corrupted");
+                if v == 1 {
+                    assert_ne!(from, to, "self-loop inserted");
+                    parents += 1;
+                    count += 1;
+                }
+            }
+            assert!(
+                parents <= self.max_parents,
+                "variable {to} has {parents} parents"
+            );
+        }
+        assert_eq!(count, self.edges(sys), "edge counter out of sync");
+    }
+}
+
+impl TmApp for Bayes {
+    fn name(&self) -> &'static str {
+        "bayes"
+    }
+
+    fn op(&self, poly: &PolyTm, worker: &mut Worker, rng: &mut XorShift64) {
+        let n = self.n_vars;
+        let to = rng.next_below(n);
+        let (adjacency, stats, score, edges, max_parents) = (
+            self.adjacency,
+            self.stats,
+            self.score,
+            self.edges,
+            self.max_parents,
+        );
+        poly.run_tx(worker, |tx| -> TxResult<()> {
+            // Long evaluation: scan the candidate's statistics row and the
+            // current parent set (reads ~2n words).
+            let mut best: Option<(u64, u64)> = None; // (gain, from)
+            let mut parents = 0u64;
+            for from in 0..n {
+                if from == to {
+                    continue;
+                }
+                let has = tx.read(adjacency.field(self.cell(from, to)))?;
+                parents += has;
+                if has == 0 {
+                    let gain = tx.read(stats.field(self.cell(from, to)))?;
+                    if best.is_none_or(|(g, _)| gain > g) {
+                        best = Some((gain, from));
+                    }
+                }
+            }
+            let Some((gain, from)) = best else {
+                return Ok(());
+            };
+            if parents >= max_parents || gain < 500 {
+                return Ok(()); // no beneficial dependency
+            }
+            // Insert the edge and account for it (the contended part).
+            tx.write(adjacency.field(self.cell(from, to)), 1)?;
+            let s = tx.read(score)?;
+            tx.write(score, s + gain)?;
+            let e = tx.read(edges)?;
+            tx.write(edges, e + 1)?;
+            // Learning consumes the evidence: halve the used statistic so
+            // the search keeps moving to other candidates.
+            tx.write(stats.field(self.cell(from, to)), gain / 2)?;
+            Ok(())
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{drive, AppWorkload, TmApp};
+
+    #[test]
+    fn learned_network_is_well_formed_under_concurrency() {
+        let poly = Arc::new(PolyTm::builder().heap_words(1 << 16).max_threads(4).build());
+        let app = Arc::new(Bayes::setup(poly.system(), 24, 4));
+        let app_dyn: Arc<dyn TmApp> = app.clone();
+        drive(
+            &poly,
+            &app_dyn,
+            AppWorkload {
+                threads: 4,
+                ops_per_thread: Some(100),
+                ..AppWorkload::default()
+            },
+        );
+        assert!(app.edges(poly.system()) > 0, "some edges must be learned");
+        app.check_network(poly.system());
+    }
+
+    #[test]
+    fn parent_limit_is_respected_single_threaded() {
+        let poly = Arc::new(PolyTm::builder().heap_words(1 << 14).max_threads(1).build());
+        let app = Arc::new(Bayes::setup(poly.system(), 8, 2));
+        let mut worker = poly.register_thread(0);
+        let mut rng = XorShift64::new(6);
+        for _ in 0..300 {
+            app.op(&poly, &mut worker, &mut rng);
+        }
+        app.check_network(poly.system());
+        assert!(app.edges(poly.system()) <= 8 * 2);
+    }
+}

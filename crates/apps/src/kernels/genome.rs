@@ -1,0 +1,113 @@
+//! Genome: gene-sequence assembly — phase 1 de-duplicates DNA segments in
+//! a shared hash set; phase 2 links unique segments by overlap. Short,
+//! mostly-disjoint transactions (STAMP's scalable low-contention kernel).
+
+use crate::driver::TmApp;
+use crate::structures::HashMap;
+use polytm::{PolyTm, Worker};
+use std::sync::Arc;
+use txcore::util::XorShift64;
+use txcore::{Addr, TmSystem, TxResult};
+
+/// The genome kernel state.
+#[derive(Debug)]
+pub struct Genome {
+    segments: HashMap,
+    unique: Addr,
+    linked: Addr,
+    /// Size of the synthetic segment space.
+    segment_space: u64,
+}
+
+impl Genome {
+    /// Create the kernel over a space of `segment_space` distinct segments.
+    pub fn setup(sys: &Arc<TmSystem>, segment_space: u64) -> Self {
+        let heap = &sys.heap;
+        Genome {
+            segments: HashMap::create(heap, segment_space.next_power_of_two() as usize),
+            unique: heap.alloc(1),
+            linked: heap.alloc(1),
+            segment_space,
+        }
+    }
+
+    /// Unique segments inserted so far.
+    pub fn unique_segments(&self, sys: &Arc<TmSystem>) -> u64 {
+        sys.heap.read_raw(self.unique)
+    }
+
+    /// Overlap links established.
+    pub fn links(&self, sys: &Arc<TmSystem>) -> u64 {
+        sys.heap.read_raw(self.linked)
+    }
+}
+
+impl TmApp for Genome {
+    fn name(&self) -> &'static str {
+        "genome"
+    }
+
+    fn op(&self, poly: &PolyTm, worker: &mut Worker, rng: &mut XorShift64) {
+        let heap = &poly.system().heap;
+        let segment = rng.next_below(self.segment_space) + 1;
+        if rng.next_below(3) < 2 {
+            // Dedup-insert phase.
+            let segments = &self.segments;
+            let unique = self.unique;
+            poly.run_tx(worker, |tx| -> TxResult<()> {
+                if segments.get(tx, segment)?.is_none() {
+                    segments.insert(tx, heap, segment, 1)?;
+                    let u = tx.read(unique)?;
+                    tx.write(unique, u + 1)?;
+                }
+                Ok(())
+            });
+        } else {
+            // Linking phase: if this segment and its overlap successor both
+            // exist and are unlinked, link them.
+            let succ = (segment % self.segment_space) + 1;
+            let segments = &self.segments;
+            let linked = self.linked;
+            poly.run_tx(worker, |tx| -> TxResult<()> {
+                let a = segments.get(tx, segment)?;
+                let b = segments.get(tx, succ)?;
+                if a == Some(1) && b == Some(1) && segment != succ {
+                    segments.insert(tx, heap, segment, 2)?; // mark linked
+                    let l = tx.read(linked)?;
+                    tx.write(linked, l + 1)?;
+                }
+                Ok(())
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{drive, AppWorkload, TmApp};
+
+    #[test]
+    fn unique_counter_matches_set_contents() {
+        let poly = Arc::new(PolyTm::builder().heap_words(1 << 16).max_threads(4).build());
+        let app = Arc::new(Genome::setup(poly.system(), 128));
+        let app_dyn: Arc<dyn TmApp> = app.clone();
+        drive(
+            &poly,
+            &app_dyn,
+            AppWorkload {
+                threads: 4,
+                ops_per_thread: Some(300),
+                ..AppWorkload::default()
+            },
+        );
+        let sys = poly.system();
+        let tm = stm::Tl2::new(Arc::clone(sys));
+        let mut ctx = txcore::ThreadCtx::new(0);
+        let in_set = txcore::run_tx(&tm, &mut ctx, |tx| app.segments.len(tx));
+        assert_eq!(app.unique_segments(sys), in_set, "dedup double-counted");
+        assert!(in_set <= 128);
+        // Every linked segment still exists with the linked marker.
+        assert!(app.links(sys) <= in_set);
+    }
+}

@@ -1,0 +1,156 @@
+//! Intruder: network-intrusion detection. Threads pull packet fragments
+//! from a shared queue and reassemble per-flow state in a map — short
+//! transactions contending on the queue head (STAMP's abort-heavy kernel).
+
+use crate::driver::TmApp;
+use crate::structures::HashMap;
+use polytm::{PolyTm, Worker};
+use std::sync::Arc;
+use txcore::util::XorShift64;
+use txcore::{Addr, TmSystem, TxResult};
+
+/// Fragments needed to complete (and detect) one flow.
+pub const FRAGMENTS_PER_FLOW: u64 = 4;
+
+/// The intruder kernel state: a bounded fragment queue plus per-flow
+/// reassembly counters and a detection counter.
+#[derive(Debug)]
+pub struct Intruder {
+    /// Queue: [head, tail, capacity, slots...]; slots hold flow ids.
+    queue: Addr,
+    capacity: u64,
+    flows: HashMap,
+    detected: Addr,
+    n_flows: u64,
+}
+
+impl Intruder {
+    /// Create a queue of `capacity` slots over `n_flows` flows.
+    pub fn setup(sys: &Arc<TmSystem>, capacity: u64, n_flows: u64) -> Self {
+        let heap = &sys.heap;
+        let queue = heap.alloc(3 + capacity as usize);
+        heap.write_raw(queue.field(2), capacity);
+        let detected = heap.alloc(1);
+        Intruder {
+            queue,
+            capacity,
+            flows: HashMap::create(heap, n_flows.next_power_of_two() as usize),
+            detected,
+            n_flows,
+        }
+    }
+
+    /// Completed flows (each needed [`FRAGMENTS_PER_FLOW`] fragments).
+    pub fn detected(&self, sys: &Arc<TmSystem>) -> u64 {
+        sys.heap.read_raw(self.detected)
+    }
+
+    /// Producer half: enqueue a fragment for a random flow.
+    fn produce(&self, poly: &PolyTm, worker: &mut Worker, rng: &mut XorShift64) {
+        let flow = rng.next_below(self.n_flows) + 1;
+        let queue = self.queue;
+        let cap = self.capacity;
+        poly.run_tx(worker, |tx| -> TxResult<()> {
+            let head = tx.read(queue)?;
+            let tail = tx.read(queue.field(1))?;
+            if tail - head >= cap {
+                return Ok(()); // queue full: drop the packet
+            }
+            tx.write(queue.field(3 + (tail % cap) as u32), flow)?;
+            tx.write(queue.field(1), tail + 1)?;
+            Ok(())
+        });
+    }
+
+    /// Consumer half: dequeue a fragment and update its flow's state.
+    fn consume(&self, poly: &PolyTm, worker: &mut Worker) {
+        let queue = self.queue;
+        let cap = self.capacity;
+        let heap = &poly.system().heap;
+        let flows = &self.flows;
+        let detected = self.detected;
+        poly.run_tx(worker, |tx| -> TxResult<()> {
+            let head = tx.read(queue)?;
+            let tail = tx.read(queue.field(1))?;
+            if head == tail {
+                return Ok(()); // empty
+            }
+            let flow = tx.read(queue.field(3 + (head % cap) as u32))?;
+            tx.write(queue, head + 1)?;
+            let have = flows.add(tx, heap, flow, 1)?;
+            if have == FRAGMENTS_PER_FLOW {
+                flows.remove(tx, flow)?;
+                let d = tx.read(detected)?;
+                tx.write(detected, d + 1)?;
+            }
+            Ok(())
+        });
+    }
+}
+
+impl TmApp for Intruder {
+    fn name(&self) -> &'static str {
+        "intruder"
+    }
+
+    fn op(&self, poly: &PolyTm, worker: &mut Worker, rng: &mut XorShift64) {
+        if rng.next_below(2) == 0 {
+            self.produce(poly, worker, rng);
+        } else {
+            self.consume(poly, worker);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{drive, AppWorkload, TmApp};
+
+    #[test]
+    fn fragments_are_conserved() {
+        let poly = Arc::new(PolyTm::builder().heap_words(1 << 16).max_threads(4).build());
+        let app = Arc::new(Intruder::setup(poly.system(), 64, 8));
+        let app_dyn: Arc<dyn TmApp> = app.clone();
+        drive(
+            &poly,
+            &app_dyn,
+            AppWorkload {
+                threads: 4,
+                ops_per_thread: Some(400),
+                ..AppWorkload::default()
+            },
+        );
+        let sys = poly.system();
+        let head = sys.heap.read_raw(app.queue);
+        let tail = sys.heap.read_raw(app.queue.field(1));
+        assert!(head <= tail, "queue indices corrupted");
+        // Conservation: consumed = in-progress fragments + completed flows.
+        let tm = stm::Tl2::new(Arc::clone(sys));
+        let mut ctx = txcore::ThreadCtx::new(0);
+        let mut in_progress = 0u64;
+        for flow in 1..=8u64 {
+            in_progress +=
+                txcore::run_tx(&tm, &mut ctx, |tx| app.flows.get(tx, flow)).unwrap_or(0);
+        }
+        let consumed = head;
+        let completed = app.detected(sys);
+        assert_eq!(
+            consumed,
+            in_progress + completed * FRAGMENTS_PER_FLOW,
+            "fragments lost or duplicated"
+        );
+    }
+
+    #[test]
+    fn single_thread_detects_complete_flows() {
+        let poly = Arc::new(PolyTm::builder().heap_words(1 << 14).max_threads(1).build());
+        let app = Arc::new(Intruder::setup(poly.system(), 32, 2));
+        let mut worker = poly.register_thread(0);
+        let mut rng = XorShift64::new(9);
+        for _ in 0..500 {
+            app.op(&poly, &mut worker, &mut rng);
+        }
+        assert!(app.detected(poly.system()) > 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Kmeans: threads assign synthetic points to the nearest centroid and
+//! accumulate them transactionally — tiny transactions, heavily contended
+//! centroid accumulators (the classic "high abort rate at high thread
+//! count" STAMP kernel).
+
+use crate::driver::TmApp;
+use polytm::{PolyTm, Worker};
+use std::sync::Arc;
+use txcore::util::XorShift64;
+use txcore::{Addr, TmSystem, TxResult};
+
+/// The kmeans kernel state: `k` centroid accumulators of dimension `dim`,
+/// each `[count, sum_0, .., sum_{dim-1}]`, plus the read-only current
+/// centroid positions.
+#[derive(Debug)]
+pub struct Kmeans {
+    centroids: Addr, // k × dim current positions (read-only during a pass)
+    accums: Addr,    // k × (dim + 1) accumulators
+    k: u64,
+    dim: u64,
+}
+
+impl Kmeans {
+    /// Allocate `k` centroids of dimension `dim` at deterministic spread
+    /// positions.
+    pub fn setup(sys: &Arc<TmSystem>, k: u64, dim: u64) -> Self {
+        let heap = &sys.heap;
+        let centroids = heap.alloc((k * dim) as usize);
+        let accums = heap.alloc((k * (dim + 1)) as usize);
+        for c in 0..k {
+            for d in 0..dim {
+                heap.write_raw(centroids.field((c * dim + d) as u32), c * 1000 + d);
+            }
+        }
+        Kmeans {
+            centroids,
+            accums,
+            k,
+            dim,
+        }
+    }
+
+    /// Sum of all accumulator counts (conservation check).
+    pub fn total_points(&self, sys: &Arc<TmSystem>) -> u64 {
+        (0..self.k)
+            .map(|c| {
+                sys.heap
+                    .read_raw(self.accums.field((c * (self.dim + 1)) as u32))
+            })
+            .sum()
+    }
+}
+
+impl TmApp for Kmeans {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn op(&self, poly: &PolyTm, worker: &mut Worker, rng: &mut XorShift64) {
+        // Synthesize a point near a random centroid.
+        let home = rng.next_below(self.k);
+        let point: Vec<u64> = (0..self.dim)
+            .map(|d| home * 1000 + d + rng.next_below(7))
+            .collect();
+        let (k, dim) = (self.k, self.dim);
+        let centroids = self.centroids;
+        let accums = self.accums;
+        poly.run_tx(worker, |tx| -> TxResult<()> {
+            // Find the nearest centroid (reads k × dim words).
+            let mut best = (u64::MAX, 0u64);
+            for c in 0..k {
+                let mut dist = 0u64;
+                for (d, p) in point.iter().enumerate() {
+                    let cv = tx.read(centroids.field((c * dim) as u32 + d as u32))?;
+                    dist += cv.abs_diff(*p).pow(2);
+                }
+                if dist < best.0 {
+                    best = (dist, c);
+                }
+            }
+            // Accumulate into its slot (writes dim + 1 contended words).
+            let base = (best.1 * (dim + 1)) as u32;
+            let count = tx.read(accums.field(base))?;
+            tx.write(accums.field(base), count + 1)?;
+            for (d, p) in point.iter().enumerate() {
+                let cur = tx.read(accums.field(base + 1 + d as u32))?;
+                tx.write(accums.field(base + 1 + d as u32), cur + p)?;
+            }
+            Ok(())
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{drive, AppWorkload, TmApp};
+
+    #[test]
+    fn every_point_is_accumulated_exactly_once() {
+        let poly = Arc::new(PolyTm::builder().heap_words(1 << 14).max_threads(4).build());
+        let app = Arc::new(Kmeans::setup(poly.system(), 4, 3));
+        let app_dyn: Arc<dyn TmApp> = app.clone();
+        let report = drive(
+            &poly,
+            &app_dyn,
+            AppWorkload {
+                threads: 4,
+                ops_per_thread: Some(200),
+                ..AppWorkload::default()
+            },
+        );
+        assert_eq!(report.stats.commits, 800);
+        assert_eq!(app.total_points(poly.system()), 800);
+    }
+
+    #[test]
+    fn points_land_on_their_home_centroid() {
+        let poly = Arc::new(PolyTm::builder().heap_words(1 << 14).max_threads(1).build());
+        let app = Arc::new(Kmeans::setup(poly.system(), 3, 2));
+        let mut worker = poly.register_thread(0);
+        let mut rng = XorShift64::new(5);
+        for _ in 0..50 {
+            app.op(&poly, &mut worker, &mut rng);
+        }
+        // Each centroid's accumulated mean must be near its position.
+        for c in 0..3u64 {
+            let base = (c * 3) as u32;
+            let count = poly.system().heap.read_raw(app.accums.field(base));
+            if count == 0 {
+                continue;
+            }
+            let sum0 = poly.system().heap.read_raw(app.accums.field(base + 1));
+            let mean0 = sum0 / count;
+            assert!(
+                mean0.abs_diff(c * 1000) < 20,
+                "centroid {c}: mean {mean0}"
+            );
+        }
+    }
+}

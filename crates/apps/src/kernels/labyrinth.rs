@@ -1,0 +1,155 @@
+//! Labyrinth: path routing on a shared grid. Each transaction reads a long
+//! candidate path and claims every cell — enormous read/write sets that
+//! overflow any best-effort HTM and stress STM validation.
+
+use crate::driver::TmApp;
+use polytm::{PolyTm, Worker};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use txcore::util::XorShift64;
+use txcore::{Addr, TmSystem, TxResult};
+
+const FREE: u64 = 0;
+
+/// The labyrinth kernel state: a `width × height` grid of cells, each
+/// either free or owned by a routed path.
+#[derive(Debug)]
+pub struct Labyrinth {
+    grid: Addr,
+    width: u64,
+    height: u64,
+    path_len: u64,
+    next_path_id: AtomicU64,
+    routed: AtomicU64,
+}
+
+impl Labyrinth {
+    /// Allocate an empty grid; routed paths claim `path_len` cells each.
+    pub fn setup(sys: &Arc<TmSystem>, width: u64, height: u64, path_len: u64) -> Self {
+        let grid = sys.heap.alloc((width * height) as usize);
+        Labyrinth {
+            grid,
+            width,
+            height,
+            path_len: path_len.max(2),
+            next_path_id: AtomicU64::new(1),
+            routed: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of successfully routed paths.
+    pub fn routed(&self) -> u64 {
+        self.routed.load(Ordering::Relaxed)
+    }
+
+    /// Count grid cells owned by each path and verify no cell is shared
+    /// (call while quiescent). Returns total claimed cells.
+    pub fn claimed_cells(&self, sys: &Arc<TmSystem>) -> u64 {
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..(self.width * self.height) {
+            let v = sys.heap.read_raw(self.grid.field(i as u32));
+            if v != FREE {
+                *counts.entry(v).or_insert(0u64) += 1;
+            }
+        }
+        for (path, cells) in &counts {
+            assert_eq!(
+                *cells, self.path_len,
+                "path {path} claimed {cells} cells instead of {}",
+                self.path_len
+            );
+        }
+        counts.values().sum()
+    }
+
+    /// Generate a snake-shaped candidate path starting at a random cell.
+    fn candidate(&self, rng: &mut XorShift64) -> Vec<u32> {
+        let mut x = rng.next_below(self.width);
+        let mut y = rng.next_below(self.height);
+        let mut cells = Vec::with_capacity(self.path_len as usize);
+        let mut dir = rng.next_below(4);
+        for step in 0..self.path_len {
+            cells.push((y * self.width + x) as u32);
+            if step % 5 == 4 {
+                dir = rng.next_below(4);
+            }
+            match dir {
+                0 => x = (x + 1) % self.width,
+                1 => x = (x + self.width - 1) % self.width,
+                2 => y = (y + 1) % self.height,
+                _ => y = (y + self.height - 1) % self.height,
+            }
+        }
+        cells.sort_unstable();
+        cells.dedup();
+        cells
+    }
+}
+
+impl TmApp for Labyrinth {
+    fn name(&self) -> &'static str {
+        "labyrinth"
+    }
+
+    fn op(&self, poly: &PolyTm, worker: &mut Worker, rng: &mut XorShift64) {
+        let cells = self.candidate(rng);
+        if cells.len() < self.path_len as usize {
+            return; // the snake self-intersected; try another op
+        }
+        let id = self.next_path_id.fetch_add(1, Ordering::Relaxed);
+        let grid = self.grid;
+        let ok = poly.run_tx(worker, |tx| -> TxResult<bool> {
+            for &c in &cells {
+                if tx.read(grid.field(c))? != FREE {
+                    return Ok(false);
+                }
+            }
+            for &c in &cells {
+                tx.write(grid.field(c), id)?;
+            }
+            Ok(true)
+        });
+        if ok {
+            self.routed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{drive, AppWorkload, TmApp};
+
+    #[test]
+    fn routed_paths_never_overlap() {
+        let poly = Arc::new(PolyTm::builder().heap_words(1 << 16).max_threads(4).build());
+        let app = Arc::new(Labyrinth::setup(poly.system(), 64, 64, 24));
+        let app_dyn: Arc<dyn TmApp> = app.clone();
+        drive(
+            &poly,
+            &app_dyn,
+            AppWorkload {
+                threads: 4,
+                ops_per_thread: Some(40),
+                ..AppWorkload::default()
+            },
+        );
+        let claimed = app.claimed_cells(poly.system());
+        assert_eq!(claimed, app.routed() * 24, "overlapping or torn paths");
+        assert!(app.routed() > 0, "some paths must route");
+    }
+
+    #[test]
+    fn full_grid_stops_routing() {
+        let poly = Arc::new(PolyTm::builder().heap_words(1 << 12).max_threads(1).build());
+        // A 4x4 grid fits at most a couple of 8-cell paths.
+        let app = Arc::new(Labyrinth::setup(poly.system(), 4, 4, 8));
+        let mut worker = poly.register_thread(0);
+        let mut rng = XorShift64::new(3);
+        for _ in 0..200 {
+            app.op(&poly, &mut worker, &mut rng);
+        }
+        assert!(app.routed() <= 2);
+        app.claimed_cells(poly.system());
+    }
+}

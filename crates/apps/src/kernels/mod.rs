@@ -1,0 +1,35 @@
+//! STAMP-style kernels (Cao Minh et al., IISWC'08) ported to the
+//! transactional heap.
+//!
+//! Each kernel reproduces the workload *character* the STAMP suite is known
+//! for — transaction length, read/write-set sizes and contention — which is
+//! what the TM-selection problem cares about:
+//!
+//! | kernel | transactions | character |
+//! |---|---|---|
+//! | [`Vacation`] | travel reservations over three inventory trees | medium, moderate contention |
+//! | [`Kmeans`] | centroid accumulation | tiny, high write contention |
+//! | [`Labyrinth`] | grid path claiming | huge read+write sets |
+//! | [`Intruder`] | fragment reassembly via queue + map | short, high contention |
+//! | [`Genome`] | segment de-duplication | short, low contention |
+//! | [`Ssca2`] | graph edge insertion | tiny, very low contention |
+//! | [`Yada`] | Delaunay mesh refinement | large irregular transactions |
+//! | [`Bayes`] | Bayes-net structure learning | long scans, very high contention |
+
+mod bayes;
+mod genome;
+mod intruder;
+mod kmeans;
+mod labyrinth;
+mod ssca2;
+mod vacation;
+mod yada;
+
+pub use bayes::Bayes;
+pub use genome::Genome;
+pub use intruder::{Intruder, FRAGMENTS_PER_FLOW};
+pub use kmeans::Kmeans;
+pub use labyrinth::Labyrinth;
+pub use ssca2::Ssca2;
+pub use vacation::Vacation;
+pub use yada::Yada;

@@ -1,0 +1,118 @@
+//! SSCA2: scalable graph kernel — threads insert edges into a shared
+//! adjacency structure. Transactions touch a handful of words and rarely
+//! conflict (STAMP's embarrassingly parallel kernel).
+
+use crate::driver::TmApp;
+use polytm::{PolyTm, Worker};
+use std::sync::Arc;
+use txcore::util::XorShift64;
+use txcore::{Addr, TmSystem, TxResult};
+
+/// The ssca2 kernel state: per-node degree counters plus fixed-capacity
+/// adjacency slots.
+#[derive(Debug)]
+pub struct Ssca2 {
+    /// Per node: [degree, slots[max_degree]].
+    nodes: Addr,
+    n_nodes: u64,
+    max_degree: u64,
+    total_edges: Addr,
+}
+
+impl Ssca2 {
+    /// A graph of `n_nodes` nodes with at most `max_degree` edges each.
+    pub fn setup(sys: &Arc<TmSystem>, n_nodes: u64, max_degree: u64) -> Self {
+        let heap = &sys.heap;
+        let nodes = heap.alloc((n_nodes * (1 + max_degree)) as usize);
+        let total_edges = heap.alloc(1);
+        Ssca2 {
+            nodes,
+            n_nodes,
+            max_degree,
+            total_edges,
+        }
+    }
+
+    fn node_base(&self, n: u64) -> u32 {
+        (n * (1 + self.max_degree)) as u32
+    }
+
+    /// Total inserted edges.
+    pub fn edges(&self, sys: &Arc<TmSystem>) -> u64 {
+        sys.heap.read_raw(self.total_edges)
+    }
+
+    /// Sum of all node degrees (must equal [`Ssca2::edges`]; quiescent).
+    pub fn degree_sum(&self, sys: &Arc<TmSystem>) -> u64 {
+        (0..self.n_nodes)
+            .map(|n| sys.heap.read_raw(self.nodes.field(self.node_base(n))))
+            .sum()
+    }
+}
+
+impl TmApp for Ssca2 {
+    fn name(&self) -> &'static str {
+        "ssca2"
+    }
+
+    fn op(&self, poly: &PolyTm, worker: &mut Worker, rng: &mut XorShift64) {
+        let from = rng.next_below(self.n_nodes);
+        let to = rng.next_below(self.n_nodes);
+        let base = self.node_base(from);
+        let nodes = self.nodes;
+        let max_degree = self.max_degree;
+        let total = self.total_edges;
+        poly.run_tx(worker, |tx| -> TxResult<()> {
+            let degree = tx.read(nodes.field(base))?;
+            if degree >= max_degree {
+                return Ok(()); // node full
+            }
+            tx.write(nodes.field(base + 1 + degree as u32), to + 1)?;
+            tx.write(nodes.field(base), degree + 1)?;
+            let t = tx.read(total)?;
+            tx.write(total, t + 1)?;
+            Ok(())
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{drive, AppWorkload, TmApp};
+
+    #[test]
+    fn degrees_match_edge_count() {
+        let poly = Arc::new(PolyTm::builder().heap_words(1 << 16).max_threads(4).build());
+        let app = Arc::new(Ssca2::setup(poly.system(), 256, 8));
+        let app_dyn: Arc<dyn TmApp> = app.clone();
+        drive(
+            &poly,
+            &app_dyn,
+            AppWorkload {
+                threads: 4,
+                ops_per_thread: Some(300),
+                ..AppWorkload::default()
+            },
+        );
+        let sys = poly.system();
+        assert_eq!(app.edges(sys), app.degree_sum(sys));
+        assert!(app.edges(sys) > 0);
+    }
+
+    #[test]
+    fn node_capacity_is_respected() {
+        let poly = Arc::new(PolyTm::builder().heap_words(1 << 12).max_threads(1).build());
+        let app = Arc::new(Ssca2::setup(poly.system(), 2, 3));
+        let mut worker = poly.register_thread(0);
+        let mut rng = XorShift64::new(1);
+        for _ in 0..100 {
+            app.op(&poly, &mut worker, &mut rng);
+        }
+        let sys = poly.system();
+        assert!(app.edges(sys) <= 6, "2 nodes × max degree 3");
+        for n in 0..2 {
+            assert!(sys.heap.read_raw(app.nodes.field(app.node_base(n))) <= 3);
+        }
+    }
+}

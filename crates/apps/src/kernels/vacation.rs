@@ -1,0 +1,172 @@
+//! Vacation: a travel-reservation system over three inventory tables
+//! (cars, rooms, flights), each a red-black tree mapping item → available
+//! units, plus a customer ledger.
+
+use crate::driver::TmApp;
+use crate::structures::{HashMap, RedBlackTree};
+use polytm::{PolyTm, Worker};
+use std::sync::Arc;
+use txcore::util::XorShift64;
+use txcore::{Heap, TmSystem, TxResult};
+
+/// The vacation kernel state.
+#[derive(Debug)]
+pub struct Vacation {
+    cars: RedBlackTree,
+    rooms: RedBlackTree,
+    flights: RedBlackTree,
+    customers: HashMap,
+    n_items: u64,
+    /// Items touched per reservation (the `-n` parameter of STAMP).
+    queries_per_tx: u64,
+}
+
+impl Vacation {
+    /// Populate the three inventories with `n_items` each, `units`
+    /// available units per item.
+    pub fn setup(sys: &Arc<TmSystem>, n_items: u64, units: u64, queries_per_tx: u64) -> Self {
+        let heap = &sys.heap;
+        let v = Vacation {
+            cars: RedBlackTree::create(heap),
+            rooms: RedBlackTree::create(heap),
+            flights: RedBlackTree::create(heap),
+            customers: HashMap::create(heap, (n_items as usize).max(16)),
+            n_items,
+            queries_per_tx: queries_per_tx.clamp(1, n_items * 3),
+        };
+        // Populate outside any transaction via a single-threaded context.
+        let tm = stm::Tl2::new(Arc::clone(sys));
+        let mut ctx = txcore::ThreadCtx::new(0);
+        for table in [&v.cars, &v.rooms, &v.flights] {
+            for item in 0..n_items {
+                txcore::run_tx(&tm, &mut ctx, |tx| table.insert(tx, heap, item, units));
+            }
+        }
+        v
+    }
+
+    fn table(&self, which: u64) -> &RedBlackTree {
+        match which % 3 {
+            0 => &self.cars,
+            1 => &self.rooms,
+            _ => &self.flights,
+        }
+    }
+
+    /// One reservation: check availability of `q` random items across the
+    /// tables and, if all available, take one unit of each and record the
+    /// booking on the customer.
+    fn make_reservation(
+        &self,
+        poly: &PolyTm,
+        worker: &mut Worker,
+        rng: &mut XorShift64,
+    ) -> bool {
+        let q = self.queries_per_tx;
+        // Distinct (table, item) picks: booking the same item twice in one
+        // reservation would double-decrement its availability.
+        let mut picks: Vec<(u64, u64)> = Vec::with_capacity(q as usize);
+        while (picks.len() as u64) < q {
+            let pick = (rng.next_u64() % 3, rng.next_below(self.n_items));
+            if !picks.contains(&pick) {
+                picks.push(pick);
+            }
+        }
+        let customer = rng.next_below(self.n_items * 4);
+        let heap: &Heap = &poly.system().heap;
+        poly.run_tx(worker, |tx| -> TxResult<bool> {
+            // Phase 1: check all.
+            for &(which, item) in &picks {
+                let avail = self.table(which).get(tx, item)?.unwrap_or(0);
+                if avail == 0 {
+                    return Ok(false);
+                }
+            }
+            // Phase 2: book all.
+            for &(which, item) in &picks {
+                let table = self.table(which);
+                let avail = table.get(tx, item)?.unwrap_or(0);
+                table.insert(tx, heap, item, avail - 1)?;
+            }
+            self.customers.add(tx, heap, customer, q)?;
+            Ok(true)
+        })
+    }
+
+    /// One cancellation: return a unit to a random table.
+    fn cancel(&self, poly: &PolyTm, worker: &mut Worker, rng: &mut XorShift64) {
+        let which = rng.next_u64();
+        let item = rng.next_below(self.n_items);
+        let heap: &Heap = &poly.system().heap;
+        poly.run_tx(worker, |tx| -> TxResult<()> {
+            let table = self.table(which);
+            let avail = table.get(tx, item)?.unwrap_or(0);
+            table.insert(tx, heap, item, avail + 1)?;
+            Ok(())
+        });
+    }
+
+    /// Total units across all tables plus booked units (conservation
+    /// check; call while quiescent).
+    pub fn total_units(&self, sys: &Arc<TmSystem>) -> u64 {
+        let tm = stm::Tl2::new(Arc::clone(sys));
+        let mut ctx = txcore::ThreadCtx::new(0);
+        txcore::run_tx(&tm, &mut ctx, |tx| {
+            let mut sum = 0u64;
+            for table in [&self.cars, &self.rooms, &self.flights] {
+                for item in 0..self.n_items {
+                    sum += table.get(tx, item)?.unwrap_or(0);
+                }
+            }
+            Ok(sum)
+        })
+    }
+}
+
+impl TmApp for Vacation {
+    fn name(&self) -> &'static str {
+        "vacation"
+    }
+
+    fn op(&self, poly: &PolyTm, worker: &mut Worker, rng: &mut XorShift64) {
+        if rng.next_below(10) < 9 {
+            self.make_reservation(poly, worker, rng);
+        } else {
+            self.cancel(poly, worker, rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{drive, AppWorkload};
+
+    #[test]
+    fn reservations_never_oversell() {
+        let poly = Arc::new(PolyTm::builder().heap_words(1 << 20).max_threads(4).build());
+        let app = Arc::new(Vacation::setup(poly.system(), 64, 5, 3));
+        let total_before = app.total_units(poly.system());
+        assert_eq!(total_before, 3 * 64 * 5);
+        let app_dyn: Arc<dyn TmApp> = app.clone();
+        drive(
+            &poly,
+            &app_dyn,
+            AppWorkload {
+                threads: 4,
+                ops_per_thread: Some(150),
+                ..AppWorkload::default()
+            },
+        );
+        // Each table's availability stays within [0, populated + cancels].
+        let tm = stm::Tl2::new(Arc::clone(poly.system()));
+        let mut ctx = txcore::ThreadCtx::new(0);
+        for table in [&app.cars, &app.rooms, &app.flights] {
+            for item in 0..64 {
+                let avail =
+                    txcore::run_tx(&tm, &mut ctx, |tx| table.get(tx, item)).unwrap_or(0);
+                assert!(avail < 1000, "availability ran away: {avail}");
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Yada: Delaunay mesh refinement — threads pull "bad" triangles from a
+//! shared work queue, read the surrounding cavity (a sizable neighbourhood)
+//! and retriangulate it, occasionally producing new bad triangles. Large,
+//! irregular transactions with moderate conflicts (STAMP's yada).
+
+use crate::driver::TmApp;
+use polytm::{PolyTm, Worker};
+use std::sync::Arc;
+use txcore::util::XorShift64;
+use txcore::{Addr, TmSystem, TxResult};
+
+// Triangle layout: [quality, generation].
+const QUALITY: u32 = 0;
+const GENERATION: u32 = 1;
+const TRI_WORDS: u64 = 2;
+
+/// A triangle quality below this is "bad" and needs refinement.
+const BAD_THRESHOLD: u64 = 100;
+
+/// The yada kernel state: a triangle pool, a ring queue of bad-triangle
+/// ids, and a refinement counter.
+#[derive(Debug)]
+pub struct Yada {
+    triangles: Addr,
+    n_triangles: u64,
+    /// Ring queue: [head, tail, cap, slots...].
+    queue: Addr,
+    qcap: u64,
+    cavity_size: u64,
+    refined: Addr,
+}
+
+impl Yada {
+    /// A mesh of `n_triangles`, with cavities of `cavity_size` neighbours.
+    pub fn setup(sys: &Arc<TmSystem>, n_triangles: u64, cavity_size: u64) -> Self {
+        let heap = &sys.heap;
+        let triangles = heap.alloc((n_triangles * TRI_WORDS) as usize);
+        let qcap = n_triangles * 2;
+        let queue = heap.alloc(3 + qcap as usize);
+        heap.write_raw(queue.field(2), qcap);
+        // Seed: a third of the triangles start bad and enqueued.
+        let mut rng = XorShift64::new(0xADA);
+        let mut tail = 0u64;
+        for t in 0..n_triangles {
+            let quality = rng.next_below(300);
+            heap.write_raw(triangles.field((t * TRI_WORDS) as u32 + QUALITY), quality);
+            if quality < BAD_THRESHOLD {
+                heap.write_raw(queue.field(3 + (tail % qcap) as u32), t + 1);
+                tail += 1;
+            }
+        }
+        heap.write_raw(queue.field(1), tail);
+        Yada {
+            triangles,
+            n_triangles,
+            queue,
+            qcap,
+            cavity_size: cavity_size.max(2),
+            refined: heap.alloc(1),
+        }
+    }
+
+    fn tri(&self, t: u64) -> u32 {
+        (t * TRI_WORDS) as u32
+    }
+
+    /// Triangles refined so far.
+    pub fn refined(&self, sys: &Arc<TmSystem>) -> u64 {
+        sys.heap.read_raw(self.refined)
+    }
+
+    /// Quiescent check: every refined triangle's generation matches its
+    /// quality stamp, and no enqueued id is out of range.
+    pub fn check_mesh(&self, sys: &Arc<TmSystem>) {
+        let heap = &sys.heap;
+        let head = heap.read_raw(self.queue);
+        let tail = heap.read_raw(self.queue.field(1));
+        assert!(head <= tail, "queue corrupted");
+        for i in head..tail {
+            let id = heap.read_raw(self.queue.field(3 + (i % self.qcap) as u32));
+            assert!(id >= 1 && id <= self.n_triangles, "bad id {id} queued");
+        }
+    }
+}
+
+impl TmApp for Yada {
+    fn name(&self) -> &'static str {
+        "yada"
+    }
+
+    fn op(&self, poly: &PolyTm, worker: &mut Worker, rng: &mut XorShift64) {
+        let (queue, qcap, triangles, n, cav, refined) = (
+            self.queue,
+            self.qcap,
+            self.triangles,
+            self.n_triangles,
+            self.cavity_size,
+            self.refined,
+        );
+        let stamp = rng.next_below(1000) + BAD_THRESHOLD; // post-refinement quality
+        let reseed = rng.next_below(100) < 15; // sometimes spawn a new bad tri
+        let new_bad = rng.next_below(n);
+        poly.run_tx(worker, |tx| -> TxResult<()> {
+            let head = tx.read(queue)?;
+            let tail = tx.read(queue.field(1))?;
+            if head == tail {
+                return Ok(()); // mesh is clean
+            }
+            let id = tx.read(queue.field(3 + (head % qcap) as u32))? - 1;
+            tx.write(queue, head + 1)?;
+            // Read the cavity: a deterministic neighbourhood of the victim.
+            let mut acc = 0u64;
+            for k in 0..cav {
+                let nb = (id + k * k + 1) % n;
+                acc = acc.wrapping_add(tx.read(triangles.field(self.tri(nb) + QUALITY))?);
+            }
+            // Retriangulate: bump the victim and its nearest neighbours.
+            let gen = tx.read(triangles.field(self.tri(id) + GENERATION))?;
+            tx.write(triangles.field(self.tri(id) + QUALITY), stamp + acc % 50)?;
+            tx.write(triangles.field(self.tri(id) + GENERATION), gen + 1)?;
+            for k in 0..(cav / 3).max(1) {
+                let nb = (id + k + 1) % n;
+                let g = tx.read(triangles.field(self.tri(nb) + GENERATION))?;
+                tx.write(triangles.field(self.tri(nb) + GENERATION), g + 1)?;
+            }
+            // Occasionally the refinement spoils a neighbour: enqueue it.
+            if reseed {
+                let t2 = tx.read(queue.field(1))?;
+                if t2 - (head + 1) < qcap {
+                    tx.write(queue.field(3 + (t2 % qcap) as u32), new_bad + 1)?;
+                    tx.write(queue.field(1), t2 + 1)?;
+                }
+            }
+            let r = tx.read(refined)?;
+            tx.write(refined, r + 1)?;
+            Ok(())
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{drive, AppWorkload, TmApp};
+
+    #[test]
+    fn refinement_progresses_and_mesh_stays_sane() {
+        let poly = Arc::new(PolyTm::builder().heap_words(1 << 16).max_threads(4).build());
+        let app = Arc::new(Yada::setup(poly.system(), 256, 12));
+        let app_dyn: Arc<dyn TmApp> = app.clone();
+        drive(
+            &poly,
+            &app_dyn,
+            AppWorkload {
+                threads: 4,
+                ops_per_thread: Some(150),
+                ..AppWorkload::default()
+            },
+        );
+        assert!(app.refined(poly.system()) > 0);
+        app.check_mesh(poly.system());
+    }
+
+    #[test]
+    fn refined_count_matches_queue_consumption() {
+        let poly = Arc::new(PolyTm::builder().heap_words(1 << 14).max_threads(1).build());
+        let app = Arc::new(Yada::setup(poly.system(), 64, 6));
+        let mut worker = poly.register_thread(0);
+        let mut rng = XorShift64::new(4);
+        for _ in 0..500 {
+            app.op(&poly, &mut worker, &mut rng);
+        }
+        let sys = poly.system();
+        let consumed = sys.heap.read_raw(app.queue);
+        assert_eq!(app.refined(sys), consumed, "every pop must refine");
+    }
+}

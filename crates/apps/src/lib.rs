@@ -1,0 +1,25 @@
+//! Transactional applications and workload generators for the ProteusTM
+//! evaluation (Table 1 of the paper).
+//!
+//! Everything here runs on the *real* TM stack ([`txcore`] + the `stm`/`htm`
+//! backends, usually through [`polytm::PolyTm`]): these are the programs the
+//! overhead/latency experiments (Tables 4–5) and the end-to-end examples
+//! exercise. Three groups:
+//!
+//! * [`structures`] — concurrent data structures over the transactional
+//!   heap: red-black tree, skip list, sorted linked list, hash map (the
+//!   paper's "Data Structures" suite);
+//! * [`kernels`] — STAMP-style kernels: vacation, kmeans, labyrinth,
+//!   intruder, genome, ssca2;
+//! * [`systems`] — application ports: TPC-C-lite, Memcached-lite and
+//!   STMBench7-lite;
+//! * [`driver`] — a multi-threaded workload driver with tunable mixes.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod kernels;
+pub mod structures;
+pub mod systems;
+
+pub use driver::{drive, AppWorkload, DriveReport, TmApp};

@@ -1,0 +1,9 @@
+//! Larger application ports (Table 1's STMBench7, TPC-C and Memcached).
+
+mod memcached;
+mod stmbench7;
+mod tpcc;
+
+pub use memcached::Memcached;
+pub use stmbench7::{Sb7Mix, StmBench7};
+pub use tpcc::TpcC;

@@ -1,0 +1,198 @@
+//! STMBench7-lite: heterogeneous transactions over a large object graph
+//! (Guerraoui, Kapalka, Vitek — EuroSys'07). Mixes long read-only
+//! traversals, short attribute updates and structural modifications — the
+//! benchmark whose phases have wildly different optimal TM configurations
+//! (Fig. 8b).
+
+use crate::driver::TmApp;
+use polytm::{PolyTm, Worker};
+use std::sync::Arc;
+use txcore::util::XorShift64;
+use txcore::{Addr, TmSystem, TxResult};
+
+// Atomic part layout: [value, build_date, conn0, conn1, conn2, conn3].
+const VAL: u32 = 0;
+const DATE: u32 = 1;
+const CONN: u32 = 2;
+const CONNS: u64 = 4;
+const PART_WORDS: u64 = 2 + CONNS;
+
+/// Operation mix weights (out of 100): traversals / reads / updates /
+/// structural changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sb7Mix {
+    /// Long read-only traversal weight.
+    pub traversal: u64,
+    /// Short read weight.
+    pub short_read: u64,
+    /// Attribute update weight.
+    pub update: u64,
+    /// Structural modification weight.
+    pub structural: u64,
+}
+
+impl Default for Sb7Mix {
+    fn default() -> Self {
+        Sb7Mix {
+            traversal: 10,
+            short_read: 40,
+            update: 40,
+            structural: 10,
+        }
+    }
+}
+
+/// The STMBench7-lite object graph.
+#[derive(Debug)]
+pub struct StmBench7 {
+    parts: Addr,
+    n_parts: u64,
+    traversal_len: u64,
+    mix: Sb7Mix,
+}
+
+impl StmBench7 {
+    /// Build a graph of `n_parts` atomic parts with pseudo-random
+    /// connections.
+    pub fn setup(sys: &Arc<TmSystem>, n_parts: u64, traversal_len: u64, mix: Sb7Mix) -> Self {
+        let heap = &sys.heap;
+        let parts = heap.alloc((n_parts * PART_WORDS) as usize);
+        let mut rng = XorShift64::new(0x5EED);
+        for p in 0..n_parts {
+            let base = (p * PART_WORDS) as u32;
+            heap.write_raw(parts.field(base + VAL), p);
+            for c in 0..CONNS {
+                heap.write_raw(
+                    parts.field(base + CONN + c as u32),
+                    rng.next_below(n_parts),
+                );
+            }
+        }
+        StmBench7 {
+            parts,
+            n_parts,
+            traversal_len: traversal_len.max(2),
+            mix,
+        }
+    }
+
+    fn base(&self, p: u64) -> u32 {
+        (p * PART_WORDS) as u32
+    }
+
+    /// Long traversal: follow connections for `traversal_len` hops summing
+    /// values (a big read set).
+    fn traversal(&self, poly: &PolyTm, worker: &mut Worker, start: u64) -> u64 {
+        let parts = self.parts;
+        let len = self.traversal_len;
+        poly.run_tx(worker, |tx| -> TxResult<u64> {
+            let mut cur = start;
+            let mut sum = 0u64;
+            for hop in 0..len {
+                let base = self.base(cur);
+                sum = sum.wrapping_add(tx.read(parts.field(base + VAL))?);
+                cur = tx.read(parts.field(base + CONN + (hop % CONNS) as u32))?;
+            }
+            Ok(sum)
+        })
+    }
+
+    fn short_read(&self, poly: &PolyTm, worker: &mut Worker, p: u64) -> u64 {
+        let parts = self.parts;
+        let base = self.base(p);
+        poly.run_tx(worker, |tx| tx.read(parts.field(base + VAL)))
+    }
+
+    fn update(&self, poly: &PolyTm, worker: &mut Worker, p: u64, stamp: u64) {
+        let parts = self.parts;
+        let base = self.base(p);
+        poly.run_tx(worker, |tx| -> TxResult<()> {
+            let v = tx.read(parts.field(base + VAL))?;
+            tx.write(parts.field(base + VAL), v.wrapping_add(1))?;
+            tx.write(parts.field(base + DATE), stamp)?;
+            Ok(())
+        });
+    }
+
+    /// Structural modification: rewire one connection of a part.
+    fn structural(&self, poly: &PolyTm, worker: &mut Worker, p: u64, to: u64, which: u64) {
+        let parts = self.parts;
+        let base = self.base(p);
+        poly.run_tx(worker, |tx| -> TxResult<()> {
+            tx.write(parts.field(base + CONN + (which % CONNS) as u32), to)?;
+            Ok(())
+        });
+    }
+
+    /// All connections must point at valid parts (quiescent check).
+    pub fn check_graph(&self, sys: &Arc<TmSystem>) {
+        for p in 0..self.n_parts {
+            for c in 0..CONNS {
+                let t = sys
+                    .heap
+                    .read_raw(self.parts.field(self.base(p) + CONN + c as u32));
+                assert!(t < self.n_parts, "dangling connection {p} -> {t}");
+            }
+        }
+    }
+}
+
+impl TmApp for StmBench7 {
+    fn name(&self) -> &'static str {
+        "stmbench7"
+    }
+
+    fn op(&self, poly: &PolyTm, worker: &mut Worker, rng: &mut XorShift64) {
+        let p = rng.next_below(self.n_parts);
+        let total = self.mix.traversal + self.mix.short_read + self.mix.update + self.mix.structural;
+        let roll = rng.next_below(total.max(1));
+        if roll < self.mix.traversal {
+            self.traversal(poly, worker, p);
+        } else if roll < self.mix.traversal + self.mix.short_read {
+            self.short_read(poly, worker, p);
+        } else if roll < self.mix.traversal + self.mix.short_read + self.mix.update {
+            self.update(poly, worker, p, rng.next_u64());
+        } else {
+            self.structural(poly, worker, p, rng.next_below(self.n_parts), rng.next_u64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{drive, AppWorkload, TmApp};
+
+    #[test]
+    fn graph_stays_well_formed_under_concurrency() {
+        let poly = Arc::new(PolyTm::builder().heap_words(1 << 16).max_threads(4).build());
+        let app = Arc::new(StmBench7::setup(
+            poly.system(),
+            128,
+            20,
+            Sb7Mix::default(),
+        ));
+        let app_dyn: Arc<dyn TmApp> = app.clone();
+        let report = drive(
+            &poly,
+            &app_dyn,
+            AppWorkload {
+                threads: 4,
+                ops_per_thread: Some(300),
+                ..AppWorkload::default()
+            },
+        );
+        assert_eq!(report.stats.commits, 1200);
+        app.check_graph(poly.system());
+    }
+
+    #[test]
+    fn traversal_reads_many_parts() {
+        let poly = Arc::new(PolyTm::builder().heap_words(1 << 14).max_threads(1).build());
+        let app = StmBench7::setup(poly.system(), 64, 30, Sb7Mix::default());
+        let mut worker = poly.register_thread(0);
+        let sum = app.traversal(&poly, &mut worker, 0);
+        // Values are initialized to part ids; a 30-hop walk sums < 30 * 64.
+        assert!(sum < 30 * 64);
+    }
+}

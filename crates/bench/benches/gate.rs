@@ -1,0 +1,41 @@
+//! Ablation bench: the Algorithm 1 thread gate — fetch-and-add entry vs
+//! the CAS-loop variant (paper §4.2 argues FAA is cheaper), plus the
+//! disable/enable reconfiguration round-trip.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polytm::ThreadGate;
+use std::hint::black_box;
+
+fn bench_gate(c: &mut Criterion) {
+    let gate = ThreadGate::new(4);
+    let mut group = c.benchmark_group("gate");
+    group.bench_function("enter_exit_faa", |b| {
+        b.iter(|| {
+            gate.enter(black_box(0));
+            gate.exit(black_box(0));
+        })
+    });
+    group.bench_function("enter_exit_cas", |b| {
+        b.iter(|| {
+            gate.enter_cas(black_box(1));
+            gate.exit(black_box(1));
+        })
+    });
+    group.bench_function("disable_enable_idle_thread", |b| {
+        b.iter(|| {
+            gate.disable(black_box(2));
+            gate.enable(black_box(2));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_gate
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Table 4 companion: per-transaction cost of each backend, bare vs behind
+//! PolyTM, on a small read-modify-write transaction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polytm::{BackendId, PolyTm, TmConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+use stm::{NOrec, SwissTm, TinyStm, Tl2};
+use txcore::{run_tx, ThreadCtx, TmBackend, TmSystem};
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tx_rmw");
+    type Maker = (&'static str, fn(Arc<TmSystem>) -> Arc<dyn TmBackend>);
+    let makers: [Maker; 4] = [
+        ("tl2", |s| Arc::new(Tl2::new(s))),
+        ("tinystm", |s| Arc::new(TinyStm::new(s))),
+        ("norec", |s| Arc::new(NOrec::new(s))),
+        ("swisstm", |s| Arc::new(SwissTm::new(s))),
+    ];
+    for (name, make) in makers {
+        let sys = Arc::new(TmSystem::new(1 << 10));
+        let a = sys.heap.alloc(1);
+        let backend = make(Arc::clone(&sys));
+        let mut ctx = ThreadCtx::new(0);
+        group.bench_function(format!("bare_{name}"), |b| {
+            b.iter(|| {
+                run_tx(backend.as_ref(), &mut ctx, |tx| {
+                    let v = tx.read(black_box(a))?;
+                    tx.write(a, v + 1)
+                })
+            })
+        });
+    }
+    for id in [BackendId::Tl2, BackendId::NOrec] {
+        let poly = PolyTm::builder()
+            .heap_words(1 << 10)
+            .max_threads(1)
+            .initial_config(TmConfig::stm(id, 1))
+            .build();
+        let a = poly.system().heap.alloc(1);
+        let mut worker = poly.register_thread(0);
+        group.bench_function(format!("polytm_{}", id.label().to_lowercase()), |b| {
+            b.iter(|| {
+                poly.run_tx(&mut worker, |tx| {
+                    let v = tx.read(black_box(a))?;
+                    tx.write(a, v + 1)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_backends
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Table 5 companion: reconfiguration latency of an otherwise idle
+//! runtime (algorithm switch, parallelism change, HTM retune).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use htm::CapacityPolicy;
+use polytm::{BackendId, HtmSetting, PolyTm, TmConfig};
+
+fn bench_reconfig(c: &mut Criterion) {
+    let poly = PolyTm::builder().heap_words(1 << 10).max_threads(4).build();
+    let mut group = c.benchmark_group("reconfig");
+    group.bench_function("switch_algorithm", |b| {
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let id = if flip { BackendId::SwissTm } else { BackendId::Tl2 };
+            poly.apply(&TmConfig::stm(id, 4)).unwrap()
+        })
+    });
+    group.bench_function("change_parallelism", |b| {
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let cfg = poly.current_config();
+            poly.apply(&TmConfig::stm(cfg.backend, if flip { 2 } else { 4 }))
+                .unwrap()
+        })
+    });
+    group.bench_function("retune_htm_cm", |b| {
+        poly.apply(&TmConfig::htm(BackendId::Htm, 4, HtmSetting::DEFAULT))
+            .unwrap();
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            poly.set_htm_setting(HtmSetting {
+                budget: if flip { 16 } else { 4 },
+                policy: CapacityPolicy::Halve,
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_reconfig
+);
+criterion_main!(benches);

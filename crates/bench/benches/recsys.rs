@@ -1,0 +1,87 @@
+//! Learning-pipeline micro-benchmarks: rating distillation fit, KNN row
+//! prediction, bagging-ensemble prediction, and one full Controller
+//! optimization (the on-line cost of a tuning round).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polytm::Kpi;
+use recsys::{
+    BaggingEnsemble, CfAlgorithm, DistillationNorm, Normalization, Row, Similarity,
+    UtilityMatrix,
+};
+use rectm::{Controller, ControllerSettings, NormalizationChoice};
+use std::hint::black_box;
+use tmsim::{corpus_with_families, MachineModel, PerfModel, WorkloadFamily};
+
+fn training(nrows: usize) -> UtilityMatrix {
+    let machine = MachineModel::machine_a();
+    let model = PerfModel::new(machine.clone());
+    let ws = corpus_with_families(&WorkloadFamily::ALL, nrows, 1);
+    let space = machine.config_space();
+    UtilityMatrix::from_rows(
+        ws.iter()
+            .map(|w| {
+                space
+                    .configs()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| Some(model.noisy_kpi(w.id, &w.spec, c, i, Kpi::Throughput, 0)))
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+fn bench_recsys(c: &mut Criterion) {
+    let kpis = training(60);
+    let mut norm = DistillationNorm::new();
+    norm.fit(&kpis);
+    let ratings = norm.transform_matrix(&kpis);
+    let algo = CfAlgorithm::Knn {
+        similarity: Similarity::Cosine,
+        k: 5,
+    };
+    let ensemble = BaggingEnsemble::fit(&ratings, algo, 10, 3);
+    let known: Row = {
+        let mut row: Row = vec![None; ratings.ncols()];
+        for c in [0usize, 7, 40, 100] {
+            row[c] = ratings.get(1, c);
+        }
+        row
+    };
+
+    let mut group = c.benchmark_group("recsys");
+    group.bench_function("distillation_fit_60x130", |b| {
+        b.iter(|| {
+            let mut n = DistillationNorm::new();
+            n.fit(black_box(&kpis));
+            n.reference()
+        })
+    });
+    group.bench_function("ensemble_predict_row", |b| {
+        b.iter(|| ensemble.predict_stats(black_box(&known)))
+    });
+    let ctl = Controller::fit(
+        &kpis,
+        smbo::Goal::Maximize,
+        NormalizationChoice::Distillation.build(),
+        algo,
+        ControllerSettings::default(),
+    );
+    let truth: Vec<f64> = (0..kpis.ncols())
+        .map(|cidx| kpis.get(2, cidx).unwrap())
+        .collect();
+    group.bench_function("controller_full_optimization", |b| {
+        b.iter(|| ctl.optimize(&mut |cfg| black_box(truth[cfg])))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_recsys
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Regenerate the ProteusTM paper's tables and figures.
+//!
+//! ```text
+//! experiments all            # everything (a few minutes in --release)
+//! experiments fig4 fig5      # selected experiments
+//! experiments --quick all    # reduced corpus sizes (CI-friendly)
+//! ```
+
+use std::collections::BTreeMap;
+
+type Runner = (&'static str, fn(bool));
+
+/// The canonical experiments, in the paper's order.
+const RUNNERS: [Runner; 9] = [
+    ("table23", |_| bench::table23::run()),
+    ("fig1", |_| bench::fig1::run()),
+    ("table4", |quick| {
+        bench::table4::run_with(if quick { 2_000 } else { 40_000 })
+    }),
+    ("table5", |quick| {
+        bench::table5::run_with(if quick { 5 } else { 20 })
+    }),
+    ("fig4", |quick| {
+        bench::fig4::run_with(if quick { 60 } else { 300 })
+    }),
+    ("fig5", |quick| {
+        bench::fig5::run_with(if quick { 36 } else { 120 })
+    }),
+    ("fig6", |quick| {
+        bench::fig6::run_with(if quick { 36 } else { 120 })
+    }),
+    ("fig7", |quick| {
+        bench::fig7::run_with(if quick { 60 } else { 300 })
+    }),
+    ("fig8", |_| bench::fig8::run()),
+];
+
+/// Aliases: paper artifact name → canonical experiment.
+const ALIASES: [(&str, &str); 3] = [("table2", "table23"), ("table3", "table23"), ("table6", "fig8")];
+
+fn main() {
+    let mut index: BTreeMap<&str, fn(bool)> = RUNNERS.iter().cloned().collect();
+    index.insert("fig9", |_| bench::fig9::run());
+    for (alias, canon) in ALIASES {
+        let f = *index.get(canon).expect("alias target exists");
+        index.insert(alias, f);
+    }
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let targets: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if targets.is_empty() {
+        eprintln!(
+            "usage: experiments [--quick] <all | {} ...>",
+            index.keys().cloned().collect::<Vec<_>>().join(" | ")
+        );
+        std::process::exit(2);
+    }
+    for target in targets {
+        if target == "all" {
+            for (name, f) in RUNNERS {
+                banner(name);
+                f(quick);
+            }
+            banner("fig9");
+            bench::fig9::run();
+        } else if let Some(f) = index.get(target.as_str()) {
+            banner(target);
+            f(quick);
+        } else {
+            eprintln!("unknown experiment: {target}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn banner(name: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("EXPERIMENT {name}");
+    println!("{}", "=".repeat(72));
+}

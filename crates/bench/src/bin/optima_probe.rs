@@ -1,0 +1,22 @@
+//! Dev tool: print each workload family's optimal configuration and the
+//! best/worst KPI spread on both machines (useful when picking contrasting
+//! workloads for figures).
+
+fn main() {
+    for machine in [tmsim::MachineModel::machine_a(), tmsim::MachineModel::machine_b()] {
+        let model = tmsim::PerfModel::new(machine.clone());
+        let space = machine.config_space();
+        println!("--- {} ---", machine.name);
+        for fam in tmsim::WorkloadFamily::ALL {
+            let spec = fam.base_spec();
+            // throughput/joule for A, throughput for B
+            let kpi = |c: &polytm::TmConfig| {
+                let x = model.throughput(&spec, c);
+                if machine.has_htm { x / machine.energy.power_watts(c.threads) } else { x }
+            };
+            let best = space.configs().iter().max_by(|a, b| kpi(a).total_cmp(&kpi(b))).unwrap();
+            let worst = space.configs().iter().min_by(|a, b| kpi(a).total_cmp(&kpi(b))).unwrap();
+            println!("{:<16} best {:<20} spread {:.1}x", fam.name(), best.to_string(), kpi(best)/kpi(worst));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Figure 7: ProteusTM vs the Wang-et-al-style ML classifiers (CART, SVM,
+//! MLP) — CDF of the DFO at 30% and 70% training data (throughput,
+//! Machine A).
+//!
+//! The ML baselines receive the workload-characterization features the
+//! performance model is driven by (transaction duration, access-set sizes,
+//! contention, etc. — the analogue of the paper's 17 profiled features),
+//! and predict the identifier of the best configuration. ProteusTM sees
+//! *only* KPI samples, gathered by its own adaptive exploration.
+
+use crate::harness::{f3, pct, print_table, Bench};
+use mlbaselines::{tune_classifier, Classifier, ClassifierKind, Dataset};
+use polytm::Kpi;
+use recsys::{CfAlgorithm, Similarity};
+use rectm::{Controller, ControllerSettings, NormalizationChoice};
+use smbo::{Acquisition, StoppingRule};
+use tmsim::{MachineModel, Workload};
+
+/// The workload-characterization feature vector for the ML baselines.
+fn features(w: &Workload) -> Vec<f64> {
+    let s = &w.spec;
+    vec![
+        s.base_tx_us.ln(),
+        s.reads.ln(),
+        s.writes.ln(),
+        s.contention,
+        s.update_frac,
+        s.scalability,
+        s.htm_fit,
+        (s.reads / s.writes.max(1.0)).ln(),
+        s.contention * s.update_frac,      // conflict pressure
+        s.base_tx_us.ln() * s.contention,  // interaction terms
+    ]
+}
+
+fn best_col(bench: &Bench, row: usize) -> usize {
+    (0..bench.configs.len())
+        .max_by(|&x, &y| bench.truth[row][x].total_cmp(&bench.truth[row][y]))
+        .expect("non-empty space")
+}
+
+fn run_split(bench: &Bench, train_frac: f64, seed: u64) {
+    let (train, test) = bench.split(train_frac, seed);
+
+    // ProteusTM: Cautious EI exploration per test workload.
+    let ctl = Controller::fit(
+        &bench.matrix_of(&train),
+        bench.goal,
+        NormalizationChoice::Distillation.build(),
+        CfAlgorithm::Knn {
+            similarity: Similarity::Cosine,
+            k: 5,
+        },
+        ControllerSettings {
+            acquisition: Acquisition::ExpectedImprovement,
+            stopping: StoppingRule::Cautious { epsilon: 0.01 },
+            n_bags: 10,
+            max_explorations: 20,
+            seed: 5,
+        },
+    );
+    let mut proteus_dfo = Vec::new();
+    let mut proteus_expl = Vec::new();
+    for &row in &test {
+        let out = ctl.optimize(&mut |col| bench.truth[row][col]);
+        proteus_dfo.push(bench.dfo(row, out.recommended));
+        proteus_expl.push(out.explored.len() as f64);
+    }
+
+    // ML baselines: classify the best-configuration id from features.
+    let train_data = Dataset::new(
+        train.iter().map(|&r| features(&bench.workloads[r])).collect(),
+        train.iter().map(|&r| best_col(bench, r)).collect(),
+        bench.configs.len(),
+    );
+    let mut rows = Vec::new();
+    let summarize = |dfos: &[f64]| {
+        let mean = dfos.iter().sum::<f64>() / dfos.len() as f64;
+        [
+            f3(mean),
+            f3(pct(dfos, 50.0)),
+            f3(pct(dfos, 90.0)),
+            f3(pct(dfos, 100.0)),
+        ]
+    };
+    let p = summarize(&proteus_dfo);
+    rows.push(vec![
+        "ProteusTM".to_string(),
+        p[0].clone(),
+        p[1].clone(),
+        p[2].clone(),
+        p[3].clone(),
+    ]);
+    for kind in ClassifierKind::ALL {
+        let model = tune_classifier(kind, &train_data, 10, 3, 99);
+        let dfos: Vec<f64> = test
+            .iter()
+            .map(|&row| {
+                let chosen = model.predict(&features(&bench.workloads[row]));
+                bench.dfo(row, chosen)
+            })
+            .collect();
+        let s = summarize(&dfos);
+        rows.push(vec![
+            kind.label().to_string(),
+            s[0].clone(),
+            s[1].clone(),
+            s[2].clone(),
+            s[3].clone(),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Fig 7 — DFO at {:.0}% training (throughput, Machine A)",
+            train_frac * 100.0
+        ),
+        &["technique", "mean", "p50", "p90", "max"],
+        &rows,
+    );
+    println!(
+        "ProteusTM explorations: median {:.0}, p90 {:.1}",
+        pct(&proteus_expl, 50.0),
+        pct(&proteus_expl, 90.0)
+    );
+}
+
+/// Run Figure 7 with a corpus of `n` workloads.
+pub fn run_with(n: usize) {
+    let bench = Bench::new(MachineModel::machine_a(), Kpi::Throughput, n, 0xF17);
+    run_split(&bench, 0.3, 31);
+    run_split(&bench, 0.7, 32);
+    println!(
+        "(Shape target: ProteusTM's DFO beats every classifier at both\n\
+         training sizes, and its accuracy degrades little at 30% training —\n\
+         it compensates scarcity by exploring slightly more.)"
+    );
+}
+
+/// Run Figure 7 at the paper's corpus size.
+pub fn run() {
+    run_with(300);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig7_smoke() {
+        super::run_with(30);
+    }
+}

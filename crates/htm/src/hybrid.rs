@@ -1,0 +1,423 @@
+//! Hybrid NOrec (Dalessandro, Carouge, White, Lev, Moir, Scott, Spear —
+//! ASPLOS 2011): a hardware fast path over an NOrec software slow path.
+//!
+//! Hardware transactions subscribe to NOrec's global sequence lock and
+//! advance it by two when they commit a writer, so software transactions
+//! revalidate (by value) against hardware commits and vice versa. When the
+//! speculative budget drains, the block simply runs as a plain NOrec
+//! transaction — no global mutual exclusion, unlike [`crate::HtmSim`]'s
+//! lock fallback.
+
+use crate::params::{HtmGeometry, TunableCm};
+use crate::spec::SpecCore;
+use std::sync::Arc;
+use stm::NOrec;
+use txcore::{AbortCode, Addr, BackendKind, ThreadCtx, TmBackend, TmSystem, TxResult};
+
+/// The Hybrid NOrec backend. See the module docs.
+#[derive(Debug)]
+pub struct HybridNOrec {
+    sys: Arc<TmSystem>,
+    core: SpecCore,
+    norec: NOrec,
+    cm: TunableCm,
+}
+
+impl HybridNOrec {
+    /// A hybrid instance with the default simulated geometry.
+    pub fn new(sys: Arc<TmSystem>) -> Self {
+        Self::with_geometry(sys, HtmGeometry::default())
+    }
+
+    /// A hybrid instance with an explicit simulated cache geometry.
+    pub fn with_geometry(sys: Arc<TmSystem>, geom: HtmGeometry) -> Self {
+        HybridNOrec {
+            norec: NOrec::new(Arc::clone(&sys)),
+            core: SpecCore::new(geom, false),
+            cm: TunableCm::default(),
+            sys,
+        }
+    }
+
+    /// The live-tunable contention manager.
+    pub fn cm(&self) -> &TunableCm {
+        &self.cm
+    }
+
+    fn charge(&self, ctx: &mut ThreadCtx, code: AbortCode) {
+        ctx.htm_budget = match code {
+            AbortCode::Capacity => self.cm.policy().apply(ctx.htm_budget),
+            _ => ctx.htm_budget.saturating_sub(1),
+        };
+    }
+}
+
+impl TmBackend for HybridNOrec {
+    fn name(&self) -> &'static str {
+        "hybrid-norec"
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::Hybrid
+    }
+
+    fn begin(&self, ctx: &mut ThreadCtx) -> TxResult<()> {
+        if ctx.attempt == 0 {
+            ctx.htm_budget = self.cm.budget().max(1);
+        }
+        if ctx.htm_budget == 0 {
+            self.norec.begin(ctx)?;
+            ctx.in_fallback = true;
+            return Ok(());
+        }
+        self.core.begin(&self.sys, ctx, &self.sys.norec_seq)
+    }
+
+    fn read(&self, ctx: &mut ThreadCtx, addr: Addr) -> TxResult<u64> {
+        if ctx.in_fallback {
+            return self.norec.read(ctx, addr);
+        }
+        self.core
+            .read(&self.sys, ctx, &self.sys.norec_seq, addr)
+            .inspect_err(|a| {
+                self.charge(ctx, a.code);
+            })
+    }
+
+    fn write(&self, ctx: &mut ThreadCtx, addr: Addr, val: u64) -> TxResult<()> {
+        if ctx.in_fallback {
+            return self.norec.write(ctx, addr, val);
+        }
+        self.core
+            .write(&self.sys, ctx, &self.sys.norec_seq, addr, val)
+            .inspect_err(|a| {
+                self.charge(ctx, a.code);
+            })
+    }
+
+    fn commit(&self, ctx: &mut ThreadCtx) -> TxResult<()> {
+        if ctx.in_fallback {
+            return self.norec.commit(ctx);
+        }
+        self.core
+            .commit(&self.sys, ctx, &self.sys.norec_seq, true)
+            .inspect_err(|a| {
+                self.charge(ctx, a.code);
+            })
+    }
+
+    fn rollback(&self, ctx: &mut ThreadCtx) {
+        if ctx.in_fallback {
+            self.norec.rollback(ctx);
+            return;
+        }
+        self.core.rollback(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CapacityPolicy;
+    use crate::spec::LINE_WORDS;
+    use std::sync::atomic::Ordering;
+    use txcore::run_tx;
+
+    #[test]
+    fn hardware_commit_signals_software_path() {
+        let sys = Arc::new(TmSystem::new(1 << 12));
+        let tm = HybridNOrec::new(Arc::clone(&sys));
+        let a = sys.heap.alloc(1);
+        let mut ctx = ThreadCtx::new(0);
+        run_tx(&tm, &mut ctx, |tx| tx.write(a, 1));
+        // The hardware commit advanced NOrec's sequence lock.
+        assert_eq!(sys.norec_seq.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn oversized_blocks_run_as_norec_transactions() {
+        let sys = Arc::new(TmSystem::new(1 << 14));
+        let tm =
+            HybridNOrec::with_geometry(Arc::clone(&sys), HtmGeometry::TINY_FOR_TESTS);
+        tm.cm().set(2, CapacityPolicy::GiveUp);
+        let base = sys.heap.alloc(LINE_WORDS * 16);
+        let mut ctx = ThreadCtx::new(0);
+        run_tx(&tm, &mut ctx, |tx| {
+            for i in 0..16u32 {
+                tx.write(base.field(i * LINE_WORDS as u32), 7)?;
+            }
+            Ok(())
+        });
+        let snap = ctx.stats.snapshot();
+        assert_eq!(snap.fallback_commits, 1);
+        for i in 0..16u32 {
+            assert_eq!(sys.heap.read_raw(base.field(i * LINE_WORDS as u32)), 7);
+        }
+    }
+
+    #[test]
+    fn mixed_hardware_software_conserves_counter() {
+        let sys = Arc::new(TmSystem::new(1 << 14));
+        let tm = Arc::new(HybridNOrec::with_geometry(
+            Arc::clone(&sys),
+            HtmGeometry::TINY_FOR_TESTS,
+        ));
+        tm.cm().set(1, CapacityPolicy::GiveUp);
+        let big = sys.heap.alloc(LINE_WORDS * 16);
+        let small = sys.heap.alloc(1);
+        std::thread::scope(|s| {
+            for t in 0..2 {
+                let tm = Arc::clone(&tm);
+                s.spawn(move || {
+                    let mut ctx = ThreadCtx::new(t);
+                    for _ in 0..50 {
+                        run_tx(tm.as_ref(), &mut ctx, |tx| {
+                            for i in 0..16u32 {
+                                let a = big.field(i * LINE_WORDS as u32);
+                                let v = tx.read(a)?;
+                                tx.write(a, v + 1)?;
+                            }
+                            Ok(())
+                        });
+                    }
+                });
+            }
+            for t in 2..4 {
+                let tm = Arc::clone(&tm);
+                s.spawn(move || {
+                    let mut ctx = ThreadCtx::new(t);
+                    for _ in 0..200 {
+                        run_tx(tm.as_ref(), &mut ctx, |tx| {
+                            let v = tx.read(small)?;
+                            tx.write(small, v + 1)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(sys.heap.read_raw(small), 400);
+        for i in 0..16u32 {
+            assert_eq!(sys.heap.read_raw(big.field(i * LINE_WORDS as u32)), 100);
+        }
+    }
+}
+
+/// A phased hybrid in the spirit of reduced-hardware transactions (Matveev
+/// & Shavit — SPAA 2013): the speculative path shares TL2's commit-time
+/// locking protocol (so hardware and software transactions coordinate
+/// through the same ownership records) but is subject to HTM capacity
+/// limits and a retry budget; a drained budget simply continues in plain
+/// software TL2 — no global lock, no mutual exclusion.
+///
+/// Because both paths speak the TL2 protocol, they are always mutually
+/// safe; the "hardware" flavour of the fast path is expressed by its
+/// capacity bounds and budget-driven phase demotion.
+#[derive(Debug)]
+pub struct HybridTl2 {
+    tl2: stm::Tl2,
+    geom: HtmGeometry,
+    cm: TunableCm,
+}
+
+impl HybridTl2 {
+    /// A hybrid instance with the default simulated geometry.
+    pub fn new(sys: Arc<TmSystem>) -> Self {
+        Self::with_geometry(sys, HtmGeometry::default())
+    }
+
+    /// A hybrid instance with an explicit simulated cache geometry.
+    pub fn with_geometry(sys: Arc<TmSystem>, geom: HtmGeometry) -> Self {
+        HybridTl2 {
+            tl2: stm::Tl2::new(sys),
+            geom,
+            cm: TunableCm::default(),
+        }
+    }
+
+    /// The live-tunable contention manager.
+    pub fn cm(&self) -> &TunableCm {
+        &self.cm
+    }
+
+    fn charge(&self, ctx: &mut ThreadCtx, code: AbortCode) {
+        ctx.htm_budget = match code {
+            AbortCode::Capacity => self.cm.policy().apply(ctx.htm_budget),
+            _ => ctx.htm_budget.saturating_sub(1),
+        };
+    }
+
+    /// Track the cache line of `addr`; `Err` on speculative overflow.
+    fn track(
+        &self,
+        set_is_read: bool,
+        ctx: &mut ThreadCtx,
+        addr: Addr,
+    ) -> TxResult<()> {
+        let line = (addr.index() / crate::spec::LINE_WORDS) as u32;
+        let (set, cap) = if set_is_read {
+            (&mut ctx.read_lines, self.geom.read_capacity)
+        } else {
+            (&mut ctx.write_lines, self.geom.write_capacity)
+        };
+        if !set.contains(&line) {
+            if set.len() >= cap {
+                self.charge(ctx, AbortCode::Capacity);
+                return Err(txcore::Abort::CAPACITY);
+            }
+            set.push(line);
+        }
+        Ok(())
+    }
+}
+
+impl TmBackend for HybridTl2 {
+    fn name(&self) -> &'static str {
+        "hybrid-tl2"
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::Hybrid
+    }
+
+    fn begin(&self, ctx: &mut ThreadCtx) -> TxResult<()> {
+        if ctx.attempt == 0 {
+            ctx.htm_budget = self.cm.budget().max(1);
+        }
+        let software = ctx.htm_budget == 0;
+        self.tl2.begin(ctx)?; // resets logs (and the in_fallback flag)
+        ctx.in_fallback = software;
+        Ok(())
+    }
+
+    fn read(&self, ctx: &mut ThreadCtx, addr: Addr) -> TxResult<u64> {
+        if !ctx.in_fallback {
+            self.track(true, ctx, addr)?;
+        }
+        self.tl2.read(ctx, addr).inspect_err(|a| {
+            if !ctx.in_fallback {
+                self.charge(ctx, a.code);
+            }
+        })
+    }
+
+    fn write(&self, ctx: &mut ThreadCtx, addr: Addr, val: u64) -> TxResult<()> {
+        if !ctx.in_fallback {
+            self.track(false, ctx, addr)?;
+        }
+        self.tl2.write(ctx, addr, val).inspect_err(|a| {
+            if !ctx.in_fallback {
+                self.charge(ctx, a.code);
+            }
+        })
+    }
+
+    fn commit(&self, ctx: &mut ThreadCtx) -> TxResult<()> {
+        if !ctx.in_fallback
+            && self.geom.spurious_abort_prob > 0.0
+            && ctx.rng.next_f64() < self.geom.spurious_abort_prob
+        {
+            self.charge(ctx, AbortCode::Spurious);
+            return Err(txcore::Abort::SPURIOUS);
+        }
+        let speculative = !ctx.in_fallback;
+        self.tl2.commit(ctx).inspect_err(|a| {
+            if speculative {
+                self.charge(ctx, a.code);
+            }
+        })
+    }
+
+    fn rollback(&self, ctx: &mut ThreadCtx) {
+        self.tl2.rollback(ctx);
+    }
+}
+
+#[cfg(test)]
+mod hybrid_tl2_tests {
+    use super::*;
+    use crate::params::CapacityPolicy;
+    use crate::spec::LINE_WORDS;
+    use txcore::run_tx;
+
+    #[test]
+    fn small_transactions_stay_speculative() {
+        let sys = Arc::new(TmSystem::new(1 << 12));
+        let tm = HybridTl2::new(Arc::clone(&sys));
+        let a = sys.heap.alloc(1);
+        let mut ctx = ThreadCtx::new(0);
+        run_tx(&tm, &mut ctx, |tx| {
+            let v = tx.read(a)?;
+            tx.write(a, v + 1)
+        });
+        let snap = ctx.stats.snapshot();
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.fallback_commits, 0);
+        assert_eq!(sys.heap.read_raw(a), 1);
+    }
+
+    #[test]
+    fn oversized_blocks_demote_to_software_tl2() {
+        let sys = Arc::new(TmSystem::new(1 << 14));
+        let tm = HybridTl2::with_geometry(Arc::clone(&sys), HtmGeometry::TINY_FOR_TESTS);
+        tm.cm().set(2, CapacityPolicy::GiveUp);
+        let base = sys.heap.alloc(LINE_WORDS * 16);
+        let mut ctx = ThreadCtx::new(0);
+        run_tx(&tm, &mut ctx, |tx| {
+            for i in 0..16u32 {
+                tx.write(base.field(i * LINE_WORDS as u32), 3)?;
+            }
+            Ok(())
+        });
+        let snap = ctx.stats.snapshot();
+        assert_eq!(snap.fallback_commits, 1, "must finish in software mode");
+        for i in 0..16u32 {
+            assert_eq!(sys.heap.read_raw(base.field(i * LINE_WORDS as u32)), 3);
+        }
+    }
+
+    #[test]
+    fn speculative_and_software_phases_interoperate() {
+        let sys = Arc::new(TmSystem::new(1 << 14));
+        let tm = Arc::new(HybridTl2::with_geometry(
+            Arc::clone(&sys),
+            HtmGeometry::TINY_FOR_TESTS,
+        ));
+        tm.cm().set(1, CapacityPolicy::GiveUp);
+        let big = sys.heap.alloc(LINE_WORDS * 16);
+        let small = sys.heap.alloc(1);
+        std::thread::scope(|s| {
+            for t in 0..2 {
+                let tm = Arc::clone(&tm);
+                s.spawn(move || {
+                    let mut ctx = ThreadCtx::new(t);
+                    for _ in 0..50 {
+                        run_tx(tm.as_ref(), &mut ctx, |tx| {
+                            for i in 0..16u32 {
+                                let a = big.field(i * LINE_WORDS as u32);
+                                let v = tx.read(a)?;
+                                tx.write(a, v + 1)?;
+                            }
+                            Ok(())
+                        });
+                    }
+                });
+            }
+            for t in 2..4 {
+                let tm = Arc::clone(&tm);
+                s.spawn(move || {
+                    let mut ctx = ThreadCtx::new(t);
+                    for _ in 0..200 {
+                        run_tx(tm.as_ref(), &mut ctx, |tx| {
+                            let v = tx.read(small)?;
+                            tx.write(small, v + 1)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(sys.heap.read_raw(small), 400);
+        for i in 0..16u32 {
+            assert_eq!(sys.heap.read_raw(big.field(i * LINE_WORDS as u32)), 100);
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! The speculative execution core shared by the simulated HTM backends.
+//!
+//! The core behaves like real best-effort HTM as seen by the tuning layers:
+//! cache-line-granularity eager conflict detection, bounded read/write
+//! capacity, subscription to a software sequence lock, and all-or-nothing
+//! visibility at commit. Internally it is an encounter-time-locking TM over
+//! a *private* line-granularity orec table, which gives those semantics in
+//! safe portable code.
+
+use crate::params::HtmGeometry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use txcore::{Abort, Addr, OrecState, OrecTable, ThreadCtx, TmSystem, TxResult};
+
+/// Words per simulated cache line (64-byte lines of 8-byte words).
+pub const LINE_WORDS: usize = 8;
+
+/// Speculative core state owned by one HTM backend instance.
+#[derive(Debug)]
+pub(crate) struct SpecCore {
+    /// Line-granularity versioned locks, private to this backend (metadata
+    /// lives outside application memory, as PolyTM requires).
+    lines: OrecTable,
+    geom: HtmGeometry,
+    /// When set, every speculative access performs the redundant value
+    /// logging a fully-instrumented (STM) code path would — the
+    /// "HTM-naive" configuration of Table 4's dual-path ablation.
+    naive_instrumentation: bool,
+}
+
+impl SpecCore {
+    pub(crate) fn new(geom: HtmGeometry, naive_instrumentation: bool) -> Self {
+        SpecCore {
+            lines: OrecTable::new(1 << 16, LINE_WORDS),
+            geom,
+            naive_instrumentation,
+        }
+    }
+
+    pub(crate) fn geometry(&self) -> &HtmGeometry {
+        &self.geom
+    }
+
+    /// Track `line` in `set`; returns false when the capacity is exceeded.
+    fn track(set: &mut Vec<u32>, line: u32, cap: usize) -> bool {
+        if !set.contains(&line) {
+            if set.len() >= cap {
+                return false;
+            }
+            set.push(line);
+        }
+        true
+    }
+
+    /// Begin a speculative attempt, subscribing to `seq` (the software
+    /// fallback's sequence lock). Waits for any active software writer.
+    pub(crate) fn begin(
+        &self,
+        sys: &TmSystem,
+        ctx: &mut ThreadCtx,
+        seq: &AtomicU64,
+    ) -> TxResult<()> {
+        ctx.reset_logs();
+        loop {
+            let s = seq.load(Ordering::Acquire);
+            if s & 1 == 0 {
+                ctx.start_seq = s;
+                break;
+            }
+            std::thread::yield_now();
+        }
+        ctx.rv = sys.clock.now();
+        Ok(())
+    }
+
+    /// Speculative read: subscription check, capacity tracking, and a
+    /// version-consistent value load.
+    pub(crate) fn read(
+        &self,
+        sys: &TmSystem,
+        ctx: &mut ThreadCtx,
+        seq: &AtomicU64,
+        addr: Addr,
+    ) -> TxResult<u64> {
+        if let Some(v) = ctx.write_set.get(addr) {
+            return Ok(v);
+        }
+        if seq.load(Ordering::Acquire) != ctx.start_seq {
+            // The software path committed: our whole speculative state is
+            // poisoned, like a cache-line invalidation of the elided lock.
+            return Err(Abort::FALLBACK);
+        }
+        let line = (addr.index() / LINE_WORDS) as u32;
+        if !Self::track(&mut ctx.read_lines, line, self.geom.read_capacity) {
+            return Err(Abort::CAPACITY);
+        }
+        let idx = self.lines.index_for(addr);
+        match self.lines.load(idx) {
+            OrecState::Locked(o) if o == ctx.owner_tag() => Ok(sys.heap.read_raw(addr)),
+            OrecState::Locked(_) => Err(Abort::CONFLICT),
+            OrecState::Version(v1) => {
+                let val = sys.heap.read_raw(addr);
+                if self.lines.load(idx) != OrecState::Version(v1) || v1 > ctx.rv {
+                    return Err(Abort::CONFLICT);
+                }
+                // Software committers do not touch the line orecs, so the
+                // sequence lock must be re-checked after the value load
+                // (seqlock pattern) to keep the speculative snapshot opaque.
+                if seq.load(Ordering::Acquire) != ctx.start_seq {
+                    return Err(Abort::FALLBACK);
+                }
+                ctx.read_set.push_orec(idx, v1);
+                if self.naive_instrumentation {
+                    // Redundant STM-style value logging (dual-path ablation).
+                    ctx.read_set.push_value(addr, val);
+                }
+                Ok(val)
+            }
+        }
+    }
+
+    /// Speculative write: eager line ownership plus buffered value.
+    pub(crate) fn write(
+        &self,
+        _sys: &TmSystem,
+        ctx: &mut ThreadCtx,
+        seq: &AtomicU64,
+        addr: Addr,
+        val: u64,
+    ) -> TxResult<()> {
+        if seq.load(Ordering::Acquire) != ctx.start_seq {
+            return Err(Abort::FALLBACK);
+        }
+        let line = (addr.index() / LINE_WORDS) as u32;
+        if !Self::track(&mut ctx.write_lines, line, self.geom.write_capacity) {
+            return Err(Abort::CAPACITY);
+        }
+        let idx = self.lines.index_for(addr);
+        if !ctx.locks.iter().any(|&(i, _)| i as usize == idx) {
+            match self.lines.try_lock(idx, ctx.owner_tag(), None) {
+                Ok(prev) => ctx.locks.push((idx as u32, prev)),
+                Err(_) => return Err(Abort::CONFLICT),
+            }
+        }
+        ctx.write_set.insert(addr, val);
+        if self.naive_instrumentation {
+            ctx.read_set.push_value(addr, val);
+        }
+        Ok(())
+    }
+
+    fn read_set_intact(&self, ctx: &ThreadCtx) -> bool {
+        let me = ctx.owner_tag();
+        for &(idx, observed) in ctx.read_set.orecs() {
+            match self.lines.load(idx as usize) {
+                OrecState::Version(v) => {
+                    if v != observed {
+                        return false;
+                    }
+                }
+                OrecState::Locked(o) => {
+                    let saved = ctx
+                        .locks
+                        .iter()
+                        .find(|&&(i, _)| i == idx)
+                        .map(|&(_, v)| v);
+                    if o != me || saved != Some(observed) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Commit the speculative attempt.
+    ///
+    /// When `publish` is set the commit also advances `seq` by two (odd
+    /// during write-back), which is how a hybrid's hardware path signals
+    /// software transactions to revalidate. Otherwise `seq` is only checked
+    /// for stability.
+    pub(crate) fn commit(
+        &self,
+        sys: &TmSystem,
+        ctx: &mut ThreadCtx,
+        seq: &AtomicU64,
+        publish: bool,
+    ) -> TxResult<()> {
+        if self.geom.spurious_abort_prob > 0.0
+            && ctx.rng.next_f64() < self.geom.spurious_abort_prob
+        {
+            return Err(Abort::SPURIOUS);
+        }
+        if ctx.write_set.is_empty() {
+            if seq.load(Ordering::Acquire) != ctx.start_seq {
+                return Err(Abort::FALLBACK);
+            }
+            ctx.reset_logs();
+            return Ok(());
+        }
+        let wv = sys.clock.tick();
+        if wv != ctx.rv + 1 && !self.read_set_intact(ctx) {
+            return Err(Abort::CONFLICT);
+        }
+        if publish {
+            // Win the sequence lock for the write-back window, exactly as a
+            // software committer would; losing means a software transaction
+            // raced us.
+            if seq
+                .compare_exchange(
+                    ctx.start_seq,
+                    ctx.start_seq + 1,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_err()
+            {
+                return Err(Abort::FALLBACK);
+            }
+        } else if seq.load(Ordering::Acquire) != ctx.start_seq {
+            return Err(Abort::FALLBACK);
+        }
+        for &(a, v) in ctx.write_set.entries() {
+            sys.heap.write_raw(a, v);
+        }
+        if publish {
+            seq.store(ctx.start_seq + 2, Ordering::Release);
+        }
+        for &(idx, _) in &ctx.locks {
+            self.lines.unlock(idx as usize, wv);
+        }
+        ctx.locks.clear();
+        ctx.reset_logs();
+        Ok(())
+    }
+
+    /// Abort path: restore line versions and drop logs.
+    pub(crate) fn rollback(&self, ctx: &mut ThreadCtx) {
+        for &(idx, prev) in &ctx.locks {
+            self.lines.unlock(idx as usize, prev);
+        }
+        ctx.locks.clear();
+        ctx.reset_logs();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::HtmGeometry;
+    use std::sync::Arc;
+
+    fn setup(geom: HtmGeometry) -> (Arc<TmSystem>, SpecCore, ThreadCtx, AtomicU64) {
+        (
+            Arc::new(TmSystem::new(1 << 14)),
+            SpecCore::new(geom, false),
+            ThreadCtx::new(0),
+            AtomicU64::new(0),
+        )
+    }
+
+    #[test]
+    fn basic_commit_applies_writes() {
+        let (sys, core, mut ctx, seq) = setup(HtmGeometry::TINY_FOR_TESTS);
+        let a = sys.heap.alloc(1);
+        core.begin(&sys, &mut ctx, &seq).unwrap();
+        core.write(&sys, &mut ctx, &seq, a, 9).unwrap();
+        core.commit(&sys, &mut ctx, &seq, false).unwrap();
+        assert_eq!(sys.heap.read_raw(a), 9);
+    }
+
+    #[test]
+    fn write_capacity_overflow_aborts() {
+        let (sys, core, mut ctx, seq) = setup(HtmGeometry::TINY_FOR_TESTS);
+        let base = sys.heap.alloc(LINE_WORDS * 16);
+        core.begin(&sys, &mut ctx, &seq).unwrap();
+        let mut result = Ok(());
+        for i in 0..16 {
+            result = core.write(
+                &sys,
+                &mut ctx,
+                &seq,
+                base.field((i * LINE_WORDS) as u32),
+                1,
+            );
+            if result.is_err() {
+                break;
+            }
+        }
+        assert_eq!(result, Err(Abort::CAPACITY));
+        core.rollback(&mut ctx);
+    }
+
+    #[test]
+    fn read_capacity_overflow_aborts() {
+        let (sys, core, mut ctx, seq) = setup(HtmGeometry::TINY_FOR_TESTS);
+        let base = sys.heap.alloc(LINE_WORDS * 16);
+        core.begin(&sys, &mut ctx, &seq).unwrap();
+        let mut result = Ok(0);
+        for i in 0..16 {
+            result = core.read(&sys, &mut ctx, &seq, base.field((i * LINE_WORDS) as u32));
+            if result.is_err() {
+                break;
+            }
+        }
+        assert_eq!(result, Err(Abort::CAPACITY));
+        core.rollback(&mut ctx);
+    }
+
+    #[test]
+    fn repeated_access_to_one_line_never_overflows() {
+        let (sys, core, mut ctx, seq) = setup(HtmGeometry::TINY_FOR_TESTS);
+        let a = sys.heap.alloc(2);
+        core.begin(&sys, &mut ctx, &seq).unwrap();
+        for _ in 0..100 {
+            core.read(&sys, &mut ctx, &seq, a).unwrap();
+            core.write(&sys, &mut ctx, &seq, a.field(1), 1).unwrap();
+        }
+        core.commit(&sys, &mut ctx, &seq, false).unwrap();
+    }
+
+    #[test]
+    fn sequence_change_poisons_transaction() {
+        let (sys, core, mut ctx, seq) = setup(HtmGeometry::TINY_FOR_TESTS);
+        let a = sys.heap.alloc(1);
+        core.begin(&sys, &mut ctx, &seq).unwrap();
+        core.read(&sys, &mut ctx, &seq, a).unwrap();
+        seq.store(2, Ordering::Release);
+        let b = sys.heap.alloc(1);
+        assert_eq!(core.read(&sys, &mut ctx, &seq, b), Err(Abort::FALLBACK));
+        core.rollback(&mut ctx);
+    }
+
+    #[test]
+    fn publishing_commit_advances_sequence() {
+        let (sys, core, mut ctx, seq) = setup(HtmGeometry::TINY_FOR_TESTS);
+        let a = sys.heap.alloc(1);
+        core.begin(&sys, &mut ctx, &seq).unwrap();
+        core.write(&sys, &mut ctx, &seq, a, 4).unwrap();
+        core.commit(&sys, &mut ctx, &seq, true).unwrap();
+        assert_eq!(seq.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn spurious_aborts_fire_with_probability_one() {
+        let geom = HtmGeometry {
+            spurious_abort_prob: 1.0,
+            ..HtmGeometry::TINY_FOR_TESTS
+        };
+        let (sys, core, mut ctx, seq) = setup(geom);
+        let a = sys.heap.alloc(1);
+        core.begin(&sys, &mut ctx, &seq).unwrap();
+        core.write(&sys, &mut ctx, &seq, a, 1).unwrap();
+        assert_eq!(core.commit(&sys, &mut ctx, &seq, false), Err(Abort::SPURIOUS));
+        core.rollback(&mut ctx);
+    }
+}

@@ -1,0 +1,231 @@
+//! CART: a Gini-impurity binary decision tree.
+
+use crate::dataset::Dataset;
+use crate::Classifier;
+
+/// CART hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CartParams {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+}
+
+impl Default for CartParams {
+    fn default() -> Self {
+        CartParams {
+            max_depth: 8,
+            min_samples_split: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(usize),
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A fitted CART decision tree.
+#[derive(Debug, Clone)]
+pub struct Cart {
+    root: Node,
+}
+
+fn gini(labels: &[usize], n_classes: usize) -> f64 {
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mut counts = vec![0usize; n_classes];
+    for &l in labels {
+        counts[l] += 1;
+    }
+    let n = labels.len() as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / n).powi(2)).sum::<f64>()
+}
+
+fn best_split(data: &Dataset, idx: &[usize]) -> Option<(usize, f64, Vec<usize>, Vec<usize>)> {
+    let labels: Vec<usize> = idx.iter().map(|&i| data.label(i)).collect();
+    let parent = gini(&labels, data.n_classes());
+    if parent <= 1e-12 {
+        return None;
+    }
+    let mut best: Option<(f64, usize, f64)> = None;
+    for f in 0..data.dim() {
+        // Candidate thresholds: midpoints between consecutive distinct
+        // sorted values.
+        let mut vals: Vec<f64> = idx.iter().map(|&i| data.features(i)[f]).collect();
+        vals.sort_by(f64::total_cmp);
+        vals.dedup();
+        for w in vals.windows(2) {
+            let thr = (w[0] + w[1]) / 2.0;
+            let (mut l, mut r) = (Vec::new(), Vec::new());
+            for &i in idx {
+                if data.features(i)[f] <= thr {
+                    l.push(data.label(i));
+                } else {
+                    r.push(data.label(i));
+                }
+            }
+            if l.is_empty() || r.is_empty() {
+                continue;
+            }
+            let n = idx.len() as f64;
+            let score = (l.len() as f64 / n) * gini(&l, data.n_classes())
+                + (r.len() as f64 / n) * gini(&r, data.n_classes());
+            if best.is_none() || score < best.unwrap().0 {
+                best = Some((score, f, thr));
+            }
+        }
+    }
+    // Zero-decrease splits are allowed (XOR-style problems need them: the
+    // first split reduces impurity only two levels down); recursion is
+    // bounded by max_depth and shrinking node sizes.
+    let (score, f, thr) = best?;
+    debug_assert!(score <= parent + 1e-9);
+    let mut l = Vec::new();
+    let mut r = Vec::new();
+    for &i in idx {
+        if data.features(i)[f] <= thr {
+            l.push(i);
+        } else {
+            r.push(i);
+        }
+    }
+    Some((f, thr, l, r))
+}
+
+fn grow(data: &Dataset, idx: &[usize], depth: usize, p: CartParams) -> Node {
+    let here = data.subset(idx);
+    if depth >= p.max_depth || idx.len() < p.min_samples_split {
+        return Node::Leaf(here.majority());
+    }
+    match best_split(data, idx) {
+        Some((feature, threshold, l, r)) => Node::Split {
+            feature,
+            threshold,
+            left: Box::new(grow(data, &l, depth + 1, p)),
+            right: Box::new(grow(data, &r, depth + 1, p)),
+        },
+        None => Node::Leaf(here.majority()),
+    }
+}
+
+impl Cart {
+    /// Fit a tree on the dataset.
+    pub fn fit(data: &Dataset, params: CartParams) -> Self {
+        let idx: Vec<usize> = (0..data.len()).collect();
+        Cart {
+            root: grow(data, &idx, 0, params),
+        }
+    }
+}
+
+impl Classifier for Cart {
+    fn predict(&self, features: &[f64]) -> usize {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf(c) => return *c,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if features[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Axis-aligned two-class problem: class = x0 > 0.5.
+    fn axis_data() -> Dataset {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let x0 = i as f64 / 40.0;
+            let x1 = ((i * 17) % 13) as f64; // irrelevant feature
+            features.push(vec![x0, x1]);
+            labels.push(usize::from(x0 > 0.5));
+        }
+        Dataset::new(features, labels, 2)
+    }
+
+    #[test]
+    fn learns_axis_aligned_boundary_perfectly() {
+        let d = axis_data();
+        let tree = Cart::fit(&d, CartParams::default());
+        assert_eq!(tree.accuracy(&d), 1.0);
+        assert_eq!(tree.predict(&[0.9, 3.0]), 1);
+        assert_eq!(tree.predict(&[0.1, 3.0]), 0);
+    }
+
+    #[test]
+    fn depth_zero_predicts_majority() {
+        let d = axis_data();
+        let stump = Cart::fit(
+            &d,
+            CartParams {
+                max_depth: 0,
+                min_samples_split: 2,
+            },
+        );
+        let maj = d.majority();
+        for i in 0..d.len() {
+            assert_eq!(stump.predict(d.features(i)), maj);
+        }
+    }
+
+    #[test]
+    fn learns_xor_with_enough_depth() {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for a in 0..2 {
+            for b in 0..2 {
+                for _ in 0..5 {
+                    features.push(vec![a as f64, b as f64]);
+                    labels.push(a ^ b);
+                }
+            }
+        }
+        let d = Dataset::new(features, labels, 2);
+        let tree = Cart::fit(&d, CartParams::default());
+        assert_eq!(tree.accuracy(&d), 1.0, "XOR needs two levels");
+    }
+
+    #[test]
+    fn multiclass_works() {
+        let mut f = Vec::new();
+        let mut l = Vec::new();
+        for i in 0..30 {
+            let x = i as f64;
+            f.push(vec![x]);
+            l.push(if x < 10.0 {
+                0
+            } else if x < 20.0 {
+                1
+            } else {
+                2
+            });
+        }
+        let d = Dataset::new(f, l, 3);
+        let tree = Cart::fit(&d, CartParams::default());
+        assert_eq!(tree.accuracy(&d), 1.0);
+    }
+}

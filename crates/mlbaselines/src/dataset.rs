@@ -1,0 +1,187 @@
+//! Labelled feature datasets and feature standardization.
+
+/// A dense, labelled classification dataset.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dataset {
+    features: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    n_classes: usize,
+}
+
+impl Dataset {
+    /// Build a dataset; `n_classes` is the label-space size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on ragged features, mismatched lengths or out-of-range
+    /// labels.
+    pub fn new(features: Vec<Vec<f64>>, labels: Vec<usize>, n_classes: usize) -> Self {
+        assert_eq!(features.len(), labels.len(), "features/labels mismatch");
+        let dim = features.first().map_or(0, |f| f.len());
+        assert!(features.iter().all(|f| f.len() == dim), "ragged features");
+        assert!(
+            labels.iter().all(|&l| l < n_classes),
+            "label out of range"
+        );
+        Dataset {
+            features,
+            labels,
+            n_classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.features.first().map_or(0, |f| f.len())
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The `i`-th feature vector.
+    pub fn features(&self, i: usize) -> &[f64] {
+        &self.features[i]
+    }
+
+    /// The `i`-th label.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// Subset by indices.
+    pub fn subset(&self, idx: &[usize]) -> Dataset {
+        Dataset {
+            features: idx.iter().map(|&i| self.features[i].clone()).collect(),
+            labels: idx.iter().map(|&i| self.labels[i]).collect(),
+            n_classes: self.n_classes,
+        }
+    }
+
+    /// The majority class (ties broken by the lower label).
+    pub fn majority(&self) -> usize {
+        let mut counts = vec![0usize; self.n_classes.max(1)];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+}
+
+/// Per-feature z-score standardization fitted on training data (gradient
+/// methods need comparable feature scales).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fit on a dataset's features.
+    pub fn fit(data: &Dataset) -> Self {
+        let dim = data.dim();
+        let n = data.len().max(1) as f64;
+        let mut means = vec![0.0; dim];
+        for i in 0..data.len() {
+            for (m, v) in means.iter_mut().zip(data.features(i)) {
+                *m += v / n;
+            }
+        }
+        let mut stds = vec![0.0; dim];
+        for i in 0..data.len() {
+            for (j, v) in data.features(i).iter().enumerate() {
+                stds[j] += (v - means[j]).powi(2) / n;
+            }
+        }
+        for s in &mut stds {
+            *s = s.sqrt().max(1e-9);
+        }
+        Standardizer { means, stds }
+    }
+
+    /// Standardize one feature vector.
+    pub fn apply(&self, features: &[f64]) -> Vec<f64> {
+        features
+            .iter()
+            .enumerate()
+            .map(|(j, v)| (v - self.means[j]) / self.stds[j])
+            .collect()
+    }
+
+    /// Standardize every sample of a dataset.
+    pub fn transform(&self, data: &Dataset) -> Dataset {
+        Dataset {
+            features: (0..data.len()).map(|i| self.apply(data.features(i))).collect(),
+            labels: (0..data.len()).map(|i| data.label(i)).collect(),
+            n_classes: data.n_classes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            vec![vec![0.0, 10.0], vec![1.0, 20.0], vec![2.0, 30.0]],
+            vec![0, 1, 1],
+            2,
+        )
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let d = toy();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.label(2), 1);
+        assert_eq!(d.majority(), 1);
+        let s = d.subset(&[0, 2]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.label(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_labels_panic() {
+        Dataset::new(vec![vec![1.0]], vec![5], 2);
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_var() {
+        let d = toy();
+        let st = Standardizer::fit(&d);
+        let t = st.transform(&d);
+        for j in 0..2 {
+            let mean: f64 = (0..3).map(|i| t.features(i)[j]).sum::<f64>() / 3.0;
+            let var: f64 = (0..3).map(|i| (t.features(i)[j] - mean).powi(2)).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-9);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn standardizer_tolerates_constant_features() {
+        let d = Dataset::new(vec![vec![5.0], vec![5.0]], vec![0, 1], 2);
+        let st = Standardizer::fit(&d);
+        let v = st.apply(&[5.0]);
+        assert!(v[0].abs() < 1e-6);
+    }
+}

@@ -1,0 +1,48 @@
+//! Machine-learning baselines for Fig. 7: the Wang-et-al-style approach of
+//! predicting the best TM configuration from workload-characterization
+//! features with an off-line classifier.
+//!
+//! The paper compares ProteusTM against three Weka classifiers — CART
+//! decision trees, SMO support-vector machines and MLP neural networks —
+//! tuned by random search with cross-validation. This crate implements the
+//! same three families from scratch:
+//!
+//! * [`Cart`] — a Gini-impurity decision tree;
+//! * [`LinearSvm`] — one-vs-rest linear SVMs trained with hinge-loss SGD
+//!   (a linear stand-in for Weka's SMO);
+//! * [`Mlp`] — a one-hidden-layer neural network with softmax output;
+//!
+//! plus [`tune_classifier`], the random-search + cross-validation protocol
+//! of §6.3 ("their parameters were chosen via random search optimization,
+//! which evaluated 100 combinations with cross-validation").
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cart;
+mod dataset;
+mod mlp;
+mod svm;
+mod tuning;
+
+pub use cart::{Cart, CartParams};
+pub use dataset::{Dataset, Standardizer};
+pub use mlp::{Mlp, MlpParams};
+pub use svm::{LinearSvm, SvmParams};
+pub use tuning::{tune_classifier, ClassifierKind, TunedClassifier};
+
+/// A multi-class classifier over dense feature vectors.
+pub trait Classifier {
+    /// Predict the class of one feature vector.
+    fn predict(&self, features: &[f64]) -> usize;
+
+    /// Accuracy over a labelled set.
+    fn accuracy(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let hits = (0..data.len())
+            .filter(|&i| self.predict(data.features(i)) == data.label(i))
+            .count();
+        hits as f64 / data.len() as f64
+    }
+}

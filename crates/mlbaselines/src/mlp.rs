@@ -1,0 +1,197 @@
+//! A one-hidden-layer neural network with softmax output (the Fig. 7 "MLP"
+//! baseline).
+
+use crate::dataset::{Dataset, Standardizer};
+use crate::Classifier;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+/// MLP hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlpParams {
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// SGD epochs.
+    pub epochs: usize,
+    /// L2 weight decay.
+    pub weight_decay: f64,
+    /// Init/shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for MlpParams {
+    fn default() -> Self {
+        MlpParams {
+            hidden: 16,
+            learning_rate: 0.05,
+            epochs: 150,
+            weight_decay: 1e-4,
+            seed: 11,
+        }
+    }
+}
+
+/// A fitted MLP: `softmax(W2 · tanh(W1·x + b1) + b2)`.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    w1: Vec<Vec<f64>>, // hidden × dim
+    b1: Vec<f64>,
+    w2: Vec<Vec<f64>>, // classes × hidden
+    b2: Vec<f64>,
+    scaler: Standardizer,
+}
+
+fn softmax(z: &[f64]) -> Vec<f64> {
+    let m = z.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = z.iter().map(|v| (v - m).exp()).collect();
+    let s: f64 = exps.iter().sum();
+    exps.iter().map(|e| e / s).collect()
+}
+
+impl Mlp {
+    /// Train with plain SGD on softmax cross-entropy.
+    pub fn fit(data: &Dataset, p: MlpParams) -> Self {
+        let scaler = Standardizer::fit(data);
+        let scaled = scaler.transform(data);
+        let (dim, classes, hidden) = (scaled.dim(), scaled.n_classes(), p.hidden.max(1));
+        let mut rng = StdRng::seed_from_u64(p.seed);
+        let scale1 = (1.0 / dim.max(1) as f64).sqrt();
+        let scale2 = (1.0 / hidden as f64).sqrt();
+        let mut w1: Vec<Vec<f64>> = (0..hidden)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-scale1..scale1)).collect())
+            .collect();
+        let mut b1 = vec![0.0; hidden];
+        let mut w2: Vec<Vec<f64>> = (0..classes)
+            .map(|_| (0..hidden).map(|_| rng.gen_range(-scale2..scale2)).collect())
+            .collect();
+        let mut b2 = vec![0.0; classes];
+        let mut order: Vec<usize> = (0..scaled.len()).collect();
+        for _ in 0..p.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let x = scaled.features(i);
+                let y = scaled.label(i);
+                // Forward.
+                let h: Vec<f64> = (0..hidden)
+                    .map(|j| {
+                        (w1[j].iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>() + b1[j]).tanh()
+                    })
+                    .collect();
+                let z: Vec<f64> = (0..classes)
+                    .map(|c| w2[c].iter().zip(&h).map(|(w, hi)| w * hi).sum::<f64>() + b2[c])
+                    .collect();
+                let probs = softmax(&z);
+                // Backward: dL/dz = probs - onehot(y).
+                let dz: Vec<f64> = probs
+                    .iter()
+                    .enumerate()
+                    .map(|(c, pr)| pr - f64::from(c == y))
+                    .collect();
+                let mut dh = vec![0.0; hidden];
+                for c in 0..classes {
+                    for j in 0..hidden {
+                        dh[j] += dz[c] * w2[c][j];
+                        w2[c][j] -=
+                            p.learning_rate * (dz[c] * h[j] + p.weight_decay * w2[c][j]);
+                    }
+                    b2[c] -= p.learning_rate * dz[c];
+                }
+                for j in 0..hidden {
+                    let grad_pre = dh[j] * (1.0 - h[j] * h[j]);
+                    for (w, xi) in w1[j].iter_mut().zip(x) {
+                        *w -= p.learning_rate * (grad_pre * xi + p.weight_decay * *w);
+                    }
+                    b1[j] -= p.learning_rate * grad_pre;
+                }
+            }
+        }
+        Mlp {
+            w1,
+            b1,
+            w2,
+            b2,
+            scaler,
+        }
+    }
+}
+
+impl Classifier for Mlp {
+    fn predict(&self, features: &[f64]) -> usize {
+        let x = self.scaler.apply(features);
+        let h: Vec<f64> = self
+            .w1
+            .iter()
+            .zip(&self.b1)
+            .map(|(row, b)| (row.iter().zip(&x).map(|(w, xi)| w * xi).sum::<f64>() + b).tanh())
+            .collect();
+        self.w2
+            .iter()
+            .zip(&self.b2)
+            .map(|(row, b)| row.iter().zip(&h).map(|(w, hi)| w * hi).sum::<f64>() + b)
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_linear_boundary() {
+        let mut f = Vec::new();
+        let mut l = Vec::new();
+        for i in 0..50 {
+            let x = i as f64 / 50.0;
+            f.push(vec![x, 1.0 - x]);
+            l.push(usize::from(x > 0.5));
+        }
+        let d = Dataset::new(f, l, 2);
+        let mlp = Mlp::fit(&d, MlpParams::default());
+        assert!(mlp.accuracy(&d) > 0.9, "accuracy {}", mlp.accuracy(&d));
+    }
+
+    #[test]
+    fn learns_xor_unlike_a_linear_model() {
+        let mut f = Vec::new();
+        let mut l = Vec::new();
+        for a in 0..2 {
+            for b in 0..2 {
+                for k in 0..8 {
+                    let jitter = k as f64 * 0.01;
+                    f.push(vec![a as f64 + jitter, b as f64 - jitter]);
+                    l.push(a ^ b);
+                }
+            }
+        }
+        let d = Dataset::new(f, l, 2);
+        let mlp = Mlp::fit(
+            &d,
+            MlpParams {
+                hidden: 8,
+                epochs: 400,
+                learning_rate: 0.1,
+                ..MlpParams::default()
+            },
+        );
+        assert!(mlp.accuracy(&d) > 0.95, "accuracy {}", mlp.accuracy(&d));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = Dataset::new(
+            vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]],
+            vec![0, 0, 1, 1],
+            2,
+        );
+        let a = Mlp::fit(&d, MlpParams::default());
+        let b = Mlp::fit(&d, MlpParams::default());
+        for i in 0..d.len() {
+            assert_eq!(a.predict(d.features(i)), b.predict(d.features(i)));
+        }
+    }
+}

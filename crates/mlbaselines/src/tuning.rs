@@ -1,0 +1,195 @@
+//! Random-search + cross-validation tuning of the baseline classifiers
+//! (the protocol of §6.3).
+
+use crate::cart::{Cart, CartParams};
+use crate::dataset::Dataset;
+use crate::mlp::{Mlp, MlpParams};
+use crate::svm::{LinearSvm, SvmParams};
+use crate::Classifier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which classifier family to tune.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClassifierKind {
+    /// Decision tree (Weka CART).
+    Cart,
+    /// Support-vector machine (Weka SMO).
+    Svm,
+    /// Neural network (Weka MLP).
+    Mlp,
+}
+
+impl ClassifierKind {
+    /// All families, in Fig. 7's order.
+    pub const ALL: [ClassifierKind; 3] =
+        [ClassifierKind::Cart, ClassifierKind::Svm, ClassifierKind::Mlp];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClassifierKind::Cart => "CART",
+            ClassifierKind::Svm => "SVM",
+            ClassifierKind::Mlp => "MLP",
+        }
+    }
+}
+
+/// A tuned, fitted classifier of one family.
+pub enum TunedClassifier {
+    /// Fitted tree.
+    Cart(Cart),
+    /// Fitted SVM.
+    Svm(LinearSvm),
+    /// Fitted network.
+    Mlp(Mlp),
+}
+
+impl Classifier for TunedClassifier {
+    fn predict(&self, features: &[f64]) -> usize {
+        match self {
+            TunedClassifier::Cart(m) => m.predict(features),
+            TunedClassifier::Svm(m) => m.predict(features),
+            TunedClassifier::Mlp(m) => m.predict(features),
+        }
+    }
+}
+
+impl std::fmt::Debug for TunedClassifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self {
+            TunedClassifier::Cart(_) => "cart",
+            TunedClassifier::Svm(_) => "svm",
+            TunedClassifier::Mlp(_) => "mlp",
+        };
+        write!(f, "TunedClassifier({kind})")
+    }
+}
+
+enum Candidate {
+    Cart(CartParams),
+    Svm(SvmParams),
+    Mlp(MlpParams),
+}
+
+fn random_candidate(kind: ClassifierKind, rng: &mut StdRng) -> Candidate {
+    match kind {
+        ClassifierKind::Cart => Candidate::Cart(CartParams {
+            max_depth: rng.gen_range(2..=14),
+            min_samples_split: rng.gen_range(2..=10),
+        }),
+        ClassifierKind::Svm => Candidate::Svm(SvmParams {
+            lambda: 10f64.powf(rng.gen_range(-5.0..-1.0)),
+            epochs: rng.gen_range(20..=80),
+            learning_rate: 10f64.powf(rng.gen_range(-2.0..0.0)),
+            seed: rng.gen(),
+        }),
+        ClassifierKind::Mlp => Candidate::Mlp(MlpParams {
+            hidden: rng.gen_range(4..=32),
+            learning_rate: 10f64.powf(rng.gen_range(-2.0..-0.5)),
+            epochs: rng.gen_range(40..=150),
+            weight_decay: 10f64.powf(rng.gen_range(-5.0..-2.0)),
+            seed: rng.gen(),
+        }),
+    }
+}
+
+fn fit_candidate(c: &Candidate, data: &Dataset) -> TunedClassifier {
+    match c {
+        Candidate::Cart(p) => TunedClassifier::Cart(Cart::fit(data, *p)),
+        Candidate::Svm(p) => TunedClassifier::Svm(LinearSvm::fit(data, *p)),
+        Candidate::Mlp(p) => TunedClassifier::Mlp(Mlp::fit(data, *p)),
+    }
+}
+
+fn cv_accuracy(c: &Candidate, data: &Dataset, folds: usize, rng: &mut StdRng) -> f64 {
+    let n = data.len();
+    let folds = folds.clamp(2, n.max(2));
+    let mut assignment: Vec<usize> = (0..n).map(|i| i % folds).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        assignment.swap(i, j);
+    }
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for fold in 0..folds {
+        let train_idx: Vec<usize> = (0..n).filter(|&i| assignment[i] != fold).collect();
+        let test_idx: Vec<usize> = (0..n).filter(|&i| assignment[i] == fold).collect();
+        if train_idx.is_empty() || test_idx.is_empty() {
+            continue;
+        }
+        let model = fit_candidate(c, &data.subset(&train_idx));
+        for &i in &test_idx {
+            total += 1;
+            if model.predict(data.features(i)) == data.label(i) {
+                hits += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// Tune one classifier family by random search with `folds`-fold CV over
+/// `n_candidates` sampled hyper-parameter settings, then refit the winner
+/// on the full training set.
+pub fn tune_classifier(
+    kind: ClassifierKind,
+    data: &Dataset,
+    n_candidates: usize,
+    folds: usize,
+    seed: u64,
+) -> TunedClassifier {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best: Option<(Candidate, f64)> = None;
+    for _ in 0..n_candidates.max(1) {
+        let c = random_candidate(kind, &mut rng);
+        let acc = cv_accuracy(&c, data, folds, &mut rng);
+        if best.is_none() || acc > best.as_ref().unwrap().1 {
+            best = Some((c, acc));
+        }
+    }
+    fit_candidate(&best.expect("at least one candidate").0, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Dataset {
+        let mut f = Vec::new();
+        let mut l = Vec::new();
+        for i in 0..90 {
+            let c = i % 3;
+            let (cx, cy) = [(0.0, 0.0), (5.0, 5.0), (0.0, 5.0)][c];
+            let jx = ((i * 37) % 11) as f64 * 0.05;
+            let jy = ((i * 53) % 7) as f64 * 0.05;
+            f.push(vec![cx + jx, cy + jy]);
+            l.push(c);
+        }
+        Dataset::new(f, l, 3)
+    }
+
+    #[test]
+    fn all_families_tune_to_high_accuracy_on_blobs() {
+        let d = blobs();
+        for kind in ClassifierKind::ALL {
+            let model = tune_classifier(kind, &d, 4, 3, 99);
+            let acc = model.accuracy(&d);
+            assert!(acc > 0.9, "{} reached only {acc}", kind.label());
+        }
+    }
+
+    #[test]
+    fn tuning_is_deterministic() {
+        let d = blobs();
+        let a = tune_classifier(ClassifierKind::Cart, &d, 5, 3, 1);
+        let b = tune_classifier(ClassifierKind::Cart, &d, 5, 3, 1);
+        for i in 0..d.len() {
+            assert_eq!(a.predict(d.features(i)), b.predict(d.features(i)));
+        }
+    }
+}

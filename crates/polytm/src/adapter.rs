@@ -1,0 +1,122 @@
+//! The dedicated adapter thread (paper §4: "a dedicated adapter thread to
+//! change the TM configuration").
+//!
+//! Reconfiguration requests are sent over a channel; the adapter applies
+//! them with the quiescence machinery and reports the measured latency back
+//! to the requester (the data of Table 5).
+
+use crate::config::TmConfig;
+use crate::runtime::{PolyTm, ReconfigError};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A reconfiguration request, as carried on the adapter's channel.
+#[derive(Debug)]
+pub struct ReconfigRequest {
+    config: TmConfig,
+    reply: mpsc::Sender<Result<Duration, ReconfigError>>,
+}
+
+enum Command {
+    Reconfig(ReconfigRequest),
+    Stop,
+}
+
+/// Handle to a running adapter thread; dropping it stops the thread.
+#[derive(Debug)]
+pub struct AdapterHandle {
+    tx: mpsc::Sender<Command>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl AdapterHandle {
+    /// Spawn an adapter thread serving `poly`.
+    pub fn spawn(poly: Arc<PolyTm>) -> Self {
+        let (tx, rx) = mpsc::channel::<Command>();
+        let join = std::thread::Builder::new()
+            .name("polytm-adapter".into())
+            .spawn(move || {
+                while let Ok(cmd) = rx.recv() {
+                    match cmd {
+                        Command::Reconfig(req) => {
+                            let result = poly.apply(&req.config);
+                            // The requester may have given up; ignore.
+                            let _ = req.reply.send(result);
+                        }
+                        Command::Stop => break,
+                    }
+                }
+            })
+            .expect("failed to spawn adapter thread");
+        AdapterHandle {
+            tx,
+            join: Some(join),
+        }
+    }
+
+    /// Ask the adapter to apply `config`, blocking until done; returns the
+    /// reconfiguration latency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ReconfigError`] from the runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the adapter thread died.
+    pub fn reconfigure(&self, config: TmConfig) -> Result<Duration, ReconfigError> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.tx
+            .send(Command::Reconfig(ReconfigRequest {
+                config,
+                reply: reply_tx,
+            }))
+            .expect("adapter thread is gone");
+        reply_rx.recv().expect("adapter thread dropped the reply")
+    }
+}
+
+impl Drop for AdapterHandle {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Command::Stop);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BackendId;
+
+    #[test]
+    fn adapter_applies_configs_and_reports_latency() {
+        let poly = Arc::new(PolyTm::builder().heap_words(1 << 10).max_threads(2).build());
+        let adapter = AdapterHandle::spawn(Arc::clone(&poly));
+        let latency = adapter
+            .reconfigure(TmConfig::stm(BackendId::SwissTm, 1))
+            .unwrap();
+        assert!(latency < Duration::from_secs(1));
+        assert_eq!(poly.current_config().backend, BackendId::SwissTm);
+        assert_eq!(poly.parallelism(), 1);
+    }
+
+    #[test]
+    fn adapter_propagates_errors() {
+        let poly = Arc::new(PolyTm::builder().heap_words(64).max_threads(1).build());
+        let adapter = AdapterHandle::spawn(Arc::clone(&poly));
+        assert!(adapter
+            .reconfigure(TmConfig::stm(BackendId::Tl2, 5))
+            .is_err());
+    }
+
+    #[test]
+    fn adapter_shuts_down_cleanly_on_drop() {
+        let poly = Arc::new(PolyTm::builder().heap_words(64).max_threads(1).build());
+        let adapter = AdapterHandle::spawn(poly);
+        drop(adapter); // must not hang
+    }
+}

@@ -1,0 +1,323 @@
+//! TM configurations and the tuning space of Table 3.
+
+use htm::CapacityPolicy;
+use std::fmt;
+
+/// Identifies one of PolyTM's encapsulated TM implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BackendId {
+    /// TL2 (commit-time locking STM).
+    Tl2,
+    /// TinySTM (encounter-time locking STM).
+    TinyStm,
+    /// NOrec (global sequence lock STM).
+    NOrec,
+    /// SwissTM (mixed eager/lazy STM).
+    SwissTm,
+    /// Simulated best-effort HTM with global-lock fallback.
+    Htm,
+    /// Hybrid NOrec (simulated HTM fast path, NOrec slow path).
+    HybridNOrec,
+    /// Phased hybrid over TL2 (capacity-bounded fast path, TL2 slow path).
+    HybridTl2,
+}
+
+impl BackendId {
+    /// All backends, in registry order.
+    pub const ALL: [BackendId; 7] = [
+        BackendId::Tl2,
+        BackendId::TinyStm,
+        BackendId::NOrec,
+        BackendId::SwissTm,
+        BackendId::Htm,
+        BackendId::HybridNOrec,
+        BackendId::HybridTl2,
+    ];
+
+    /// The STM subset (the only backends available on machines without
+    /// hardware TM, like the paper's Machine B).
+    pub const STMS: [BackendId; 4] = [
+        BackendId::Tl2,
+        BackendId::TinyStm,
+        BackendId::NOrec,
+        BackendId::SwissTm,
+    ];
+
+    /// Stable registry index.
+    pub fn index(self) -> usize {
+        match self {
+            BackendId::Tl2 => 0,
+            BackendId::TinyStm => 1,
+            BackendId::NOrec => 2,
+            BackendId::SwissTm => 3,
+            BackendId::Htm => 4,
+            BackendId::HybridNOrec => 5,
+            BackendId::HybridTl2 => 6,
+        }
+    }
+
+    /// Whether this backend has tunable HTM contention management.
+    pub fn is_hardware(self) -> bool {
+        matches!(
+            self,
+            BackendId::Htm | BackendId::HybridNOrec | BackendId::HybridTl2
+        )
+    }
+
+    /// Short display label, matching the paper's figures ("Tiny", "NOrec"…).
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendId::Tl2 => "TL2",
+            BackendId::TinyStm => "Tiny",
+            BackendId::NOrec => "NOrec",
+            BackendId::SwissTm => "Swiss",
+            BackendId::Htm => "HTM",
+            BackendId::HybridNOrec => "HyNOrec",
+            BackendId::HybridTl2 => "HyTL2",
+        }
+    }
+}
+
+impl fmt::Display for BackendId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// HTM contention-management setting (the last two columns of Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HtmSetting {
+    /// Speculative retry budget per atomic block.
+    pub budget: u32,
+    /// What a capacity abort does to the budget.
+    pub policy: CapacityPolicy,
+}
+
+impl HtmSetting {
+    /// The common default: 5 retries, decrease-on-capacity (paper §6.2).
+    pub const DEFAULT: HtmSetting = HtmSetting {
+        budget: 5,
+        policy: CapacityPolicy::Decrease,
+    };
+}
+
+impl fmt::Display for HtmSetting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = match self.policy {
+            CapacityPolicy::GiveUp => "GiveUp",
+            CapacityPolicy::Decrease => "Linear",
+            CapacityPolicy::Halve => "Half",
+        };
+        write!(f, "{}-{}", p, self.budget)
+    }
+}
+
+/// One point of PolyTM's multi-dimensional tuning space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TmConfig {
+    /// The TM algorithm.
+    pub backend: BackendId,
+    /// The degree of parallelism (active threads).
+    pub threads: usize,
+    /// Contention management, for hardware-backed configurations.
+    pub htm: Option<HtmSetting>,
+}
+
+impl TmConfig {
+    /// A software configuration (no HTM parameters).
+    pub fn stm(backend: BackendId, threads: usize) -> Self {
+        TmConfig {
+            backend,
+            threads,
+            htm: None,
+        }
+    }
+
+    /// A hardware configuration with explicit contention management.
+    pub fn htm(backend: BackendId, threads: usize, setting: HtmSetting) -> Self {
+        TmConfig {
+            backend,
+            threads,
+            htm: Some(setting),
+        }
+    }
+}
+
+impl fmt::Display for TmConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}t", self.backend, self.threads)?;
+        if let Some(s) = self.htm {
+            write!(f, " {}", s)?;
+        }
+        Ok(())
+    }
+}
+
+/// The Key Performance Indicator a tuning run optimizes (paper §6.1 uses
+/// execution time, throughput and EDP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Kpi {
+    /// Committed transactions per second — maximized.
+    Throughput,
+    /// Time to complete a fixed workload — minimized.
+    ExecTime,
+    /// Energy-delay product — minimized.
+    Edp,
+}
+
+impl Kpi {
+    /// Whether larger KPI values are better.
+    pub fn higher_is_better(self) -> bool {
+        matches!(self, Kpi::Throughput)
+    }
+}
+
+impl fmt::Display for Kpi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Kpi::Throughput => "throughput",
+            Kpi::ExecTime => "exec-time",
+            Kpi::Edp => "edp",
+        })
+    }
+}
+
+/// An enumerated configuration space (the columns of RecTM's Utility
+/// Matrix).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigSpace {
+    configs: Vec<TmConfig>,
+    /// Human-readable name ("machine-a" / "machine-b").
+    pub name: &'static str,
+}
+
+impl ConfigSpace {
+    /// Machine A's space (Table 3): 4 STMs × 8 thread counts, the simulated
+    /// HTM × 8 thread counts × 4 budgets × 3 capacity policies, plus two
+    /// Hybrid NOrec points — 130 configurations in total, matching §6.1.
+    pub fn machine_a() -> Self {
+        let mut configs = Vec::new();
+        for backend in BackendId::STMS {
+            for threads in 1..=8 {
+                configs.push(TmConfig::stm(backend, threads));
+            }
+        }
+        for threads in 1..=8 {
+            for budget in [2u32, 4, 8, 16] {
+                for policy in CapacityPolicy::ALL {
+                    configs.push(TmConfig::htm(
+                        BackendId::Htm,
+                        threads,
+                        HtmSetting { budget, policy },
+                    ));
+                }
+            }
+        }
+        // The two HybridTMs, one point each (the paper includes them in
+        // PolyTM but they never win — §6 footnote 4).
+        configs.push(TmConfig::htm(BackendId::HybridNOrec, 4, HtmSetting::DEFAULT));
+        configs.push(TmConfig::htm(BackendId::HybridTl2, 8, HtmSetting::DEFAULT));
+        ConfigSpace {
+            configs,
+            name: "machine-a",
+        }
+    }
+
+    /// Machine B's space (Table 3): STMs only, eight thread counts up to 48.
+    pub fn machine_b() -> Self {
+        let mut configs = Vec::new();
+        for backend in BackendId::STMS {
+            for threads in [1usize, 2, 4, 6, 8, 16, 32, 48] {
+                configs.push(TmConfig::stm(backend, threads));
+            }
+        }
+        ConfigSpace {
+            configs,
+            name: "machine-b",
+        }
+    }
+
+    /// The configurations, in stable column order.
+    pub fn configs(&self) -> &[TmConfig] {
+        &self.configs
+    }
+
+    /// Number of configurations (UM columns).
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Column index of a configuration, if present.
+    pub fn index_of(&self, c: &TmConfig) -> Option<usize> {
+        self.configs.iter().position(|x| x == c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_a_has_130_configs() {
+        let space = ConfigSpace::machine_a();
+        assert_eq!(space.len(), 130);
+        // 32 STM points.
+        assert_eq!(
+            space.configs().iter().filter(|c| c.htm.is_none()).count(),
+            32
+        );
+    }
+
+    #[test]
+    fn machine_b_has_32_stm_configs() {
+        let space = ConfigSpace::machine_b();
+        assert_eq!(space.len(), 32);
+        assert!(space.configs().iter().all(|c| c.htm.is_none()));
+        assert!(space.configs().iter().all(|c| !c.backend.is_hardware()));
+    }
+
+    #[test]
+    fn configs_are_unique() {
+        for space in [ConfigSpace::machine_a(), ConfigSpace::machine_b()] {
+            let mut seen = std::collections::HashSet::new();
+            for c in space.configs() {
+                assert!(seen.insert(*c), "duplicate config {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let c = TmConfig::htm(
+            BackendId::Htm,
+            8,
+            HtmSetting {
+                budget: 20,
+                policy: CapacityPolicy::Halve,
+            },
+        );
+        assert_eq!(c.to_string(), "HTM:8t Half-20");
+        assert_eq!(TmConfig::stm(BackendId::NOrec, 4).to_string(), "NOrec:4t");
+    }
+
+    #[test]
+    fn index_of_roundtrips() {
+        let space = ConfigSpace::machine_a();
+        for (i, c) in space.configs().iter().enumerate() {
+            assert_eq!(space.index_of(c), Some(i));
+        }
+        assert_eq!(space.index_of(&TmConfig::stm(BackendId::Tl2, 99)), None);
+    }
+
+    #[test]
+    fn kpi_direction() {
+        assert!(Kpi::Throughput.higher_is_better());
+        assert!(!Kpi::ExecTime.higher_is_better());
+        assert!(!Kpi::Edp.higher_is_better());
+    }
+}

@@ -1,0 +1,101 @@
+//! An analytical CPU power model substituting for RAPL (see DESIGN.md §2).
+//!
+//! The paper measures energy with Intel RAPL, which is only meaningful on
+//! bare-metal Intel hardware. For the EDP KPI we model package power as a
+//! static base plus a per-active-thread dynamic component — the structure
+//! that makes EDP a *different* optimization target from throughput (more
+//! threads can raise throughput while hurting energy efficiency).
+
+use std::time::Duration;
+
+/// Linear package-power model: `P = base + per_thread · active`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Idle/package base power in watts.
+    pub base_watts: f64,
+    /// Additional power per active thread in watts.
+    pub per_thread_watts: f64,
+}
+
+impl EnergyModel {
+    /// Roughly a Haswell Xeon E3 (Machine A): ~20 W base, ~3.5 W/thread.
+    pub const HASWELL_LIKE: EnergyModel = EnergyModel {
+        base_watts: 20.0,
+        per_thread_watts: 3.5,
+    };
+
+    /// Roughly a 4-socket Opteron (Machine B): high base, cheaper threads.
+    pub const OPTERON_LIKE: EnergyModel = EnergyModel {
+        base_watts: 90.0,
+        per_thread_watts: 2.4,
+    };
+
+    /// Package power with `active_threads` runnable threads.
+    pub fn power_watts(&self, active_threads: usize) -> f64 {
+        self.base_watts + self.per_thread_watts * active_threads as f64
+    }
+
+    /// Energy in joules consumed over `elapsed` with `active_threads`.
+    pub fn energy_joules(&self, elapsed: Duration, active_threads: usize) -> f64 {
+        self.power_watts(active_threads) * elapsed.as_secs_f64()
+    }
+
+    /// Energy-delay product (J·s), the paper's energy-efficiency KPI.
+    pub fn edp(&self, elapsed: Duration, active_threads: usize) -> f64 {
+        self.energy_joules(elapsed, active_threads) * elapsed.as_secs_f64()
+    }
+
+    /// Throughput per joule (the KPI of Fig. 1a), given commits and elapsed.
+    pub fn throughput_per_joule(
+        &self,
+        commits: u64,
+        elapsed: Duration,
+        active_threads: usize,
+    ) -> f64 {
+        let e = self.energy_joules(elapsed, active_threads);
+        if e <= 0.0 {
+            0.0
+        } else {
+            commits as f64 / e
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::HASWELL_LIKE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_scales_with_threads() {
+        let m = EnergyModel::HASWELL_LIKE;
+        assert!(m.power_watts(8) > m.power_watts(1));
+        assert!((m.power_watts(0) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edp_is_energy_times_time() {
+        let m = EnergyModel::default();
+        let t = Duration::from_secs(2);
+        let e = m.energy_joules(t, 4);
+        assert!((m.edp(t, 4) - e * 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_threads_same_commits_is_less_efficient() {
+        let m = EnergyModel::default();
+        let t = Duration::from_secs(1);
+        assert!(m.throughput_per_joule(1000, t, 2) > m.throughput_per_joule(1000, t, 8));
+    }
+
+    #[test]
+    fn zero_elapsed_throughput_per_joule_is_zero() {
+        let m = EnergyModel::default();
+        assert_eq!(m.throughput_per_joule(10, Duration::ZERO, 0), 0.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Algorithm 1: the fetch-and-add thread gate used to adapt the degree of
+//! parallelism and to quiesce all threads before switching TM algorithms.
+//!
+//! Each application thread synchronizes with the adapter through a padded
+//! state word. Starting a transaction sets the word's low bit with a single
+//! `fetch_add` (cheaper than a CAS loop — the `gate` Criterion bench
+//! quantifies the difference); the adapter disables a thread by setting the
+//! high bit. Whoever observes both bits set knows it raced and resolves the
+//! race exactly as the paper prescribes.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use txcore::util::CachePadded;
+
+/// Low bit: the thread is running a transaction.
+const RUN: u64 = 1;
+/// High bit: the adapter wants the thread blocked.
+const BLOCK: u64 = 1 << 32;
+
+struct Slot {
+    state: CachePadded<AtomicU64>,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+/// The per-thread gate (Algorithm 1).
+///
+/// ```
+/// use polytm::ThreadGate;
+/// let gate = ThreadGate::new(2);
+/// gate.enter(0);            // tm-start (fetch-and-add on the state word)
+/// gate.exit(0);             // tm-end
+/// gate.disable(1);          // adapter blocks thread 1 (waits if running)
+/// assert!(gate.is_disabled(1));
+/// gate.enable(1);
+/// ```
+pub struct ThreadGate {
+    slots: Vec<Slot>,
+}
+
+impl ThreadGate {
+    /// A gate for up to `max_threads` registered threads, all enabled.
+    pub fn new(max_threads: usize) -> Self {
+        let mut slots = Vec::with_capacity(max_threads);
+        for _ in 0..max_threads {
+            slots.push(Slot {
+                state: CachePadded::new(AtomicU64::new(0)),
+                lock: Mutex::new(()),
+                cv: Condvar::new(),
+            });
+        }
+        ThreadGate { slots }
+    }
+
+    /// Number of thread slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Called by thread `t` before each transaction; blocks while `t` is
+    /// disabled (Algorithm 1, `tm-start`).
+    pub fn enter(&self, t: usize) {
+        let slot = &self.slots[t];
+        loop {
+            let val = slot.state.fetch_add(RUN, Ordering::AcqRel);
+            if val & BLOCK == 0 {
+                return;
+            }
+            // Lost the race with the adapter: withdraw and wait.
+            slot.state.fetch_sub(RUN, Ordering::AcqRel);
+            let mut guard = slot.lock.lock();
+            while slot.state.load(Ordering::Acquire) & BLOCK != 0 {
+                slot.cv.wait(&mut guard);
+            }
+        }
+    }
+
+    /// Called by thread `t` after each transaction (Algorithm 1, `tm-end`).
+    #[inline]
+    pub fn exit(&self, t: usize) {
+        self.slots[t].state.fetch_sub(RUN, Ordering::AcqRel);
+    }
+
+    /// Adapter side: block thread `t`, waiting until any in-flight
+    /// transaction of `t` finishes (Algorithm 1, `disable-thread`).
+    pub fn disable(&self, t: usize) {
+        let slot = &self.slots[t];
+        let mut val = slot.state.fetch_add(BLOCK, Ordering::AcqRel);
+        while val & RUN != 0 {
+            std::thread::yield_now();
+            val = slot.state.load(Ordering::Acquire);
+        }
+    }
+
+    /// Adapter side: re-enable thread `t` (Algorithm 1, `enable-thread`).
+    pub fn enable(&self, t: usize) {
+        let slot = &self.slots[t];
+        let _guard = slot.lock.lock();
+        slot.state.store(0, Ordering::Release);
+        slot.cv.notify_all();
+    }
+
+    /// Whether thread `t` is currently disabled.
+    pub fn is_disabled(&self, t: usize) -> bool {
+        self.slots[t].state.load(Ordering::Acquire) & BLOCK != 0
+    }
+
+    /// CAS-loop variant of [`ThreadGate::enter`], kept for the ablation
+    /// bench comparing fetch-and-add against compare-and-swap (paper §4.2
+    /// discusses their relative cost).
+    pub fn enter_cas(&self, t: usize) {
+        let slot = &self.slots[t];
+        loop {
+            let cur = slot.state.load(Ordering::Acquire);
+            if cur & BLOCK != 0 {
+                let mut guard = slot.lock.lock();
+                while slot.state.load(Ordering::Acquire) & BLOCK != 0 {
+                    slot.cv.wait(&mut guard);
+                }
+                continue;
+            }
+            if slot
+                .state
+                .compare_exchange(cur, cur + RUN, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadGate")
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn enter_exit_when_enabled() {
+        let g = ThreadGate::new(2);
+        g.enter(0);
+        g.exit(0);
+        g.enter_cas(1);
+        g.exit(1);
+        assert!(!g.is_disabled(0));
+    }
+
+    #[test]
+    fn disable_waits_for_inflight_transaction() {
+        let g = Arc::new(ThreadGate::new(1));
+        g.enter(0); // transaction in flight
+        let g2 = Arc::clone(&g);
+        let disabled = Arc::new(AtomicBool::new(false));
+        let d2 = Arc::clone(&disabled);
+        let h = std::thread::spawn(move || {
+            g2.disable(0);
+            d2.store(true, Ordering::SeqCst);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(
+            !disabled.load(Ordering::SeqCst),
+            "disable returned while a transaction was running"
+        );
+        g.exit(0);
+        h.join().unwrap();
+        assert!(disabled.load(Ordering::SeqCst));
+        assert!(g.is_disabled(0));
+    }
+
+    #[test]
+    fn blocked_thread_resumes_on_enable() {
+        let g = Arc::new(ThreadGate::new(1));
+        g.disable(0);
+        let g2 = Arc::clone(&g);
+        let entered = Arc::new(AtomicBool::new(false));
+        let e2 = Arc::clone(&entered);
+        let h = std::thread::spawn(move || {
+            g2.enter(0); // must block until enabled
+            e2.store(true, Ordering::SeqCst);
+            g2.exit(0);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!entered.load(Ordering::SeqCst), "entered while disabled");
+        g.enable(0);
+        h.join().unwrap();
+        assert!(entered.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn quiesce_all_threads_and_resume() {
+        const N: usize = 4;
+        let g = Arc::new(ThreadGate::new(N));
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters: Arc<Vec<AtomicU64>> =
+            Arc::new((0..N).map(|_| AtomicU64::new(0)).collect());
+        std::thread::scope(|s| {
+            for t in 0..N {
+                let g = Arc::clone(&g);
+                let stop = Arc::clone(&stop);
+                let counters = Arc::clone(&counters);
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        g.enter(t);
+                        counters[t].fetch_add(1, Ordering::Relaxed);
+                        g.exit(t);
+                    }
+                });
+            }
+            // Quiesce: after disable() returns for every thread, no thread
+            // is inside the enter/exit critical section.
+            for t in 0..N {
+                g.disable(t);
+            }
+            let frozen: Vec<u64> = counters.iter().map(|c| c.load(Ordering::SeqCst)).collect();
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            let later: Vec<u64> = counters.iter().map(|c| c.load(Ordering::SeqCst)).collect();
+            assert_eq!(frozen, later, "threads made progress while quiesced");
+            stop.store(true, Ordering::SeqCst);
+            for t in 0..N {
+                g.enable(t);
+            }
+        });
+    }
+}

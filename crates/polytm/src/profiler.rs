@@ -1,0 +1,125 @@
+//! Lightweight KPI profiling (the data source for RecTM's Monitor).
+
+use crate::energy::EnergyModel;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use txcore::{StatsSnapshot, ThreadStats};
+
+/// KPIs observed over one monitoring window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowKpis {
+    /// Window length.
+    pub elapsed: Duration,
+    /// Committed transactions in the window.
+    pub commits: u64,
+    /// Aborted attempts in the window.
+    pub aborts: u64,
+    /// Commits per second.
+    pub throughput: f64,
+    /// Fraction of attempts aborted.
+    pub abort_rate: f64,
+    /// Modelled energy consumed (joules).
+    pub energy_joules: f64,
+    /// Throughput per joule (Fig. 1a's KPI).
+    pub throughput_per_joule: f64,
+}
+
+/// Samples per-thread counters and derives windowed KPIs.
+///
+/// A probe is cheap to create and sample; the Monitor samples it once per
+/// second in the paper's setup.
+#[derive(Debug)]
+pub struct KpiProbe {
+    stats: Vec<Arc<ThreadStats>>,
+    energy: EnergyModel,
+    last: StatsSnapshot,
+    last_at: Instant,
+}
+
+impl KpiProbe {
+    /// A probe over the given per-thread counters.
+    pub fn new(stats: Vec<Arc<ThreadStats>>, energy: EnergyModel) -> Self {
+        let last = aggregate(&stats);
+        KpiProbe {
+            stats,
+            energy,
+            last,
+            last_at: Instant::now(),
+        }
+    }
+
+    /// Cumulative counters since the threads started.
+    pub fn total(&self) -> StatsSnapshot {
+        aggregate(&self.stats)
+    }
+
+    /// KPIs accumulated since the previous `sample` (or construction).
+    ///
+    /// `active_threads` is the current parallelism degree, needed by the
+    /// energy model.
+    pub fn sample(&mut self, active_threads: usize) -> WindowKpis {
+        let now = Instant::now();
+        let snap = aggregate(&self.stats);
+        let delta = snap.since(&self.last);
+        let elapsed = now.duration_since(self.last_at);
+        self.last = snap;
+        self.last_at = now;
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        let throughput = delta.commits as f64 / secs;
+        let energy = self.energy.energy_joules(elapsed, active_threads);
+        WindowKpis {
+            elapsed,
+            commits: delta.commits,
+            aborts: delta.total_aborts(),
+            throughput,
+            abort_rate: delta.abort_rate(),
+            energy_joules: energy,
+            throughput_per_joule: if energy > 0.0 {
+                delta.commits as f64 / energy
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+fn aggregate(stats: &[Arc<ThreadStats>]) -> StatsSnapshot {
+    stats
+        .iter()
+        .map(|s| s.snapshot())
+        .fold(StatsSnapshot::default(), |acc, s| acc.merge(&s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txcore::AbortCode;
+
+    #[test]
+    fn windows_report_deltas_not_totals() {
+        let stats: Vec<Arc<ThreadStats>> = (0..2).map(|_| Arc::new(ThreadStats::new())).collect();
+        let mut probe = KpiProbe::new(stats.clone(), EnergyModel::default());
+        stats[0].record_commit(false);
+        stats[1].record_commit(false);
+        stats[1].record_abort(AbortCode::Conflict);
+        let w1 = probe.sample(2);
+        assert_eq!(w1.commits, 2);
+        assert_eq!(w1.aborts, 1);
+        let w2 = probe.sample(2);
+        assert_eq!(w2.commits, 0, "second window must not re-count");
+    }
+
+    #[test]
+    fn throughput_and_energy_are_positive_under_load() {
+        let stats: Vec<Arc<ThreadStats>> = vec![Arc::new(ThreadStats::new())];
+        let mut probe = KpiProbe::new(stats.clone(), EnergyModel::default());
+        for _ in 0..100 {
+            stats[0].record_commit(false);
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        let w = probe.sample(1);
+        assert!(w.throughput > 0.0);
+        assert!(w.energy_joules > 0.0);
+        assert!(w.throughput_per_joule > 0.0);
+    }
+}

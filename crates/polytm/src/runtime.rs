@@ -1,0 +1,512 @@
+//! The PolyTM runtime: backend registry, safe mode switching, parallelism
+//! adaptation and KPI profiling behind one transactional interface.
+
+use crate::config::{BackendId, HtmSetting, TmConfig};
+use crate::energy::EnergyModel;
+use crate::gate::ThreadGate;
+use crate::profiler::KpiProbe;
+use htm::{HtmGeometry, HtmSim, HybridNOrec, HybridTl2};
+use parking_lot::Mutex;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use stm::{NOrec, SwissTm, TinyStm, Tl2};
+use txcore::{
+    run_tx, StatsSnapshot, ThreadCtx, ThreadStats, TmBackend, TmSystem, Tx, TxResult,
+};
+
+/// A reconfiguration request that PolyTM cannot honour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigError {
+    /// The requested parallelism degree exceeds the registered capacity.
+    TooManyThreads {
+        /// Requested degree.
+        requested: usize,
+        /// Maximum threads this runtime was built for.
+        max: usize,
+    },
+    /// A parallelism degree of zero is not a runnable configuration.
+    ZeroThreads,
+}
+
+impl fmt::Display for ReconfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconfigError::TooManyThreads { requested, max } => {
+                write!(f, "requested {requested} threads but runtime supports {max}")
+            }
+            ReconfigError::ZeroThreads => f.write_str("parallelism degree must be positive"),
+        }
+    }
+}
+
+impl Error for ReconfigError {}
+
+/// A registered application thread's handle into PolyTM.
+///
+/// Obtained from [`PolyTm::register_thread`]; owns the thread's transaction
+/// context. One `Worker` per OS thread.
+pub struct Worker {
+    slot: usize,
+    ctx: ThreadCtx,
+}
+
+impl Worker {
+    /// The thread slot this worker occupies.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// This worker's cumulative statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.ctx.stats.snapshot()
+    }
+}
+
+impl fmt::Debug for Worker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Worker").field("slot", &self.slot).finish()
+    }
+}
+
+/// Builder for [`PolyTm`] (heap size, thread capacity, models).
+#[derive(Debug)]
+pub struct PolyTmBuilder {
+    heap_words: usize,
+    max_threads: usize,
+    geometry: HtmGeometry,
+    energy: EnergyModel,
+    initial: Option<TmConfig>,
+}
+
+impl PolyTmBuilder {
+    /// Size of the transactional heap in 64-bit words.
+    pub fn heap_words(mut self, words: usize) -> Self {
+        self.heap_words = words;
+        self
+    }
+
+    /// Maximum number of registered application threads.
+    pub fn max_threads(mut self, n: usize) -> Self {
+        self.max_threads = n;
+        self
+    }
+
+    /// Simulated HTM cache geometry.
+    pub fn htm_geometry(mut self, geom: HtmGeometry) -> Self {
+        self.geometry = geom;
+        self
+    }
+
+    /// Energy model used for the EDP KPI.
+    pub fn energy_model(mut self, model: EnergyModel) -> Self {
+        self.energy = model;
+        self
+    }
+
+    /// Initial TM configuration (defaults to TL2 with all threads enabled).
+    pub fn initial_config(mut self, config: TmConfig) -> Self {
+        self.initial = Some(config);
+        self
+    }
+
+    /// Construct the runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initial configuration is invalid for the built
+    /// capacity.
+    pub fn build(self) -> PolyTm {
+        let initial = self
+            .initial
+            .unwrap_or(TmConfig::stm(BackendId::Tl2, self.max_threads));
+        let sys = Arc::new(TmSystem::new(self.heap_words));
+        let htm = Arc::new(HtmSim::with_geometry(Arc::clone(&sys), self.geometry));
+        let hybrid = Arc::new(HybridNOrec::with_geometry(Arc::clone(&sys), self.geometry));
+        let hybrid_tl2 = Arc::new(HybridTl2::with_geometry(Arc::clone(&sys), self.geometry));
+        let backends: [Arc<dyn TmBackend>; 7] = [
+            Arc::new(Tl2::new(Arc::clone(&sys))),
+            Arc::new(TinyStm::new(Arc::clone(&sys))),
+            Arc::new(NOrec::new(Arc::clone(&sys))),
+            Arc::new(SwissTm::new(Arc::clone(&sys))),
+            Arc::clone(&htm) as Arc<dyn TmBackend>,
+            Arc::clone(&hybrid) as Arc<dyn TmBackend>,
+            Arc::clone(&hybrid_tl2) as Arc<dyn TmBackend>,
+        ];
+        let stats = (0..self.max_threads)
+            .map(|_| Arc::new(ThreadStats::new()))
+            .collect();
+        let poly = PolyTm {
+            sys,
+            backends,
+            htm,
+            hybrid,
+            hybrid_tl2,
+            current: AtomicUsize::new(initial.backend.index()),
+            gate: ThreadGate::new(self.max_threads),
+            max_threads: self.max_threads,
+            parallelism: AtomicUsize::new(self.max_threads),
+            pinned: (0..self.max_threads).map(|_| AtomicBool::new(false)).collect(),
+            stats,
+            energy: self.energy,
+            reconfig: Mutex::new(()),
+            config: Mutex::new(initial),
+        };
+        poly.apply(&initial).expect("invalid initial configuration");
+        poly
+    }
+}
+
+/// The polymorphic TM runtime (see the crate docs).
+pub struct PolyTm {
+    sys: Arc<TmSystem>,
+    backends: [Arc<dyn TmBackend>; 7],
+    htm: Arc<HtmSim>,
+    hybrid: Arc<HybridNOrec>,
+    hybrid_tl2: Arc<HybridTl2>,
+    current: AtomicUsize,
+    gate: ThreadGate,
+    max_threads: usize,
+    parallelism: AtomicUsize,
+    pinned: Vec<AtomicBool>,
+    stats: Vec<Arc<ThreadStats>>,
+    energy: EnergyModel,
+    /// Serializes adapters; application threads never take it.
+    reconfig: Mutex<()>,
+    config: Mutex<TmConfig>,
+}
+
+impl PolyTm {
+    /// Start building a runtime.
+    pub fn builder() -> PolyTmBuilder {
+        PolyTmBuilder {
+            heap_words: 1 << 20,
+            max_threads: 8,
+            geometry: HtmGeometry::default(),
+            energy: EnergyModel::default(),
+            initial: None,
+        }
+    }
+
+    /// The shared TM system (heap + metadata).
+    pub fn system(&self) -> &Arc<TmSystem> {
+        &self.sys
+    }
+
+    /// Maximum registered threads.
+    pub fn max_threads(&self) -> usize {
+        self.max_threads
+    }
+
+    /// The current configuration.
+    pub fn current_config(&self) -> TmConfig {
+        *self.config.lock()
+    }
+
+    /// The energy model in use.
+    pub fn energy_model(&self) -> EnergyModel {
+        self.energy
+    }
+
+    /// Register the calling OS thread into `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range (each slot must be used by exactly
+    /// one thread at a time).
+    pub fn register_thread(&self, slot: usize) -> Worker {
+        assert!(slot < self.max_threads, "thread slot {slot} out of range");
+        let mut ctx = ThreadCtx::new(slot);
+        ctx.stats = Arc::clone(&self.stats[slot]);
+        Worker { slot, ctx }
+    }
+
+    /// Execute an atomic block on the currently selected backend, honouring
+    /// the thread gate (the worker blocks while its slot is disabled).
+    pub fn run_tx<T>(&self, worker: &mut Worker, f: impl FnMut(&mut Tx<'_>) -> TxResult<T>) -> T {
+        self.gate.enter(worker.slot);
+        // Safe: the quiescence protocol guarantees the backend cannot change
+        // while any thread holds its RUN bit.
+        let backend = &self.backends[self.current.load(Ordering::Acquire)];
+        let out = run_tx(backend.as_ref(), &mut worker.ctx, f);
+        self.gate.exit(worker.slot);
+        out
+    }
+
+    /// Forbid PolyTM from *permanently* disabling thread `slot` when tuning
+    /// the parallelism degree (paper §4.2: e.g. a server's accept thread).
+    /// The thread may still be disabled briefly while switching algorithms.
+    pub fn pin_thread(&self, slot: usize) {
+        self.pinned[slot].store(true, Ordering::Release);
+        if self.gate.is_disabled(slot) {
+            self.gate.enable(slot);
+        }
+    }
+
+    /// Apply a full configuration; returns the reconfiguration latency.
+    ///
+    /// # Errors
+    ///
+    /// Fails without any effect if the configuration requests more threads
+    /// than the runtime capacity, or zero threads.
+    pub fn apply(&self, config: &TmConfig) -> Result<Duration, ReconfigError> {
+        if config.threads == 0 {
+            return Err(ReconfigError::ZeroThreads);
+        }
+        if config.threads > self.max_threads {
+            return Err(ReconfigError::TooManyThreads {
+                requested: config.threads,
+                max: self.max_threads,
+            });
+        }
+        let _adapter = self.reconfig.lock();
+        let started = Instant::now();
+        let switch_algo = self.current.load(Ordering::Acquire) != config.backend.index();
+        if switch_algo {
+            // Quiesce *every* thread (pinned ones included — brief by
+            // design), swap the function-pointer table, resume.
+            for t in 0..self.max_threads {
+                if !self.gate.is_disabled(t) {
+                    self.gate.disable(t);
+                }
+            }
+            self.current.store(config.backend.index(), Ordering::Release);
+        }
+        self.set_parallelism_locked(config.threads);
+        if let Some(setting) = config.htm {
+            self.set_htm_locked(setting);
+        }
+        *self.config.lock() = *config;
+        Ok(started.elapsed())
+    }
+
+    /// Retune only the HTM contention management (lock-free, no quiescence —
+    /// paper §4.3).
+    pub fn set_htm_setting(&self, setting: HtmSetting) {
+        let _adapter = self.reconfig.lock();
+        self.set_htm_locked(setting);
+        let mut cfg = self.config.lock();
+        if cfg.htm.is_some() {
+            cfg.htm = Some(setting);
+        }
+    }
+
+    fn set_htm_locked(&self, setting: HtmSetting) {
+        self.htm.cm().set(setting.budget, setting.policy);
+        self.hybrid.cm().set(setting.budget, setting.policy);
+        self.hybrid_tl2.cm().set(setting.budget, setting.policy);
+    }
+
+    fn set_parallelism_locked(&self, p: usize) {
+        for t in 0..self.max_threads {
+            let should_run = t < p || self.pinned[t].load(Ordering::Acquire);
+            let disabled = self.gate.is_disabled(t);
+            if should_run && disabled {
+                self.gate.enable(t);
+            } else if !should_run && !disabled {
+                self.gate.disable(t);
+            }
+        }
+        self.parallelism.store(p, Ordering::Release);
+    }
+
+    /// Current parallelism degree.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism.load(Ordering::Acquire)
+    }
+
+    /// Re-enable every thread (used to drain workers at shutdown).
+    pub fn resume_all(&self) {
+        let _adapter = self.reconfig.lock();
+        for t in 0..self.max_threads {
+            if self.gate.is_disabled(t) {
+                self.gate.enable(t);
+            }
+        }
+        self.parallelism.store(self.max_threads, Ordering::Release);
+    }
+
+    /// Aggregate statistics across every registered thread.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        self.stats
+            .iter()
+            .map(|s| s.snapshot())
+            .fold(StatsSnapshot::default(), |acc, s| acc.merge(&s))
+    }
+
+    /// Reset all per-thread counters (between profiling windows).
+    pub fn reset_stats(&self) {
+        for s in &self.stats {
+            s.reset();
+        }
+    }
+
+    /// A KPI probe over this runtime's threads.
+    pub fn probe(&self) -> KpiProbe {
+        KpiProbe::new(self.stats.clone(), self.energy)
+    }
+
+    /// Direct access to a backend (for overhead ablations that bypass the
+    /// runtime; normal code uses [`PolyTm::run_tx`]).
+    pub fn backend(&self, id: BackendId) -> &Arc<dyn TmBackend> {
+        &self.backends[id.index()]
+    }
+}
+
+impl fmt::Debug for PolyTm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PolyTm")
+            .field("config", &self.current_config())
+            .field("max_threads", &self.max_threads)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_basic_tx() {
+        let poly = PolyTm::builder().heap_words(1 << 10).max_threads(2).build();
+        let a = poly.system().heap.alloc(1);
+        let mut w = poly.register_thread(0);
+        let v = poly.run_tx(&mut w, |tx| {
+            tx.write(a, 12)?;
+            tx.read(a)
+        });
+        assert_eq!(v, 12);
+        assert_eq!(poly.snapshot().commits, 1);
+    }
+
+    #[test]
+    fn apply_rejects_invalid_configs() {
+        let poly = PolyTm::builder().max_threads(2).heap_words(64).build();
+        assert_eq!(
+            poly.apply(&TmConfig::stm(BackendId::Tl2, 3)),
+            Err(ReconfigError::TooManyThreads { requested: 3, max: 2 })
+        );
+        assert_eq!(
+            poly.apply(&TmConfig::stm(BackendId::Tl2, 0)),
+            Err(ReconfigError::ZeroThreads)
+        );
+    }
+
+    #[test]
+    fn switching_backends_preserves_heap_state() {
+        let poly = PolyTm::builder().heap_words(1 << 10).max_threads(2).build();
+        let a = poly.system().heap.alloc(1);
+        let mut w = poly.register_thread(0);
+        for (i, id) in BackendId::ALL.iter().enumerate() {
+            poly.apply(&TmConfig {
+                backend: *id,
+                threads: 1,
+                htm: id.is_hardware().then_some(HtmSetting::DEFAULT),
+            })
+            .unwrap();
+            poly.run_tx(&mut w, |tx| {
+                let v = tx.read(a)?;
+                tx.write(a, v + 1)
+            });
+            assert_eq!(poly.system().heap.read_raw(a), i as u64 + 1);
+            assert_eq!(poly.current_config().backend, *id);
+        }
+    }
+
+    #[test]
+    fn parallelism_degree_blocks_extra_threads() {
+        let poly = Arc::new(PolyTm::builder().heap_words(1 << 10).max_threads(4).build());
+        poly.apply(&TmConfig::stm(BackendId::NOrec, 2)).unwrap();
+        let a = poly.system().heap.alloc(1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            // Thread in slot 3 is disabled: it must block, not run.
+            let p = Arc::clone(&poly);
+            let r = Arc::clone(&ran);
+            s.spawn(move || {
+                let mut w = p.register_thread(3);
+                p.run_tx(&mut w, |tx| tx.read(a)).to_string();
+                r.fetch_add(1, Ordering::SeqCst);
+            });
+            std::thread::sleep(Duration::from_millis(30));
+            assert_eq!(ran.load(Ordering::SeqCst), 0, "disabled slot executed");
+            // Raising the degree releases it.
+            poly.apply(&TmConfig::stm(BackendId::NOrec, 4)).unwrap();
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn pinned_thread_survives_parallelism_reduction() {
+        let poly = PolyTm::builder().heap_words(1 << 10).max_threads(4).build();
+        poly.pin_thread(3);
+        poly.apply(&TmConfig::stm(BackendId::Tl2, 1)).unwrap();
+        let a = poly.system().heap.alloc(1);
+        let mut w = poly.register_thread(3);
+        // Would deadlock if slot 3 were disabled.
+        assert_eq!(poly.run_tx(&mut w, |tx| tx.read(a)), 0);
+    }
+
+    #[test]
+    fn htm_setting_updates_are_lock_free_and_recorded() {
+        let poly = PolyTm::builder().heap_words(1 << 10).max_threads(2).build();
+        poly.apply(&TmConfig::htm(BackendId::Htm, 2, HtmSetting::DEFAULT))
+            .unwrap();
+        let s = HtmSetting {
+            budget: 16,
+            policy: htm::CapacityPolicy::Halve,
+        };
+        poly.set_htm_setting(s);
+        assert_eq!(poly.current_config().htm, Some(s));
+    }
+
+    #[test]
+    fn concurrent_transactions_with_live_reconfiguration() {
+        let poly = Arc::new(
+            PolyTm::builder()
+                .heap_words(1 << 14)
+                .max_threads(4)
+                .build(),
+        );
+        let a = poly.system().heap.alloc(1);
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for t in 0..3 {
+                let poly = Arc::clone(&poly);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut w = poly.register_thread(t);
+                    while !stop.load(Ordering::Relaxed) {
+                        poly.run_tx(&mut w, |tx| {
+                            let v = tx.read(a)?;
+                            tx.write(a, v + 1)
+                        });
+                    }
+                });
+            }
+            // Adapter: cycle through every backend while workers hammer the
+            // counter. Correctness = nothing lost, no deadlock.
+            for _ in 0..3 {
+                for id in BackendId::ALL {
+                    poly.apply(&TmConfig {
+                        backend: id,
+                        threads: 3,
+                        htm: id.is_hardware().then_some(HtmSetting::DEFAULT),
+                    })
+                    .unwrap();
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+            stop.store(true, Ordering::SeqCst);
+            poly.resume_all();
+        });
+        let commits = poly.snapshot().commits;
+        assert_eq!(
+            poly.system().heap.read_raw(a),
+            commits,
+            "every commit must increment exactly once across mode switches"
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! The paper's accuracy metrics (§6.1): MAPE and (M)DFO.
+
+/// Mean Absolute Percentage Error over `(real, predicted)` pairs:
+/// `Σ |rᵤᵢ − r̂ᵤᵢ| / rᵤᵢ / |S|`. Pairs with a zero real value are skipped.
+pub fn mape(pairs: &[(f64, f64)]) -> f64 {
+    let errs: Vec<f64> = pairs
+        .iter()
+        .filter(|(real, _)| real.abs() > 1e-12)
+        .map(|(real, pred)| (real - pred).abs() / real.abs())
+        .collect();
+    if errs.is_empty() {
+        0.0
+    } else {
+        errs.iter().sum::<f64>() / errs.len() as f64
+    }
+}
+
+/// Distance From Optimum of one recommendation:
+/// `|kpi(optimal) − kpi(chosen)| / kpi(optimal)`.
+///
+/// Works for maximization and minimization KPIs alike since it is a
+/// relative distance; 0 means the chosen configuration is optimal.
+pub fn dfo(optimal_kpi: f64, chosen_kpi: f64) -> f64 {
+    if optimal_kpi.abs() < 1e-12 {
+        0.0
+    } else {
+        (optimal_kpi - chosen_kpi).abs() / optimal_kpi.abs()
+    }
+}
+
+/// Mean Distance From Optimum over `(optimal, chosen)` KPI pairs.
+pub fn mdfo(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        0.0
+    } else {
+        pairs.iter().map(|&(o, c)| dfo(o, c)).sum::<f64>() / pairs.len() as f64
+    }
+}
+
+/// Percentile of a sample (linear interpolation), `p` in `[0, 100]`.
+///
+/// # Panics
+///
+/// Panics if the sample is empty or `p` is out of range.
+pub fn percentile(sample: &[f64], p: f64) -> f64 {
+    assert!(!sample.is_empty(), "empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    let mut v: Vec<f64> = sample.to_vec();
+    v.sort_by(f64::total_cmp);
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        v[lo] + (rank - lo as f64) * (v[hi] - v[lo])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mape_basics() {
+        assert_eq!(mape(&[]), 0.0);
+        assert!((mape(&[(100.0, 90.0)]) - 0.1).abs() < 1e-12);
+        assert!((mape(&[(100.0, 90.0), (10.0, 12.0)]) - 0.15).abs() < 1e-12);
+        // Zero reals are skipped, not divided by.
+        assert!((mape(&[(0.0, 5.0), (100.0, 110.0)]) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dfo_is_zero_at_optimum() {
+        assert_eq!(dfo(50.0, 50.0), 0.0);
+        assert!((dfo(100.0, 80.0) - 0.2).abs() < 1e-12);
+        // Minimization KPI: chosen slower than optimal.
+        assert!((dfo(2.0, 3.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mdfo_averages() {
+        let pairs = [(100.0, 100.0), (100.0, 50.0)];
+        assert!((mdfo(&pairs) - 0.25).abs() < 1e-12);
+        assert_eq!(mdfo(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert!((percentile(&v, 50.0) - 2.5).abs() < 1e-12);
+        assert!((percentile(&v, 90.0) - 3.7).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,399 @@
+//! The Controller: Bayesian exploration of a new workload (paper §5.2).
+
+use crate::recommender::{from_score, row_to_scores, to_scores};
+use recsys::{BaggingEnsemble, CfAlgorithm, Normalization, Row, UtilityMatrix};
+use smbo::{Acquisition, Candidate, Goal, StopState, StoppingRule};
+use std::fmt;
+
+/// Knobs of the Controller's SMBO loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerSettings {
+    /// Acquisition function steering the sampling (EI in ProteusTM).
+    pub acquisition: Acquisition,
+    /// When to stop exploring.
+    pub stopping: StoppingRule,
+    /// Bagging ensemble size (the paper uses 10).
+    pub n_bags: usize,
+    /// Hard cap on on-line explorations.
+    pub max_explorations: usize,
+    /// Seed for bootstrap sampling and the Random baseline.
+    pub seed: u64,
+}
+
+impl Default for ControllerSettings {
+    fn default() -> Self {
+        ControllerSettings {
+            acquisition: Acquisition::ExpectedImprovement,
+            stopping: StoppingRule::Cautious { epsilon: 0.01 },
+            n_bags: 10,
+            max_explorations: 20,
+            seed: 2016,
+        }
+    }
+}
+
+/// The result of optimizing one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exploration {
+    /// Every `(configuration, raw KPI)` sampled, in order (the first is the
+    /// reference configuration).
+    pub explored: Vec<(usize, f64)>,
+    /// The final recommendation: the best configuration *among those
+    /// explored* (the paper's protocol — a predicted-best configuration is
+    /// explored before being recommended).
+    pub recommended: usize,
+    /// Its raw KPI.
+    pub best_kpi: f64,
+}
+
+impl Exploration {
+    /// Number of on-line explorations performed.
+    pub fn len(&self) -> usize {
+        self.explored.len()
+    }
+
+    /// Whether no exploration happened (never true for a completed run).
+    pub fn is_empty(&self) -> bool {
+        self.explored.is_empty()
+    }
+}
+
+/// SMBO over the configuration space, modelled by a bagging ensemble of CF
+/// learners over the normalized training matrix.
+pub struct Controller {
+    normalizer: Box<dyn Normalization + Send>,
+    ensemble: BaggingEnsemble,
+    goal: Goal,
+    ncols: usize,
+    settings: ControllerSettings,
+}
+
+impl Controller {
+    /// Fit the Controller: normalize the training KPIs and train the
+    /// ensemble on the resulting ratings.
+    pub fn fit(
+        training_kpis: &UtilityMatrix,
+        goal: Goal,
+        mut normalizer: Box<dyn Normalization + Send>,
+        algorithm: CfAlgorithm,
+        settings: ControllerSettings,
+    ) -> Self {
+        let scores = if normalizer.wants_scores() {
+            to_scores(training_kpis, goal)
+        } else {
+            training_kpis.clone()
+        };
+        normalizer.fit(&scores);
+        let ratings = normalizer.transform_matrix(&scores);
+        let ensemble = BaggingEnsemble::fit(&ratings, algorithm, settings.n_bags, settings.seed);
+        Controller {
+            normalizer,
+            ensemble,
+            goal,
+            ncols: training_kpis.ncols(),
+            settings,
+        }
+    }
+
+    /// The configuration profiled first (the normalization's reference, or
+    /// column 0 when the scheme needs none).
+    pub fn first_config(&self) -> usize {
+        self.normalizer.reference_col().unwrap_or(0)
+    }
+
+    /// Number of configuration columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Optimize one workload: `sample(config)` runs the workload in that
+    /// configuration and returns the measured raw KPI.
+    ///
+    /// Implements the §6.3 protocol: profile the reference configuration,
+    /// run acquisition-driven exploration until the stopping rule fires,
+    /// then explore the model's final recommendation if it was not sampled,
+    /// and return the best *sampled* configuration.
+    pub fn optimize(&self, sample: &mut dyn FnMut(usize) -> f64) -> Exploration {
+        let mut known: Row = vec![None; self.ncols];
+        let mut explored: Vec<(usize, f64)> = Vec::new();
+        let mut seed = self.settings.seed;
+        let mut probe = |c: usize, known: &mut Row, explored: &mut Vec<(usize, f64)>| {
+            let kpi = sample(c);
+            known[c] = Some(kpi);
+            explored.push((c, kpi));
+            kpi
+        };
+        probe(self.first_config(), &mut known, &mut explored);
+
+        let mut stop = StopState::new();
+        while explored.len() < self.settings.max_explorations {
+            let Some((candidates, ratings_known)) = self.candidates(&known) else {
+                break;
+            };
+            if candidates.is_empty() {
+                break;
+            }
+            // Score-space ratings are "higher is better" by construction;
+            // raw-KPI baselines (RC, none) keep the original direction.
+            let inner = self.inner_goal();
+            let best_rating = self.best_of(&ratings_known).unwrap_or(f64::NAN);
+            let Some((chosen, ei)) =
+                self.settings
+                    .acquisition
+                    .select(&candidates, best_rating, inner, &mut seed)
+            else {
+                break;
+            };
+            probe(chosen.index, &mut known, &mut explored);
+            let new_best = self
+                .ratings(&known)
+                .and_then(|r| self.best_of(&r))
+                .unwrap_or(best_rating);
+            stop.record(ei, new_best);
+            if self.settings.stopping.should_stop(&stop) {
+                break;
+            }
+        }
+
+        // Final step: explore the model's recommendation if new.
+        let inner = self.inner_goal();
+        if let Some((candidates, _)) = self.candidates(&known) {
+            let best_candidate = candidates.iter().copied().reduce(|a, b| {
+                if inner.better(b.mu, a.mu) {
+                    b
+                } else {
+                    a
+                }
+            });
+            if let Some(cand) = best_candidate {
+                let best_explored = self.ratings(&known).and_then(|r| self.best_of(&r));
+                let improves = match best_explored {
+                    Some(b) => inner.better(cand.mu, b),
+                    None => true,
+                };
+                if improves && explored.len() < self.settings.max_explorations {
+                    probe(cand.index, &mut known, &mut explored);
+                }
+            }
+        }
+
+        let (recommended, best_kpi) = explored
+            .iter()
+            .copied()
+            .reduce(|best, cur| if self.goal.better(cur.1, best.1) { cur } else { best })
+            .expect("at least the reference was explored");
+        Exploration {
+            explored,
+            recommended,
+            best_kpi,
+        }
+    }
+
+    /// Ensemble-mean KPI predictions for a partially-profiled workload.
+    /// Known entries pass through; columns the model cannot predict yet
+    /// stay `None`. Used by the accuracy studies (Fig. 5's MAPE).
+    pub fn predict_kpis(&self, known_kpis: &Row) -> Row {
+        let Some(ratings) = self.ratings(known_kpis) else {
+            return known_kpis.clone();
+        };
+        let inverted = self.normalizer.wants_scores();
+        let scores = if inverted {
+            row_to_scores(known_kpis, self.goal)
+        } else {
+            known_kpis.clone()
+        };
+        let stats = self.ensemble.predict_stats(&ratings);
+        stats
+            .iter()
+            .enumerate()
+            .map(|(c, s)| {
+                known_kpis[c].or_else(|| {
+                    s.map(|(mu, _)| {
+                        let v = self.normalizer.to_kpi(&scores, c, mu);
+                        if inverted {
+                            from_score(v, self.goal)
+                        } else {
+                            v
+                        }
+                    })
+                })
+            })
+            .collect()
+    }
+
+    /// Known KPIs → known ratings (None before the reference sample).
+    fn ratings(&self, known_kpis: &Row) -> Option<Row> {
+        if self.normalizer.wants_scores() {
+            self.normalizer
+                .to_ratings(&row_to_scores(known_kpis, self.goal))
+        } else {
+            self.normalizer.to_ratings(known_kpis)
+        }
+    }
+
+    /// The optimization direction in rating space.
+    fn inner_goal(&self) -> Goal {
+        if self.normalizer.wants_scores() {
+            Goal::Maximize
+        } else {
+            self.goal
+        }
+    }
+
+    /// Best known rating under the inner goal.
+    fn best_of(&self, ratings: &Row) -> Option<f64> {
+        let inner = self.inner_goal();
+        ratings
+            .iter()
+            .flatten()
+            .copied()
+            .reduce(|a, b| inner.best(a, b))
+    }
+
+    /// Predictive candidates for all unexplored columns, plus the known
+    /// ratings row.
+    fn candidates(&self, known_kpis: &Row) -> Option<(Vec<Candidate>, Row)> {
+        let ratings = self.ratings(known_kpis)?;
+        let stats = self.ensemble.predict_stats(&ratings);
+        let candidates = stats
+            .iter()
+            .enumerate()
+            .filter(|(c, _)| known_kpis[*c].is_none())
+            .filter_map(|(c, s)| {
+                s.map(|(mu, sigma2)| Candidate {
+                    index: c,
+                    mu,
+                    sigma2,
+                })
+            })
+            .collect();
+        Some((candidates, ratings))
+    }
+}
+
+impl fmt::Debug for Controller {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Controller")
+            .field("normalizer", &self.normalizer.name())
+            .field("ncols", &self.ncols)
+            .field("settings", &self.settings)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recsys::{DistillationNorm, Similarity};
+
+    /// Training data: 12 workloads over 8 "thread count" columns; half
+    /// peak at column 5, half at column 1, at random scales.
+    fn training() -> UtilityMatrix {
+        let mut rows = Vec::new();
+        for i in 0..12 {
+            let scale = 10f64.powi(i % 4);
+            let peak = if i % 2 == 0 { 5.0 } else { 1.0 };
+            rows.push(
+                (0..8)
+                    .map(|c| {
+                        let x = c as f64;
+                        Some(scale * (10.0 - (x - peak).powi(2)).max(0.5))
+                    })
+                    .collect(),
+            );
+        }
+        UtilityMatrix::from_rows(rows)
+    }
+
+    fn controller(settings: ControllerSettings) -> Controller {
+        Controller::fit(
+            &training(),
+            Goal::Maximize,
+            Box::new(DistillationNorm::new()),
+            CfAlgorithm::Knn {
+                similarity: Similarity::Cosine,
+                k: 3,
+            },
+            settings,
+        )
+    }
+
+    #[test]
+    fn finds_the_optimum_of_a_matching_workload() {
+        let ctl = controller(ControllerSettings::default());
+        // A fresh workload peaking at column 5, scale 3.3.
+        let truth: Vec<f64> = (0..8)
+            .map(|c| 3.3 * (10.0 - (c as f64 - 5.0).powi(2)).max(0.5))
+            .collect();
+        let mut calls = 0;
+        let out = ctl.optimize(&mut |c| {
+            calls += 1;
+            truth[c]
+        });
+        assert_eq!(out.recommended, 5);
+        assert_eq!(out.best_kpi, truth[5]);
+        assert_eq!(calls, out.explored.len());
+        // With only 8 columns the Cautious rule may legitimately explore
+        // most of the space; the optimum must be found *early* regardless.
+        let position = out.explored.iter().position(|&(c, _)| c == 5).unwrap();
+        assert!(position < 4, "optimum found late: {:?}", out.explored);
+    }
+
+    #[test]
+    fn exploration_counts_reflect_stopping_epsilon() {
+        let loose = controller(ControllerSettings {
+            stopping: StoppingRule::Cautious { epsilon: 0.15 },
+            ..ControllerSettings::default()
+        });
+        let tight = controller(ControllerSettings {
+            stopping: StoppingRule::Cautious { epsilon: 0.001 },
+            ..ControllerSettings::default()
+        });
+        let truth: Vec<f64> = (0..8)
+            .map(|c| 7.0 * (10.0 - (c as f64 - 1.0).powi(2)).max(0.5))
+            .collect();
+        let run = |ctl: &Controller| ctl.optimize(&mut |c| truth[c]).explored.len();
+        assert!(run(&tight) >= run(&loose));
+    }
+
+    #[test]
+    fn never_exceeds_exploration_cap() {
+        let ctl = controller(ControllerSettings {
+            max_explorations: 3,
+            stopping: StoppingRule::Cautious { epsilon: 0.0 },
+            ..ControllerSettings::default()
+        });
+        let out = ctl.optimize(&mut |c| c as f64 + 1.0);
+        assert!(out.explored.len() <= 3);
+    }
+
+    #[test]
+    fn explored_configs_are_unique() {
+        let ctl = controller(ControllerSettings {
+            acquisition: Acquisition::Random,
+            max_explorations: 8,
+            stopping: StoppingRule::Cautious { epsilon: 0.0 },
+            ..ControllerSettings::default()
+        });
+        let out = ctl.optimize(&mut |c| (c as f64).sin().abs() + 0.1);
+        let mut seen = std::collections::HashSet::new();
+        for (c, _) in &out.explored {
+            assert!(seen.insert(*c), "config {c} sampled twice");
+        }
+    }
+
+    #[test]
+    fn recommendation_is_best_explored() {
+        let ctl = controller(ControllerSettings::default());
+        let truth: Vec<f64> = (0..8)
+            .map(|c| 2.0 * (10.0 - (c as f64 - 5.0).powi(2)).max(0.5))
+            .collect();
+        let out = ctl.optimize(&mut |c| truth[c]);
+        let best_explored = out
+            .explored
+            .iter()
+            .map(|&(_, k)| k)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(out.best_kpi, best_explored);
+    }
+}

@@ -1,0 +1,192 @@
+//! The Monitor: lightweight workload-change detection via Adaptive CUSUM
+//! (paper §5.3).
+//!
+//! The Monitor periodically samples the optimized KPI and flags deviations
+//! from the recently observed mean. CUSUM accumulates standardized
+//! deviations above a slack `k`, alarming when either one-sided sum exceeds
+//! the threshold `h`; the *adaptive* part re-estimates the mean and
+//! variance with an EWMA so slow drifts do not trip the alarm while abrupt
+//! or sustained shifts do. Environmental changes (CPU hogs, VM migration)
+//! are indistinguishable from workload changes — by design.
+
+/// Detection knobs (in units of the estimated standard deviation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorSettings {
+    /// CUSUM slack: deviations below `k`·σ accumulate nothing.
+    pub slack_k: f64,
+    /// Alarm threshold: accumulate past `h`·σ and a change is declared.
+    pub threshold_h: f64,
+    /// EWMA weight used to adapt the mean/variance estimates.
+    pub ewma_alpha: f64,
+    /// Samples used to (re)estimate the baseline after a reset.
+    pub warmup: usize,
+}
+
+impl Default for MonitorSettings {
+    fn default() -> Self {
+        MonitorSettings {
+            slack_k: 0.5,
+            threshold_h: 5.0,
+            ewma_alpha: 0.05,
+            warmup: 10,
+        }
+    }
+}
+
+/// Adaptive-CUSUM change detector over a KPI stream.
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    settings: MonitorSettings,
+    mean: f64,
+    /// Mean squared deviation (σ² estimate).
+    var: f64,
+    /// Welford sum of squared deviations, used during warm-up only.
+    m2: f64,
+    seen: usize,
+    g_pos: f64,
+    g_neg: f64,
+}
+
+impl Monitor {
+    /// A detector with the given settings.
+    pub fn new(settings: MonitorSettings) -> Self {
+        Monitor {
+            settings,
+            mean: 0.0,
+            var: 0.0,
+            m2: 0.0,
+            seen: 0,
+            g_pos: 0.0,
+            g_neg: 0.0,
+        }
+    }
+
+    /// A detector with the paper-like defaults.
+    pub fn with_defaults() -> Self {
+        Monitor::new(MonitorSettings::default())
+    }
+
+    /// Restart baseline estimation (called automatically on detection, and
+    /// externally after a re-optimization settles on a new configuration).
+    pub fn reset(&mut self) {
+        self.mean = 0.0;
+        self.var = 0.0;
+        self.m2 = 0.0;
+        self.seen = 0;
+        self.g_pos = 0.0;
+        self.g_neg = 0.0;
+    }
+
+    /// Feed one KPI sample; returns `true` when a behaviour change is
+    /// detected (the detector resets itself in that case).
+    pub fn observe(&mut self, x: f64) -> bool {
+        let s = self.settings;
+        if self.seen < s.warmup {
+            // Welford running estimate during warm-up.
+            self.seen += 1;
+            let delta = x - self.mean;
+            self.mean += delta / self.seen as f64;
+            self.m2 += delta * (x - self.mean);
+            if self.seen == s.warmup {
+                self.var = self.m2 / self.seen as f64;
+            }
+            return false;
+        }
+        let sigma = self
+            .var
+            .sqrt()
+            .max(self.mean.abs() * 0.02)
+            .max(1e-12);
+        let z = (x - self.mean) / sigma;
+        self.g_pos = (self.g_pos + z - s.slack_k).max(0.0);
+        self.g_neg = (self.g_neg - z - s.slack_k).max(0.0);
+        if self.g_pos > s.threshold_h || self.g_neg > s.threshold_h {
+            self.reset();
+            return true;
+        }
+        // Adapt the baseline slowly (the "adaptive" in Adaptive CUSUM).
+        let delta = x - self.mean;
+        self.mean += s.ewma_alpha * delta;
+        self.var += s.ewma_alpha * (delta * delta - self.var);
+        false
+    }
+
+    /// Number of samples since the last reset.
+    pub fn samples(&self) -> usize {
+        self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(m: &mut Monitor, values: impl IntoIterator<Item = f64>) -> Option<usize> {
+        for (i, v) in values.into_iter().enumerate() {
+            if m.observe(v) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn stable_stream_never_alarms() {
+        let mut m = Monitor::with_defaults();
+        let vals = (0..200).map(|i| 100.0 + ((i * 7919) % 13) as f64 * 0.3);
+        assert_eq!(feed(&mut m, vals), None);
+    }
+
+    #[test]
+    fn abrupt_drop_is_detected_quickly() {
+        let mut m = Monitor::with_defaults();
+        let stable = (0..30).map(|i| 100.0 + (i % 3) as f64);
+        assert_eq!(feed(&mut m, stable), None);
+        let dropped = (0..20).map(|_| 40.0);
+        let hit = feed(&mut m, dropped);
+        assert!(hit.is_some(), "a 60% drop must alarm");
+        assert!(hit.unwrap() < 8, "detection should be fast, took {hit:?}");
+    }
+
+    #[test]
+    fn abrupt_rise_is_detected_too() {
+        let mut m = Monitor::with_defaults();
+        feed(&mut m, (0..30).map(|i| 10.0 + (i % 2) as f64 * 0.1));
+        assert!(feed(&mut m, (0..20).map(|_| 25.0)).is_some());
+    }
+
+    #[test]
+    fn smooth_sustained_degradation_is_detected() {
+        let mut m = Monitor::with_defaults();
+        feed(&mut m, (0..30).map(|i| 100.0 + (i % 3) as f64));
+        // 1.5% degradation per sample: slow but relentless.
+        let drift = (0..200).map(|i| 100.0 * (1.0 - 0.015 * i as f64).max(0.2));
+        assert!(feed(&mut m, drift).is_some());
+    }
+
+    #[test]
+    fn detector_resets_after_alarm_and_relearns() {
+        let mut m = Monitor::with_defaults();
+        feed(&mut m, (0..30).map(|_| 100.0));
+        assert!(feed(&mut m, (0..30).map(|_| 30.0)).is_some());
+        // After the alarm the detector re-learns the new level: feeding the
+        // same new level must not alarm again.
+        assert_eq!(m.samples(), 0);
+        assert_eq!(feed(&mut m, (0..100).map(|_| 30.0)), None);
+    }
+
+    #[test]
+    fn noise_tolerance_scales_with_variance() {
+        // A noisy-but-stationary stream with ±20% swings must not alarm.
+        let mut m = Monitor::with_defaults();
+        // splitmix64 finalizer: well-mixed stationary noise.
+        let noisy = (0..300u64).map(|i| {
+            let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            100.0 + (z % 40) as f64 - 20.0
+        });
+        assert_eq!(feed(&mut m, noisy), None);
+    }
+}

@@ -1,0 +1,239 @@
+//! A generic SMBO driver: model in, observations out.
+
+use crate::acquisition::{Acquisition, Candidate};
+use crate::stopping::{StopState, StoppingRule};
+use crate::Goal;
+
+/// A probabilistic surrogate over a finite candidate set.
+pub trait Surrogate {
+    /// Predictive `(µ, σ²)` for each of the given candidate indices;
+    /// `None` where the model cannot predict yet.
+    fn predict(&self, candidates: &[usize]) -> Vec<Option<(f64, f64)>>;
+
+    /// Incorporate an observation `y` at candidate `index`.
+    fn observe(&mut self, index: usize, y: f64);
+}
+
+/// A (possibly noisy, expensive) objective over candidate indices.
+pub trait Objective {
+    /// Evaluate candidate `index` and return its KPI.
+    fn evaluate(&mut self, index: usize) -> f64;
+}
+
+impl<F: FnMut(usize) -> f64> Objective for F {
+    fn evaluate(&mut self, index: usize) -> f64 {
+        self(index)
+    }
+}
+
+/// Knobs of one SMBO run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmboSettings {
+    /// Which acquisition function steers sampling.
+    pub acquisition: Acquisition,
+    /// When to stop exploring.
+    pub stopping: StoppingRule,
+    /// Optimization direction.
+    pub goal: Goal,
+    /// Hard cap on explorations (a safety net over the stopping rule).
+    pub max_explorations: usize,
+    /// Seed for the Random acquisition baseline.
+    pub seed: u64,
+}
+
+/// The result of an SMBO run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmboOutcome {
+    /// Every `(candidate index, observed KPI)` in exploration order,
+    /// including the initial points.
+    pub explored: Vec<(usize, f64)>,
+    /// Index of the best explored candidate.
+    pub best_index: usize,
+    /// KPI of the best explored candidate.
+    pub best_kpi: f64,
+}
+
+/// Run SMBO over `candidates`, starting from the already-chosen
+/// `initial` points (evaluated first), until the stopping rule fires, the
+/// exploration cap is hit, or candidates run out.
+pub fn optimize(
+    model: &mut dyn Surrogate,
+    objective: &mut dyn Objective,
+    candidates: &[usize],
+    initial: &[usize],
+    settings: SmboSettings,
+) -> SmboOutcome {
+    let mut explored: Vec<(usize, f64)> = Vec::new();
+    let mut remaining: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|c| !initial.contains(c))
+        .collect();
+    let mut seed = settings.seed;
+
+    let mut best: Option<(usize, f64)> = None;
+    let note = |idx: usize, y: f64, best: &mut Option<(usize, f64)>| {
+        if best.is_none() || settings.goal.better(y, best.unwrap().1) {
+            *best = Some((idx, y));
+        }
+    };
+
+    for &i in initial {
+        let y = objective.evaluate(i);
+        model.observe(i, y);
+        explored.push((i, y));
+        note(i, y, &mut best);
+    }
+
+    let mut stop_state = StopState::new();
+    while explored.len() < settings.max_explorations && !remaining.is_empty() {
+        let (_, best_kpi) = best.expect("initial points must exist");
+        let stats = model.predict(&remaining);
+        let cands: Vec<Candidate> = remaining
+            .iter()
+            .zip(&stats)
+            .filter_map(|(&index, s)| {
+                s.map(|(mu, sigma2)| Candidate { index, mu, sigma2 })
+            })
+            .collect();
+        let Some((chosen, ei)) =
+            settings
+                .acquisition
+                .select(&cands, best_kpi, settings.goal, &mut seed)
+        else {
+            break;
+        };
+        let y = objective.evaluate(chosen.index);
+        model.observe(chosen.index, y);
+        explored.push((chosen.index, y));
+        remaining.retain(|&c| c != chosen.index);
+        note(chosen.index, y, &mut best);
+        stop_state.record(ei, best.unwrap().1);
+        if settings.stopping.should_stop(&stop_state) {
+            break;
+        }
+    }
+
+    let (best_index, best_kpi) = best.expect("at least one point must be explored");
+    SmboOutcome {
+        explored,
+        best_index,
+        best_kpi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy surrogate: mean = true value + bias that shrinks with
+    /// observations; variance shrinks as points are observed.
+    struct ToySurrogate {
+        truth: Vec<f64>,
+        observed: Vec<bool>,
+    }
+
+    impl Surrogate for ToySurrogate {
+        fn predict(&self, candidates: &[usize]) -> Vec<Option<(f64, f64)>> {
+            let n = self.observed.iter().filter(|&&b| b).count() as f64;
+            Some(1.0 / (1.0 + n))
+                .map(|shrink| {
+                    candidates
+                        .iter()
+                        .map(|&c| Some((self.truth[c] + 2.0 * shrink, 4.0 * shrink)))
+                        .collect()
+                })
+                .unwrap()
+        }
+        fn observe(&mut self, index: usize, _y: f64) {
+            self.observed[index] = true;
+        }
+    }
+
+    fn run(acq: Acquisition) -> SmboOutcome {
+        let truth: Vec<f64> = (0..20).map(|i| ((i as f64) - 13.0).powi(2) + 1.0).collect();
+        let mut model = ToySurrogate {
+            truth: truth.clone(),
+            observed: vec![false; 20],
+        };
+        let mut objective = move |i: usize| truth[i];
+        let candidates: Vec<usize> = (0..20).collect();
+        optimize(
+            &mut model,
+            &mut objective,
+            &candidates,
+            &[0],
+            SmboSettings {
+                acquisition: acq,
+                stopping: StoppingRule::Cautious { epsilon: 0.01 },
+                goal: Goal::Minimize,
+                max_explorations: 20,
+                seed: 42,
+            },
+        )
+    }
+
+    #[test]
+    fn ei_finds_the_minimum() {
+        let out = run(Acquisition::ExpectedImprovement);
+        assert_eq!(out.best_index, 13);
+        assert_eq!(out.best_kpi, 1.0);
+    }
+
+    #[test]
+    fn explorations_never_repeat() {
+        let out = run(Acquisition::Random);
+        let mut seen = std::collections::HashSet::new();
+        for (i, _) in &out.explored {
+            assert!(seen.insert(*i), "candidate {i} explored twice");
+        }
+    }
+
+    #[test]
+    fn cap_limits_explorations() {
+        let truth = vec![5.0, 4.0, 3.0, 2.0, 1.0];
+        let mut model = ToySurrogate {
+            truth: truth.clone(),
+            observed: vec![false; 5],
+        };
+        let mut obj = move |i: usize| truth[i];
+        let out = optimize(
+            &mut model,
+            &mut obj,
+            &[0, 1, 2, 3, 4],
+            &[0],
+            SmboSettings {
+                acquisition: Acquisition::Greedy,
+                stopping: StoppingRule::Naive { epsilon: 0.0 },
+                goal: Goal::Minimize,
+                max_explorations: 2,
+                seed: 1,
+            },
+        );
+        assert_eq!(out.explored.len(), 2);
+    }
+
+    #[test]
+    fn maximization_works_too() {
+        let truth: Vec<f64> = (0..10).map(|i| -((i as f64) - 6.0).powi(2) + 50.0).collect();
+        let mut model = ToySurrogate {
+            truth: truth.clone(),
+            observed: vec![false; 10],
+        };
+        let mut obj = move |i: usize| truth[i];
+        let out = optimize(
+            &mut model,
+            &mut obj,
+            &(0..10).collect::<Vec<_>>(),
+            &[0],
+            SmboSettings {
+                acquisition: Acquisition::ExpectedImprovement,
+                stopping: StoppingRule::Cautious { epsilon: 0.01 },
+                goal: Goal::Maximize,
+                max_explorations: 10,
+                seed: 3,
+            },
+        );
+        assert_eq!(out.best_index, 6);
+    }
+}

@@ -1,0 +1,113 @@
+//! Standard-normal helpers and the closed-form Expected Improvement.
+
+use crate::Goal;
+
+/// Standard normal probability density φ(x).
+pub fn norm_pdf(x: f64) -> f64 {
+    (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cumulative distribution Φ(x), via the Abramowitz &
+/// Stegun 7.1.26 rational approximation of `erf` (|error| < 1.5e-7).
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Closed-form Gaussian Expected Improvement over the incumbent `best`:
+/// `EI = σ · (u·Φ(u) + φ(u))` with `u = (best − µ)/σ` for minimization and
+/// `u = (µ − best)/σ` for maximization (paper §5.2).
+///
+/// With `σ = 0` the EI degenerates to the deterministic improvement
+/// `max(0, improvement)`.
+///
+/// ```
+/// use smbo::{expected_improvement, Goal};
+/// // Minimizing with incumbent 10: a candidate predicted at 8±1 has solid
+/// // expected improvement; one predicted at 12±0 has none.
+/// assert!(expected_improvement(8.0, 1.0, 10.0, Goal::Minimize) > 1.5);
+/// assert_eq!(expected_improvement(12.0, 0.0, 10.0, Goal::Minimize), 0.0);
+/// ```
+pub fn expected_improvement(mu: f64, sigma: f64, best: f64, goal: Goal) -> f64 {
+    let improvement = match goal {
+        Goal::Minimize => best - mu,
+        Goal::Maximize => mu - best,
+    };
+    if sigma <= 1e-12 {
+        return improvement.max(0.0);
+    }
+    let u = improvement / sigma;
+    (sigma * (u * norm_cdf(u) + norm_pdf(u))).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_reference_values() {
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((norm_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((norm_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(norm_cdf(8.0) > 0.999999);
+        assert!(norm_cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn pdf_is_symmetric_and_peaks_at_zero() {
+        assert!((norm_pdf(1.3) - norm_pdf(-1.3)).abs() < 1e-12);
+        assert!(norm_pdf(0.0) > norm_pdf(0.1));
+        assert!((norm_pdf(0.0) - 0.3989422804).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ei_rewards_promising_mean() {
+        // Minimization, incumbent 10: a candidate predicted at 5 beats one
+        // predicted at 9, same uncertainty.
+        let good = expected_improvement(5.0, 1.0, 10.0, Goal::Minimize);
+        let meh = expected_improvement(9.0, 1.0, 10.0, Goal::Minimize);
+        assert!(good > meh);
+    }
+
+    #[test]
+    fn ei_rewards_uncertainty() {
+        // Same (unpromising) mean: the uncertain candidate has higher EI —
+        // the exploration half of the explore/exploit balance.
+        let uncertain = expected_improvement(12.0, 5.0, 10.0, Goal::Minimize);
+        let confident = expected_improvement(12.0, 0.1, 10.0, Goal::Minimize);
+        assert!(uncertain > confident);
+        assert!(confident < 1e-6);
+    }
+
+    #[test]
+    fn ei_is_nonnegative_and_zero_sigma_degenerates() {
+        assert_eq!(expected_improvement(12.0, 0.0, 10.0, Goal::Minimize), 0.0);
+        assert_eq!(expected_improvement(7.0, 0.0, 10.0, Goal::Minimize), 3.0);
+        assert_eq!(expected_improvement(13.0, 0.0, 10.0, Goal::Maximize), 3.0);
+        for mu in [-5.0, 0.0, 5.0, 15.0] {
+            for sigma in [0.0, 0.5, 2.0] {
+                assert!(expected_improvement(mu, sigma, 10.0, Goal::Maximize) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn ei_maximization_mirrors_minimization() {
+        let a = expected_improvement(12.0, 2.0, 10.0, Goal::Maximize);
+        let b = expected_improvement(8.0, 2.0, 10.0, Goal::Minimize);
+        assert!((a - b).abs() < 1e-12);
+    }
+}

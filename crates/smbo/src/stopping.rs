@@ -1,0 +1,149 @@
+//! Stopping criteria: when to end the profiling phase (paper §5.2 and the
+//! Fig. 6 ablation).
+
+/// A predicate over the exploration history deciding whether to stop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StoppingRule {
+    /// ProteusTM's *Cautious* rule: stop at step `k` only when (i) the EI
+    /// decreased over the last two iterations, (ii) the last EI is marginal
+    /// (< ε relative to the best sampled KPI), and (iii) the relative KPI
+    /// improvement achieved by the previous exploration did not exceed ε.
+    Cautious {
+        /// The early-stop threshold ε.
+        epsilon: f64,
+    },
+    /// The *Naive* baseline: blindly trust the model and stop as soon as
+    /// the expected improvement falls below ε relative to the best KPI.
+    Naive {
+        /// The early-stop threshold ε.
+        epsilon: f64,
+    },
+}
+
+/// Rolling exploration state fed to a [`StoppingRule`].
+#[derive(Debug, Clone, Default)]
+pub struct StopState {
+    eis: Vec<f64>,
+    bests: Vec<f64>,
+}
+
+impl StopState {
+    /// Fresh state (no explorations recorded).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one exploration step: the EI of the configuration that was
+    /// selected, and the best KPI sampled so far *after* evaluating it.
+    pub fn record(&mut self, ei: f64, best_kpi: f64) {
+        self.eis.push(ei);
+        self.bests.push(best_kpi);
+    }
+
+    /// Number of recorded explorations.
+    pub fn steps(&self) -> usize {
+        self.eis.len()
+    }
+}
+
+impl StoppingRule {
+    /// Whether exploration should stop given the recorded history.
+    pub fn should_stop(&self, state: &StopState) -> bool {
+        let k = state.steps();
+        if k == 0 {
+            return false;
+        }
+        let last_ei = state.eis[k - 1];
+        let best = state.bests[k - 1].abs().max(1e-12);
+        match *self {
+            StoppingRule::Naive { epsilon } => last_ei < epsilon * best,
+            StoppingRule::Cautious { epsilon } => {
+                if k < 3 {
+                    return false;
+                }
+                // (i) EI decreased in the last 2 iterations.
+                let decreasing =
+                    state.eis[k - 1] < state.eis[k - 2] && state.eis[k - 2] < state.eis[k - 3];
+                // (ii) the k-th EI is marginal w.r.t. the best sampled KPI.
+                let marginal = last_ei < epsilon * best;
+                // (iii) the (k-1)-th exploration barely improved the KPI.
+                let prev_best = state.bests[k - 3].abs().max(1e-12);
+                let improvement = (state.bests[k - 2] - state.bests[k - 3]).abs() / prev_best;
+                let stalled = improvement <= epsilon;
+                decreasing && marginal && stalled
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_stops_immediately_on_low_ei() {
+        let rule = StoppingRule::Naive { epsilon: 0.05 };
+        let mut s = StopState::new();
+        s.record(0.01, 10.0); // EI 0.01 < 0.5
+        assert!(rule.should_stop(&s));
+    }
+
+    #[test]
+    fn naive_keeps_going_on_high_ei() {
+        let rule = StoppingRule::Naive { epsilon: 0.05 };
+        let mut s = StopState::new();
+        s.record(3.0, 10.0);
+        assert!(!rule.should_stop(&s));
+    }
+
+    #[test]
+    fn cautious_requires_three_steps() {
+        let rule = StoppingRule::Cautious { epsilon: 0.05 };
+        let mut s = StopState::new();
+        s.record(0.0, 10.0);
+        assert!(!rule.should_stop(&s));
+        s.record(0.0, 10.0);
+        assert!(!rule.should_stop(&s), "must not trust a 2-step history");
+    }
+
+    #[test]
+    fn cautious_stops_on_decreasing_marginal_stalled() {
+        let rule = StoppingRule::Cautious { epsilon: 0.05 };
+        let mut s = StopState::new();
+        s.record(2.0, 10.0);
+        s.record(1.0, 10.1);
+        s.record(0.1, 10.1); // decreasing EIs, marginal, no improvement
+        assert!(rule.should_stop(&s));
+    }
+
+    #[test]
+    fn cautious_continues_while_ei_rises() {
+        let rule = StoppingRule::Cautious { epsilon: 0.05 };
+        let mut s = StopState::new();
+        s.record(1.0, 10.0);
+        s.record(2.0, 10.0); // EI went up: model still learning
+        s.record(0.1, 10.0);
+        assert!(!rule.should_stop(&s));
+    }
+
+    #[test]
+    fn cautious_continues_after_recent_improvement() {
+        let rule = StoppingRule::Cautious { epsilon: 0.05 };
+        let mut s = StopState::new();
+        s.record(2.0, 10.0);
+        s.record(1.0, 15.0); // the previous exploration improved 50%
+        s.record(0.1, 15.0);
+        assert!(!rule.should_stop(&s));
+    }
+
+    #[test]
+    fn lower_epsilon_explores_longer() {
+        // A history that satisfies eps=0.10 but not eps=0.01.
+        let mut s = StopState::new();
+        s.record(2.0, 10.0);
+        s.record(1.0, 10.3);
+        s.record(0.5, 10.3); // EI ratio 0.048, improvement 0.03
+        assert!(StoppingRule::Cautious { epsilon: 0.10 }.should_stop(&s));
+        assert!(!StoppingRule::Cautious { epsilon: 0.01 }.should_stop(&s));
+    }
+}

@@ -1,0 +1,222 @@
+//! NOrec: no ownership records (Dalessandro, Spear, Scott — PPoPP 2010).
+//!
+//! The entire TM is synchronized by one global sequence lock:
+//!
+//! * an even value means no writer is in its write-back phase; the value is
+//!   also the snapshot timestamp;
+//! * reads log `(address, value)` pairs and, whenever the sequence number
+//!   moves, revalidate *by value* (re-reading every logged address);
+//! * commit CASes the sequence lock odd, writes back, and releases it.
+//!
+//! NOrec has near-zero per-read overhead and no orec memory, but commits
+//! serialize on the single lock — the classic trade-off ProteusTM exploits
+//! when it selects NOrec for low-thread-count or read-dominated workloads.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use txcore::{Abort, Addr, BackendKind, ThreadCtx, TmBackend, TmSystem, TxResult};
+
+/// The NOrec backend. See the module docs for the algorithm.
+#[derive(Debug)]
+pub struct NOrec {
+    sys: Arc<TmSystem>,
+}
+
+impl NOrec {
+    /// A NOrec instance operating on `sys`.
+    pub fn new(sys: Arc<TmSystem>) -> Self {
+        NOrec { sys }
+    }
+
+    /// Spin until the sequence lock is even (no write-back in progress) and
+    /// return its value.
+    fn wait_even(&self) -> u64 {
+        loop {
+            let s = self.sys.norec_seq.load(Ordering::Acquire);
+            if s & 1 == 0 {
+                return s;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Value-based revalidation: re-read every logged location and compare.
+    /// On success returns the new (even) snapshot the transaction may adopt.
+    fn revalidate(&self, ctx: &ThreadCtx) -> Result<u64, Abort> {
+        loop {
+            let s = self.wait_even();
+            let mut ok = true;
+            for &(a, v) in ctx.read_set.values() {
+                if self.sys.heap.read_raw(a) != v {
+                    ok = false;
+                    break;
+                }
+            }
+            // The snapshot is only valid if the sequence did not move while
+            // we were re-reading.
+            if self.sys.norec_seq.load(Ordering::Acquire) == s {
+                return if ok { Ok(s) } else { Err(Abort::CONFLICT) };
+            }
+        }
+    }
+}
+
+impl TmBackend for NOrec {
+    fn name(&self) -> &'static str {
+        "norec"
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::Stm
+    }
+
+    fn begin(&self, ctx: &mut ThreadCtx) -> TxResult<()> {
+        ctx.reset_logs();
+        ctx.start_seq = self.wait_even();
+        Ok(())
+    }
+
+    fn read(&self, ctx: &mut ThreadCtx, addr: Addr) -> TxResult<u64> {
+        if let Some(v) = ctx.write_set.get(addr) {
+            return Ok(v);
+        }
+        let mut val = self.sys.heap.read_raw(addr);
+        // If a writer committed since our snapshot, revalidate and re-read
+        // until the value is consistent with an even sequence number.
+        while self.sys.norec_seq.load(Ordering::Acquire) != ctx.start_seq {
+            ctx.start_seq = self.revalidate(ctx)?;
+            val = self.sys.heap.read_raw(addr);
+        }
+        ctx.read_set.push_value(addr, val);
+        Ok(val)
+    }
+
+    fn write(&self, ctx: &mut ThreadCtx, addr: Addr, val: u64) -> TxResult<()> {
+        ctx.write_set.insert(addr, val);
+        Ok(())
+    }
+
+    fn commit(&self, ctx: &mut ThreadCtx) -> TxResult<()> {
+        if ctx.write_set.is_empty() {
+            ctx.reset_logs();
+            return Ok(());
+        }
+        // Acquire the sequence lock at our snapshot; if someone committed
+        // in between, revalidate and retry from the fresh snapshot.
+        loop {
+            match self.sys.norec_seq.compare_exchange(
+                ctx.start_seq,
+                ctx.start_seq + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(_) => {
+                    ctx.start_seq = self.revalidate(ctx)?;
+                }
+            }
+        }
+        for &(a, v) in ctx.write_set.entries() {
+            self.sys.heap.write_raw(a, v);
+        }
+        self.sys
+            .norec_seq
+            .store(ctx.start_seq + 2, Ordering::Release);
+        ctx.reset_logs();
+        Ok(())
+    }
+
+    fn rollback(&self, ctx: &mut ThreadCtx) {
+        ctx.reset_logs();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txcore::run_tx;
+
+    fn setup() -> (Arc<TmSystem>, NOrec, ThreadCtx) {
+        let sys = Arc::new(TmSystem::new(1024));
+        let tm = NOrec::new(Arc::clone(&sys));
+        (sys, tm, ThreadCtx::new(0))
+    }
+
+    #[test]
+    fn commit_bumps_sequence_by_two() {
+        let (sys, tm, mut ctx) = setup();
+        let a = sys.heap.alloc(1);
+        run_tx(&tm, &mut ctx, |tx| tx.write(a, 3));
+        assert_eq!(sys.norec_seq.load(Ordering::Relaxed), 2);
+        assert_eq!(sys.heap.read_raw(a), 3);
+    }
+
+    #[test]
+    fn read_only_commit_does_not_touch_sequence() {
+        let (sys, tm, mut ctx) = setup();
+        let a = sys.heap.alloc(1);
+        run_tx(&tm, &mut ctx, |tx| tx.read(a));
+        assert_eq!(sys.norec_seq.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn value_based_validation_tolerates_aba() {
+        let (sys, tm, mut ctx) = setup();
+        let a = sys.heap.alloc(1);
+        sys.heap.write_raw(a, 5);
+        tm.begin(&mut ctx).unwrap();
+        assert_eq!(tm.read(&mut ctx, a).unwrap(), 5);
+        // A concurrent committer writes the *same* value back: sequence
+        // moves but values match, so validation extends the snapshot.
+        sys.norec_seq.store(2, Ordering::Release);
+        let b = sys.heap.alloc(1);
+        assert_eq!(tm.read(&mut ctx, b).unwrap(), 0);
+        assert_eq!(ctx.start_seq, 2, "snapshot extended");
+        tm.write(&mut ctx, b, 1).unwrap();
+        assert!(tm.commit(&mut ctx).is_ok());
+    }
+
+    #[test]
+    fn changed_value_aborts_validation() {
+        let (sys, tm, mut ctx) = setup();
+        let a = sys.heap.alloc(1);
+        tm.begin(&mut ctx).unwrap();
+        assert_eq!(tm.read(&mut ctx, a).unwrap(), 0);
+        // Concurrent commit changes the value we read.
+        sys.heap.write_raw(a, 9);
+        sys.norec_seq.store(2, Ordering::Release);
+        let b = sys.heap.alloc(1);
+        assert_eq!(tm.read(&mut ctx, b), Err(Abort::CONFLICT));
+        tm.rollback(&mut ctx);
+    }
+
+    #[test]
+    fn commit_revalidates_on_sequence_movement() {
+        let (sys, tm, mut ctx) = setup();
+        let a = sys.heap.alloc(1);
+        let b = sys.heap.alloc(1);
+        tm.begin(&mut ctx).unwrap();
+        assert_eq!(tm.read(&mut ctx, a).unwrap(), 0);
+        tm.write(&mut ctx, b, 1).unwrap();
+        // Concurrent disjoint commit: sequence moves, our read still valid.
+        sys.norec_seq.store(2, Ordering::Release);
+        assert!(tm.commit(&mut ctx).is_ok());
+        assert_eq!(sys.norec_seq.load(Ordering::Relaxed), 4);
+        assert_eq!(sys.heap.read_raw(b), 1);
+    }
+
+    #[test]
+    fn commit_aborts_when_read_invalidated() {
+        let (sys, tm, mut ctx) = setup();
+        let a = sys.heap.alloc(1);
+        let b = sys.heap.alloc(1);
+        tm.begin(&mut ctx).unwrap();
+        assert_eq!(tm.read(&mut ctx, a).unwrap(), 0);
+        tm.write(&mut ctx, b, 1).unwrap();
+        sys.heap.write_raw(a, 7);
+        sys.norec_seq.store(2, Ordering::Release);
+        assert_eq!(tm.commit(&mut ctx), Err(Abort::CONFLICT));
+        tm.rollback(&mut ctx);
+        assert_eq!(sys.heap.read_raw(b), 0, "failed commit must not write back");
+    }
+}

@@ -1,0 +1,315 @@
+//! SwissTM: eager write/write and lazy read/write conflict detection
+//! (Dragojević, Guerraoui, Kapalka — PLDI 2009).
+//!
+//! SwissTM pairs every stripe with *two* ownership records:
+//!
+//! * a **write orec** (`TmSystem::orecs`), acquired eagerly at the first
+//!   write so doomed W-W conflicts are caught immediately;
+//! * a **read orec** (`TmSystem::read_vers`), carrying the commit version
+//!   consulted by invisible readers; it is locked only for the short
+//!   write-back window of a commit.
+//!
+//! Because writes are buffered, readers may freely read stripes whose write
+//! orec is held by a live writer — R-W conflicts are detected lazily at
+//! commit, which is what lets SwissTM excel on mixed workloads. The
+//! published two-phase greedy contention manager is simplified here to
+//! suicide-with-backoff; the performance impact of CM choices is modelled
+//! in the `tmsim` crate (see DESIGN.md).
+
+use crate::common::{holds_lock, release_locks_with, release_saved_locks};
+use std::sync::Arc;
+use txcore::{
+    Abort, Addr, BackendKind, OrecState, OrecTable, ThreadCtx, TmBackend, TmSystem, TxResult,
+};
+
+/// The SwissTM backend. See the module docs for the algorithm.
+#[derive(Debug)]
+pub struct SwissTm {
+    sys: Arc<TmSystem>,
+}
+
+impl SwissTm {
+    /// A SwissTM instance operating on `sys`.
+    pub fn new(sys: Arc<TmSystem>) -> Self {
+        SwissTm { sys }
+    }
+
+    fn wlocks(&self) -> &OrecTable {
+        &self.sys.orecs
+    }
+
+    fn rvers(&self) -> &OrecTable {
+        &self.sys.read_vers
+    }
+
+    /// Read-set validation against the read-orec table. `r_locks` carries
+    /// the pre-lock versions of read orecs we hold during commit write-back.
+    fn read_set_intact(&self, ctx: &ThreadCtx, r_locks: &[(u32, u64)]) -> bool {
+        let me = ctx.owner_tag();
+        for &(idx, observed) in ctx.read_set.orecs() {
+            match self.rvers().load(idx as usize) {
+                OrecState::Version(v) => {
+                    if v != observed {
+                        return false;
+                    }
+                }
+                OrecState::Locked(o) => {
+                    if o != me {
+                        return false;
+                    }
+                    let saved = r_locks
+                        .iter()
+                        .find(|&&(i, _)| i == idx)
+                        .map(|&(_, v)| v);
+                    if saved != Some(observed) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn try_extend(&self, ctx: &mut ThreadCtx) -> bool {
+        let now = self.sys.clock.now();
+        if self.read_set_intact(ctx, &[]) {
+            ctx.rv = now;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl TmBackend for SwissTm {
+    fn name(&self) -> &'static str {
+        "swisstm"
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::Stm
+    }
+
+    fn begin(&self, ctx: &mut ThreadCtx) -> TxResult<()> {
+        ctx.reset_logs();
+        ctx.rv = self.sys.clock.now();
+        Ok(())
+    }
+
+    fn read(&self, ctx: &mut ThreadCtx, addr: Addr) -> TxResult<u64> {
+        if let Some(v) = ctx.write_set.get(addr) {
+            return Ok(v);
+        }
+        // Reading a stripe whose write orec we hold: memory still has the
+        // last committed value (writes are buffered) and nobody else can
+        // commit it — stable without logging.
+        let w_idx = self.wlocks().index_for(addr);
+        if holds_lock(ctx, w_idx) {
+            return Ok(self.sys.heap.read_raw(addr));
+        }
+        let r_idx = self.rvers().index_for(addr);
+        let before = self.rvers().load(r_idx);
+        let OrecState::Version(v1) = before else {
+            // A committer is writing this stripe back right now.
+            return Err(Abort::CONFLICT);
+        };
+        let val = self.sys.heap.read_raw(addr);
+        if self.rvers().load(r_idx) != before {
+            return Err(Abort::CONFLICT);
+        }
+        if v1 > ctx.rv {
+            if !self.try_extend(ctx) {
+                return Err(Abort::CONFLICT);
+            }
+            if self.rvers().load(r_idx) != before || v1 > ctx.rv {
+                return Err(Abort::CONFLICT);
+            }
+        }
+        ctx.read_set.push_orec(r_idx, v1);
+        Ok(val)
+    }
+
+    fn write(&self, ctx: &mut ThreadCtx, addr: Addr, val: u64) -> TxResult<()> {
+        let idx = self.wlocks().index_for(addr);
+        if holds_lock(ctx, idx) {
+            ctx.write_set.insert(addr, val);
+            return Ok(());
+        }
+        match self.wlocks().try_lock(idx, ctx.owner_tag(), None) {
+            Ok(prev) => {
+                ctx.locks.push((idx as u32, prev));
+                ctx.write_set.insert(addr, val);
+                Ok(())
+            }
+            Err(_) => Err(Abort::CONFLICT),
+        }
+    }
+
+    fn commit(&self, ctx: &mut ThreadCtx) -> TxResult<()> {
+        if ctx.write_set.is_empty() {
+            ctx.reset_logs();
+            return Ok(());
+        }
+        let me = ctx.owner_tag();
+        // Lock the read orecs of the stripes we are about to write back, in
+        // canonical order (two committers always hold disjoint write orecs,
+        // but their write-back sets can collide on hashed read orecs).
+        let mut r_idxs: Vec<u32> = ctx
+            .write_set
+            .entries()
+            .iter()
+            .map(|&(a, _)| self.rvers().index_for(a) as u32)
+            .collect();
+        r_idxs.sort_unstable();
+        r_idxs.dedup();
+        let mut r_locks: Vec<(u32, u64)> = Vec::with_capacity(r_idxs.len());
+        for &idx in &r_idxs {
+            loop {
+                match self.rvers().try_lock(idx as usize, me, None) {
+                    Ok(prev) => {
+                        r_locks.push((idx, prev));
+                        break;
+                    }
+                    // Held briefly by another committer's write-back; the
+                    // canonical acquisition order makes waiting safe.
+                    Err(_) => std::thread::yield_now(),
+                }
+            }
+        }
+        let wv = self.sys.clock.tick();
+        if wv != ctx.rv + 1 && !self.read_set_intact(ctx, &r_locks) {
+            for &(idx, prev) in &r_locks {
+                self.rvers().unlock(idx as usize, prev);
+            }
+            release_saved_locks(ctx, self.wlocks());
+            return Err(Abort::CONFLICT);
+        }
+        for &(a, v) in ctx.write_set.entries() {
+            self.sys.heap.write_raw(a, v);
+        }
+        for &(idx, _) in &r_locks {
+            self.rvers().unlock(idx as usize, wv);
+        }
+        release_locks_with(ctx, self.wlocks(), wv);
+        ctx.reset_logs();
+        Ok(())
+    }
+
+    fn rollback(&self, ctx: &mut ThreadCtx) {
+        release_saved_locks(ctx, self.wlocks());
+        ctx.reset_logs();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txcore::{run_tx, OwnerTag};
+
+    fn setup() -> (Arc<TmSystem>, SwissTm, ThreadCtx) {
+        let sys = Arc::new(TmSystem::new(4096));
+        let tm = SwissTm::new(Arc::clone(&sys));
+        (sys, tm, ThreadCtx::new(0))
+    }
+
+    #[test]
+    fn basic_read_write_commit() {
+        let (sys, tm, mut ctx) = setup();
+        let a = sys.heap.alloc(1);
+        run_tx(&tm, &mut ctx, |tx| {
+            let v = tx.read(a)?;
+            tx.write(a, v + 41)
+        });
+        assert_eq!(sys.heap.read_raw(a), 41);
+    }
+
+    #[test]
+    fn reader_ignores_live_writers_write_lock() {
+        let (sys, tm, mut ctx) = setup();
+        let a = sys.heap.alloc(1);
+        sys.heap.write_raw(a, 5);
+        // Another transaction holds the *write* orec (it buffers its write),
+        // which must not block a reader.
+        let w_idx = sys.orecs.index_for(a);
+        sys.orecs.try_lock(w_idx, OwnerTag(9), None).unwrap();
+        tm.begin(&mut ctx).unwrap();
+        assert_eq!(tm.read(&mut ctx, a).unwrap(), 5);
+        assert!(tm.commit(&mut ctx).is_ok());
+        sys.orecs.unlock(w_idx, 0);
+    }
+
+    #[test]
+    fn reader_aborts_during_write_back() {
+        let (sys, tm, mut ctx) = setup();
+        let a = sys.heap.alloc(1);
+        // A committer holds the *read* orec (write-back window).
+        let r_idx = sys.read_vers.index_for(a);
+        sys.read_vers.try_lock(r_idx, OwnerTag(9), None).unwrap();
+        tm.begin(&mut ctx).unwrap();
+        assert_eq!(tm.read(&mut ctx, a), Err(Abort::CONFLICT));
+        tm.rollback(&mut ctx);
+        sys.read_vers.unlock(r_idx, 0);
+    }
+
+    #[test]
+    fn eager_ww_conflict_aborts_second_writer() {
+        let (sys, tm, mut ctx) = setup();
+        let a = sys.heap.alloc(1);
+        let w_idx = sys.orecs.index_for(a);
+        sys.orecs.try_lock(w_idx, OwnerTag(9), None).unwrap();
+        tm.begin(&mut ctx).unwrap();
+        assert_eq!(tm.write(&mut ctx, a, 1), Err(Abort::CONFLICT));
+        tm.rollback(&mut ctx);
+        sys.orecs.unlock(w_idx, 0);
+    }
+
+    #[test]
+    fn commit_validates_against_read_orecs() {
+        let (sys, tm, mut ctx) = setup();
+        let a = sys.heap.alloc(1);
+        sys.heap.alloc(64);
+        let b = sys.heap.alloc(1);
+        tm.begin(&mut ctx).unwrap();
+        assert_eq!(tm.read(&mut ctx, a).unwrap(), 0);
+        tm.write(&mut ctx, b, 1).unwrap();
+        // Concurrent commit invalidates our read of a (bump the read orec).
+        let wv = sys.clock.tick();
+        sys.heap.write_raw(a, 9);
+        sys.read_vers.store_version(sys.read_vers.index_for(a), wv);
+        assert_eq!(tm.commit(&mut ctx), Err(Abort::CONFLICT));
+        tm.rollback(&mut ctx);
+        assert_eq!(sys.heap.read_raw(b), 0);
+    }
+
+    #[test]
+    fn commit_stamps_both_orec_tables() {
+        let (sys, tm, mut ctx) = setup();
+        let a = sys.heap.alloc(1);
+        run_tx(&tm, &mut ctx, |tx| tx.write(a, 2));
+        let w = sys.orecs.load(sys.orecs.index_for(a));
+        let r = sys.read_vers.load(sys.read_vers.index_for(a));
+        match (w, r) {
+            (OrecState::Version(wv), OrecState::Version(rv)) => {
+                assert!(wv > 0);
+                assert_eq!(wv, rv);
+            }
+            other => panic!("expected committed versions, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_extension_on_fresh_read_orec() {
+        let (sys, tm, mut ctx) = setup();
+        let a = sys.heap.alloc(1);
+        sys.heap.alloc(64);
+        let b = sys.heap.alloc(1);
+        tm.begin(&mut ctx).unwrap();
+        assert_eq!(tm.read(&mut ctx, a).unwrap(), 0);
+        let wv = sys.clock.tick();
+        sys.heap.write_raw(b, 3);
+        sys.read_vers.store_version(sys.read_vers.index_for(b), wv);
+        assert_eq!(tm.read(&mut ctx, b).unwrap(), 3);
+        assert_eq!(ctx.rv, wv);
+        assert!(tm.commit(&mut ctx).is_ok());
+    }
+}

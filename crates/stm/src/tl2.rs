@@ -1,0 +1,244 @@
+//! TL2: Transactional Locking II (Dice, Shalev, Shavit — DISC 2006).
+//!
+//! Commit-time locking with write-back and a global version clock:
+//!
+//! * `begin` samples the clock into the read version `rv`;
+//! * every read post-validates its stripe's orec (unlocked, version ≤ `rv`,
+//!   unchanged across the value load) — giving opacity without logs of
+//!   values;
+//! * writes are buffered;
+//! * `commit` locks the write-set stripes (in a canonical order), increments
+//!   the clock to obtain `wv`, validates the read set against `rv`, writes
+//!   back, and releases the locks stamped with `wv`.
+
+use crate::common::{release_locks_with, release_saved_locks, saved_version};
+use std::sync::Arc;
+use txcore::{
+    Abort, Addr, BackendKind, OrecTable, ThreadCtx, TmBackend, TmSystem, TxResult,
+};
+
+/// The TL2 backend. See the module docs for the algorithm.
+#[derive(Debug)]
+pub struct Tl2 {
+    sys: Arc<TmSystem>,
+}
+
+impl Tl2 {
+    /// A TL2 instance operating on `sys`.
+    pub fn new(sys: Arc<TmSystem>) -> Self {
+        Tl2 { sys }
+    }
+
+    fn orecs(&self) -> &OrecTable {
+        &self.sys.orecs
+    }
+
+    /// Read-set validation at commit: every stripe read must still be
+    /// unlocked at a version ≤ `rv`, or locked by us at a saved version ≤
+    /// `rv` (it may be in our write set).
+    fn validate_read_set(&self, ctx: &ThreadCtx) -> bool {
+        let me = ctx.owner_tag();
+        for &(idx, _) in ctx.read_set.orecs() {
+            let idx = idx as usize;
+            match self.orecs().load(idx) {
+                txcore::OrecState::Version(v) => {
+                    if v > ctx.rv {
+                        return false;
+                    }
+                }
+                txcore::OrecState::Locked(o) => {
+                    if o != me {
+                        return false;
+                    }
+                    match saved_version(ctx, idx) {
+                        Some(prev) if prev <= ctx.rv => {}
+                        _ => return false,
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl TmBackend for Tl2 {
+    fn name(&self) -> &'static str {
+        "tl2"
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::Stm
+    }
+
+    fn begin(&self, ctx: &mut ThreadCtx) -> TxResult<()> {
+        ctx.reset_logs();
+        ctx.rv = self.sys.clock.now();
+        Ok(())
+    }
+
+    fn read(&self, ctx: &mut ThreadCtx, addr: Addr) -> TxResult<u64> {
+        if let Some(v) = ctx.write_set.get(addr) {
+            return Ok(v);
+        }
+        let idx = self.orecs().index_for(addr);
+        let before = self.orecs().load(idx);
+        let txcore::OrecState::Version(v1) = before else {
+            return Err(Abort::CONFLICT);
+        };
+        let val = self.sys.heap.read_raw(addr);
+        let after = self.orecs().load(idx);
+        if after != before || v1 > ctx.rv {
+            return Err(Abort::CONFLICT);
+        }
+        ctx.read_set.push_orec(idx, v1);
+        Ok(val)
+    }
+
+    fn write(&self, ctx: &mut ThreadCtx, addr: Addr, val: u64) -> TxResult<()> {
+        ctx.write_set.insert(addr, val);
+        Ok(())
+    }
+
+    fn commit(&self, ctx: &mut ThreadCtx) -> TxResult<()> {
+        if ctx.write_set.is_empty() {
+            // Read-only: every read was validated against rv when performed.
+            ctx.reset_logs();
+            return Ok(());
+        }
+        // Lock the write-set stripes in canonical (sorted) order so that
+        // concurrent committers cannot deadlock.
+        let mut stripes: Vec<u32> = ctx
+            .write_set
+            .entries()
+            .iter()
+            .map(|&(a, _)| self.orecs().index_for(a) as u32)
+            .collect();
+        stripes.sort_unstable();
+        stripes.dedup();
+        let me = ctx.owner_tag();
+        for &idx in &stripes {
+            match self.orecs().try_lock(idx as usize, me, None) {
+                Ok(prev) => ctx.locks.push((idx, prev)),
+                Err(_) => {
+                    release_saved_locks(ctx, self.orecs());
+                    return Err(Abort::CONFLICT);
+                }
+            }
+        }
+        let wv = self.sys.clock.tick();
+        // TL2 fast path: if wv == rv + 1 nobody committed since we started,
+        // so the read set cannot have been invalidated.
+        if wv != ctx.rv + 1 && !self.validate_read_set(ctx) {
+            release_saved_locks(ctx, self.orecs());
+            return Err(Abort::CONFLICT);
+        }
+        for &(a, v) in ctx.write_set.entries() {
+            self.sys.heap.write_raw(a, v);
+        }
+        release_locks_with(ctx, self.orecs(), wv);
+        ctx.reset_logs();
+        Ok(())
+    }
+
+    fn rollback(&self, ctx: &mut ThreadCtx) {
+        release_saved_locks(ctx, self.orecs());
+        ctx.reset_logs();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txcore::run_tx;
+
+    fn setup() -> (Arc<TmSystem>, Tl2, ThreadCtx) {
+        let sys = Arc::new(TmSystem::new(1024));
+        let tm = Tl2::new(Arc::clone(&sys));
+        (sys, tm, ThreadCtx::new(0))
+    }
+
+    #[test]
+    fn read_write_commit() {
+        let (sys, tm, mut ctx) = setup();
+        let a = sys.heap.alloc(2);
+        run_tx(&tm, &mut ctx, |tx| {
+            tx.write(a, 7)?;
+            tx.write(a.field(1), 8)
+        });
+        assert_eq!(sys.heap.read_raw(a), 7);
+        assert_eq!(sys.heap.read_raw(a.field(1)), 8);
+    }
+
+    #[test]
+    fn read_after_write_sees_buffered_value() {
+        let (sys, tm, mut ctx) = setup();
+        let a = sys.heap.alloc(1);
+        sys.heap.write_raw(a, 1);
+        let seen = run_tx(&tm, &mut ctx, |tx| {
+            tx.write(a, 42)?;
+            tx.read(a)
+        });
+        assert_eq!(seen, 42);
+    }
+
+    #[test]
+    fn aborted_attempt_leaves_no_effects() {
+        let (sys, tm, mut ctx) = setup();
+        let a = sys.heap.alloc(1);
+        run_tx(&tm, &mut ctx, |tx| {
+            tx.write(a, 99)?;
+            if tx.attempt() == 0 {
+                return tx.retry();
+            }
+            Ok(())
+        });
+        // First attempt wrote 99 but aborted; only the retried attempt's
+        // write must be visible — which is also 99; instead check the clock
+        // bumped once (one commit), and the stats recorded one abort.
+        assert_eq!(sys.heap.read_raw(a), 99);
+        assert_eq!(ctx.stats.snapshot().total_aborts(), 1);
+        assert_eq!(ctx.stats.snapshot().commits, 1);
+    }
+
+    #[test]
+    fn stale_read_conflicts_with_concurrent_commit() {
+        let (sys, tm, mut ctx) = setup();
+        let a = sys.heap.alloc(1);
+        // Another "thread" commits between our begin and our read by
+        // manipulating the orec/clock directly.
+        let idx = sys.orecs.index_for(a);
+        tm.begin(&mut ctx).unwrap();
+        let wv = sys.clock.tick();
+        sys.heap.write_raw(a, 5);
+        sys.orecs.store_version(idx, wv);
+        assert_eq!(tm.read(&mut ctx, a), Err(Abort::CONFLICT));
+        tm.rollback(&mut ctx);
+    }
+
+    #[test]
+    fn locked_stripe_aborts_reader() {
+        let (sys, tm, mut ctx) = setup();
+        let a = sys.heap.alloc(1);
+        let idx = sys.orecs.index_for(a);
+        sys.orecs.try_lock(idx, txcore::OwnerTag(99), None).unwrap();
+        tm.begin(&mut ctx).unwrap();
+        assert_eq!(tm.read(&mut ctx, a), Err(Abort::CONFLICT));
+        tm.rollback(&mut ctx);
+        sys.orecs.unlock(idx, 0);
+    }
+
+    #[test]
+    fn write_set_stripe_locked_by_other_aborts_commit() {
+        let (sys, tm, mut ctx) = setup();
+        let a = sys.heap.alloc(1);
+        let idx = sys.orecs.index_for(a);
+        tm.begin(&mut ctx).unwrap();
+        tm.write(&mut ctx, a, 1).unwrap();
+        sys.orecs.try_lock(idx, txcore::OwnerTag(99), None).unwrap();
+        assert_eq!(tm.commit(&mut ctx), Err(Abort::CONFLICT));
+        tm.rollback(&mut ctx);
+        sys.orecs.unlock(idx, 0);
+        // Heap untouched by the failed commit.
+        assert_eq!(sys.heap.read_raw(a), 0);
+    }
+}

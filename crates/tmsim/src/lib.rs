@@ -1,0 +1,39 @@
+//! An analytical TM performance simulator.
+//!
+//! The ProteusTM evaluation (§6.3) is *trace-driven*: the authors profiled
+//! over 300 workloads on two physical machines and replayed the resulting
+//! KPI tables through the learning pipeline. We do not have their machines
+//! or traces, so this crate plays the role of the trace archive (DESIGN.md
+//! §2): an analytical model of TM performance that produces, for any
+//! (workload, configuration) pair, KPI values with the structure that makes
+//! the tuning problem interesting —
+//!
+//! * per-backend instrumentation costs (NOrec cheap, SwissTM heavy, HTM
+//!   nearly free),
+//! * contention-driven aborts growing with the thread count, with
+//!   per-backend sensitivity,
+//! * NOrec's serialized commits capping writer-heavy scalability,
+//! * HTM capacity aborts, retry budgets, capacity policies and the
+//!   serialized global-lock fallback,
+//! * Amdahl-style scalability limits, SMT efficiency and cross-socket
+//!   coherence penalties (Machine B's four sockets),
+//! * an energy model yielding EDP as a genuinely different optimum.
+//!
+//! The [`corpus`] module generates named workload families patterned after
+//! the paper's 15 applications (STAMP, data structures, STMBench7, TPC-C,
+//! Memcached), and [`PerfModel`] turns them into ground-truth KPI matrices
+//! over a [`polytm::ConfigSpace`].
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corpus;
+mod dynamic;
+mod machine;
+mod model;
+mod workload;
+
+pub use corpus::{corpus, corpus_with_families, Workload};
+pub use dynamic::{Interference, PhasedApp};
+pub use machine::MachineModel;
+pub use model::PerfModel;
+pub use workload::{WorkloadFamily, WorkloadSpec};

@@ -1,0 +1,135 @@
+//! Machine models (Table 2 of the paper).
+
+use polytm::{ConfigSpace, EnergyModel};
+
+/// A simulated machine: the hardware parameters the performance model needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineModel {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Physical cores.
+    pub cores: usize,
+    /// Hardware threads (≥ cores when SMT is present).
+    pub hw_threads: usize,
+    /// CPU sockets (NUMA domains).
+    pub sockets: usize,
+    /// Whether hardware TM is available.
+    pub has_htm: bool,
+    /// Relative throughput contribution of an SMT sibling (0..1).
+    pub smt_efficiency: f64,
+    /// Multiplicative slowdown of coherence traffic per extra socket used.
+    pub cross_socket_penalty: f64,
+    /// Single-thread baseline speed multiplier (GHz-proportional).
+    pub speed: f64,
+    /// Power model for the EDP KPI.
+    pub energy: EnergyModel,
+}
+
+impl MachineModel {
+    /// Machine A: one Intel Haswell Xeon E3-1275 (4 cores / 8 HT), with
+    /// TSX-like HTM and RAPL-like energy accounting.
+    pub fn machine_a() -> Self {
+        MachineModel {
+            name: "machine-a",
+            cores: 4,
+            hw_threads: 8,
+            sockets: 1,
+            has_htm: true,
+            smt_efficiency: 0.35,
+            cross_socket_penalty: 0.0,
+            speed: 1.0,
+            energy: EnergyModel::HASWELL_LIKE,
+        }
+    }
+
+    /// Machine B: four AMD Opteron 6172 (48 cores total, 4 sockets), no HTM
+    /// and no RAPL.
+    pub fn machine_b() -> Self {
+        MachineModel {
+            name: "machine-b",
+            cores: 48,
+            hw_threads: 48,
+            sockets: 4,
+            has_htm: false,
+            smt_efficiency: 1.0,
+            cross_socket_penalty: 0.35,
+            speed: 0.6, // 2.1 GHz vs 3.5 GHz
+            energy: EnergyModel::OPTERON_LIKE,
+        }
+    }
+
+    /// The Table 3 configuration space of this machine.
+    pub fn config_space(&self) -> ConfigSpace {
+        if self.has_htm {
+            ConfigSpace::machine_a()
+        } else {
+            ConfigSpace::machine_b()
+        }
+    }
+
+    /// Cores per socket.
+    pub fn cores_per_socket(&self) -> usize {
+        (self.cores / self.sockets).max(1)
+    }
+
+    /// Effective parallel capacity of `n` runnable threads: full cores
+    /// first, then SMT siblings at reduced efficiency, never exceeding the
+    /// hardware thread count.
+    pub fn effective_parallelism(&self, n: usize) -> f64 {
+        let n = n.min(self.hw_threads.max(1));
+        if n <= self.cores {
+            n as f64
+        } else {
+            self.cores as f64 + (n - self.cores) as f64 * self.smt_efficiency
+        }
+    }
+
+    /// Coherence slowdown factor (≥ 1) when `n` threads span sockets.
+    pub fn socket_factor(&self, n: usize) -> f64 {
+        let used = n.div_ceil(self.cores_per_socket()).clamp(1, self.sockets);
+        1.0 + self.cross_socket_penalty * (used - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_profiles_match_table_2() {
+        let a = MachineModel::machine_a();
+        assert_eq!(a.hw_threads, 8);
+        assert!(a.has_htm);
+        assert_eq!(a.config_space().len(), 130);
+        let b = MachineModel::machine_b();
+        assert_eq!(b.cores, 48);
+        assert_eq!(b.sockets, 4);
+        assert!(!b.has_htm);
+        assert_eq!(b.config_space().len(), 32);
+    }
+
+    #[test]
+    fn smt_threads_add_less_than_cores() {
+        let a = MachineModel::machine_a();
+        let four = a.effective_parallelism(4);
+        let eight = a.effective_parallelism(8);
+        assert_eq!(four, 4.0);
+        assert!(eight > four && eight < 8.0);
+    }
+
+    #[test]
+    fn socket_factor_grows_with_span() {
+        let b = MachineModel::machine_b();
+        assert_eq!(b.socket_factor(8), 1.0, "one socket");
+        assert!(b.socket_factor(16) > 1.0);
+        assert!(b.socket_factor(48) > b.socket_factor(16));
+        let a = MachineModel::machine_a();
+        assert_eq!(a.socket_factor(8), 1.0);
+    }
+
+    #[test]
+    fn effective_parallelism_saturates_at_hw_threads() {
+        let a = MachineModel::machine_a();
+        assert_eq!(a.effective_parallelism(64), a.effective_parallelism(8));
+    }
+}

@@ -1,0 +1,475 @@
+//! The analytical performance model: (workload, configuration) → KPI.
+
+use crate::machine::MachineModel;
+use crate::workload::WorkloadSpec;
+use htm::CapacityPolicy;
+use polytm::{BackendId, Kpi, TmConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-backend cost coefficients (nanoseconds per operation and dimensionless
+/// sensitivities). Derived from the qualitative characterizations in the TM
+/// literature: NOrec's instrumentation is the cheapest but its commits
+/// serialize; SwissTM's bookkeeping is the heaviest but it tolerates
+/// contention best; HTM is nearly free until capacity bites.
+#[derive(Debug, Clone, Copy)]
+struct BackendCoefs {
+    read_ns: f64,
+    write_ns: f64,
+    tx_ns: f64,
+    /// Scaling of the conflict-abort probability.
+    contention_sens: f64,
+    /// Fraction of a transaction wasted by one abort (eager detection
+    /// aborts earlier and wastes less).
+    abort_cost: f64,
+    /// Exponent on the cross-socket coherence factor (global-metadata
+    /// designs ping-pong cache lines across sockets).
+    socket_sens: f64,
+    /// Commits serialize on one global lock (NOrec family).
+    serial_commits: bool,
+}
+
+fn coefs(backend: BackendId) -> BackendCoefs {
+    match backend {
+        BackendId::Tl2 => BackendCoefs {
+            read_ns: 8.0,
+            write_ns: 6.0,
+            tx_ns: 60.0,
+            contention_sens: 1.0,
+            abort_cost: 0.7,
+            socket_sens: 1.0,
+            serial_commits: false,
+        },
+        BackendId::TinyStm => BackendCoefs {
+            read_ns: 7.0,
+            write_ns: 10.0,
+            tx_ns: 50.0,
+            contention_sens: 1.15,
+            abort_cost: 0.45,
+            socket_sens: 1.0,
+            serial_commits: false,
+        },
+        BackendId::NOrec => BackendCoefs {
+            read_ns: 3.0,
+            write_ns: 3.0,
+            tx_ns: 25.0,
+            contention_sens: 1.25,
+            abort_cost: 0.8,
+            socket_sens: 2.2,
+            serial_commits: true,
+        },
+        BackendId::SwissTm => BackendCoefs {
+            read_ns: 9.0,
+            write_ns: 12.0,
+            tx_ns: 85.0,
+            contention_sens: 0.55,
+            abort_cost: 0.5,
+            socket_sens: 1.1,
+            serial_commits: false,
+        },
+        BackendId::Htm => BackendCoefs {
+            read_ns: 0.4,
+            write_ns: 0.4,
+            tx_ns: 35.0,
+            contention_sens: 0.9,
+            abort_cost: 0.5,
+            socket_sens: 1.0,
+            serial_commits: false,
+        },
+        BackendId::HybridNOrec => BackendCoefs {
+            read_ns: 0.5,
+            write_ns: 0.5,
+            tx_ns: 45.0,
+            contention_sens: 1.1,
+            abort_cost: 0.6,
+            socket_sens: 2.0,
+            serial_commits: true,
+        },
+        BackendId::HybridTl2 => BackendCoefs {
+            read_ns: 0.6,
+            write_ns: 0.6,
+            tx_ns: 50.0,
+            contention_sens: 1.05,
+            abort_cost: 0.7,
+            socket_sens: 1.1,
+            serial_commits: false,
+        },
+    }
+}
+
+/// The deterministic analytical model over one machine.
+#[derive(Debug, Clone)]
+pub struct PerfModel {
+    machine: MachineModel,
+}
+
+impl PerfModel {
+    /// A model of the given machine.
+    pub fn new(machine: MachineModel) -> Self {
+        PerfModel { machine }
+    }
+
+    /// The modelled machine.
+    pub fn machine(&self) -> &MachineModel {
+        &self.machine
+    }
+
+    /// Conflict-abort probability per attempt.
+    fn conflict_prob(&self, spec: &WorkloadSpec, backend: BackendId, n: usize) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        let c = coefs(backend);
+        let raw = c.contention_sens
+            * spec.contention
+            * spec.update_frac.sqrt()
+            * ((n - 1) as f64).powf(0.75)
+            * 0.12;
+        raw.min(0.85)
+    }
+
+    /// Deterministic throughput (committed tx/s) of `spec` under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) when a hardware configuration targets a machine
+    /// without HTM — such configurations are not in the machine's space.
+    pub fn throughput(&self, spec: &WorkloadSpec, config: &TmConfig) -> f64 {
+        debug_assert!(
+            !config.backend.is_hardware() || self.machine.has_htm,
+            "hardware config on an HTM-less machine"
+        );
+        let n = config.threads.clamp(1, self.machine.hw_threads);
+        let c = coefs(config.backend);
+        let u = spec.update_frac;
+        let t_base = spec.base_tx_us * 1e-6 / self.machine.speed;
+        let instr_ns = spec.reads * c.read_ns + u * spec.writes * c.write_ns + c.tx_ns;
+        let t_instr = t_base + instr_ns * 1e-9 / self.machine.speed;
+
+        // Parallelism: SMT-aware effective cores, Amdahl limit, coherence.
+        let eff = self.machine.effective_parallelism(n);
+        let s = spec.scalability;
+        let parallel = 1.0 / ((1.0 - s) + s / eff);
+        let socket = self.machine.socket_factor(n).powf(c.socket_sens);
+
+        let p = self.conflict_prob(spec, config.backend, n);
+        let retry_cost = 1.0 + c.abort_cost * p / (1.0 - p);
+
+        let mut x = if let Some(setting) = config.htm {
+            // Best-effort speculative path with budgeted fallback.
+            let b_att = match setting.policy {
+                CapacityPolicy::GiveUp => 1.0,
+                CapacityPolicy::Decrease => setting.budget.max(1) as f64,
+                CapacityPolicy::Halve => (setting.budget.max(1) as f64).log2().floor() + 1.0,
+            };
+            let q = (spec.htm_fit * (1.0 - p)).clamp(1e-6, 1.0);
+            let p_fail = 1.0 - q;
+            let p_fallback = p_fail.powf(b_att);
+            let e_failed = p_fail * (1.0 - p_fail.powf(b_att)) / q;
+            let wasted = e_failed * 0.5 * t_instr;
+            let spec_path = (t_instr + wasted) * socket / parallel;
+            // The fallback differs per backend: HTM serializes the whole
+            // machine behind a global lock; Hybrid NOrec keeps running
+            // software transactions in parallel (at NOrec-ish cost).
+            let fb_path = match config.backend {
+                BackendId::HybridNOrec => {
+                    let nc = coefs(BackendId::NOrec);
+                    let sw_ns =
+                        spec.reads * nc.read_ns + u * spec.writes * nc.write_ns + nc.tx_ns;
+                    let t_sw = t_base + sw_ns * 1e-9 / self.machine.speed;
+                    (t_sw * retry_cost + b_att * 0.5 * t_instr) * socket / parallel
+                }
+                BackendId::HybridTl2 => {
+                    let tc = coefs(BackendId::Tl2);
+                    let sw_ns =
+                        spec.reads * tc.read_ns + u * spec.writes * tc.write_ns + tc.tx_ns;
+                    let t_sw = t_base + sw_ns * 1e-9 / self.machine.speed;
+                    (t_sw * retry_cost + b_att * 0.5 * t_instr) * socket / parallel
+                }
+                _ => t_base * 1.05 + b_att * 0.5 * t_instr,
+            };
+            1.0 / ((1.0 - p_fallback) * spec_path + p_fallback * fb_path)
+        } else {
+            parallel / (t_instr * retry_cost * socket)
+        };
+
+        // Global-sequence-lock designs cap the aggregate writer-commit rate.
+        if c.serial_commits && u > 0.0 {
+            let t_commit = 150e-9 + u * spec.writes * 3e-9;
+            let cap = 1.0 / (t_commit * u);
+            x = x.min(cap);
+        }
+        // A hybrid pays coordination between its two paths on top.
+        if matches!(
+            config.backend,
+            BackendId::HybridNOrec | BackendId::HybridTl2
+        ) {
+            x *= 0.85;
+        }
+        x.max(1e-3)
+    }
+
+    /// Deterministic KPI value (direction depends on the KPI).
+    pub fn kpi(&self, spec: &WorkloadSpec, config: &TmConfig, kpi: Kpi) -> f64 {
+        let x = self.throughput(spec, config);
+        match kpi {
+            Kpi::Throughput => x,
+            Kpi::ExecTime => spec.work_txs / x,
+            Kpi::Edp => {
+                let t = spec.work_txs / x;
+                let e = self.machine.energy.power_watts(config.threads) * t;
+                e * t
+            }
+        }
+    }
+
+    /// KPI with reproducible multiplicative log-normal measurement noise.
+    /// `sample` distinguishes repeated measurements of the same cell.
+    pub fn noisy_kpi(
+        &self,
+        workload_id: u64,
+        spec: &WorkloadSpec,
+        config: &TmConfig,
+        config_idx: usize,
+        kpi: Kpi,
+        sample: u64,
+    ) -> f64 {
+        let clean = self.kpi(spec, config, kpi);
+        if spec.noise <= 0.0 {
+            return clean;
+        }
+        let seed = workload_id
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(config_idx as u64)
+            .wrapping_mul(0xD1B54A32D192ED03)
+            .wrapping_add(sample);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Box–Muller.
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        clean * (spec.noise * z).exp()
+    }
+
+    /// Ground-truth KPI matrix: one row per workload spec, one column per
+    /// configuration of the machine's space.
+    pub fn ground_truth(&self, specs: &[WorkloadSpec], kpi: Kpi) -> Vec<Vec<f64>> {
+        let space = self.machine.config_space();
+        specs
+            .iter()
+            .map(|w| {
+                space
+                    .configs()
+                    .iter()
+                    .map(|c| self.kpi(w, c, kpi))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadFamily;
+    use polytm::HtmSetting;
+
+    fn model_a() -> PerfModel {
+        PerfModel::new(MachineModel::machine_a())
+    }
+
+    fn model_b() -> PerfModel {
+        PerfModel::new(MachineModel::machine_b())
+    }
+
+    fn best_config(model: &PerfModel, spec: &WorkloadSpec, kpi: Kpi) -> TmConfig {
+        let space = model.machine().config_space();
+        let maximize = kpi.higher_is_better();
+        *space
+            .configs()
+            .iter()
+            .max_by(|a, b| {
+                let (ka, kb) = (model.kpi(spec, a, kpi), model.kpi(spec, b, kpi));
+                if maximize { ka.total_cmp(&kb) } else { kb.total_cmp(&ka) }
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn scalable_workloads_want_more_threads() {
+        let m = model_b();
+        let spec = WorkloadFamily::Ssca2.base_spec();
+        let x1 = m.throughput(&spec, &TmConfig::stm(BackendId::TinyStm, 1));
+        let x8 = m.throughput(&spec, &TmConfig::stm(BackendId::TinyStm, 8));
+        assert!(x8 > 3.0 * x1, "ssca2 must scale: {x1} -> {x8}");
+    }
+
+    #[test]
+    fn serial_workloads_suffer_at_high_thread_counts() {
+        let m = model_b();
+        let spec = WorkloadFamily::LinkedList.base_spec();
+        let x4 = m.throughput(&spec, &TmConfig::stm(BackendId::SwissTm, 4));
+        let x48 = m.throughput(&spec, &TmConfig::stm(BackendId::SwissTm, 48));
+        assert!(x48 < x4, "linked list must thrash at 48 threads");
+    }
+
+    #[test]
+    fn htm_wins_small_footprints_and_loses_capacity_hostile_ones() {
+        let m = model_a();
+        let mem = WorkloadFamily::Memcached.base_spec();
+        let lab = WorkloadFamily::Labyrinth.base_spec();
+        let htm8 = TmConfig::htm(BackendId::Htm, 8, HtmSetting::DEFAULT);
+        let tiny8 = TmConfig::stm(BackendId::TinyStm, 8);
+        assert!(
+            m.throughput(&mem, &htm8) > m.throughput(&mem, &tiny8),
+            "HTM should win memcached"
+        );
+        assert!(
+            m.throughput(&lab, &htm8) < m.throughput(&lab, &tiny8),
+            "HTM must lose labyrinth"
+        );
+    }
+
+    #[test]
+    fn capacity_policies_order_matches_fit_probability() {
+        let m = model_a();
+        // Deterministically over-capacity: retrying is pure waste, so the
+        // budget should be dropped immediately.
+        let lab = WorkloadFamily::Labyrinth.base_spec();
+        let mk = |policy, budget| {
+            TmConfig::htm(BackendId::Htm, 4, HtmSetting { budget, policy })
+        };
+        let giveup = m.throughput(&lab, &mk(CapacityPolicy::GiveUp, 16));
+        let halve = m.throughput(&lab, &mk(CapacityPolicy::Halve, 16));
+        let lin = m.throughput(&lab, &mk(CapacityPolicy::Decrease, 16));
+        assert!(giveup > halve && halve > lin, "{giveup} {halve} {lin}");
+        // Transiently-fitting workload: retrying pays off.
+        let mut vac = WorkloadFamily::Vacation.base_spec();
+        vac.htm_fit = 0.5;
+        let giveup = m.throughput(&vac, &mk(CapacityPolicy::GiveUp, 16));
+        let lin = m.throughput(&vac, &mk(CapacityPolicy::Decrease, 16));
+        assert!(lin > giveup, "retries must pay off for transient fits");
+    }
+
+    #[test]
+    fn norec_cheap_at_low_threads_capped_at_high() {
+        let b = model_b();
+        let mem = WorkloadFamily::Memcached.base_spec();
+        // At one thread, NOrec's minimal instrumentation wins over SwissTM.
+        let n1 = b.throughput(&mem, &TmConfig::stm(BackendId::NOrec, 1));
+        let s1 = b.throughput(&mem, &TmConfig::stm(BackendId::SwissTm, 1));
+        assert!(n1 > s1);
+        // At 48 threads across 4 sockets, NOrec's global lock hurts.
+        let mut upd = mem;
+        upd.update_frac = 0.9;
+        let n48 = b.throughput(&upd, &TmConfig::stm(BackendId::NOrec, 48));
+        let s48 = b.throughput(&upd, &TmConfig::stm(BackendId::SwissTm, 48));
+        assert!(s48 > n48, "SwissTM should win the multi-socket writer mix");
+    }
+
+    #[test]
+    fn swisstm_tolerates_contention_best() {
+        let b = model_b();
+        let mut hot = WorkloadFamily::TpcC.base_spec();
+        hot.contention = 0.8;
+        let swiss = b.throughput(&hot, &TmConfig::stm(BackendId::SwissTm, 16));
+        let tl2 = b.throughput(&hot, &TmConfig::stm(BackendId::Tl2, 16));
+        assert!(swiss > tl2);
+    }
+
+    #[test]
+    fn hybrid_never_beats_both_pure_paths() {
+        // Matching the paper's observation that HybridTMs never outperformed
+        // the better of STM/HTM in their tests.
+        let m = model_a();
+        for fam in WorkloadFamily::ALL {
+            let spec = fam.base_spec();
+            let hybrid = m.throughput(
+                &spec,
+                &TmConfig::htm(BackendId::HybridNOrec, 8, HtmSetting::DEFAULT),
+            );
+            let htm = m.throughput(&spec, &TmConfig::htm(BackendId::Htm, 8, HtmSetting::DEFAULT));
+            let norec = m.throughput(&spec, &TmConfig::stm(BackendId::NOrec, 8));
+            assert!(
+                hybrid <= htm.max(norec) * 1.001,
+                "{fam}: hybrid {hybrid} vs htm {htm} / norec {norec}"
+            );
+            let hybrid_tl2 = m.throughput(
+                &spec,
+                &TmConfig::htm(BackendId::HybridTl2, 8, HtmSetting::DEFAULT),
+            );
+            let tl2 = m.throughput(&spec, &TmConfig::stm(BackendId::Tl2, 8));
+            assert!(
+                hybrid_tl2 <= htm.max(tl2) * 1.001,
+                "{fam}: hybrid-tl2 {hybrid_tl2} vs htm {htm} / tl2 {tl2}"
+            );
+        }
+    }
+
+    #[test]
+    fn edp_optimum_differs_from_throughput_optimum_somewhere() {
+        let m = model_a();
+        let differs = WorkloadFamily::ALL.iter().any(|f| {
+            let s = f.base_spec();
+            best_config(&m, &s, Kpi::Throughput) != best_config(&m, &s, Kpi::Edp)
+        });
+        assert!(differs, "EDP must sometimes favour fewer threads");
+    }
+
+    #[test]
+    fn optimal_configs_are_heterogeneous_across_families() {
+        // The core premise of the paper (Fig. 1): no single configuration
+        // fits all workloads.
+        let m = model_a();
+        let mut optima = std::collections::HashSet::new();
+        for f in WorkloadFamily::ALL {
+            optima.insert(best_config(&m, &f.base_spec(), Kpi::Throughput));
+        }
+        assert!(
+            optima.len() >= 4,
+            "expected diverse optima, got {optima:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_configs_cost_orders_of_magnitude() {
+        let m = model_a();
+        let spec = WorkloadFamily::Labyrinth.base_spec();
+        let space = m.machine().config_space();
+        let best = space
+            .configs()
+            .iter()
+            .map(|c| m.throughput(&spec, c))
+            .fold(0.0, f64::max);
+        let worst = space
+            .configs()
+            .iter()
+            .map(|c| m.throughput(&spec, c))
+            .fold(f64::INFINITY, f64::min);
+        assert!(best / worst > 10.0, "best {best} / worst {worst}");
+    }
+
+    #[test]
+    fn noise_is_reproducible_and_bounded() {
+        let m = model_a();
+        let spec = WorkloadFamily::Genome.base_spec();
+        let cfg = TmConfig::stm(BackendId::Tl2, 4);
+        let a = m.noisy_kpi(3, &spec, &cfg, 7, Kpi::Throughput, 0);
+        let b = m.noisy_kpi(3, &spec, &cfg, 7, Kpi::Throughput, 0);
+        assert_eq!(a, b);
+        let c = m.noisy_kpi(3, &spec, &cfg, 7, Kpi::Throughput, 1);
+        assert_ne!(a, c);
+        let clean = m.kpi(&spec, &cfg, Kpi::Throughput);
+        assert!((a / clean).abs() > 0.7 && (a / clean).abs() < 1.4);
+    }
+
+    #[test]
+    fn ground_truth_shape_matches_space() {
+        let m = model_a();
+        let specs = vec![WorkloadFamily::Genome.base_spec(); 3];
+        let gt = m.ground_truth(&specs, Kpi::ExecTime);
+        assert_eq!(gt.len(), 3);
+        assert_eq!(gt[0].len(), 130);
+        assert!(gt.iter().flatten().all(|v| v.is_finite() && *v > 0.0));
+    }
+}

@@ -1,0 +1,145 @@
+//! Abort causes and the result alias threaded through transactional code.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a transaction attempt failed.
+///
+/// The contention-management dimensions tuned by ProteusTM (retry budgets,
+/// capacity-abort policies) dispatch on this code, so every backend reports
+/// the cause faithfully.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AbortCode {
+    /// Data conflict with a concurrent transaction (failed validation,
+    /// encounter-time lock conflict, eager HTM conflict, ...).
+    Conflict,
+    /// Best-effort HTM ran out of speculative capacity (read or write set
+    /// exceeded what the simulated cache can buffer).
+    Capacity,
+    /// The user's atomic block requested an explicit abort/retry.
+    Explicit,
+    /// A hardware transaction found the software fallback lock held and must
+    /// not run concurrently with it.
+    Fallback,
+    /// Transient abort with no attributable data conflict (the simulated
+    /// analogue of interrupts/TLB shootdowns that abort real HTM).
+    Spurious,
+}
+
+impl AbortCode {
+    /// All codes, in a stable order (useful for per-code statistics).
+    pub const ALL: [AbortCode; 5] = [
+        AbortCode::Conflict,
+        AbortCode::Capacity,
+        AbortCode::Explicit,
+        AbortCode::Fallback,
+        AbortCode::Spurious,
+    ];
+
+    /// Stable small index of this code, for counter arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            AbortCode::Conflict => 0,
+            AbortCode::Capacity => 1,
+            AbortCode::Explicit => 2,
+            AbortCode::Fallback => 3,
+            AbortCode::Spurious => 4,
+        }
+    }
+}
+
+impl fmt::Display for AbortCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AbortCode::Conflict => "conflict",
+            AbortCode::Capacity => "capacity",
+            AbortCode::Explicit => "explicit",
+            AbortCode::Fallback => "fallback lock held",
+            AbortCode::Spurious => "spurious",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A transaction attempt was aborted and must be retried (or given up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Abort {
+    /// The cause of the abort.
+    pub code: AbortCode,
+}
+
+impl Abort {
+    /// Abort due to a data conflict.
+    pub const CONFLICT: Abort = Abort {
+        code: AbortCode::Conflict,
+    };
+    /// Abort due to exceeded speculative capacity.
+    pub const CAPACITY: Abort = Abort {
+        code: AbortCode::Capacity,
+    };
+    /// Explicit, user-requested abort.
+    pub const EXPLICIT: Abort = Abort {
+        code: AbortCode::Explicit,
+    };
+    /// Abort because the HTM fallback lock is held.
+    pub const FALLBACK: Abort = Abort {
+        code: AbortCode::Fallback,
+    };
+    /// Transient, non-attributable abort.
+    pub const SPURIOUS: Abort = Abort {
+        code: AbortCode::Spurious,
+    };
+
+    /// Construct an abort with the given cause.
+    #[inline]
+    pub fn new(code: AbortCode) -> Self {
+        Abort { code }
+    }
+}
+
+impl fmt::Display for Abort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transaction aborted: {}", self.code)
+    }
+}
+
+impl Error for Abort {}
+
+/// Result alias for operations inside an atomic block.
+///
+/// User code propagates aborts with `?`; the [`crate::run_tx`] driver
+/// catches them and re-executes the block.
+pub type TxResult<T> = Result<T, Abort>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_have_distinct_indices() {
+        let mut seen = [false; 5];
+        for c in AbortCode::ALL {
+            assert!(!seen[c.index()], "duplicate index for {c:?}");
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        for c in AbortCode::ALL {
+            let s = c.to_string();
+            assert!(!s.is_empty());
+            assert_eq!(s, s.to_lowercase());
+        }
+        let a = Abort::CONFLICT;
+        assert!(a.to_string().contains("conflict"));
+    }
+
+    #[test]
+    fn abort_is_a_std_error() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_err(Abort::CAPACITY);
+    }
+}

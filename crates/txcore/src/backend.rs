@@ -1,0 +1,88 @@
+//! The polymorphic backend interface PolyTM hides behind one ABI.
+
+use crate::abort::TxResult;
+use crate::heap::Addr;
+use crate::system::ThreadCtx;
+use std::fmt;
+
+/// The family a backend belongs to (drives the dual-code-path optimization:
+/// STMs run the instrumented path, HTMs the lean one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BackendKind {
+    /// Software transactional memory.
+    Stm,
+    /// (Simulated) best-effort hardware transactional memory.
+    Htm,
+    /// Hardware fast path with a software fallback.
+    Hybrid,
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BackendKind::Stm => "STM",
+            BackendKind::Htm => "HTM",
+            BackendKind::Hybrid => "HybridTM",
+        })
+    }
+}
+
+/// A transactional-memory implementation.
+///
+/// All backends operate on the shared [`crate::TmSystem`] they were
+/// constructed over. The [`crate::run_tx`] driver calls `begin`, routes the
+/// atomic block's memory accesses through `read`/`write`, then `commit`s;
+/// any step may abort, after which the driver calls `rollback` and retries.
+///
+/// Correctness contract: between `begin` and a successful `commit`, the
+/// values returned by `read` must be consistent with some serialization of
+/// committed transactions (opacity); buffered `write`s become visible to
+/// other threads atomically at commit.
+pub trait TmBackend: Send + Sync {
+    /// Short, stable backend name (e.g. `"tl2"`).
+    fn name(&self) -> &'static str;
+
+    /// Which family this backend belongs to.
+    fn kind(&self) -> BackendKind;
+
+    /// Begin an attempt. May abort immediately (e.g. an HTM attempt while
+    /// the fallback lock is held).
+    fn begin(&self, ctx: &mut ThreadCtx) -> TxResult<()>;
+
+    /// Transactional read of one word.
+    fn read(&self, ctx: &mut ThreadCtx, addr: Addr) -> TxResult<u64>;
+
+    /// Transactional write of one word.
+    fn write(&self, ctx: &mut ThreadCtx, addr: Addr, val: u64) -> TxResult<()>;
+
+    /// Attempt to commit. On `Ok` all writes are visible; on `Err` the
+    /// attempt left no visible effects (the driver still calls `rollback`
+    /// for cleanup).
+    fn commit(&self, ctx: &mut ThreadCtx) -> TxResult<()>;
+
+    /// Release any resources held by a failed attempt (locks, logs).
+    fn rollback(&self, ctx: &mut ThreadCtx);
+}
+
+impl fmt::Debug for dyn TmBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TmBackend({})", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(BackendKind::Stm.to_string(), "STM");
+        assert_eq!(BackendKind::Htm.to_string(), "HTM");
+        assert_eq!(BackendKind::Hybrid.to_string(), "HybridTM");
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes(_b: &dyn TmBackend) {}
+    }
+}

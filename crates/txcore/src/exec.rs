@@ -1,0 +1,216 @@
+//! The transaction driver: runs an atomic block until it commits.
+
+use crate::abort::{Abort, TxResult};
+use crate::backend::TmBackend;
+use crate::heap::Addr;
+use crate::system::ThreadCtx;
+use crate::util::backoff;
+
+/// Attempts after which the driver assumes a livelock caused by a backend
+/// bug and panics instead of spinning forever. Real workloads stay many
+/// orders of magnitude below this.
+const LIVELOCK_LIMIT: u32 = 50_000_000;
+
+/// Handle through which an atomic block performs its memory accesses.
+///
+/// Obtained from [`run_tx`]; mirrors the instrumented loads/stores the GCC
+/// TM ABI would emit for the block's body.
+pub struct Tx<'a> {
+    backend: &'a dyn TmBackend,
+    ctx: &'a mut ThreadCtx,
+}
+
+impl Tx<'_> {
+    /// Transactionally read the word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Abort`] that must be propagated (with `?`) so the driver
+    /// can retry the block.
+    #[inline]
+    pub fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        self.backend.read(self.ctx, addr)
+    }
+
+    /// Transactionally write `val` to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Abort`] that must be propagated (with `?`).
+    #[inline]
+    pub fn write(&mut self, addr: Addr, val: u64) -> TxResult<()> {
+        self.backend.write(self.ctx, addr, val)
+    }
+
+    /// Request an explicit abort-and-retry of the block (TM `retry`).
+    ///
+    /// # Errors
+    ///
+    /// Always returns [`Abort::EXPLICIT`]; propagate it with `?`.
+    #[inline]
+    pub fn retry<T>(&mut self) -> TxResult<T> {
+        Err(Abort::EXPLICIT)
+    }
+
+    /// Which attempt of this block is running (0 on the first try).
+    #[inline]
+    pub fn attempt(&self) -> u32 {
+        self.ctx.attempt
+    }
+}
+
+/// Execute `f` as an atomic transaction on `backend`, retrying until it
+/// commits, and return the block's result.
+///
+/// The closure may run many times; it must confine its side effects to
+/// transactional reads/writes through [`Tx`] (the classic TM restriction on
+/// side effects, which the paper also leaves to the programmer).
+///
+/// # Panics
+///
+/// Panics if the block fails to commit after an implausibly large number of
+/// attempts (indicating a backend livelock bug).
+pub fn run_tx<T>(
+    backend: &dyn TmBackend,
+    ctx: &mut ThreadCtx,
+    mut f: impl FnMut(&mut Tx<'_>) -> TxResult<T>,
+) -> T {
+    ctx.attempt = 0;
+    loop {
+        assert!(
+            ctx.attempt < LIVELOCK_LIMIT,
+            "transaction livelock on backend {}",
+            backend.name()
+        );
+        if let Err(a) = backend.begin(ctx) {
+            ctx.stats.record_abort(a.code);
+            ctx.attempt += 1;
+            backoff(&mut ctx.rng, ctx.attempt);
+            continue;
+        }
+        let result = {
+            let mut tx = Tx { backend, ctx };
+            f(&mut tx)
+        };
+        match result {
+            Ok(value) => {
+                let via_fallback = ctx.in_fallback;
+                match backend.commit(ctx) {
+                    Ok(()) => {
+                        ctx.stats.record_commit(via_fallback);
+                        return value;
+                    }
+                    Err(a) => {
+                        backend.rollback(ctx);
+                        ctx.stats.record_abort(a.code);
+                    }
+                }
+            }
+            Err(a) => {
+                backend.rollback(ctx);
+                ctx.stats.record_abort(a.code);
+            }
+        }
+        ctx.attempt += 1;
+        backoff(&mut ctx.rng, ctx.attempt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abort::AbortCode;
+    use crate::backend::BackendKind;
+    use crate::system::TmSystem;
+    use std::sync::Arc;
+
+    /// A trivially-correct single-lock "TM" used to test the driver itself.
+    struct GlobalLockTm {
+        sys: Arc<TmSystem>,
+        lock: std::sync::atomic::AtomicBool,
+    }
+
+    impl GlobalLockTm {
+        fn new(sys: Arc<TmSystem>) -> Self {
+            GlobalLockTm {
+                sys,
+                lock: std::sync::atomic::AtomicBool::new(false),
+            }
+        }
+    }
+
+    impl TmBackend for GlobalLockTm {
+        fn name(&self) -> &'static str {
+            "test-global-lock"
+        }
+        fn kind(&self) -> BackendKind {
+            BackendKind::Stm
+        }
+        fn begin(&self, ctx: &mut ThreadCtx) -> TxResult<()> {
+            ctx.reset_logs();
+            while self
+                .lock
+                .compare_exchange(
+                    false,
+                    true,
+                    std::sync::atomic::Ordering::AcqRel,
+                    std::sync::atomic::Ordering::Acquire,
+                )
+                .is_err()
+            {
+                std::hint::spin_loop();
+            }
+            Ok(())
+        }
+        fn read(&self, _ctx: &mut ThreadCtx, addr: Addr) -> TxResult<u64> {
+            Ok(self.sys.heap.read_raw(addr))
+        }
+        fn write(&self, _ctx: &mut ThreadCtx, addr: Addr, val: u64) -> TxResult<()> {
+            self.sys.heap.write_raw(addr, val);
+            Ok(())
+        }
+        fn commit(&self, _ctx: &mut ThreadCtx) -> TxResult<()> {
+            self.lock.store(false, std::sync::atomic::Ordering::Release);
+            Ok(())
+        }
+        fn rollback(&self, ctx: &mut ThreadCtx) {
+            ctx.reset_logs();
+            self.lock.store(false, std::sync::atomic::Ordering::Release);
+        }
+    }
+
+    #[test]
+    fn committed_value_is_returned_and_counted() {
+        let sys = Arc::new(TmSystem::new(16));
+        let tm = GlobalLockTm::new(Arc::clone(&sys));
+        let a = sys.heap.alloc(1);
+        let mut ctx = ThreadCtx::new(0);
+        let out = run_tx(&tm, &mut ctx, |tx| {
+            let v = tx.read(a)?;
+            tx.write(a, v + 5)?;
+            tx.read(a)
+        });
+        assert_eq!(out, 5);
+        assert_eq!(ctx.stats.snapshot().commits, 1);
+    }
+
+    #[test]
+    fn explicit_abort_retries_block() {
+        let sys = Arc::new(TmSystem::new(16));
+        let tm = GlobalLockTm::new(Arc::clone(&sys));
+        let mut ctx = ThreadCtx::new(0);
+        let mut tries = 0;
+        let out = run_tx(&tm, &mut ctx, |tx| {
+            tries += 1;
+            if tx.attempt() < 3 {
+                return tx.retry();
+            }
+            Ok(tx.attempt())
+        });
+        assert_eq!(out, 3);
+        assert_eq!(tries, 4);
+        let snap = ctx.stats.snapshot();
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.aborts_of(AbortCode::Explicit), 3);
+    }
+}

@@ -1,0 +1,230 @@
+//! Transactional access sets: the read log and the redo (write) log.
+
+use crate::heap::Addr;
+use std::collections::HashMap;
+
+/// A transaction's read log.
+///
+/// Two representations coexist because the backends need different
+/// validation styles:
+///
+/// * *orec entries* — `(record index, observed version)` pairs, validated
+///   against ownership records (TL2, TinySTM, SwissTM);
+/// * *value entries* — `(address, observed value)` pairs, re-read and
+///   compared for NOrec's value-based validation.
+#[derive(Debug, Default, Clone)]
+pub struct ReadSet {
+    orecs: Vec<(u32, u64)>,
+    values: Vec<(Addr, u64)>,
+}
+
+impl ReadSet {
+    /// An empty read set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forget all entries, retaining capacity.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.orecs.clear();
+        self.values.clear();
+    }
+
+    /// Record that orec `idx` was observed at `version`.
+    #[inline]
+    pub fn push_orec(&mut self, idx: usize, version: u64) {
+        self.orecs.push((idx as u32, version));
+    }
+
+    /// Record that address `a` was observed holding `value`.
+    #[inline]
+    pub fn push_value(&mut self, a: Addr, value: u64) {
+        self.values.push((a, value));
+    }
+
+    /// Orec entries as `(record index, observed version)`.
+    #[inline]
+    pub fn orecs(&self) -> &[(u32, u64)] {
+        &self.orecs
+    }
+
+    /// Value entries as `(address, observed value)`.
+    #[inline]
+    pub fn values(&self) -> &[(Addr, u64)] {
+        &self.values
+    }
+
+    /// Total number of logged reads.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.orecs.len() + self.values.len()
+    }
+
+    /// Whether nothing has been read yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.orecs.is_empty() && self.values.is_empty()
+    }
+}
+
+/// Threshold beyond which the write set builds a hash index for
+/// read-after-write lookups (small transactions stay on a linear scan,
+/// which is faster for the common short TM transaction).
+const LINEAR_SCAN_MAX: usize = 16;
+
+/// A transaction's redo log: buffered writes applied to the heap at commit.
+///
+/// Lookup must be fast because every transactional read first consults the
+/// write set (read-after-write consistency).
+#[derive(Debug, Default, Clone)]
+pub struct WriteSet {
+    entries: Vec<(Addr, u64)>,
+    index: HashMap<u32, u32>,
+    indexed: bool,
+}
+
+impl WriteSet {
+    /// An empty write set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forget all entries, retaining capacity.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.index.clear();
+        self.indexed = false;
+    }
+
+    /// Number of distinct addresses written.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been written yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn build_index(&mut self) {
+        self.index.clear();
+        for (i, (a, _)) in self.entries.iter().enumerate() {
+            self.index.insert(a.0, i as u32);
+        }
+        self.indexed = true;
+    }
+
+    fn position(&mut self, a: Addr) -> Option<usize> {
+        if self.indexed {
+            return self.index.get(&a.0).map(|&i| i as usize);
+        }
+        if self.entries.len() > LINEAR_SCAN_MAX {
+            self.build_index();
+            return self.index.get(&a.0).map(|&i| i as usize);
+        }
+        self.entries.iter().position(|&(ea, _)| ea == a)
+    }
+
+    /// Buffer a write of `value` to address `a`, overwriting any earlier
+    /// write to the same address.
+    pub fn insert(&mut self, a: Addr, value: u64) {
+        if let Some(i) = self.position(a) {
+            self.entries[i].1 = value;
+            return;
+        }
+        self.entries.push((a, value));
+        if self.indexed {
+            self.index.insert(a.0, (self.entries.len() - 1) as u32);
+        }
+    }
+
+    /// The buffered value for `a`, if this transaction wrote it.
+    pub fn get(&mut self, a: Addr) -> Option<u64> {
+        self.position(a).map(|i| self.entries[i].1)
+    }
+
+    /// All buffered writes in insertion order.
+    #[inline]
+    pub fn entries(&self) -> &[(Addr, u64)] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_set_read_after_write() {
+        let mut ws = WriteSet::new();
+        assert_eq!(ws.get(Addr(1)), None);
+        ws.insert(Addr(1), 10);
+        ws.insert(Addr(2), 20);
+        assert_eq!(ws.get(Addr(1)), Some(10));
+        ws.insert(Addr(1), 11);
+        assert_eq!(ws.get(Addr(1)), Some(11));
+        assert_eq!(ws.len(), 2, "overwrite must not duplicate");
+    }
+
+    #[test]
+    fn write_set_switches_to_index_transparently() {
+        let mut ws = WriteSet::new();
+        for i in 0..100u32 {
+            ws.insert(Addr(i), i as u64);
+        }
+        for i in 0..100u32 {
+            assert_eq!(ws.get(Addr(i)), Some(i as u64));
+        }
+        // Overwrites after indexing still work.
+        ws.insert(Addr(50), 999);
+        assert_eq!(ws.get(Addr(50)), Some(999));
+        assert_eq!(ws.len(), 100);
+    }
+
+    #[test]
+    fn write_set_clear_resets_index() {
+        let mut ws = WriteSet::new();
+        for i in 0..40u32 {
+            ws.insert(Addr(i), 1);
+        }
+        ws.clear();
+        assert!(ws.is_empty());
+        assert_eq!(ws.get(Addr(3)), None);
+        ws.insert(Addr(3), 7);
+        assert_eq!(ws.get(Addr(3)), Some(7));
+    }
+
+    #[test]
+    fn read_set_tracks_both_kinds() {
+        let mut rs = ReadSet::new();
+        assert!(rs.is_empty());
+        rs.push_orec(4, 17);
+        rs.push_value(Addr(9), 99);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.orecs(), &[(4, 17)]);
+        assert_eq!(rs.values(), &[(Addr(9), 99)]);
+        rs.clear();
+        assert!(rs.is_empty());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn write_set_behaves_like_hashmap(ops in proptest::collection::vec((0u32..64, 0u64..1000), 0..200)) {
+            let mut ws = WriteSet::new();
+            let mut model = std::collections::HashMap::new();
+            for (a, v) in ops {
+                ws.insert(Addr(a), v);
+                model.insert(a, v);
+                proptest::prop_assert_eq!(ws.get(Addr(a)), Some(v));
+            }
+            proptest::prop_assert_eq!(ws.len(), model.len());
+            for (a, v) in &model {
+                proptest::prop_assert_eq!(ws.get(Addr(*a)), Some(*v));
+            }
+        }
+    }
+}

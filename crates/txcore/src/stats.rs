@@ -1,0 +1,179 @@
+//! Lightweight per-thread transaction statistics.
+//!
+//! PolyTM's Monitor reads these counters concurrently with the application
+//! threads updating them, so they are plain atomics updated with relaxed
+//! ordering (approximate freshness is fine for KPI sampling, exactly as the
+//! paper's lightweight profiling).
+
+use crate::abort::AbortCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters maintained by one application thread.
+#[derive(Debug, Default)]
+pub struct ThreadStats {
+    commits: AtomicU64,
+    fallback_commits: AtomicU64,
+    aborts: [AtomicU64; 5],
+}
+
+impl ThreadStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a successful commit. `via_fallback` marks commits that ran
+    /// under the HTM fallback lock rather than speculatively.
+    #[inline]
+    pub fn record_commit(&self, via_fallback: bool) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        if via_fallback {
+            self.fallback_commits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record an aborted attempt with its cause.
+    #[inline]
+    pub fn record_abort(&self, code: AbortCode) {
+        self.aborts[code.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough snapshot of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut aborts = [0u64; 5];
+        for (dst, src) in aborts.iter_mut().zip(self.aborts.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        StatsSnapshot {
+            commits: self.commits.load(Ordering::Relaxed),
+            fallback_commits: self.fallback_commits.load(Ordering::Relaxed),
+            aborts,
+        }
+    }
+
+    /// Reset all counters to zero (used between profiling windows).
+    pub fn reset(&self) {
+        self.commits.store(0, Ordering::Relaxed);
+        self.fallback_commits.store(0, Ordering::Relaxed);
+        for a in &self.aborts {
+            a.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time copy of [`ThreadStats`], also used as an aggregate over
+/// many threads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Commits that ran under the HTM fallback lock.
+    pub fallback_commits: u64,
+    /// Aborted attempts, indexed by [`AbortCode::index`].
+    pub aborts: [u64; 5],
+}
+
+impl StatsSnapshot {
+    /// Total aborted attempts across all causes.
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts.iter().sum()
+    }
+
+    /// Aborts with the given cause.
+    pub fn aborts_of(&self, code: AbortCode) -> u64 {
+        self.aborts[code.index()]
+    }
+
+    /// Fraction of attempts that aborted, in `[0, 1]`; zero when idle.
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.commits + self.total_aborts();
+        if attempts == 0 {
+            0.0
+        } else {
+            self.total_aborts() as f64 / attempts as f64
+        }
+    }
+
+    /// Element-wise difference `self - earlier` (for windowed KPIs).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        let mut aborts = [0u64; 5];
+        for (a, (now, then)) in aborts.iter_mut().zip(self.aborts.iter().zip(&earlier.aborts)) {
+            *a = now.saturating_sub(*then);
+        }
+        StatsSnapshot {
+            commits: self.commits.saturating_sub(earlier.commits),
+            fallback_commits: self.fallback_commits.saturating_sub(earlier.fallback_commits),
+            aborts,
+        }
+    }
+
+    /// Element-wise sum (for aggregating threads).
+    pub fn merge(&self, other: &StatsSnapshot) -> StatsSnapshot {
+        let mut aborts = [0u64; 5];
+        for (a, (x, y)) in aborts.iter_mut().zip(self.aborts.iter().zip(&other.aborts)) {
+            *a = x + y;
+        }
+        StatsSnapshot {
+            commits: self.commits + other.commits,
+            fallback_commits: self.fallback_commits + other.fallback_commits,
+            aborts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let s = ThreadStats::new();
+        s.record_commit(false);
+        s.record_commit(true);
+        s.record_abort(AbortCode::Conflict);
+        s.record_abort(AbortCode::Capacity);
+        s.record_abort(AbortCode::Conflict);
+        let snap = s.snapshot();
+        assert_eq!(snap.commits, 2);
+        assert_eq!(snap.fallback_commits, 1);
+        assert_eq!(snap.aborts_of(AbortCode::Conflict), 2);
+        assert_eq!(snap.aborts_of(AbortCode::Capacity), 1);
+        assert_eq!(snap.total_aborts(), 3);
+    }
+
+    #[test]
+    fn abort_rate_bounds() {
+        let empty = StatsSnapshot::default();
+        assert_eq!(empty.abort_rate(), 0.0);
+        let s = ThreadStats::new();
+        s.record_commit(false);
+        s.record_abort(AbortCode::Conflict);
+        let rate = s.snapshot().abort_rate();
+        assert!((rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_and_merge() {
+        let s = ThreadStats::new();
+        s.record_commit(false);
+        let early = s.snapshot();
+        s.record_commit(false);
+        s.record_abort(AbortCode::Explicit);
+        let late = s.snapshot();
+        let d = late.since(&early);
+        assert_eq!(d.commits, 1);
+        assert_eq!(d.aborts_of(AbortCode::Explicit), 1);
+        let m = d.merge(&d);
+        assert_eq!(m.commits, 2);
+        assert_eq!(m.total_aborts(), 2);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = ThreadStats::new();
+        s.record_commit(true);
+        s.record_abort(AbortCode::Spurious);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+}

@@ -1,0 +1,196 @@
+//! Shared TM system state and the per-thread transaction context.
+
+use crate::clock::GlobalClock;
+use crate::heap::Heap;
+use crate::orec::{OrecTable, OwnerTag};
+use crate::sets::{ReadSet, WriteSet};
+use crate::stats::ThreadStats;
+use crate::util::XorShift64;
+use std::fmt;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// Default number of ownership records.
+pub(crate) const DEFAULT_ORECS: usize = 1 << 16;
+/// Default stripe width in words (fields of one small record share an orec).
+pub(crate) const DEFAULT_STRIPE: usize = 4;
+
+/// All state shared between threads and backends: the application heap plus
+/// every piece of TM metadata.
+///
+/// Backends keep their metadata *here*, in regions separate from application
+/// data — the property PolyTM requires from a backend to be switchable
+/// (paper §4: "does not interfere with the original memory layout").
+/// Because PolyTM quiesces all threads before switching algorithms, the
+/// metadata tables can safely be shared by every backend.
+pub struct TmSystem {
+    /// The word-addressed application memory.
+    pub heap: Heap,
+    /// Versioned write-lock records (TL2 / TinySTM / SwissTM write locks).
+    pub orecs: OrecTable,
+    /// SwissTM's separate read-version records.
+    pub read_vers: OrecTable,
+    /// Global version clock for timestamp-based validation.
+    pub clock: GlobalClock,
+    /// NOrec's single global sequence lock (even = free, odd = write-back in
+    /// progress; the value doubles as the snapshot timestamp).
+    pub norec_seq: AtomicU64,
+    /// The HTM fallback sequence lock (even = free). Hardware transactions
+    /// subscribe to it and abort when a fallback path is active.
+    pub fallback_seq: AtomicU64,
+}
+
+impl TmSystem {
+    /// Create a system with a heap of `heap_words` words and default-sized
+    /// metadata tables.
+    pub fn new(heap_words: usize) -> Self {
+        Self::with_orecs(heap_words, DEFAULT_ORECS, DEFAULT_STRIPE)
+    }
+
+    /// Create a system with explicit orec-table geometry.
+    pub fn with_orecs(heap_words: usize, n_orecs: usize, stripe_words: usize) -> Self {
+        TmSystem {
+            heap: Heap::new(heap_words),
+            orecs: OrecTable::new(n_orecs, stripe_words),
+            read_vers: OrecTable::new(n_orecs, stripe_words),
+            clock: GlobalClock::new(),
+            norec_seq: AtomicU64::new(0),
+            fallback_seq: AtomicU64::new(0),
+        }
+    }
+}
+
+impl fmt::Debug for TmSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TmSystem")
+            .field("heap", &self.heap)
+            .field("orecs", &self.orecs)
+            .finish()
+    }
+}
+
+/// Per-thread transaction context: the access logs, snapshot timestamps and
+/// scratch space one thread needs to run transactions on any backend.
+///
+/// A context is exclusively owned by its thread; the shared pieces
+/// ([`ThreadStats`]) are internally synchronized.
+pub struct ThreadCtx {
+    /// Thread slot id within the runtime (also the lock owner tag).
+    pub id: usize,
+    /// The read log.
+    pub read_set: ReadSet,
+    /// The redo log.
+    pub write_set: WriteSet,
+    /// Orec locks currently held: `(record index, version to restore)`.
+    pub locks: Vec<(u32, u64)>,
+    /// Read snapshot of the global version clock.
+    pub rv: u64,
+    /// NOrec / fallback sequence-lock snapshot.
+    pub start_seq: u64,
+    /// Consecutive failed attempts of the current atomic block.
+    pub attempt: u32,
+    /// Whether the current attempt runs under the HTM fallback lock.
+    pub in_fallback: bool,
+    /// Cache lines touched speculatively (simulated HTM read set).
+    pub read_lines: Vec<u32>,
+    /// Cache lines written speculatively (simulated HTM write set).
+    pub write_lines: Vec<u32>,
+    /// Greedy contention-manager timestamp (SwissTM).
+    pub greedy_ts: u64,
+    /// Remaining speculative attempts for the current atomic block (HTM
+    /// retry budget, managed by the contention manager).
+    pub htm_budget: u32,
+    /// Scratch buffer for commit-time lock acquisition (sorted orec ids).
+    pub scratch: Vec<(u32, u64)>,
+    /// Per-thread PRNG for backoff and simulated-capacity sampling.
+    pub rng: XorShift64,
+    /// Shared commit/abort counters read by the Monitor.
+    pub stats: Arc<ThreadStats>,
+}
+
+impl ThreadCtx {
+    /// Context for thread slot `id`, with a deterministic per-thread RNG.
+    pub fn new(id: usize) -> Self {
+        ThreadCtx {
+            id,
+            read_set: ReadSet::new(),
+            write_set: WriteSet::new(),
+            locks: Vec::new(),
+            rv: 0,
+            start_seq: 0,
+            attempt: 0,
+            in_fallback: false,
+            read_lines: Vec::new(),
+            write_lines: Vec::new(),
+            greedy_ts: 0,
+            htm_budget: 0,
+            scratch: Vec::new(),
+            rng: XorShift64::new(0x5DEECE66D ^ ((id as u64 + 1) << 16)),
+            stats: Arc::new(ThreadStats::new()),
+        }
+    }
+
+    /// The tag identifying this thread as a lock owner.
+    #[inline]
+    pub fn owner_tag(&self) -> OwnerTag {
+        OwnerTag(self.id as u64)
+    }
+
+    /// Clear all per-attempt logs (called by backends on begin/rollback).
+    pub fn reset_logs(&mut self) {
+        self.read_set.clear();
+        self.write_set.clear();
+        self.locks.clear();
+        self.read_lines.clear();
+        self.write_lines.clear();
+        self.in_fallback = false;
+    }
+}
+
+impl fmt::Debug for ThreadCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadCtx")
+            .field("id", &self.id)
+            .field("rv", &self.rv)
+            .field("reads", &self.read_set.len())
+            .field("writes", &self.write_set.len())
+            .field("attempt", &self.attempt)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_reset_clears_logs() {
+        let mut ctx = ThreadCtx::new(3);
+        ctx.read_set.push_orec(1, 1);
+        ctx.write_set.insert(crate::Addr(0), 1);
+        ctx.locks.push((0, 0));
+        ctx.read_lines.push(1);
+        ctx.in_fallback = true;
+        ctx.reset_logs();
+        assert!(ctx.read_set.is_empty());
+        assert!(ctx.write_set.is_empty());
+        assert!(ctx.locks.is_empty());
+        assert!(ctx.read_lines.is_empty());
+        assert!(!ctx.in_fallback);
+        assert_eq!(ctx.owner_tag().0, 3);
+    }
+
+    #[test]
+    fn system_components_are_wired() {
+        let sys = TmSystem::new(128);
+        assert_eq!(sys.heap.capacity(), 128);
+        assert!(sys.orecs.len() >= 2);
+        assert_eq!(sys.clock.now(), 0);
+    }
+
+    #[test]
+    fn system_is_send_sync() {
+        fn assert_ss<T: Send + Sync>() {}
+        assert_ss::<TmSystem>();
+    }
+}

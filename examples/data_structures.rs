@@ -1,0 +1,88 @@
+//! The "Data Structures" suite of Table 1: sweep the update ratio and the
+//! key range (contention) over the four concurrent structures on the real
+//! TM stack, and show how the *relative cost* of each configuration moves
+//! with the workload. (On a multi-core host the absolute winner flips too —
+//! the Fig. 1 effect; on a single-core CI box the lowest-overhead,
+//! lowest-thread-count configuration tends to win every row, but the gaps
+//! between configurations still move by multiples across workloads.)
+//!
+//! ```text
+//! cargo run --release --example data_structures
+//! ```
+
+use apps::structures::{DsApp, DsKind, DsParams};
+use apps::{drive, AppWorkload, TmApp};
+use proteustm::{BackendId, HtmSetting, PolyTm, TmConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn measure(poly: &Arc<PolyTm>, app: &Arc<dyn TmApp>, cfg: &TmConfig, threads: usize) -> f64 {
+    poly.apply(cfg).unwrap();
+    drive(
+        poly,
+        app,
+        AppWorkload {
+            threads: cfg.threads.min(threads),
+            duration: Duration::from_millis(60),
+            ..AppWorkload::default()
+        },
+    )
+    .throughput
+}
+
+fn main() {
+    let threads = 4;
+    let candidates = [
+        TmConfig::stm(BackendId::NOrec, 2),
+        TmConfig::stm(BackendId::SwissTm, threads),
+        TmConfig::htm(BackendId::Htm, threads, HtmSetting::DEFAULT),
+    ];
+    println!(
+        "{:<18} {:>7} {:>9}   {:>12} {:>12} {:>12}   winner",
+        "structure", "upd%", "keys", "NOrec:2t", "Swiss:4t", "HTM:4t"
+    );
+    for kind in DsKind::ALL {
+        for (update_pct, key_range) in [(5u64, 1u64 << 14), (50, 1 << 10), (90, 64)] {
+            let poly = Arc::new(
+                PolyTm::builder()
+                    .heap_words(1 << 22)
+                    .max_threads(threads)
+                    .build(),
+            );
+            let params = DsParams {
+                update_pct,
+                key_range,
+                prefill: key_range / 2,
+            };
+            let app: Arc<dyn TmApp> =
+                Arc::new(DsApp::setup(poly.system(), kind, params));
+            let xs: Vec<f64> = candidates
+                .iter()
+                .map(|c| measure(&poly, &app, c, threads))
+                .collect();
+            let winner = candidates
+                .iter()
+                .zip(&xs)
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0;
+            println!(
+                "{:<18} {:>7} {:>9}   {:>12.0} {:>12.0} {:>12.0}   {}",
+                app.name(),
+                update_pct,
+                key_range,
+                xs[0],
+                xs[1],
+                xs[2],
+                winner
+            );
+        }
+    }
+    println!(
+        "\n(Watch the *gaps*: the margins between configurations move by\n\
+         multiples as contention and update ratio change — on a multi-core\n\
+         host the ranking itself flips (Fig. 1; see `experiments fig1` for\n\
+         the modelled multi-core picture). That workload-dependence is why\n\
+         ProteusTM tunes per workload rather than per application.)"
+    );
+}

@@ -1,0 +1,120 @@
+//! A miniature Figure 8 on the real stack: a red-black-tree application
+//! whose workload shifts twice; ProteusTM's Monitor notices and the
+//! Controller re-tunes.
+//!
+//! ```text
+//! cargo run --release --example dynamic_workload
+//! ```
+
+use apps::structures::RedBlackTree;
+use apps::{drive, AppWorkload, TmApp};
+use proteustm::{Kpi, ProteusTm, TmConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use txcore::TxResult;
+
+/// An RBT workload whose phase (update ratio / key range) is switchable at
+/// run time — the "workload change" of Fig. 8a.
+struct PhasedRbt {
+    tree: RedBlackTree,
+    phase: AtomicU64,
+}
+
+impl PhasedRbt {
+    fn params(&self) -> (u64, u64) {
+        // (update percent, key range): phase 0 read-mostly over many keys,
+        // phase 1 update-heavy, phase 2 hot-key contention.
+        match self.phase.load(Ordering::Relaxed) {
+            0 => (10, 16_384),
+            1 => (60, 4_096),
+            _ => (80, 64),
+        }
+    }
+}
+
+impl TmApp for PhasedRbt {
+    fn name(&self) -> &'static str {
+        "phased-rbt"
+    }
+    fn op(
+        &self,
+        poly: &polytm::PolyTm,
+        worker: &mut polytm::Worker,
+        rng: &mut txcore::util::XorShift64,
+    ) {
+        let (update_pct, range) = self.params();
+        let key = rng.next_below(range);
+        let heap = &poly.system().heap;
+        if rng.next_below(100) < update_pct {
+            if rng.next_below(2) == 0 {
+                poly.run_tx(worker, |tx| -> TxResult<()> {
+                    self.tree.insert(tx, heap, key, key)?;
+                    Ok(())
+                });
+            } else {
+                poly.run_tx(worker, |tx| self.tree.remove(tx, key));
+            }
+        } else {
+            poly.run_tx(worker, |tx| self.tree.get(tx, key));
+        }
+    }
+}
+
+fn main() {
+    let threads = 4;
+    println!("training ProteusTM off-line...");
+    let proteus = ProteusTm::builder()
+        .heap_words(1 << 22)
+        .max_threads(threads)
+        .kpi(Kpi::Throughput)
+        .build();
+    let poly = Arc::clone(proteus.poly());
+    let app = Arc::new(PhasedRbt {
+        tree: RedBlackTree::create(&poly.system().heap),
+        phase: AtomicU64::new(0),
+    });
+    let app_dyn: Arc<dyn TmApp> = app.clone();
+
+    let quantum = Duration::from_millis(50);
+    let measure = |cfg: &TmConfig| {
+        drive(
+            &poly,
+            &app_dyn,
+            AppWorkload {
+                threads: cfg.threads.min(threads),
+                duration: quantum,
+                ..AppWorkload::default()
+            },
+        )
+        .throughput
+    };
+
+    let mut monitor = proteus.monitor();
+    for phase in 0..3u64 {
+        app.phase.store(phase, Ordering::Relaxed);
+        println!("\n--- phase {} ({:?}) ---", phase + 1, app.params());
+        // The Monitor notices the shift (simulated here by re-optimizing at
+        // each phase start; in steady state it samples the KPI stream).
+        let outcome = proteus.optimize(&mut |cfg: &TmConfig| measure(cfg));
+        println!(
+            "settled on {} after {} explorations",
+            outcome.chosen,
+            outcome.exploration.len()
+        );
+        monitor.reset();
+        // Steady state: run a few Monitor windows at the chosen config.
+        for tick in 0..4 {
+            let x = measure(&outcome.chosen);
+            let changed = monitor.observe(x);
+            println!("  tick {tick}: {x:>12.0} tx/s  (change detected: {changed})");
+        }
+    }
+    let len = {
+        let tm = stm::Tl2::new(Arc::clone(poly.system()));
+        let mut ctx = txcore::ThreadCtx::new(0);
+        txcore::run_tx(&tm, &mut ctx, |tx| app.tree.len(tx))
+    };
+    app.tree.check_invariants(&poly.system().heap);
+    println!("\nfinal tree size: {len} (red-black invariants verified)");
+}

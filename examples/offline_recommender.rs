@@ -1,0 +1,75 @@
+//! The learning pipeline in isolation: build a Utility Matrix from the
+//! performance simulator, train RecTM, and watch it optimize an unseen
+//! workload step by step (the §6.3 trace-driven protocol).
+//!
+//! ```text
+//! cargo run --release --example offline_recommender
+//! ```
+
+use proteustm::{Goal, Kpi};
+use recsys::UtilityMatrix;
+use rectm::{NormalizationChoice, RecTm, RecTmOptions};
+use tmsim::{corpus, MachineModel, PerfModel};
+
+fn main() {
+    let machine = MachineModel::machine_a();
+    let model = PerfModel::new(machine.clone());
+    let space = machine.config_space();
+    println!(
+        "machine {}: {} configurations",
+        machine.name,
+        space.len()
+    );
+
+    // Off-line: profile 60 base workloads in every configuration.
+    let workloads = corpus(64, 7);
+    let (train, test) = workloads.split_at(60);
+    let rows = train
+        .iter()
+        .map(|w| {
+            space
+                .configs()
+                .iter()
+                .enumerate()
+                .map(|(i, c)| Some(model.noisy_kpi(w.id, &w.spec, c, i, Kpi::Throughput, 0)))
+                .collect()
+        })
+        .collect();
+    println!("training RecTM (CF selection by random search + CV)...");
+    let rectm = RecTm::offline(
+        &UtilityMatrix::from_rows(rows),
+        RecTmOptions {
+            goal: Goal::Maximize,
+            normalization: NormalizationChoice::Distillation,
+            ..RecTmOptions::default()
+        },
+    );
+    println!("selected CF algorithm: {}", rectm.algorithm());
+
+    // On-line: optimize the held-out workloads.
+    for w in test {
+        println!("\nworkload {} (unseen):", w.name);
+        let truth: Vec<f64> = space
+            .configs()
+            .iter()
+            .map(|c| model.throughput(&w.spec, c))
+            .collect();
+        let best = truth.iter().cloned().fold(0.0, f64::max);
+        let out = rectm.optimize_workload(&mut |i| {
+            let kpi = truth[i];
+            println!(
+                "  explore {:<22} -> {:>12.0} tx/s",
+                space.configs()[i].to_string(),
+                kpi
+            );
+            kpi
+        });
+        let dfo = (best - out.best_kpi) / best * 100.0;
+        println!(
+            "  => recommended {} ({:.1}% from optimum, {} explorations)",
+            space.configs()[out.recommended],
+            dfo,
+            out.explored.len()
+        );
+    }
+}

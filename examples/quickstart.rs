@@ -1,0 +1,101 @@
+//! Quickstart: ProteusTM as a drop-in TM runtime with self-tuning.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Runs a mixed hash-map workload on the real TM stack, asks ProteusTM to
+//! optimize the configuration by actually measuring the application, and
+//! compares the tuned configuration against a few static choices.
+
+use apps::structures::HashMap;
+use apps::{drive, AppWorkload, TmApp};
+use proteustm::{BackendId, Kpi, ProteusTm, TmConfig};
+use std::sync::Arc;
+use std::time::Duration;
+use txcore::TxResult;
+
+struct MapMix {
+    map: HashMap,
+    keys: u64,
+}
+
+impl TmApp for MapMix {
+    fn name(&self) -> &'static str {
+        "map-mix"
+    }
+    fn op(
+        &self,
+        poly: &polytm::PolyTm,
+        worker: &mut polytm::Worker,
+        rng: &mut txcore::util::XorShift64,
+    ) {
+        let key = rng.next_below(self.keys);
+        let heap = &poly.system().heap;
+        if rng.next_below(10) < 8 {
+            poly.run_tx(worker, |tx| self.map.get(tx, key));
+        } else {
+            let v = rng.next_u64();
+            poly.run_tx(worker, |tx| -> TxResult<()> {
+                self.map.insert(tx, heap, key, v)?;
+                Ok(())
+            });
+        }
+    }
+}
+
+fn main() {
+    let threads = 4;
+    println!("building ProteusTM (training the recommender off-line)...");
+    let proteus = ProteusTm::builder()
+        .heap_words(1 << 20)
+        .max_threads(threads)
+        .kpi(Kpi::Throughput)
+        .build();
+    let poly = Arc::clone(proteus.poly());
+    let app: Arc<dyn TmApp> = Arc::new(MapMix {
+        map: HashMap::create(&poly.system().heap, 1024),
+        keys: 1024,
+    });
+
+    let quantum = Duration::from_millis(60);
+    let measure = |poly: &Arc<polytm::PolyTm>, app: &Arc<dyn TmApp>, t: usize| {
+        drive(
+            poly,
+            app,
+            AppWorkload {
+                threads: t,
+                duration: quantum,
+                ..AppWorkload::default()
+            },
+        )
+        .throughput
+    };
+
+    // Static baselines.
+    println!("\nstatic configurations:");
+    for cfg in [
+        TmConfig::stm(BackendId::Tl2, 1),
+        TmConfig::stm(BackendId::NOrec, threads),
+        TmConfig::stm(BackendId::SwissTm, threads),
+    ] {
+        poly.apply(&cfg).unwrap();
+        let x = measure(&poly, &app, cfg.threads.min(threads));
+        println!("  {cfg:<16} {x:>12.0} tx/s");
+    }
+
+    // ProteusTM: explore and settle.
+    println!("\nProteusTM exploring...");
+    let outcome = proteus.optimize(&mut |cfg: &TmConfig| {
+        let x = measure(&poly, &app, cfg.threads.min(threads));
+        println!("  probe {cfg:<16} {x:>12.0} tx/s");
+        x
+    });
+    println!(
+        "\nchosen: {} after {} explorations",
+        outcome.chosen,
+        outcome.exploration.len()
+    );
+    let x = measure(&poly, &app, outcome.chosen.threads.min(threads));
+    println!("steady-state at chosen config: {x:.0} tx/s");
+}

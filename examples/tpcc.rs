@@ -1,0 +1,61 @@
+//! TPC-C-lite on ProteusTM: static configurations vs the self-tuned one,
+//! with the money-conservation invariant checked at the end.
+//!
+//! ```text
+//! cargo run --release --example tpcc
+//! ```
+
+use apps::systems::TpcC;
+use apps::{drive, AppWorkload, TmApp};
+use proteustm::{BackendId, HtmSetting, Kpi, ProteusTm, TmConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let threads = 4;
+    println!("training ProteusTM off-line...");
+    let proteus = ProteusTm::builder()
+        .heap_words(1 << 22)
+        .max_threads(threads)
+        .kpi(Kpi::Throughput)
+        .build();
+    let poly = Arc::clone(proteus.poly());
+    let app = Arc::new(TpcC::setup(poly.system(), 4, 10));
+    let app_dyn: Arc<dyn TmApp> = app.clone();
+
+    let measure = |t: usize| {
+        drive(
+            &poly,
+            &app_dyn,
+            AppWorkload {
+                threads: t,
+                duration: Duration::from_millis(80),
+                ..AppWorkload::default()
+            },
+        )
+        .throughput
+    };
+
+    println!("\nstatic configurations:");
+    for cfg in [
+        TmConfig::stm(BackendId::Tl2, 1),
+        TmConfig::stm(BackendId::TinyStm, threads),
+        TmConfig::stm(BackendId::NOrec, threads),
+        TmConfig::htm(BackendId::Htm, threads, HtmSetting::DEFAULT),
+    ] {
+        poly.apply(&cfg).unwrap();
+        println!("  {cfg:<20} {:>12.0} tx/s", measure(cfg.threads.min(threads)));
+    }
+
+    println!("\nProteusTM tuning...");
+    let outcome = proteus.optimize(&mut |cfg: &TmConfig| measure(cfg.threads.min(threads)));
+    println!(
+        "chosen {} after {} explorations; steady state {:>12.0} tx/s",
+        outcome.chosen,
+        outcome.exploration.len(),
+        measure(outcome.chosen.threads.min(threads)),
+    );
+
+    app.check_money_conservation(poly.system());
+    println!("money conservation verified across all reconfigurations ✓");
+}

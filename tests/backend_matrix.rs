@@ -1,0 +1,153 @@
+//! Cross-crate matrix test: every application × every backend, with the
+//! structures' own invariant checkers as the oracle.
+
+use apps::kernels::{Bayes, Genome, Intruder, Kmeans, Labyrinth, Ssca2, Vacation, Yada};
+use apps::structures::RedBlackTree;
+use apps::systems::{Memcached, Sb7Mix, StmBench7, TpcC};
+use apps::{drive, AppWorkload, TmApp};
+use polytm::{BackendId, HtmSetting, PolyTm, TmConfig, Worker};
+use std::sync::Arc;
+use txcore::util::XorShift64;
+use txcore::TxResult;
+
+fn all_configs(threads: usize) -> Vec<TmConfig> {
+    BackendId::ALL
+        .iter()
+        .map(|&id| TmConfig {
+            backend: id,
+            threads,
+            htm: id.is_hardware().then_some(HtmSetting::DEFAULT),
+        })
+        .collect()
+}
+
+#[test]
+fn every_kernel_runs_on_every_backend() {
+    let poly = Arc::new(
+        PolyTm::builder()
+            .heap_words(1 << 20)
+            .max_threads(2)
+            .build(),
+    );
+    let sys = poly.system();
+    let apps: Vec<Arc<dyn TmApp>> = vec![
+        Arc::new(Vacation::setup(sys, 32, 4, 2)),
+        Arc::new(Kmeans::setup(sys, 4, 3)),
+        Arc::new(Labyrinth::setup(sys, 32, 32, 12)),
+        Arc::new(Intruder::setup(sys, 32, 6)),
+        Arc::new(Genome::setup(sys, 64)),
+        Arc::new(Ssca2::setup(sys, 64, 6)),
+        Arc::new(Yada::setup(sys, 64, 8)),
+        Arc::new(Bayes::setup(sys, 12, 3)),
+        Arc::new(Memcached::setup(sys, 64, 80)),
+        Arc::new(StmBench7::setup(sys, 64, 12, Sb7Mix::default())),
+        Arc::new(TpcC::setup(sys, 1, 4)),
+    ];
+    for config in all_configs(2) {
+        poly.apply(&config).unwrap();
+        for app in &apps {
+            let report = drive(
+                &poly,
+                app,
+                AppWorkload {
+                    threads: 2,
+                    ops_per_thread: Some(25),
+                    ..AppWorkload::default()
+                },
+            );
+            assert!(
+                report.stats.commits > 0,
+                "{} on {} made no progress",
+                app.name(),
+                config
+            );
+        }
+    }
+}
+
+#[test]
+fn red_black_tree_invariants_hold_on_every_backend() {
+    struct RbtApp {
+        tree: RedBlackTree,
+    }
+    impl TmApp for RbtApp {
+        fn name(&self) -> &'static str {
+            "rbt"
+        }
+        fn op(&self, poly: &PolyTm, worker: &mut Worker, rng: &mut XorShift64) {
+            let key = rng.next_below(200);
+            let heap = &poly.system().heap;
+            match rng.next_below(10) {
+                0..=4 => {
+                    poly.run_tx(worker, |tx| self.tree.get(tx, key));
+                }
+                5..=7 => {
+                    poly.run_tx(worker, |tx| -> TxResult<()> {
+                        self.tree.insert(tx, heap, key, key)?;
+                        Ok(())
+                    });
+                }
+                _ => {
+                    poly.run_tx(worker, |tx| self.tree.remove(tx, key));
+                }
+            }
+        }
+    }
+    for config in all_configs(3) {
+        let poly = Arc::new(
+            PolyTm::builder()
+                .heap_words(1 << 20)
+                .max_threads(3)
+                .build(),
+        );
+        poly.apply(&config).unwrap();
+        let tree = RedBlackTree::create(&poly.system().heap);
+        let app: Arc<dyn TmApp> = Arc::new(RbtApp { tree });
+        drive(
+            &poly,
+            &app,
+            AppWorkload {
+                threads: 3,
+                ops_per_thread: Some(300),
+                ..AppWorkload::default()
+            },
+        );
+        tree.check_invariants(&poly.system().heap);
+    }
+}
+
+#[test]
+fn switching_mid_run_preserves_kernel_invariants() {
+    let poly = Arc::new(
+        PolyTm::builder()
+            .heap_words(1 << 20)
+            .max_threads(4)
+            .build(),
+    );
+    let app = Arc::new(Kmeans::setup(poly.system(), 4, 2));
+    let app_dyn: Arc<dyn TmApp> = app.clone();
+    let configs = all_configs(4);
+    std::thread::scope(|s| {
+        let poly2 = Arc::clone(&poly);
+        let handle = s.spawn(move || {
+            drive(
+                &poly2,
+                &app_dyn,
+                AppWorkload {
+                    threads: 4,
+                    ops_per_thread: Some(400),
+                    ..AppWorkload::default()
+                },
+            )
+        });
+        // Adapter: hammer reconfigurations while the kernel runs.
+        for _ in 0..5 {
+            for c in &configs {
+                poly.apply(c).unwrap();
+            }
+        }
+        let report = handle.join().unwrap();
+        assert_eq!(report.stats.commits, 1600);
+    });
+    assert_eq!(app.total_points(poly.system()), 1600);
+}

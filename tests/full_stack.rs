@@ -1,0 +1,134 @@
+//! End-to-end integration: the ProteusTM facade optimizing real
+//! applications on the real TM stack.
+
+use apps::structures::HashMap;
+use apps::systems::TpcC;
+use apps::{drive, AppWorkload, TmApp};
+use proteustm::{Kpi, ProteusTm, TmConfig};
+use std::sync::Arc;
+use std::time::Duration;
+use txcore::TxResult;
+
+#[test]
+fn facade_optimizes_a_real_application_end_to_end() {
+    let proteus = ProteusTm::builder()
+        .heap_words(1 << 18)
+        .max_threads(4)
+        .kpi(Kpi::Throughput)
+        .training_workloads(30)
+        .build();
+    let poly = Arc::clone(proteus.poly());
+    let map = HashMap::create(&poly.system().heap, 256);
+
+    struct MapApp {
+        map: HashMap,
+    }
+    impl TmApp for MapApp {
+        fn name(&self) -> &'static str {
+            "map-mix"
+        }
+        fn op(
+            &self,
+            poly: &polytm::PolyTm,
+            worker: &mut polytm::Worker,
+            rng: &mut txcore::util::XorShift64,
+        ) {
+            let key = rng.next_below(256);
+            let heap = &poly.system().heap;
+            if rng.next_below(10) < 8 {
+                poly.run_tx(worker, |tx| self.map.get(tx, key));
+            } else {
+                poly.run_tx(worker, |tx| -> TxResult<()> {
+                    self.map.insert(tx, heap, key, key)?;
+                    Ok(())
+                });
+            }
+        }
+    }
+    let app: Arc<dyn TmApp> = Arc::new(MapApp { map });
+
+    // Measurement = drive the real application for a short quantum in the
+    // configuration ProteusTM applied, and report actual throughput.
+    let outcome = proteus.optimize(&mut |cfg: &TmConfig| {
+        let report = drive(
+            &poly,
+            &app,
+            AppWorkload {
+                threads: cfg.threads.min(4),
+                duration: Duration::from_millis(15),
+                ..AppWorkload::default()
+            },
+        );
+        report.throughput
+    });
+    assert!(!outcome.exploration.is_empty());
+    assert!(outcome.exploration.len() <= 20);
+    assert_eq!(proteus.poly().current_config(), outcome.chosen);
+    assert!(outcome.exploration.best_kpi > 0.0);
+
+    // The runtime must still be fully functional after all the switching.
+    let report = drive(
+        &poly,
+        &app,
+        AppWorkload {
+            threads: outcome.chosen.threads.min(4),
+            ops_per_thread: Some(200),
+            ..AppWorkload::default()
+        },
+    );
+    assert_eq!(
+        report.stats.commits,
+        200 * outcome.chosen.threads.min(4) as u64
+    );
+}
+
+#[test]
+fn tpcc_conserves_money_across_every_backend() {
+    let poly = Arc::new(
+        polytm::PolyTm::builder()
+            .heap_words(1 << 18)
+            .max_threads(4)
+            .build(),
+    );
+    let app = Arc::new(TpcC::setup(poly.system(), 2, 6));
+    let app_dyn: Arc<dyn TmApp> = app.clone();
+    for id in polytm::BackendId::ALL {
+        poly.apply(&TmConfig {
+            backend: id,
+            threads: 4,
+            htm: id.is_hardware().then_some(polytm::HtmSetting::DEFAULT),
+        })
+        .unwrap();
+        drive(
+            &poly,
+            &app_dyn,
+            AppWorkload {
+                threads: 4,
+                ops_per_thread: Some(60),
+                ..AppWorkload::default()
+            },
+        );
+        app.check_money_conservation(poly.system());
+    }
+}
+
+#[test]
+fn monitor_detects_an_induced_throughput_collapse() {
+    let proteus = ProteusTm::builder()
+        .heap_words(1 << 12)
+        .max_threads(2)
+        .training_workloads(20)
+        .build();
+    let mut monitor = proteus.monitor();
+    for _ in 0..30 {
+        assert!(!monitor.observe(5_000.0));
+    }
+    let mut detected = false;
+    for _ in 0..20 {
+        if monitor.observe(500.0) {
+            detected = true;
+            break;
+        }
+    }
+    assert!(detected, "a 10x collapse must trip the monitor");
+}

@@ -1,0 +1,152 @@
+//! End-to-end learning-pipeline integration: RecTM trained on a simulated
+//! corpus must recommend near-optimal configurations for held-out
+//! workloads (the §6.3 protocol, at test scale).
+
+use polytm::Kpi;
+use proteustm::Goal;
+use recsys::UtilityMatrix;
+use rectm::{NormalizationChoice, RecTm, RecTmOptions};
+use tmsim::{corpus, MachineModel, PerfModel};
+
+fn kpi_matrix(
+    model: &PerfModel,
+    workloads: &[tmsim::Workload],
+    kpi: Kpi,
+) -> (Vec<Vec<f64>>, UtilityMatrix) {
+    let space = model.machine().config_space();
+    let truth: Vec<Vec<f64>> = workloads
+        .iter()
+        .map(|w| {
+            space
+                .configs()
+                .iter()
+                .enumerate()
+                .map(|(i, c)| model.noisy_kpi(w.id, &w.spec, c, i, kpi, 0))
+                .collect()
+        })
+        .collect();
+    let matrix = UtilityMatrix::from_rows(
+        truth
+            .iter()
+            .map(|r| r.iter().map(|&v| Some(v)).collect())
+            .collect(),
+    );
+    (truth, matrix)
+}
+
+#[test]
+fn rectm_reaches_near_optimal_configs_on_heldout_workloads() {
+    let model = PerfModel::new(MachineModel::machine_a());
+    let all = corpus(80, 0xE2E);
+    let (train_ws, test_ws) = all.split_at(50);
+    let (_, train_matrix) = kpi_matrix(&model, train_ws, Kpi::Throughput);
+    let (test_truth, _) = kpi_matrix(&model, test_ws, Kpi::Throughput);
+
+    let rectm = RecTm::offline(
+        &train_matrix,
+        RecTmOptions {
+            goal: Goal::Maximize,
+            normalization: NormalizationChoice::Distillation,
+            tuning: recsys::TuningOptions {
+                n_candidates: 6,
+                knn_only: true,
+                ..recsys::TuningOptions::default()
+            },
+            ..RecTmOptions::default()
+        },
+    );
+
+    let mut dfos = Vec::new();
+    let mut explorations = Vec::new();
+    for truth_row in &test_truth {
+        let out = rectm.optimize_workload(&mut |c| truth_row[c]);
+        let best = truth_row.iter().cloned().fold(0.0, f64::max);
+        dfos.push((best - truth_row[out.recommended]) / best);
+        explorations.push(out.explored.len());
+    }
+    let mdfo = dfos.iter().sum::<f64>() / dfos.len() as f64;
+    let mean_expl = explorations.iter().sum::<usize>() as f64 / explorations.len() as f64;
+    assert!(
+        mdfo < 0.10,
+        "MDFO {mdfo:.3} too far from optimal (explorations avg {mean_expl:.1})"
+    );
+    assert!(
+        mean_expl < 15.0,
+        "exploration should stay well below the 130-config space: {mean_expl}"
+    );
+}
+
+#[test]
+fn distillation_predicts_better_than_no_normalization() {
+    // Fig. 4's protocol: recommend purely from the CF prediction given a
+    // handful of random samples (no adaptive exploration to hide model
+    // error behind).
+    let model = PerfModel::new(MachineModel::machine_a());
+    let all = corpus(60, 0xE2F);
+    let (train_ws, test_ws) = all.split_at(40);
+    let (_, train_matrix) = kpi_matrix(&model, train_ws, Kpi::ExecTime);
+    let (test_truth, _) = kpi_matrix(&model, test_ws, Kpi::ExecTime);
+    let ncols = train_matrix.ncols();
+
+    let mdfo_of = |normalization: NormalizationChoice| {
+        let rec = rectm::Recommender::fit(
+            &train_matrix,
+            Goal::Minimize,
+            normalization.build(),
+            recsys::CfAlgorithm::Knn {
+                similarity: recsys::Similarity::Cosine,
+                k: 5,
+            },
+        );
+        let mut total = 0.0;
+        for (wi, truth_row) in test_truth.iter().enumerate() {
+            // Five deterministic pseudo-random samples (plus the reference
+            // column when the scheme needs one).
+            let mut known: Vec<Option<f64>> = vec![None; ncols];
+            if let Some(r) = rec.reference_col() {
+                known[r] = Some(truth_row[r]);
+            }
+            let mut h = wi as u64;
+            while known.iter().flatten().count() < 5 {
+                h = h.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let c = (h >> 33) as usize % ncols;
+                known[c] = Some(truth_row[c]);
+            }
+            let chosen = rec.recommend(&known).expect("prediction available");
+            let best = truth_row.iter().cloned().fold(f64::INFINITY, f64::min);
+            total += (truth_row[chosen] - best) / best;
+        }
+        total / test_truth.len() as f64
+    };
+
+    let distilled = mdfo_of(NormalizationChoice::Distillation);
+    let raw = mdfo_of(NormalizationChoice::None);
+    assert!(
+        distilled < raw,
+        "distillation ({distilled:.3}) must beat raw-KPI recommendations ({raw:.3})"
+    );
+}
+
+#[test]
+fn wrong_static_configs_are_catastrophic_in_the_model() {
+    // The premise that makes tuning worthwhile (Fig. 1): static
+    // configurations can be orders of magnitude off.
+    let model = PerfModel::new(MachineModel::machine_a());
+    let ws = corpus(60, 0xE30);
+    let space = model.machine().config_space();
+    let mut worst_ratio: f64 = 1.0;
+    for w in &ws {
+        let kpis: Vec<f64> = space
+            .configs()
+            .iter()
+            .map(|c| model.throughput(&w.spec, c))
+            .collect();
+        let best = kpis.iter().cloned().fold(0.0, f64::max);
+        let worst = kpis.iter().cloned().fold(f64::INFINITY, f64::min);
+        worst_ratio = worst_ratio.max(best / worst);
+    }
+    assert!(
+        worst_ratio > 20.0,
+        "expected order-of-magnitude spread, got {worst_ratio:.1}x"
+    );
+}

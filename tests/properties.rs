@@ -1,0 +1,248 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use proptest::prelude::*;
+use proteustm::Goal;
+use recsys::{DistillationNorm, Normalization, Row, UtilityMatrix};
+use smbo::expected_improvement;
+use std::sync::Arc;
+use stm::{NOrec, SwissTm, TinyStm, Tl2};
+use txcore::{run_tx, ThreadCtx, TmBackend, TmSystem};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rating distillation preserves pairwise KPI ratios within every row
+    /// (property (i) of §5.1), for arbitrary positive matrices.
+    #[test]
+    fn distillation_preserves_ratios(
+        rows in prop::collection::vec(
+            prop::collection::vec(1e-3f64..1e6, 4),
+            2..8,
+        )
+    ) {
+        let m = UtilityMatrix::from_rows(
+            rows.iter().map(|r| r.iter().map(|&v| Some(v)).collect()).collect(),
+        );
+        let mut n = DistillationNorm::new();
+        n.fit(&m);
+        prop_assume!(n.reference().is_some());
+        for row in &rows {
+            let known: Row = row.iter().map(|&v| Some(v)).collect();
+            let ratings = n.to_ratings(&known).expect("fully known row");
+            for i in 0..row.len() {
+                for j in 0..row.len() {
+                    let kpi_ratio = row[i] / row[j];
+                    let r_ratio = ratings[i].unwrap() / ratings[j].unwrap();
+                    prop_assert!(
+                        (kpi_ratio - r_ratio).abs() <= 1e-6 * kpi_ratio.abs().max(1.0),
+                        "ratio broken: {kpi_ratio} vs {r_ratio}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Expected improvement is non-negative and monotone in the
+    /// promisingness of the candidate.
+    #[test]
+    fn expected_improvement_properties(
+        mu in -1e3f64..1e3,
+        sigma in 0.0f64..1e2,
+        best in -1e3f64..1e3,
+    ) {
+        let ei = expected_improvement(mu, sigma, best, Goal::Minimize);
+        prop_assert!(ei >= 0.0);
+        prop_assert!(ei.is_finite());
+        // A strictly better mean never decreases the EI.
+        let better = expected_improvement(mu - 1.0, sigma, best, Goal::Minimize);
+        prop_assert!(better + 1e-9 >= ei);
+    }
+
+    /// Counter increments are never lost, for any backend and thread count
+    /// (the fundamental TM safety property, fuzzed over schedules).
+    #[test]
+    fn no_backend_loses_increments(
+        backend_idx in 0usize..4,
+        threads in 1usize..4,
+        increments in 1u64..60,
+    ) {
+        let sys = Arc::new(TmSystem::new(1 << 10));
+        let backend: Arc<dyn TmBackend> = match backend_idx {
+            0 => Arc::new(Tl2::new(Arc::clone(&sys))),
+            1 => Arc::new(TinyStm::new(Arc::clone(&sys))),
+            2 => Arc::new(NOrec::new(Arc::clone(&sys))),
+            _ => Arc::new(SwissTm::new(Arc::clone(&sys))),
+        };
+        let counter = sys.heap.alloc(1);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let backend = Arc::clone(&backend);
+                s.spawn(move || {
+                    let mut ctx = ThreadCtx::new(t);
+                    for _ in 0..increments {
+                        run_tx(backend.as_ref(), &mut ctx, |tx| {
+                            let v = tx.read(counter)?;
+                            tx.write(counter, v + 1)
+                        });
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(
+            sys.heap.read_raw(counter),
+            threads as u64 * increments
+        );
+    }
+
+    /// Single-threaded red-black-tree semantics match BTreeMap for any
+    /// operation sequence, on any backend.
+    #[test]
+    fn rbt_matches_btreemap(
+        backend_idx in 0usize..4,
+        ops in prop::collection::vec((0u8..3, 0u64..50), 1..120),
+    ) {
+        let sys = Arc::new(TmSystem::new(1 << 16));
+        let backend: Arc<dyn TmBackend> = match backend_idx {
+            0 => Arc::new(Tl2::new(Arc::clone(&sys))),
+            1 => Arc::new(TinyStm::new(Arc::clone(&sys))),
+            2 => Arc::new(NOrec::new(Arc::clone(&sys))),
+            _ => Arc::new(SwissTm::new(Arc::clone(&sys))),
+        };
+        let tree = apps::structures::RedBlackTree::create(&sys.heap);
+        let mut ctx = ThreadCtx::new(0);
+        let mut model = std::collections::BTreeMap::new();
+        for (op, key) in ops {
+            match op {
+                0 => {
+                    let ins = run_tx(backend.as_ref(), &mut ctx, |tx| {
+                        tree.insert(tx, &sys.heap, key, key * 7)
+                    });
+                    prop_assert_eq!(ins, model.insert(key, key * 7).is_none());
+                }
+                1 => {
+                    let rem = run_tx(backend.as_ref(), &mut ctx, |tx| tree.remove(tx, key));
+                    prop_assert_eq!(rem, model.remove(&key).is_some());
+                }
+                _ => {
+                    let got = run_tx(backend.as_ref(), &mut ctx, |tx| tree.get(tx, key));
+                    prop_assert_eq!(got, model.get(&key).copied());
+                }
+            }
+        }
+        prop_assert_eq!(tree.check_invariants(&sys.heap), model.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The HTM backends (speculative paths, budgets, fallbacks) never lose
+    /// increments either — fuzzed over budgets and capacity policies, with
+    /// a tiny geometry so capacity aborts and fallbacks actually happen.
+    #[test]
+    fn htm_backends_never_lose_increments(
+        which in 0usize..3,
+        budget in 1u32..6,
+        policy_idx in 0usize..3,
+        threads in 1usize..4,
+        increments in 1u64..40,
+    ) {
+        let sys = Arc::new(TmSystem::new(1 << 12));
+        let geom = htm::HtmGeometry::TINY_FOR_TESTS;
+        let policy = htm::CapacityPolicy::ALL[policy_idx];
+        let backend: Arc<dyn TmBackend> = match which {
+            0 => {
+                let b = htm::HtmSim::with_geometry(Arc::clone(&sys), geom);
+                b.cm().set(budget, policy);
+                Arc::new(b)
+            }
+            1 => {
+                let b = htm::HybridNOrec::with_geometry(Arc::clone(&sys), geom);
+                b.cm().set(budget, policy);
+                Arc::new(b)
+            }
+            _ => {
+                let b = htm::HybridTl2::with_geometry(Arc::clone(&sys), geom);
+                b.cm().set(budget, policy);
+                Arc::new(b)
+            }
+        };
+        // Two counters in different cache lines plus one oversized block
+        // per thread to exercise the capacity/fallback machinery.
+        let small = sys.heap.alloc(1);
+        let big = sys.heap.alloc(128);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let backend = Arc::clone(&backend);
+                s.spawn(move || {
+                    let mut ctx = ThreadCtx::new(t);
+                    for i in 0..increments {
+                        if i % 5 == 4 {
+                            // Oversized: touches 16 lines.
+                            run_tx(backend.as_ref(), &mut ctx, |tx| {
+                                for k in 0..16u32 {
+                                    let a = big.field(k * 8);
+                                    let v = tx.read(a)?;
+                                    tx.write(a, v + 1)?;
+                                }
+                                Ok(())
+                            });
+                        } else {
+                            run_tx(backend.as_ref(), &mut ctx, |tx| {
+                                let v = tx.read(small)?;
+                                tx.write(small, v + 1)
+                            });
+                        }
+                    }
+                });
+            }
+        });
+        let big_expected: u64 = (0..threads as u64)
+            .map(|_| increments / 5)
+            .sum();
+        let small_expected = threads as u64 * increments - big_expected;
+        prop_assert_eq!(sys.heap.read_raw(small), small_expected);
+        for k in 0..16u32 {
+            prop_assert_eq!(sys.heap.read_raw(big.field(k * 8)), big_expected);
+        }
+    }
+
+    /// Monitor: a clean step change of sufficient relative size is always
+    /// detected, regardless of the baseline level.
+    #[test]
+    fn monitor_detects_any_large_step(
+        level in 1.0f64..1e9,
+        drop_frac in 0.05f64..0.8,
+    ) {
+        let mut m = proteustm::Monitor::with_defaults();
+        for i in 0..30 {
+            // ±1% stationary noise.
+            let x = level * (1.0 + 0.01 * ((i % 5) as f64 - 2.0) / 2.0);
+            m.observe(x);
+        }
+        let dropped = level * drop_frac;
+        let mut hit = false;
+        for _ in 0..40 {
+            if m.observe(dropped) {
+                hit = true;
+                break;
+            }
+        }
+        prop_assert!(hit, "drop to {:.0}% undetected", drop_frac * 100.0);
+    }
+
+    /// The config space round-trips: every configuration in either machine
+    /// space can be applied to a big-enough PolyTM runtime.
+    #[test]
+    fn every_machine_a_config_is_applicable(idx in 0usize..130) {
+        let space = polytm::ConfigSpace::machine_a();
+        prop_assume!(idx < space.len());
+        let cfg = space.configs()[idx];
+        let poly = polytm::PolyTm::builder()
+            .heap_words(256)
+            .max_threads(8)
+            .build();
+        prop_assert!(poly.apply(&cfg).is_ok());
+        prop_assert_eq!(poly.current_config(), cfg);
+    }
+}
