@@ -130,8 +130,7 @@ mod tests {
         let mut ctx = txcore::ThreadCtx::new(0);
         let mut in_progress = 0u64;
         for flow in 1..=8u64 {
-            in_progress +=
-                txcore::run_tx(&tm, &mut ctx, |tx| app.flows.get(tx, flow)).unwrap_or(0);
+            in_progress += txcore::run_tx(&tm, &mut ctx, |tx| app.flows.get(tx, flow)).unwrap_or(0);
         }
         let consumed = head;
         let completed = app.detected(sys);

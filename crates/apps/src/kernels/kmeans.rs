@@ -132,10 +132,7 @@ mod tests {
             }
             let sum0 = poly.system().heap.read_raw(app.accums.field(base + 1));
             let mean0 = sum0 / count;
-            assert!(
-                mean0.abs_diff(c * 1000) < 20,
-                "centroid {c}: mean {mean0}"
-            );
+            assert!(mean0.abs_diff(c * 1000) < 20, "centroid {c}: mean {mean0}");
         }
     }
 }

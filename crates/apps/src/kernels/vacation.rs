@@ -56,12 +56,7 @@ impl Vacation {
     /// One reservation: check availability of `q` random items across the
     /// tables and, if all available, take one unit of each and record the
     /// booking on the customer.
-    fn make_reservation(
-        &self,
-        poly: &PolyTm,
-        worker: &mut Worker,
-        rng: &mut XorShift64,
-    ) -> bool {
+    fn make_reservation(&self, poly: &PolyTm, worker: &mut Worker, rng: &mut XorShift64) -> bool {
         let q = self.queries_per_tx;
         // Distinct (table, item) picks: booking the same item twice in one
         // reservation would double-decrement its availability.
@@ -163,8 +158,7 @@ mod tests {
         let mut ctx = txcore::ThreadCtx::new(0);
         for table in [&app.cars, &app.rooms, &app.flights] {
             for item in 0..64 {
-                let avail =
-                    txcore::run_tx(&tm, &mut ctx, |tx| table.get(tx, item)).unwrap_or(0);
+                let avail = txcore::run_tx(&tm, &mut ctx, |tx| table.get(tx, item)).unwrap_or(0);
                 assert!(avail < 1000, "availability ran away: {avail}");
             }
         }

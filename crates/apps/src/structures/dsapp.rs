@@ -174,12 +174,7 @@ mod tests {
     #[test]
     fn all_four_structures_run_concurrently() {
         for kind in DsKind::ALL {
-            let poly = Arc::new(
-                PolyTm::builder()
-                    .heap_words(1 << 18)
-                    .max_threads(3)
-                    .build(),
-            );
+            let poly = Arc::new(PolyTm::builder().heap_words(1 << 18).max_threads(3).build());
             let params = DsParams {
                 update_pct: 50,
                 key_range: 128,

@@ -147,7 +147,12 @@ mod tests {
     fn sorted_insertion_and_lookup() {
         let (sys, tm, mut ctx, list) = setup();
         for k in [5u64, 1, 9, 3, 7] {
-            assert!(run_tx(&tm, &mut ctx, |tx| list.insert(tx, &sys.heap, k, k * 2)));
+            assert!(run_tx(&tm, &mut ctx, |tx| list.insert(
+                tx,
+                &sys.heap,
+                k,
+                k * 2
+            )));
         }
         for k in [1u64, 3, 5, 7, 9] {
             assert_eq!(run_tx(&tm, &mut ctx, |tx| list.get(tx, k)), Some(k * 2));

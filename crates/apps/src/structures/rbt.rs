@@ -398,13 +398,7 @@ impl RedBlackTree {
             BLACK,
             "root must be black"
         );
-        fn walk(
-            heap: &Heap,
-            nil: u64,
-            n: u64,
-            lo: Option<u64>,
-            hi: Option<u64>,
-        ) -> (usize, usize) {
+        fn walk(heap: &Heap, nil: u64, n: u64, lo: Option<u64>, hi: Option<u64>) -> (usize, usize) {
             if n == nil {
                 return (0, 1); // black height of nil = 1
             }

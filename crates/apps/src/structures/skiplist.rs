@@ -65,11 +65,7 @@ impl SkipList {
     }
 
     /// Walk down the towers collecting the predecessor at every level.
-    fn find_preds(
-        &self,
-        tx: &mut Tx<'_>,
-        key: u64,
-    ) -> TxResult<([u64; MAX_LEVEL], u64)> {
+    fn find_preds(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<([u64; MAX_LEVEL], u64)> {
         let head = tx.read(self.header.field(H_HEAD))?;
         let mut preds = [head; MAX_LEVEL];
         let mut cur = head;
@@ -157,7 +153,12 @@ mod tests {
     fn insert_get_remove() {
         let (sys, tm, mut ctx, sl) = setup();
         for k in [10u64, 5, 20, 15, 1] {
-            assert!(run_tx(&tm, &mut ctx, |tx| sl.insert(tx, &sys.heap, k, k + 100)));
+            assert!(run_tx(&tm, &mut ctx, |tx| sl.insert(
+                tx,
+                &sys.heap,
+                k,
+                k + 100
+            )));
         }
         assert_eq!(run_tx(&tm, &mut ctx, |tx| sl.get(tx, 15)), Some(115));
         assert_eq!(run_tx(&tm, &mut ctx, |tx| sl.get(tx, 16)), None);
@@ -186,10 +187,7 @@ mod tests {
                 }
             }
         }
-        assert_eq!(
-            run_tx(&tm, &mut ctx, |tx| sl.len(tx)),
-            model.len() as u64
-        );
+        assert_eq!(run_tx(&tm, &mut ctx, |tx| sl.len(tx)), model.len() as u64);
         for (k, v) in model {
             assert_eq!(run_tx(&tm, &mut ctx, |tx| sl.get(tx, k)), Some(v));
         }

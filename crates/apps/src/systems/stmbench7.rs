@@ -62,10 +62,7 @@ impl StmBench7 {
             let base = (p * PART_WORDS) as u32;
             heap.write_raw(parts.field(base + VAL), p);
             for c in 0..CONNS {
-                heap.write_raw(
-                    parts.field(base + CONN + c as u32),
-                    rng.next_below(n_parts),
-                );
+                heap.write_raw(parts.field(base + CONN + c as u32), rng.next_below(n_parts));
             }
         }
         StmBench7 {
@@ -144,7 +141,8 @@ impl TmApp for StmBench7 {
 
     fn op(&self, poly: &PolyTm, worker: &mut Worker, rng: &mut XorShift64) {
         let p = rng.next_below(self.n_parts);
-        let total = self.mix.traversal + self.mix.short_read + self.mix.update + self.mix.structural;
+        let total =
+            self.mix.traversal + self.mix.short_read + self.mix.update + self.mix.structural;
         let roll = rng.next_below(total.max(1));
         if roll < self.mix.traversal {
             self.traversal(poly, worker, p);
@@ -153,7 +151,13 @@ impl TmApp for StmBench7 {
         } else if roll < self.mix.traversal + self.mix.short_read + self.mix.update {
             self.update(poly, worker, p, rng.next_u64());
         } else {
-            self.structural(poly, worker, p, rng.next_below(self.n_parts), rng.next_u64());
+            self.structural(
+                poly,
+                worker,
+                p,
+                rng.next_below(self.n_parts),
+                rng.next_u64(),
+            );
         }
     }
 }
@@ -166,12 +170,7 @@ mod tests {
     #[test]
     fn graph_stays_well_formed_under_concurrency() {
         let poly = Arc::new(PolyTm::builder().heap_words(1 << 16).max_threads(4).build());
-        let app = Arc::new(StmBench7::setup(
-            poly.system(),
-            128,
-            20,
-            Sb7Mix::default(),
-        ));
+        let app = Arc::new(StmBench7::setup(poly.system(), 128, 20, Sb7Mix::default()));
         let app_dyn: Arc<dyn TmApp> = app.clone();
         let report = drive(
             &poly,

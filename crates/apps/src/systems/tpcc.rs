@@ -59,7 +59,10 @@ impl TpcC {
             ol_cnt: ol_cnt.clamp(1, 15),
         };
         for c in 0..(w * DISTRICTS_PER_WH * CUSTOMERS_PER_DIST) {
-            heap.write_raw(db.customers.field((c * C_WORDS) as u32 + C_BALANCE), INITIAL_BALANCE);
+            heap.write_raw(
+                db.customers.field((c * C_WORDS) as u32 + C_BALANCE),
+                INITIAL_BALANCE,
+            );
         }
         for s in 0..(w * ITEMS) {
             heap.write_raw(db.stock.field((s * S_WORDS) as u32 + S_QTY), INITIAL_STOCK);

@@ -1,0 +1,66 @@
+//! Parallel-pipeline benchmark: bagging-ensemble fit and truth-matrix
+//! generation at 1/2/4/8 evaluation workers (`parx::with_jobs`).
+//!
+//! On a multi-core host the 4-job fit should be several times faster than
+//! the 1-job fit; on a single-core host the times coincide (parx falls
+//! back to the caller's thread when a pool cannot help). Either way the
+//! *results* are bit-identical — see `crates/bench/tests/determinism.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polytm::Kpi;
+use recsys::{BaggingEnsemble, CfAlgorithm, Similarity, UtilityMatrix};
+use std::hint::black_box;
+use tmsim::{corpus_with_families, MachineModel, PerfModel, WorkloadFamily};
+
+fn training(nrows: usize) -> UtilityMatrix {
+    let machine = MachineModel::machine_a();
+    let model = PerfModel::new(machine.clone());
+    let ws = corpus_with_families(&WorkloadFamily::ALL, nrows, 1);
+    let space = machine.config_space();
+    UtilityMatrix::from_rows(
+        ws.iter()
+            .map(|w| {
+                space
+                    .configs()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| Some(model.noisy_kpi(w.id, &w.spec, c, i, Kpi::Throughput, 0)))
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let ratings = training(48);
+    let algo = CfAlgorithm::Knn {
+        similarity: Similarity::Cosine,
+        k: 5,
+    };
+    let mut group = c.benchmark_group("pipeline");
+    for jobs in [1usize, 2, 4, 8] {
+        group.bench_function(format!("ensemble_fit_10/jobs={jobs}"), |b| {
+            b.iter(|| {
+                parx::with_jobs(jobs, || {
+                    BaggingEnsemble::fit(black_box(&ratings), algo, 10, 3)
+                })
+            })
+        });
+    }
+    for jobs in [1usize, 4] {
+        group.bench_function(format!("truth_matrix_48x130/jobs={jobs}"), |b| {
+            b.iter(|| parx::with_jobs(jobs, || training(48)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench_pipeline
+);
+criterion_main!(benches);

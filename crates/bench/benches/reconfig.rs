@@ -12,7 +12,11 @@ fn bench_reconfig(c: &mut Criterion) {
         let mut flip = false;
         b.iter(|| {
             flip = !flip;
-            let id = if flip { BackendId::SwissTm } else { BackendId::Tl2 };
+            let id = if flip {
+                BackendId::SwissTm
+            } else {
+                BackendId::Tl2
+            };
             poly.apply(&TmConfig::stm(id, 4)).unwrap()
         })
     });

@@ -5,8 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use polytm::Kpi;
 use recsys::{
-    BaggingEnsemble, CfAlgorithm, DistillationNorm, Normalization, Row, Similarity,
-    UtilityMatrix,
+    BaggingEnsemble, CfAlgorithm, DistillationNorm, Normalization, Row, Similarity, UtilityMatrix,
 };
 use rectm::{Controller, ControllerSettings, NormalizationChoice};
 use std::hint::black_box;

@@ -1,10 +1,15 @@
 //! Regenerate the ProteusTM paper's tables and figures.
 //!
 //! ```text
-//! experiments all            # everything (a few minutes in --release)
-//! experiments fig4 fig5      # selected experiments
-//! experiments --quick all    # reduced corpus sizes (CI-friendly)
+//! experiments all               # everything (a few minutes in --release)
+//! experiments fig4 fig5         # selected experiments
+//! experiments --quick all       # reduced corpus sizes (CI-friendly)
+//! experiments --jobs 4 fig5     # evaluation worker threads (or PROTEUS_JOBS)
 //! ```
+//!
+//! Results are bit-identical at every `--jobs` value: the evaluation
+//! pipeline derives all randomness from per-task seeds and folds results
+//! in a fixed order (see the `parx` crate).
 
 use std::collections::BTreeMap;
 
@@ -36,7 +41,11 @@ const RUNNERS: [Runner; 9] = [
 ];
 
 /// Aliases: paper artifact name → canonical experiment.
-const ALIASES: [(&str, &str); 3] = [("table2", "table23"), ("table3", "table23"), ("table6", "fig8")];
+const ALIASES: [(&str, &str); 3] = [
+    ("table2", "table23"),
+    ("table3", "table23"),
+    ("table6", "fig8"),
+];
 
 fn main() {
     let mut index: BTreeMap<&str, fn(bool)> = RUNNERS.iter().cloned().collect();
@@ -48,10 +57,34 @@ fn main() {
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let targets: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let mut targets: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a == "--jobs" {
+            let n = iter
+                .next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    eprintln!("--jobs expects a positive integer");
+                    std::process::exit(2);
+                });
+            parx::set_jobs(n);
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            match v.parse::<usize>() {
+                Ok(n) if n > 0 => parx::set_jobs(n),
+                _ => {
+                    eprintln!("--jobs expects a positive integer");
+                    std::process::exit(2);
+                }
+            }
+        } else if !a.starts_with("--") {
+            targets.push(a);
+        }
+    }
     if targets.is_empty() {
         eprintln!(
-            "usage: experiments [--quick] <all | {} ...>",
+            "usage: experiments [--quick] [--jobs N] <all | {} ...>",
             index.keys().cloned().collect::<Vec<_>>().join(" | ")
         );
         std::process::exit(2);

@@ -3,7 +3,10 @@
 //! workloads for figures).
 
 fn main() {
-    for machine in [tmsim::MachineModel::machine_a(), tmsim::MachineModel::machine_b()] {
+    for machine in [
+        tmsim::MachineModel::machine_a(),
+        tmsim::MachineModel::machine_b(),
+    ] {
         let model = tmsim::PerfModel::new(machine.clone());
         let space = machine.config_space();
         println!("--- {} ---", machine.name);
@@ -12,11 +15,28 @@ fn main() {
             // throughput/joule for A, throughput for B
             let kpi = |c: &polytm::TmConfig| {
                 let x = model.throughput(&spec, c);
-                if machine.has_htm { x / machine.energy.power_watts(c.threads) } else { x }
+                if machine.has_htm {
+                    x / machine.energy.power_watts(c.threads)
+                } else {
+                    x
+                }
             };
-            let best = space.configs().iter().max_by(|a, b| kpi(a).total_cmp(&kpi(b))).unwrap();
-            let worst = space.configs().iter().min_by(|a, b| kpi(a).total_cmp(&kpi(b))).unwrap();
-            println!("{:<16} best {:<20} spread {:.1}x", fam.name(), best.to_string(), kpi(best)/kpi(worst));
+            let best = space
+                .configs()
+                .iter()
+                .max_by(|a, b| kpi(a).total_cmp(&kpi(b)))
+                .unwrap();
+            let worst = space
+                .configs()
+                .iter()
+                .min_by(|a, b| kpi(a).total_cmp(&kpi(b)))
+                .unwrap();
+            println!(
+                "{:<16} best {:<20} spread {:.1}x",
+                fam.name(),
+                best.to_string(),
+                kpi(best) / kpi(worst)
+            );
         }
     }
 }

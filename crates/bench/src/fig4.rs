@@ -81,9 +81,13 @@ fn eval_scheme(
     let mut mape_by_k = Vec::new();
     let mut mdfo_by_k = Vec::new();
     for (ki, &k) in KNOWN_COUNTS.iter().enumerate() {
-        let mut pairs = Vec::new();
-        let mut dfos = Vec::new();
-        for (ti, &row) in test.iter().enumerate() {
+        // Every test workload's evaluation is independent (its column
+        // sample is seeded from `(ki, ti)`), so it runs on the parx pool;
+        // the metric folds below then consume the per-row results in test
+        // order, keeping the tables bit-identical at every job count.
+        type RowEval = (Vec<(f64, f64)>, Option<f64>);
+        let per_row: Vec<RowEval> = parx::par_map_indexed(test.len(), |ti| {
+            let row = test[ti];
             let mut rng = StdRng::seed_from_u64((ki * 10_007 + ti) as u64);
             let cols = bench.sample_columns(k, forced, &mut rng);
             let known: Row = {
@@ -94,6 +98,7 @@ fn eval_scheme(
                 out
             };
             let pred = rec.predict_kpis(&known);
+            let mut pairs = Vec::new();
             for c in 0..bench.configs.len() {
                 if known[c].is_none() {
                     if let Some(p) = pred[c] {
@@ -102,10 +107,14 @@ fn eval_scheme(
                 }
             }
             // Recommendation quality: DFO of the predicted-best column.
-            if let Some(best_col) = rec.recommend(&known) {
-                dfos.push(bench.dfo(row, best_col));
-            }
-        }
+            let dfo = rec.recommend(&known).map(|best| bench.dfo(row, best));
+            (pairs, dfo)
+        });
+        let pairs: Vec<(f64, f64)> = per_row
+            .iter()
+            .flat_map(|(p, _)| p.iter().copied())
+            .collect();
+        let dfos: Vec<f64> = per_row.iter().filter_map(|(_, d)| *d).collect();
         mape_by_k.push(mape(&pairs));
         mdfo_by_k.push(if dfos.is_empty() {
             f64::NAN
@@ -113,7 +122,10 @@ fn eval_scheme(
             dfos.iter().sum::<f64>() / dfos.len() as f64
         });
     }
-    SchemeResult { mape_by_k, mdfo_by_k }
+    SchemeResult {
+        mape_by_k,
+        mdfo_by_k,
+    }
 }
 
 /// Run Figure 4 with a corpus of `n` workloads.

@@ -73,10 +73,11 @@ fn policy_sweep(bench: &Bench, train: &[usize], test: &[usize], with_mape: bool)
     let mut cdf_rows = Vec::new();
     for acq in Acquisition::ALL {
         let ctl = controller(bench, train, acq);
-        let orders: Vec<Vec<(usize, f64)>> = test
-            .iter()
-            .map(|&row| exploration_order(&ctl, bench, row))
-            .collect();
+        // Each test workload explores independently against the shared
+        // (immutable) controller, so the orders come off the parx pool in
+        // test order — identical to the serial sweep at every job count.
+        let orders: Vec<Vec<(usize, f64)>> =
+            parx::par_map(test, |&row| exploration_order(&ctl, bench, row));
         // MDFO per budget.
         let mut row_out = vec![acq.label().to_string()];
         for &n in &BUDGETS {
@@ -103,15 +104,19 @@ fn policy_sweep(bench: &Bench, train: &[usize], test: &[usize], with_mape: bool)
             f3(pct(&dfos5, 100.0)),
         ]);
         // MAPE per budget (only where requested; it is the expensive part).
+        // One parx task per test workload computes that row's MAPE at every
+        // budget; the serial fold below then averages per budget in test
+        // order, reproducing the serial sums bit-for-bit.
         if with_mape {
-            let mut row_out = vec![acq.label().to_string()];
-            for &n in &BUDGETS {
-                let m = test
+            let per_row: Vec<Vec<f64>> = parx::par_map_indexed(test.len(), |i| {
+                BUDGETS
                     .iter()
-                    .zip(&orders)
-                    .map(|(&row, order)| prefix_mape(&ctl, bench, row, order, n))
-                    .sum::<f64>()
-                    / test.len() as f64;
+                    .map(|&n| prefix_mape(&ctl, bench, test[i], &orders[i], n))
+                    .collect()
+            });
+            let mut row_out = vec![acq.label().to_string()];
+            for (bi, _) in BUDGETS.iter().enumerate() {
+                let m = per_row.iter().map(|r| r[bi]).sum::<f64>() / test.len() as f64;
                 row_out.push(f3(m));
             }
             mape_rows.push(row_out);

@@ -28,8 +28,8 @@ fn features(w: &Workload) -> Vec<f64> {
         s.scalability,
         s.htm_fit,
         (s.reads / s.writes.max(1.0)).ln(),
-        s.contention * s.update_frac,      // conflict pressure
-        s.base_tx_us.ln() * s.contention,  // interaction terms
+        s.contention * s.update_frac,     // conflict pressure
+        s.base_tx_us.ln() * s.contention, // interaction terms
     ]
 }
 
@@ -59,17 +59,22 @@ fn run_split(bench: &Bench, train_frac: f64, seed: u64) {
             seed: 5,
         },
     );
-    let mut proteus_dfo = Vec::new();
-    let mut proteus_expl = Vec::new();
-    for &row in &test {
+    // Each test workload runs its own adaptive exploration against the
+    // shared (immutable) controller; results come back in test order, so
+    // the CDFs match the serial loop at every job count.
+    let per_row: Vec<(f64, f64)> = parx::par_map(&test, |&row| {
         let out = ctl.optimize(&mut |col| bench.truth[row][col]);
-        proteus_dfo.push(bench.dfo(row, out.recommended));
-        proteus_expl.push(out.explored.len() as f64);
-    }
+        (bench.dfo(row, out.recommended), out.explored.len() as f64)
+    });
+    let proteus_dfo: Vec<f64> = per_row.iter().map(|&(d, _)| d).collect();
+    let proteus_expl: Vec<f64> = per_row.iter().map(|&(_, e)| e).collect();
 
     // ML baselines: classify the best-configuration id from features.
     let train_data = Dataset::new(
-        train.iter().map(|&r| features(&bench.workloads[r])).collect(),
+        train
+            .iter()
+            .map(|&r| features(&bench.workloads[r]))
+            .collect(),
         train.iter().map(|&r| best_col(bench, r)).collect(),
         bench.configs.len(),
     );

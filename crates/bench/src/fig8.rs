@@ -13,9 +13,7 @@ use polytm::{Kpi, TmConfig};
 use recsys::{CfAlgorithm, Similarity};
 use rectm::{Controller, ControllerSettings, Monitor, NormalizationChoice};
 use smbo::{Acquisition, StoppingRule};
-use tmsim::{
-    corpus_with_families, MachineModel, PerfModel, WorkloadFamily, WorkloadSpec,
-};
+use tmsim::{corpus_with_families, MachineModel, PerfModel, WorkloadFamily, WorkloadSpec};
 
 const PHASE_TICKS: usize = 30;
 
@@ -43,11 +41,26 @@ fn scenarios() -> Vec<Scenario> {
             family: WorkloadFamily::RedBlackTree,
             phases: [
                 // Read-mostly, scalable, HTM-friendly.
-                WorkloadSpec { update_frac: 0.1, contention: 0.1, htm_fit: 0.95, ..rbt },
+                WorkloadSpec {
+                    update_frac: 0.1,
+                    contention: 0.1,
+                    htm_fit: 0.95,
+                    ..rbt
+                },
                 // Update-heavy with transient capacity pressure.
-                WorkloadSpec { update_frac: 0.9, contention: 0.3, htm_fit: 0.55, ..rbt },
+                WorkloadSpec {
+                    update_frac: 0.9,
+                    contention: 0.3,
+                    htm_fit: 0.55,
+                    ..rbt
+                },
                 // Hot keys: heavy contention.
-                WorkloadSpec { update_frac: 0.8, contention: 0.85, scalability: 0.7, ..rbt },
+                WorkloadSpec {
+                    update_frac: 0.8,
+                    contention: 0.85,
+                    scalability: 0.7,
+                    ..rbt
+                },
             ],
         },
         Scenario {
@@ -56,11 +69,22 @@ fn scenarios() -> Vec<Scenario> {
             family: WorkloadFamily::StmBench7,
             phases: [
                 // Short operations dominate.
-                WorkloadSpec { base_tx_us: 2.0, reads: 60.0, writes: 10.0, htm_fit: 0.8, ..sb7 },
+                WorkloadSpec {
+                    base_tx_us: 2.0,
+                    reads: 60.0,
+                    writes: 10.0,
+                    htm_fit: 0.8,
+                    ..sb7
+                },
                 // The default heterogeneous mix.
                 sb7,
                 // Long traversals, read-mostly.
-                WorkloadSpec { update_frac: 0.1, contention: 0.2, scalability: 0.85, ..sb7 },
+                WorkloadSpec {
+                    update_frac: 0.1,
+                    contention: 0.2,
+                    scalability: 0.85,
+                    ..sb7
+                },
             ],
         },
         Scenario {
@@ -69,11 +93,26 @@ fn scenarios() -> Vec<Scenario> {
             family: WorkloadFamily::TpcC,
             phases: [
                 // Few warehouses: hot rows, low parallelism pays.
-                WorkloadSpec { contention: 0.8, scalability: 0.55, ..tpcc },
+                WorkloadSpec {
+                    contention: 0.8,
+                    scalability: 0.55,
+                    ..tpcc
+                },
                 // Many warehouses: scalable.
-                WorkloadSpec { contention: 0.15, scalability: 0.93, ..tpcc },
+                WorkloadSpec {
+                    contention: 0.15,
+                    scalability: 0.93,
+                    ..tpcc
+                },
                 // Medium contention, smaller transactions.
-                WorkloadSpec { base_tx_us: 8.0, reads: 120.0, writes: 40.0, contention: 0.45, htm_fit: 0.5, ..tpcc },
+                WorkloadSpec {
+                    base_tx_us: 8.0,
+                    reads: 120.0,
+                    writes: 40.0,
+                    contention: 0.45,
+                    htm_fit: 0.5,
+                    ..tpcc
+                },
             ],
         },
         Scenario {
@@ -82,23 +121,44 @@ fn scenarios() -> Vec<Scenario> {
             family: WorkloadFamily::Memcached,
             phases: [
                 // Read-dominated, perfectly scalable.
-                WorkloadSpec { update_frac: 0.05, contention: 0.05, ..mem },
+                WorkloadSpec {
+                    update_frac: 0.05,
+                    contention: 0.05,
+                    ..mem
+                },
                 // Write-heavy.
-                WorkloadSpec { update_frac: 0.85, contention: 0.25, ..mem },
+                WorkloadSpec {
+                    update_frac: 0.85,
+                    contention: 0.25,
+                    ..mem
+                },
                 // Contended hot keys.
-                WorkloadSpec { update_frac: 0.6, contention: 0.8, scalability: 0.6, ..mem },
+                WorkloadSpec {
+                    update_frac: 0.6,
+                    contention: 0.8,
+                    scalability: 0.6,
+                    ..mem
+                },
             ],
         },
     ]
 }
 
 /// The tuner used in the online scenarios.
-pub fn online_controller(machine: &MachineModel, excluded: WorkloadFamily, seed: u64) -> Controller {
+pub fn online_controller(
+    machine: &MachineModel,
+    excluded: WorkloadFamily,
+    seed: u64,
+) -> Controller {
     let families: Vec<WorkloadFamily> = TRACE_FAMILIES
         .iter()
         .copied()
         .filter(|f| *f != excluded)
-        .chain([WorkloadFamily::StmBench7, WorkloadFamily::TpcC, WorkloadFamily::Memcached])
+        .chain([
+            WorkloadFamily::StmBench7,
+            WorkloadFamily::TpcC,
+            WorkloadFamily::Memcached,
+        ])
         .filter(|f| *f != excluded)
         .collect();
     let model = PerfModel::new(machine.clone());
@@ -271,8 +331,16 @@ pub fn run() {
         print_table(
             &format!("Fig 8 / Table 6 — {} (BFA = {})", scn.name, res.bfa),
             &[
-                "phase", "optimal", "opt thr", "ProteusTM thr", "settled", "expl",
-                "dfo%Opt1", "dfo%Opt2", "dfo%Opt3", "dfo%BFA",
+                "phase",
+                "optimal",
+                "opt thr",
+                "ProteusTM thr",
+                "settled",
+                "expl",
+                "dfo%Opt1",
+                "dfo%Opt2",
+                "dfo%Opt3",
+                "dfo%BFA",
             ],
             &rows,
         );

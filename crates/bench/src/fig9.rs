@@ -7,8 +7,8 @@
 //! changes to the Monitor, so ProteusTM re-tunes for them just the same
 //! (e.g. dropping the thread count while a CPU hog runs).
 
-use crate::harness::{f3, print_table};
 use crate::fig8::online_controller;
+use crate::harness::{f3, print_table};
 use polytm::{Kpi, TmConfig};
 use rectm::Monitor;
 use tmsim::{Interference, MachineModel, PerfModel, WorkloadFamily};
@@ -55,8 +55,16 @@ pub fn run() {
     let mut t = 0usize;
     let total = windows.len() * PHASE_TICKS;
     let measure = |idx: usize, w: usize, sample: u64| {
-        model.noisy_kpi(7_000 + w as u64, &spec, &configs[idx], idx, Kpi::Throughput, sample)
-            * windows[w].1.throughput_factor(configs[idx].threads, machine.hw_threads)
+        model.noisy_kpi(
+            7_000 + w as u64,
+            &spec,
+            &configs[idx],
+            idx,
+            Kpi::Throughput,
+            sample,
+        ) * windows[w]
+            .1
+            .throughput_factor(configs[idx].threads, machine.hw_threads)
     };
     while t < total {
         let w = t / PHASE_TICKS;
@@ -104,7 +112,14 @@ pub fn run() {
     }
     print_table(
         "Fig 9 — static TPC-C under external interference (Machine A)",
-        &["window", "optimal thr", "ProteusTM thr", "gap", "settled", "expl"],
+        &[
+            "window",
+            "optimal thr",
+            "ProteusTM thr",
+            "gap",
+            "settled",
+            "expl",
+        ],
         &rows,
     );
     println!(

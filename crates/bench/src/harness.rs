@@ -43,21 +43,22 @@ pub struct Bench {
 impl Bench {
     /// Build a corpus of `n` workloads on `machine`, measured (through the
     /// model, with noise) for every configuration of the machine's space.
+    ///
+    /// Rows are generated on the [`parx`] worker pool. Each cell's
+    /// measurement noise is seeded from `(workload.id, config index)`, so
+    /// the matrix is bit-identical at every job count.
     pub fn new(machine: MachineModel, kpi: Kpi, n: usize, seed: u64) -> Self {
         let model = PerfModel::new(machine);
         let workloads = corpus_with_families(&TRACE_FAMILIES, n, seed);
         let space = model.machine().config_space();
         let configs = space.configs().to_vec();
-        let truth: Vec<Vec<f64>> = workloads
-            .iter()
-            .map(|w| {
-                configs
-                    .iter()
-                    .enumerate()
-                    .map(|(i, c)| model.noisy_kpi(w.id, &w.spec, c, i, kpi, 0))
-                    .collect()
-            })
-            .collect();
+        let truth: Vec<Vec<f64>> = parx::par_map(&workloads, |w| {
+            configs
+                .iter()
+                .enumerate()
+                .map(|(i, c)| model.noisy_kpi(w.id, &w.spec, c, i, kpi, 0))
+                .collect()
+        });
         let goal = if kpi.higher_is_better() {
             Goal::Maximize
         } else {
@@ -117,12 +118,7 @@ impl Bench {
 
     /// `k` distinct random columns, forcing `forced` (if any) to be among
     /// them — every scheme gets exactly `k` observations.
-    pub fn sample_columns(
-        &self,
-        k: usize,
-        forced: Option<usize>,
-        rng: &mut StdRng,
-    ) -> Vec<usize> {
+    pub fn sample_columns(&self, k: usize, forced: Option<usize>, rng: &mut StdRng) -> Vec<usize> {
         let ncols = self.configs.len();
         let mut cols: Vec<usize> = (0..ncols).collect();
         cols.shuffle(rng);
@@ -178,7 +174,13 @@ fn write_csv(
     std::fs::create_dir_all(dir)?;
     let slug: String = title
         .chars()
-        .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .map(|c| {
+            if c.is_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
         .collect::<String>()
         .split('-')
         .filter(|s| !s.is_empty())
@@ -196,7 +198,13 @@ fn write_csv(
             cell.to_string()
         }
     };
-    out.push_str(&headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     out.push('\n');
     for row in rows {
         out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));

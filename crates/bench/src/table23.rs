@@ -42,7 +42,13 @@ pub fn run() {
     }
     print_table(
         "Table 3 — tuned configuration space",
-        &["machine", "total configs", "STM", "HTM/Hybrid", "thread counts"],
+        &[
+            "machine",
+            "total configs",
+            "STM",
+            "HTM/Hybrid",
+            "thread counts",
+        ],
         &rows,
     );
 }

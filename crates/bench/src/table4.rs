@@ -110,8 +110,7 @@ fn poly_ops_per_sec(config: TmConfig, ops: u64) -> f64 {
                 let tree = &tree;
                 s.spawn(move || {
                     let mut worker = poly.register_thread(t);
-                    let mut rng =
-                        XorShift64::new(0xAB ^ ((rep as u64) << 40) ^ (t as u64 + 1));
+                    let mut rng = XorShift64::new(0xAB ^ ((rep as u64) << 40) ^ (t as u64 + 1));
                     let heap = &poly.system().heap;
                     for _ in 0..ops {
                         let key = rng.next_below(KEYS);
@@ -137,7 +136,11 @@ fn poly_ops_per_sec(config: TmConfig, ops: u64) -> f64 {
 pub fn run_with(ops: u64) {
     let threads_list = [1usize, 2, 4];
     let mut rows = Vec::new();
-    type Maker = (&'static str, BackendId, fn(Arc<TmSystem>) -> Arc<dyn TmBackend>);
+    type Maker = (
+        &'static str,
+        BackendId,
+        fn(Arc<TmSystem>) -> Arc<dyn TmBackend>,
+    );
     let makers: [Maker; 5] = [
         ("TL2", BackendId::Tl2, |s| Arc::new(Tl2::new(s))),
         ("NOrec", BackendId::NOrec, |s| Arc::new(NOrec::new(s))),
@@ -161,15 +164,22 @@ pub fn run_with(ops: u64) {
         // HTM-naive: the fully-instrumented code path behind the gate,
         // relative to the bare optimized HTM.
         let bare_opt = bare_ops_per_sec(&|s| Arc::new(HtmSim::new(s)), threads, ops, false);
-        let naive =
-            bare_ops_per_sec(&|s| Arc::new(HtmSim::new_naive(s)), threads, ops, true);
+        let naive = bare_ops_per_sec(&|s| Arc::new(HtmSim::new_naive(s)), threads, ops, true);
         let overhead = ((bare_opt - naive) / bare_opt * 100.0).max(0.0);
         row.push(format!("{overhead:.1}"));
         rows.push(row);
     }
     print_table(
         "Table 4 — PolyTM overhead (%) vs bare backends (red-black-tree mix)",
-        &["#threads", "TL2", "NOrec", "Swiss", "Tiny", "HTM-opt", "HTM-naive"],
+        &[
+            "#threads",
+            "TL2",
+            "NOrec",
+            "Swiss",
+            "Tiny",
+            "HTM-opt",
+            "HTM-naive",
+        ],
         &rows,
     );
     println!(

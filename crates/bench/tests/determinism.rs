@@ -1,0 +1,84 @@
+//! The parallel evaluation pipeline must be *bit-identical* to the serial
+//! one: the tables the experiments print are part of the paper artifact,
+//! and a reader re-running them with a different `--jobs` (or on a machine
+//! with a different core count) must get the same bytes.
+//!
+//! `parx::with_jobs` scopes the worker count to one closure, so each test
+//! runs the same computation serially and on a 4-worker pool and compares
+//! the raw `f64`s with `==` — no tolerance.
+
+use bench::harness::Bench;
+use polytm::Kpi;
+use recsys::{BaggingEnsemble, CfAlgorithm, Row, Similarity, TuningOptions, UtilityMatrix};
+use tmsim::MachineModel;
+
+fn knn() -> CfAlgorithm {
+    CfAlgorithm::Knn {
+        similarity: Similarity::Cosine,
+        k: 5,
+    }
+}
+
+#[test]
+fn truth_matrix_is_identical_across_job_counts() {
+    let serial = parx::with_jobs(1, || {
+        Bench::new(MachineModel::machine_a(), Kpi::ExecTime, 24, 0xD1CE).truth
+    });
+    let parallel = parx::with_jobs(4, || {
+        Bench::new(MachineModel::machine_a(), Kpi::ExecTime, 24, 0xD1CE).truth
+    });
+    assert_eq!(serial, parallel, "truth matrices must match bit-for-bit");
+}
+
+#[test]
+fn bagging_fit_and_predict_are_identical_across_job_counts() {
+    let training = UtilityMatrix::from_rows(
+        (1..=12)
+            .map(|r| {
+                (1..=8)
+                    .map(|c| Some((r * c) as f64 * 0.1 + (r as f64).sin() * 0.01))
+                    .collect()
+            })
+            .collect(),
+    );
+    let known: Row = vec![Some(0.2), Some(0.45), None, None, None, None, None, None];
+    let serial = parx::with_jobs(1, || {
+        BaggingEnsemble::fit(&training, knn(), 10, 77).predict_stats(&known)
+    });
+    let parallel = parx::with_jobs(4, || {
+        BaggingEnsemble::fit(&training, knn(), 10, 77).predict_stats(&known)
+    });
+    assert_eq!(
+        serial, parallel,
+        "ensemble means and variances must match bit-for-bit"
+    );
+}
+
+#[test]
+fn tuner_is_identical_across_job_counts() {
+    let training = UtilityMatrix::from_rows(
+        (0..10)
+            .map(|i| {
+                (0..8)
+                    .map(|c| {
+                        let x = (c + 1) as f64;
+                        Some(if i % 2 == 0 { x } else { 8.0 / x } * (1.0 + 0.01 * i as f64))
+                    })
+                    .collect()
+            })
+            .collect(),
+    );
+    let opts = TuningOptions {
+        n_candidates: 8,
+        knn_only: true,
+        ..TuningOptions::default()
+    };
+    let serial = parx::with_jobs(1, || recsys::tune_cf(&training, &opts));
+    let parallel = parx::with_jobs(4, || recsys::tune_cf(&training, &opts));
+    assert_eq!(serial.best_mape, parallel.best_mape);
+    assert_eq!(
+        format!("{:?}", serial.evaluated),
+        format!("{:?}", parallel.evaluated),
+        "every candidate must score identically in the same order"
+    );
+}

@@ -206,11 +206,18 @@ mod tests {
             Ok(())
         });
         for i in 0..32u32 {
-            assert_eq!(sys.heap.read_raw(base.field(i * LINE_WORDS as u32)), u64::from(i));
+            assert_eq!(
+                sys.heap.read_raw(base.field(i * LINE_WORDS as u32)),
+                u64::from(i)
+            );
         }
         let snap = ctx.stats.snapshot();
         assert_eq!(snap.fallback_commits, 1, "should have fallen back");
-        assert_eq!(snap.aborts_of(AbortCode::Capacity), 1, "giveup = one capacity abort");
+        assert_eq!(
+            snap.aborts_of(AbortCode::Capacity),
+            1,
+            "giveup = one capacity abort"
+        );
         assert_eq!(
             sys.fallback_seq.load(Ordering::Relaxed),
             2,

@@ -137,8 +137,7 @@ mod tests {
     #[test]
     fn oversized_blocks_run_as_norec_transactions() {
         let sys = Arc::new(TmSystem::new(1 << 14));
-        let tm =
-            HybridNOrec::with_geometry(Arc::clone(&sys), HtmGeometry::TINY_FOR_TESTS);
+        let tm = HybridNOrec::with_geometry(Arc::clone(&sys), HtmGeometry::TINY_FOR_TESTS);
         tm.cm().set(2, CapacityPolicy::GiveUp);
         let base = sys.heap.alloc(LINE_WORDS * 16);
         let mut ctx = ThreadCtx::new(0);
@@ -247,12 +246,7 @@ impl HybridTl2 {
     }
 
     /// Track the cache line of `addr`; `Err` on speculative overflow.
-    fn track(
-        &self,
-        set_is_read: bool,
-        ctx: &mut ThreadCtx,
-        addr: Addr,
-    ) -> TxResult<()> {
+    fn track(&self, set_is_read: bool, ctx: &mut ThreadCtx, addr: Addr) -> TxResult<()> {
         let line = (addr.index() / crate::spec::LINE_WORDS) as u32;
         let (set, cap) = if set_is_read {
             (&mut ctx.read_lines, self.geom.read_capacity)

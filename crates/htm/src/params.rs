@@ -22,8 +22,11 @@ pub enum CapacityPolicy {
 
 impl CapacityPolicy {
     /// All policies, in Table 3's order.
-    pub const ALL: [CapacityPolicy; 3] =
-        [CapacityPolicy::GiveUp, CapacityPolicy::Decrease, CapacityPolicy::Halve];
+    pub const ALL: [CapacityPolicy; 3] = [
+        CapacityPolicy::GiveUp,
+        CapacityPolicy::Decrease,
+        CapacityPolicy::Halve,
+    ];
 
     /// Apply this policy to a remaining budget after a capacity abort.
     #[inline]

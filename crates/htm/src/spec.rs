@@ -158,11 +158,7 @@ impl SpecCore {
                     }
                 }
                 OrecState::Locked(o) => {
-                    let saved = ctx
-                        .locks
-                        .iter()
-                        .find(|&&(i, _)| i == idx)
-                        .map(|&(_, v)| v);
+                    let saved = ctx.locks.iter().find(|&&(i, _)| i == idx).map(|&(_, v)| v);
                     if o != me || saved != Some(observed) {
                         return false;
                     }
@@ -185,8 +181,7 @@ impl SpecCore {
         seq: &AtomicU64,
         publish: bool,
     ) -> TxResult<()> {
-        if self.geom.spurious_abort_prob > 0.0
-            && ctx.rng.next_f64() < self.geom.spurious_abort_prob
+        if self.geom.spurious_abort_prob > 0.0 && ctx.rng.next_f64() < self.geom.spurious_abort_prob
         {
             return Err(Abort::SPURIOUS);
         }
@@ -275,13 +270,7 @@ mod tests {
         core.begin(&sys, &mut ctx, &seq).unwrap();
         let mut result = Ok(());
         for i in 0..16 {
-            result = core.write(
-                &sys,
-                &mut ctx,
-                &seq,
-                base.field((i * LINE_WORDS) as u32),
-                1,
-            );
+            result = core.write(&sys, &mut ctx, &seq, base.field((i * LINE_WORDS) as u32), 1);
             if result.is_err() {
                 break;
             }
@@ -350,7 +339,10 @@ mod tests {
         let a = sys.heap.alloc(1);
         core.begin(&sys, &mut ctx, &seq).unwrap();
         core.write(&sys, &mut ctx, &seq, a, 1).unwrap();
-        assert_eq!(core.commit(&sys, &mut ctx, &seq, false), Err(Abort::SPURIOUS));
+        assert_eq!(
+            core.commit(&sys, &mut ctx, &seq, false),
+            Err(Abort::SPURIOUS)
+        );
         core.rollback(&mut ctx);
     }
 }

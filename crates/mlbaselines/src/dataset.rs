@@ -19,10 +19,7 @@ impl Dataset {
         assert_eq!(features.len(), labels.len(), "features/labels mismatch");
         let dim = features.first().map_or(0, |f| f.len());
         assert!(features.iter().all(|f| f.len() == dim), "ragged features");
-        assert!(
-            labels.iter().all(|&l| l < n_classes),
-            "label out of range"
-        );
+        assert!(labels.iter().all(|&l| l < n_classes), "label out of range");
         Dataset {
             features,
             labels,
@@ -127,7 +124,9 @@ impl Standardizer {
     /// Standardize every sample of a dataset.
     pub fn transform(&self, data: &Dataset) -> Dataset {
         Dataset {
-            features: (0..data.len()).map(|i| self.apply(data.features(i))).collect(),
+            features: (0..data.len())
+                .map(|i| self.apply(data.features(i)))
+                .collect(),
             labels: (0..data.len()).map(|i| data.label(i)).collect(),
             n_classes: data.n_classes(),
         }
@@ -171,7 +170,10 @@ mod tests {
         let t = st.transform(&d);
         for j in 0..2 {
             let mean: f64 = (0..3).map(|i| t.features(i)[j]).sum::<f64>() / 3.0;
-            let var: f64 = (0..3).map(|i| (t.features(i)[j] - mean).powi(2)).sum::<f64>() / 3.0;
+            let var: f64 = (0..3)
+                .map(|i| (t.features(i)[j] - mean).powi(2))
+                .sum::<f64>()
+                / 3.0;
             assert!(mean.abs() < 1e-9);
             assert!((var - 1.0).abs() < 1e-9);
         }

@@ -64,7 +64,11 @@ impl Mlp {
             .collect();
         let mut b1 = vec![0.0; hidden];
         let mut w2: Vec<Vec<f64>> = (0..classes)
-            .map(|_| (0..hidden).map(|_| rng.gen_range(-scale2..scale2)).collect())
+            .map(|_| {
+                (0..hidden)
+                    .map(|_| rng.gen_range(-scale2..scale2))
+                    .collect()
+            })
             .collect();
         let mut b2 = vec![0.0; classes];
         let mut order: Vec<usize> = (0..scaled.len()).collect();
@@ -93,8 +97,7 @@ impl Mlp {
                 for c in 0..classes {
                     for j in 0..hidden {
                         dh[j] += dz[c] * w2[c][j];
-                        w2[c][j] -=
-                            p.learning_rate * (dz[c] * h[j] + p.weight_decay * w2[c][j]);
+                        w2[c][j] -= p.learning_rate * (dz[c] * h[j] + p.weight_decay * w2[c][j]);
                     }
                     b2[c] -= p.learning_rate * dz[c];
                 }

@@ -55,8 +55,7 @@ impl LinearSvm {
                     for &i in &order {
                         let y = if scaled.label(i) == class { 1.0 } else { -1.0 };
                         let x = scaled.features(i);
-                        let margin: f64 =
-                            w.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>() + b;
+                        let margin: f64 = w.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>() + b;
                         let lr = params.learning_rate / t.sqrt();
                         if y * margin < 1.0 {
                             for (wi, xi) in w.iter_mut().zip(x) {

@@ -22,8 +22,11 @@ pub enum ClassifierKind {
 
 impl ClassifierKind {
     /// All families, in Fig. 7's order.
-    pub const ALL: [ClassifierKind; 3] =
-        [ClassifierKind::Cart, ClassifierKind::Svm, ClassifierKind::Mlp];
+    pub const ALL: [ClassifierKind; 3] = [
+        ClassifierKind::Cart,
+        ClassifierKind::Svm,
+        ClassifierKind::Mlp,
+    ];
 
     /// Display label.
     pub fn label(self) -> &'static str {

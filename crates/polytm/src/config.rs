@@ -215,7 +215,11 @@ impl ConfigSpace {
         }
         // The two HybridTMs, one point each (the paper includes them in
         // PolyTM but they never win — §6 footnote 4).
-        configs.push(TmConfig::htm(BackendId::HybridNOrec, 4, HtmSetting::DEFAULT));
+        configs.push(TmConfig::htm(
+            BackendId::HybridNOrec,
+            4,
+            HtmSetting::DEFAULT,
+        ));
         configs.push(TmConfig::htm(BackendId::HybridTl2, 8, HtmSetting::DEFAULT));
         ConfigSpace {
             configs,

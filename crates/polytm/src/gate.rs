@@ -200,8 +200,7 @@ mod tests {
         const N: usize = 4;
         let g = Arc::new(ThreadGate::new(N));
         let stop = Arc::new(AtomicBool::new(false));
-        let counters: Arc<Vec<AtomicU64>> =
-            Arc::new((0..N).map(|_| AtomicU64::new(0)).collect());
+        let counters: Arc<Vec<AtomicU64>> = Arc::new((0..N).map(|_| AtomicU64::new(0)).collect());
         std::thread::scope(|s| {
             for t in 0..N {
                 let g = Arc::clone(&g);

@@ -13,9 +13,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use stm::{NOrec, SwissTm, TinyStm, Tl2};
-use txcore::{
-    run_tx, StatsSnapshot, ThreadCtx, ThreadStats, TmBackend, TmSystem, Tx, TxResult,
-};
+use txcore::{run_tx, StatsSnapshot, ThreadCtx, ThreadStats, TmBackend, TmSystem, Tx, TxResult};
 
 /// A reconfiguration request that PolyTM cannot honour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +33,10 @@ impl fmt::Display for ReconfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ReconfigError::TooManyThreads { requested, max } => {
-                write!(f, "requested {requested} threads but runtime supports {max}")
+                write!(
+                    f,
+                    "requested {requested} threads but runtime supports {max}"
+                )
             }
             ReconfigError::ZeroThreads => f.write_str("parallelism degree must be positive"),
         }
@@ -148,7 +149,9 @@ impl PolyTmBuilder {
             gate: ThreadGate::new(self.max_threads),
             max_threads: self.max_threads,
             parallelism: AtomicUsize::new(self.max_threads),
-            pinned: (0..self.max_threads).map(|_| AtomicBool::new(false)).collect(),
+            pinned: (0..self.max_threads)
+                .map(|_| AtomicBool::new(false))
+                .collect(),
             stats,
             energy: self.energy,
             reconfig: Mutex::new(()),
@@ -272,7 +275,8 @@ impl PolyTm {
                     self.gate.disable(t);
                 }
             }
-            self.current.store(config.backend.index(), Ordering::Release);
+            self.current
+                .store(config.backend.index(), Ordering::Release);
         }
         self.set_parallelism_locked(config.threads);
         if let Some(setting) = config.htm {
@@ -386,7 +390,10 @@ mod tests {
         let poly = PolyTm::builder().max_threads(2).heap_words(64).build();
         assert_eq!(
             poly.apply(&TmConfig::stm(BackendId::Tl2, 3)),
-            Err(ReconfigError::TooManyThreads { requested: 3, max: 2 })
+            Err(ReconfigError::TooManyThreads {
+                requested: 3,
+                max: 2
+            })
         );
         assert_eq!(
             poly.apply(&TmConfig::stm(BackendId::Tl2, 0)),
@@ -464,12 +471,7 @@ mod tests {
 
     #[test]
     fn concurrent_transactions_with_live_reconfiguration() {
-        let poly = Arc::new(
-            PolyTm::builder()
-                .heap_words(1 << 14)
-                .max_threads(4)
-                .build(),
-        );
+        let poly = Arc::new(PolyTm::builder().heap_words(1 << 14).max_threads(4).build());
         let a = poly.system().heap.alloc(1);
         let stop = Arc::new(AtomicBool::new(false));
         std::thread::scope(|s| {

@@ -20,6 +20,11 @@ pub struct BaggingEnsemble {
 impl BaggingEnsemble {
     /// Fit `n_members` learners (the paper uses 10), each on a bootstrap
     /// sample (sampling rows with replacement) of `training`.
+    ///
+    /// The bootstrap row indices for every member are drawn serially from
+    /// one seeded RNG — the exact stream a fully serial fit would draw —
+    /// and only the (independent) member fits run on the [`parx`] pool, so
+    /// the ensemble is bit-identical at every job count.
     pub fn fit(
         training: &UtilityMatrix,
         algorithm: CfAlgorithm,
@@ -28,14 +33,13 @@ impl BaggingEnsemble {
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let nrows = training.nrows();
-        let members = (0..n_members.max(1))
-            .map(|_| {
-                let rows: Vec<Row> = (0..nrows)
-                    .map(|_| training.row(rng.gen_range(0..nrows)).clone())
-                    .collect();
-                CfPredictor::fit(&UtilityMatrix::from_rows(rows), algorithm)
-            })
+        let bootstraps: Vec<Vec<usize>> = (0..n_members.max(1))
+            .map(|_| (0..nrows).map(|_| rng.gen_range(0..nrows)).collect())
             .collect();
+        let members = parx::par_map(&bootstraps, |sample| {
+            let rows: Vec<Row> = sample.iter().map(|&r| training.row(r).clone()).collect();
+            CfPredictor::fit(&UtilityMatrix::from_rows(rows), algorithm)
+        });
         BaggingEnsemble { members }
     }
 
@@ -51,21 +55,29 @@ impl BaggingEnsemble {
 
     /// Predictive mean and variance per column for a workload with the
     /// given known ratings. Columns no member can predict are `None`.
+    ///
+    /// Member predictions run on the [`parx`] pool; the per-column moments
+    /// are then folded in one streaming pass (Welford) over the members in
+    /// index order — no per-column buffer, and the same accumulation order
+    /// at every job count.
     pub fn predict_stats(&self, known: &Row) -> Vec<Option<(f64, f64)>> {
-        let predictions: Vec<Row> = self.members.iter().map(|m| m.predict_row(known)).collect();
+        let predictions: Vec<Row> = parx::par_map(&self.members, |m| m.predict_row(known));
         let ncols = predictions.first().map_or(0, |p| p.len());
-        (0..ncols)
-            .map(|c| {
-                let vals: Vec<f64> =
-                    predictions.iter().filter_map(|p| p[c]).collect();
-                if vals.is_empty() {
-                    return None;
+        let mut count = vec![0u32; ncols];
+        let mut mean = vec![0.0f64; ncols];
+        let mut m2 = vec![0.0f64; ncols];
+        for prediction in &predictions {
+            for (c, v) in prediction.iter().enumerate() {
+                if let Some(v) = *v {
+                    count[c] += 1;
+                    let delta = v - mean[c];
+                    mean[c] += delta / count[c] as f64;
+                    m2[c] += delta * (v - mean[c]);
                 }
-                let n = vals.len() as f64;
-                let mean = vals.iter().sum::<f64>() / n;
-                let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
-                Some((mean, var))
-            })
+            }
+        }
+        (0..ncols)
+            .map(|c| (count[c] > 0).then(|| (mean[c], m2[c] / count[c] as f64)))
             .collect()
     }
 
@@ -86,11 +98,7 @@ mod tests {
     fn training() -> UtilityMatrix {
         UtilityMatrix::from_rows(
             (1..=10)
-                .map(|r| {
-                    (1..=5)
-                        .map(|c| Some(r as f64 * c as f64 * 0.1))
-                        .collect()
-                })
+                .map(|r| (1..=5).map(|c| Some(r as f64 * c as f64 * 0.1)).collect())
                 .collect(),
         )
     }
@@ -136,10 +144,20 @@ mod tests {
             similarity: Similarity::Pearson,
             k: 2,
         };
-        let a = BaggingEnsemble::fit(&training(), algo, 4, 99)
-            .predict_row(&vec![Some(0.1), Some(0.2), None, None, None]);
-        let b = BaggingEnsemble::fit(&training(), algo, 4, 99)
-            .predict_row(&vec![Some(0.1), Some(0.2), None, None, None]);
+        let a = BaggingEnsemble::fit(&training(), algo, 4, 99).predict_row(&vec![
+            Some(0.1),
+            Some(0.2),
+            None,
+            None,
+            None,
+        ]);
+        let b = BaggingEnsemble::fit(&training(), algo, 4, 99).predict_row(&vec![
+            Some(0.1),
+            Some(0.2),
+            None,
+            None,
+            None,
+        ]);
         assert_eq!(a, b);
     }
 }

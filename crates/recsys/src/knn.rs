@@ -17,32 +17,47 @@ pub enum Similarity {
 
 impl Similarity {
     /// All similarity functions.
-    pub const ALL: [Similarity; 3] =
-        [Similarity::Euclidean, Similarity::Cosine, Similarity::Pearson];
+    pub const ALL: [Similarity; 3] = [
+        Similarity::Euclidean,
+        Similarity::Cosine,
+        Similarity::Pearson,
+    ];
 
     /// Similarity between two rows over their co-rated columns; `None` when
     /// fewer than `min_overlap` columns are co-rated.
+    ///
+    /// The kernels stream over the rows without materializing the co-rated
+    /// pairs — this sits on the innermost loop of every KNN query. Each
+    /// accumulator adds terms in column order, the same order the old
+    /// collect-then-sum implementation used, so results are bit-identical.
     pub fn between(self, a: &Row, b: &Row, min_overlap: usize) -> Option<f64> {
-        let pairs: Vec<(f64, f64)> = a
-            .iter()
-            .zip(b.iter())
-            .filter_map(|(x, y)| match (x, y) {
+        let co_rated = || {
+            a.iter().zip(b.iter()).filter_map(|(x, y)| match (x, y) {
                 (Some(x), Some(y)) => Some((*x, *y)),
                 _ => None,
             })
-            .collect();
-        if pairs.len() < min_overlap.max(1) {
-            return None;
-        }
+        };
         match self {
             Similarity::Euclidean => {
-                let d2: f64 = pairs.iter().map(|(x, y)| (x - y).powi(2)).sum();
-                Some(1.0 / (1.0 + d2.sqrt()))
+                let (mut n, mut d2) = (0usize, 0.0f64);
+                for (x, y) in co_rated() {
+                    n += 1;
+                    d2 += (x - y).powi(2);
+                }
+                (n >= min_overlap.max(1)).then(|| 1.0 / (1.0 + d2.sqrt()))
             }
             Similarity::Cosine => {
-                let dot: f64 = pairs.iter().map(|(x, y)| x * y).sum();
-                let na: f64 = pairs.iter().map(|(x, _)| x * x).sum::<f64>().sqrt();
-                let nb: f64 = pairs.iter().map(|(_, y)| y * y).sum::<f64>().sqrt();
+                let (mut n, mut dot, mut na2, mut nb2) = (0usize, 0.0f64, 0.0f64, 0.0f64);
+                for (x, y) in co_rated() {
+                    n += 1;
+                    dot += x * y;
+                    na2 += x * x;
+                    nb2 += y * y;
+                }
+                if n < min_overlap.max(1) {
+                    return None;
+                }
+                let (na, nb) = (na2.sqrt(), nb2.sqrt());
                 if na < 1e-12 || nb < 1e-12 {
                     None
                 } else {
@@ -50,12 +65,26 @@ impl Similarity {
                 }
             }
             Similarity::Pearson => {
-                let n = pairs.len() as f64;
-                let ma = pairs.iter().map(|(x, _)| x).sum::<f64>() / n;
-                let mb = pairs.iter().map(|(_, y)| y).sum::<f64>() / n;
-                let cov: f64 = pairs.iter().map(|(x, y)| (x - ma) * (y - mb)).sum();
-                let va: f64 = pairs.iter().map(|(x, _)| (x - ma).powi(2)).sum::<f64>().sqrt();
-                let vb: f64 = pairs.iter().map(|(_, y)| (y - mb).powi(2)).sum::<f64>().sqrt();
+                // Two passes: means first, then central moments — the exact
+                // expressions (and order) of the reference implementation.
+                let (mut count, mut sx, mut sy) = (0usize, 0.0f64, 0.0f64);
+                for (x, y) in co_rated() {
+                    count += 1;
+                    sx += x;
+                    sy += y;
+                }
+                if count < min_overlap.max(1) {
+                    return None;
+                }
+                let n = count as f64;
+                let (ma, mb) = (sx / n, sy / n);
+                let (mut cov, mut va2, mut vb2) = (0.0f64, 0.0f64, 0.0f64);
+                for (x, y) in co_rated() {
+                    cov += (x - ma) * (y - mb);
+                    va2 += (x - ma).powi(2);
+                    vb2 += (y - mb).powi(2);
+                }
+                let (va, vb) = (va2.sqrt(), vb2.sqrt());
                 if va < 1e-12 || vb < 1e-12 {
                     None
                 } else {
@@ -86,6 +115,23 @@ pub struct KnnModel {
     k: usize,
 }
 
+/// Per-query state for repeated KNN predictions against one known row: the
+/// similarity of the query to every training row (the expensive part of a
+/// KNN query, computed once) plus a reusable neighbour buffer, so
+/// predicting each additional column is allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct SimilarityCache {
+    sims: Vec<Option<f64>>,
+    scratch: Vec<(f64, f64)>, // (similarity, rating)
+}
+
+impl SimilarityCache {
+    /// Similarity to each training row (`None` below the overlap floor).
+    pub fn similarities(&self) -> &[Option<f64>] {
+        &self.sims
+    }
+}
+
 impl KnnModel {
     /// Fit (memorize) the training matrix.
     pub fn fit(training: UtilityMatrix, similarity: Similarity, k: usize) -> Self {
@@ -96,17 +142,29 @@ impl KnnModel {
         }
     }
 
-    /// Similarity of `known` to every training row (computed once per
-    /// query row, then reused across all columns).
-    fn similarities(&self, known: &Row) -> Vec<Option<f64>> {
-        (0..self.training.nrows())
-            .map(|r| self.similarity.between(known, self.training.row(r), 1))
-            .collect()
+    /// Build (or rebuild, reusing `cache`'s allocations) the per-query
+    /// similarity cache for `known`.
+    pub fn fill_cache(&self, known: &Row, cache: &mut SimilarityCache) {
+        cache.sims.clear();
+        cache.sims.extend(
+            (0..self.training.nrows())
+                .map(|r| self.similarity.between(known, self.training.row(r), 1)),
+        );
     }
 
-    fn predict_with(&self, sims: &[Option<f64>], col: usize) -> Option<f64> {
-        let mut neighbours: Vec<(f64, f64)> = Vec::new(); // (similarity, rating)
-        for (r, sim) in sims.iter().enumerate() {
+    /// The per-query similarity cache for `known`.
+    pub fn similarity_cache(&self, known: &Row) -> SimilarityCache {
+        let mut cache = SimilarityCache::default();
+        self.fill_cache(known, &mut cache);
+        cache
+    }
+
+    /// Predict the rating of `col` using a cache previously filled for the
+    /// same known row.
+    pub fn predict_cached(&self, cache: &mut SimilarityCache, col: usize) -> Option<f64> {
+        let neighbours = &mut cache.scratch;
+        neighbours.clear();
+        for (r, sim) in cache.sims.iter().enumerate() {
             if let (Some(sim), Some(rating)) = (sim, self.training.get(r, col)) {
                 neighbours.push((*sim, rating));
             }
@@ -126,19 +184,19 @@ impl KnnModel {
     /// Predict the rating of `col` for a workload with the given known
     /// ratings; `None` when no similar neighbour rates `col`.
     pub fn predict(&self, known: &Row, col: usize) -> Option<f64> {
-        self.predict_with(&self.similarities(known), col)
+        self.predict_cached(&mut self.similarity_cache(known), col)
     }
 
     /// Predict every column (known entries are passed through unchanged).
     pub fn predict_row(&self, known: &Row) -> Row {
-        let sims = self.similarities(known);
+        let mut cache = self.similarity_cache(known);
         (0..self.training.ncols())
             .map(|c| {
                 known
                     .get(c)
                     .copied()
                     .flatten()
-                    .or_else(|| self.predict_with(&sims, c))
+                    .or_else(|| self.predict_cached(&mut cache, c))
             })
             .collect()
     }

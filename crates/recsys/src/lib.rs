@@ -29,12 +29,10 @@ mod predictor;
 mod tuning;
 
 pub use bagging::BaggingEnsemble;
-pub use knn::{KnnModel, Similarity};
+pub use knn::{KnnModel, Similarity, SimilarityCache};
 pub use matrix::{Row, UtilityMatrix};
 pub use metrics::{dfo, mape, mdfo, percentile};
 pub use mf::{MfModel, MfParams};
-pub use normalize::{
-    DistillationNorm, GlobalMaxNorm, IdealNorm, NoNorm, Normalization, RcNorm,
-};
+pub use normalize::{DistillationNorm, GlobalMaxNorm, IdealNorm, NoNorm, Normalization, RcNorm};
 pub use predictor::{CfAlgorithm, CfPredictor};
 pub use tuning::{tune_cf, CvReport, TuningOptions};

@@ -131,10 +131,9 @@ impl UtilityMatrix {
 
     /// The maximum known value anywhere in the matrix.
     pub fn global_max(&self) -> Option<f64> {
-        (0..self.nrows()).filter_map(|r| self.row_max(r)).fold(
-            None,
-            |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))),
-        )
+        (0..self.nrows())
+            .filter_map(|r| self.row_max(r))
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
     /// Column index of the best known value in row `r` (`maximize` selects

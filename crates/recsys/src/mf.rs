@@ -91,11 +91,15 @@ impl MfModel {
             .collect();
         for _ in 0..self.params.epochs {
             for &(i, r) in &observed {
-                let pred: f64 = user.iter().zip(&self.item_factors[i]).map(|(p, q)| p * q).sum();
+                let pred: f64 = user
+                    .iter()
+                    .zip(&self.item_factors[i])
+                    .map(|(p, q)| p * q)
+                    .sum();
                 let err = r - pred;
                 for (pu, qi) in user.iter_mut().zip(&self.item_factors[i]) {
-                    *pu += self.params.learning_rate
-                        * (err * qi - self.params.regularization * *pu);
+                    *pu +=
+                        self.params.learning_rate * (err * qi - self.params.regularization * *pu);
                 }
             }
         }
@@ -140,10 +144,10 @@ mod tests {
         known[4] = None;
         known[5] = None;
         let pred = model.predict_row(&known);
-        for c in 3..6 {
+        for (c, p) in pred.iter().enumerate().take(6).skip(3) {
             let truth = m.get(3, c).unwrap();
-            let err = (pred[c].unwrap() - truth).abs() / truth;
-            assert!(err < 0.15, "col {c}: predicted {:?} vs {truth}", pred[c]);
+            let err = (p.unwrap() - truth).abs() / truth;
+            assert!(err < 0.15, "col {c}: predicted {p:?} vs {truth}");
         }
     }
 

@@ -120,12 +120,7 @@ impl Normalization for GlobalMaxNorm {
     }
 
     fn to_ratings(&self, known: &Row) -> Option<Row> {
-        Some(
-            known
-                .iter()
-                .map(|v| v.map(|x| x / self.constant))
-                .collect(),
-        )
+        Some(known.iter().map(|v| v.map(|x| x / self.constant)).collect())
     }
 
     fn to_kpi(&self, _known: &Row, _col: usize, rating: f64) -> f64 {
@@ -227,9 +222,7 @@ impl Normalization for RcNorm {
             known
                 .iter()
                 .enumerate()
-                .map(|(c, v)| {
-                    v.map(|x| x - mean - self.col_means.get(c).copied().unwrap_or(0.0))
-                })
+                .map(|(c, v)| v.map(|x| x - mean - self.col_means.get(c).copied().unwrap_or(0.0)))
                 .collect(),
         )
     }
@@ -292,8 +285,7 @@ impl Normalization for DistillationNorm {
                 continue;
             }
             let mean = maxima.iter().sum::<f64>() / maxima.len() as f64;
-            let var = maxima.iter().map(|m| (m - mean).powi(2)).sum::<f64>()
-                / maxima.len() as f64;
+            let var = maxima.iter().map(|m| (m - mean).powi(2)).sum::<f64>() / maxima.len() as f64;
             let dispersion = if mean.abs() < 1e-12 {
                 f64::INFINITY
             } else {

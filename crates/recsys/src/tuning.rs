@@ -141,10 +141,11 @@ pub fn tune_cf(training: &UtilityMatrix, opts: &TuningOptions) -> CvReport {
     while candidates.len() < opts.n_candidates.max(2) {
         candidates.push(random_candidate(&mut rng, opts.knn_only));
     }
-    let evaluated: Vec<(CfAlgorithm, f64)> = candidates
-        .into_iter()
-        .map(|c| (c, cv_score(training, c, opts)))
-        .collect();
+    // Candidates are drawn serially above; each CV evaluation re-seeds its
+    // own fold/holdout RNG from `opts.seed`, so scoring them on the parx
+    // pool returns exactly the serial result in the serial order.
+    let evaluated: Vec<(CfAlgorithm, f64)> =
+        parx::par_map(&candidates, |&c| (c, cv_score(training, c, opts)));
     let (best, best_mape) = evaluated
         .iter()
         .min_by(|a, b| a.1.total_cmp(&b.1))
@@ -189,10 +190,7 @@ mod tests {
         let report = tune_cf(&training(), &opts);
         assert!(report.best_mape.is_finite());
         assert_eq!(report.evaluated.len(), 6);
-        assert!(report
-            .evaluated
-            .iter()
-            .all(|(_, s)| *s >= report.best_mape));
+        assert!(report.evaluated.iter().all(|(_, s)| *s >= report.best_mape));
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! The streaming similarity kernels must reproduce the original
+//! collect-then-sum implementations *bit-for-bit*: the accumulators add the
+//! same terms in the same order, so every result — including the overlap
+//! floor and the degenerate-norm rejections — is exactly equal.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recsys::{Row, Similarity};
+
+/// The pre-rewrite implementation, kept verbatim as the reference.
+fn reference_between(sim: Similarity, a: &Row, b: &Row, min_overlap: usize) -> Option<f64> {
+    let pairs: Vec<(f64, f64)> = a
+        .iter()
+        .zip(b.iter())
+        .filter_map(|(x, y)| match (x, y) {
+            (Some(x), Some(y)) => Some((*x, *y)),
+            _ => None,
+        })
+        .collect();
+    if pairs.len() < min_overlap.max(1) {
+        return None;
+    }
+    match sim {
+        Similarity::Euclidean => {
+            let d2: f64 = pairs.iter().map(|(x, y)| (x - y).powi(2)).sum();
+            Some(1.0 / (1.0 + d2.sqrt()))
+        }
+        Similarity::Cosine => {
+            let dot: f64 = pairs.iter().map(|(x, y)| x * y).sum();
+            let na: f64 = pairs.iter().map(|(x, _)| x * x).sum::<f64>().sqrt();
+            let nb: f64 = pairs.iter().map(|(_, y)| y * y).sum::<f64>().sqrt();
+            if na < 1e-12 || nb < 1e-12 {
+                None
+            } else {
+                Some(dot / (na * nb))
+            }
+        }
+        Similarity::Pearson => {
+            let n = pairs.len() as f64;
+            let ma = pairs.iter().map(|(x, _)| x).sum::<f64>() / n;
+            let mb = pairs.iter().map(|(_, y)| y).sum::<f64>() / n;
+            let cov: f64 = pairs.iter().map(|(x, y)| (x - ma) * (y - mb)).sum();
+            let va: f64 = pairs
+                .iter()
+                .map(|(x, _)| (x - ma).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            let vb: f64 = pairs
+                .iter()
+                .map(|(_, y)| (y - mb).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            if va < 1e-12 || vb < 1e-12 {
+                None
+            } else {
+                Some(cov / (va * vb))
+            }
+        }
+    }
+}
+
+fn random_row(rng: &mut StdRng, len: usize, density: f64) -> Row {
+    (0..len)
+        .map(|_| rng.gen_bool(density).then(|| rng.gen_range(-50.0..50.0)))
+        .collect()
+}
+
+#[test]
+fn streaming_kernels_match_reference_bit_for_bit() {
+    let mut rng = StdRng::seed_from_u64(0x51_51_51);
+    for case in 0..500 {
+        let len = rng.gen_range(0..40);
+        let density = [0.2, 0.5, 0.9, 1.0][case % 4];
+        let a = random_row(&mut rng, len, density);
+        let b = random_row(&mut rng, len, density);
+        for min_overlap in [0, 1, 2, 5] {
+            for sim in Similarity::ALL {
+                let want = reference_between(sim, &a, &b, min_overlap);
+                let got = sim.between(&a, &b, min_overlap);
+                // Exact equality, not approximate: `Some(x) == Some(y)`
+                // compares the f64 bits' numeric values directly.
+                assert_eq!(
+                    got, want,
+                    "{sim:?} diverged (case {case}, min_overlap {min_overlap})\n a={a:?}\n b={b:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn degenerate_rows_still_rejected() {
+    // Constant rows have zero Pearson variance; zero rows have zero cosine
+    // norm. The streaming kernels must keep returning None for both.
+    let constant: Row = vec![Some(3.0); 6];
+    let zero: Row = vec![Some(0.0); 6];
+    let ramp: Row = (0..6).map(|i| Some(i as f64)).collect();
+    assert_eq!(Similarity::Pearson.between(&constant, &ramp, 1), None);
+    assert_eq!(Similarity::Cosine.between(&zero, &ramp, 1), None);
+    assert_eq!(
+        Similarity::Euclidean.between(&zero, &ramp, 1),
+        reference_between(Similarity::Euclidean, &zero, &ramp, 1)
+    );
+}

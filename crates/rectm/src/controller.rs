@@ -61,7 +61,7 @@ impl Exploration {
 /// SMBO over the configuration space, modelled by a bagging ensemble of CF
 /// learners over the normalized training matrix.
 pub struct Controller {
-    normalizer: Box<dyn Normalization + Send>,
+    normalizer: Box<dyn Normalization + Send + Sync>,
     ensemble: BaggingEnsemble,
     goal: Goal,
     ncols: usize,
@@ -74,7 +74,7 @@ impl Controller {
     pub fn fit(
         training_kpis: &UtilityMatrix,
         goal: Goal,
-        mut normalizer: Box<dyn Normalization + Send>,
+        mut normalizer: Box<dyn Normalization + Send + Sync>,
         algorithm: CfAlgorithm,
         settings: ControllerSettings,
     ) -> Self {
@@ -158,13 +158,16 @@ impl Controller {
         // Final step: explore the model's recommendation if new.
         let inner = self.inner_goal();
         if let Some((candidates, _)) = self.candidates(&known) {
-            let best_candidate = candidates.iter().copied().reduce(|a, b| {
-                if inner.better(b.mu, a.mu) {
-                    b
-                } else {
-                    a
-                }
-            });
+            let best_candidate =
+                candidates.iter().copied().reduce(
+                    |a, b| {
+                        if inner.better(b.mu, a.mu) {
+                            b
+                        } else {
+                            a
+                        }
+                    },
+                );
             if let Some(cand) = best_candidate {
                 let best_explored = self.ratings(&known).and_then(|r| self.best_of(&r));
                 let improves = match best_explored {
@@ -180,7 +183,13 @@ impl Controller {
         let (recommended, best_kpi) = explored
             .iter()
             .copied()
-            .reduce(|best, cur| if self.goal.better(cur.1, best.1) { cur } else { best })
+            .reduce(|best, cur| {
+                if self.goal.better(cur.1, best.1) {
+                    cur
+                } else {
+                    best
+                }
+            })
             .expect("at least the reference was explored");
         Exploration {
             explored,

@@ -92,11 +92,7 @@ impl Monitor {
             }
             return false;
         }
-        let sigma = self
-            .var
-            .sqrt()
-            .max(self.mean.abs() * 0.02)
-            .max(1e-12);
+        let sigma = self.var.sqrt().max(self.mean.abs() * 0.02).max(1e-12);
         let z = (x - self.mean) / sigma;
         self.g_pos = (self.g_pos + z - s.slack_k).max(0.0);
         self.g_neg = (self.g_neg - z - s.slack_k).max(0.0);

@@ -11,7 +11,7 @@ use std::fmt;
 /// (minimization KPIs are inverted), normalized into ratings, and fed to a
 /// CF predictor; predictions travel the inverse path back to KPI space.
 pub struct Recommender {
-    normalizer: Box<dyn Normalization + Send>,
+    normalizer: Box<dyn Normalization + Send + Sync>,
     predictor: CfPredictor,
     algorithm: CfAlgorithm,
     goal: Goal,
@@ -25,7 +25,7 @@ impl Recommender {
     pub fn fit(
         training_kpis: &UtilityMatrix,
         goal: Goal,
-        mut normalizer: Box<dyn Normalization + Send>,
+        mut normalizer: Box<dyn Normalization + Send + Sync>,
         algorithm: CfAlgorithm,
     ) -> Self {
         let scores = if normalizer.wants_scores() {

@@ -37,7 +37,7 @@ impl NormalizationChoice {
     ];
 
     /// Instantiate a fresh (unfitted) normalizer of this kind.
-    pub fn build(self) -> Box<dyn Normalization + Send> {
+    pub fn build(self) -> Box<dyn Normalization + Send + Sync> {
         match self {
             NormalizationChoice::Distillation => Box::new(DistillationNorm::new()),
             NormalizationChoice::None => Box::new(NoNorm),

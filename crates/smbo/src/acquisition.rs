@@ -54,9 +54,7 @@ impl Acquisition {
     pub fn score(self, c: &Candidate, best: f64, goal: Goal) -> f64 {
         let sigma = c.sigma2.max(0.0).sqrt();
         match self {
-            Acquisition::ExpectedImprovement => {
-                expected_improvement(c.mu, sigma, best, goal)
-            }
+            Acquisition::ExpectedImprovement => expected_improvement(c.mu, sigma, best, goal),
             Acquisition::Variance => c.sigma2 / c.mu.abs().max(1e-12),
             Acquisition::Greedy => match goal {
                 Goal::Maximize => c.mu,
@@ -88,7 +86,8 @@ impl Acquisition {
             _ => *candidates
                 .iter()
                 .max_by(|a, b| {
-                    self.score(a, best, goal).total_cmp(&self.score(b, best, goal))
+                    self.score(a, best, goal)
+                        .total_cmp(&self.score(b, best, goal))
                 })
                 .expect("non-empty"),
         };

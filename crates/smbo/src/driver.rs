@@ -92,9 +92,7 @@ pub fn optimize(
         let cands: Vec<Candidate> = remaining
             .iter()
             .zip(&stats)
-            .filter_map(|(&index, s)| {
-                s.map(|(mu, sigma2)| Candidate { index, mu, sigma2 })
-            })
+            .filter_map(|(&index, s)| s.map(|(mu, sigma2)| Candidate { index, mu, sigma2 }))
             .collect();
         let Some((chosen, ei)) =
             settings
@@ -215,7 +213,9 @@ mod tests {
 
     #[test]
     fn maximization_works_too() {
-        let truth: Vec<f64> = (0..10).map(|i| -((i as f64) - 6.0).powi(2) + 50.0).collect();
+        let truth: Vec<f64> = (0..10)
+            .map(|i| -((i as f64) - 6.0).powi(2) + 50.0)
+            .collect();
         let mut model = ToySurrogate {
             truth: truth.clone(),
             observed: vec![false; 10],

@@ -57,10 +57,7 @@ impl SwissTm {
                     if o != me {
                         return false;
                     }
-                    let saved = r_locks
-                        .iter()
-                        .find(|&&(i, _)| i == idx)
-                        .map(|&(_, v)| v);
+                    let saved = r_locks.iter().find(|&&(i, _)| i == idx).map(|&(_, v)| v);
                     if saved != Some(observed) {
                         return false;
                     }

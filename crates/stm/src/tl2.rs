@@ -13,9 +13,7 @@
 
 use crate::common::{release_locks_with, release_saved_locks, saved_version};
 use std::sync::Arc;
-use txcore::{
-    Abort, Addr, BackendKind, OrecTable, ThreadCtx, TmBackend, TmSystem, TxResult,
-};
+use txcore::{Abort, Addr, BackendKind, OrecTable, ThreadCtx, TmBackend, TmSystem, TxResult};
 
 /// The TL2 backend. See the module docs for the algorithm.
 #[derive(Debug)]

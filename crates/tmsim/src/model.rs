@@ -174,15 +174,13 @@ impl PerfModel {
             let fb_path = match config.backend {
                 BackendId::HybridNOrec => {
                     let nc = coefs(BackendId::NOrec);
-                    let sw_ns =
-                        spec.reads * nc.read_ns + u * spec.writes * nc.write_ns + nc.tx_ns;
+                    let sw_ns = spec.reads * nc.read_ns + u * spec.writes * nc.write_ns + nc.tx_ns;
                     let t_sw = t_base + sw_ns * 1e-9 / self.machine.speed;
                     (t_sw * retry_cost + b_att * 0.5 * t_instr) * socket / parallel
                 }
                 BackendId::HybridTl2 => {
                     let tc = coefs(BackendId::Tl2);
-                    let sw_ns =
-                        spec.reads * tc.read_ns + u * spec.writes * tc.write_ns + tc.tx_ns;
+                    let sw_ns = spec.reads * tc.read_ns + u * spec.writes * tc.write_ns + tc.tx_ns;
                     let t_sw = t_base + sw_ns * 1e-9 / self.machine.speed;
                     (t_sw * retry_cost + b_att * 0.5 * t_instr) * socket / parallel
                 }
@@ -290,7 +288,11 @@ mod tests {
             .iter()
             .max_by(|a, b| {
                 let (ka, kb) = (model.kpi(spec, a, kpi), model.kpi(spec, b, kpi));
-                if maximize { ka.total_cmp(&kb) } else { kb.total_cmp(&ka) }
+                if maximize {
+                    ka.total_cmp(&kb)
+                } else {
+                    kb.total_cmp(&ka)
+                }
             })
             .unwrap()
     }
@@ -336,9 +338,7 @@ mod tests {
         // Deterministically over-capacity: retrying is pure waste, so the
         // budget should be dropped immediately.
         let lab = WorkloadFamily::Labyrinth.base_spec();
-        let mk = |policy, budget| {
-            TmConfig::htm(BackendId::Htm, 4, HtmSetting { budget, policy })
-        };
+        let mk = |policy, budget| TmConfig::htm(BackendId::Htm, 4, HtmSetting { budget, policy });
         let giveup = m.throughput(&lab, &mk(CapacityPolicy::GiveUp, 16));
         let halve = m.throughput(&lab, &mk(CapacityPolicy::Halve, 16));
         let lin = m.throughput(&lab, &mk(CapacityPolicy::Decrease, 16));
@@ -388,7 +388,10 @@ mod tests {
                 &spec,
                 &TmConfig::htm(BackendId::HybridNOrec, 8, HtmSetting::DEFAULT),
             );
-            let htm = m.throughput(&spec, &TmConfig::htm(BackendId::Htm, 8, HtmSetting::DEFAULT));
+            let htm = m.throughput(
+                &spec,
+                &TmConfig::htm(BackendId::Htm, 8, HtmSetting::DEFAULT),
+            );
             let norec = m.throughput(&spec, &TmConfig::stm(BackendId::NOrec, 8));
             assert!(
                 hybrid <= htm.max(norec) * 1.001,
@@ -425,10 +428,7 @@ mod tests {
         for f in WorkloadFamily::ALL {
             optima.insert(best_config(&m, &f.base_spec(), Kpi::Throughput));
         }
-        assert!(
-            optima.len() >= 4,
-            "expected diverse optima, got {optima:?}"
-        );
+        assert!(optima.len() >= 4, "expected diverse optima, got {optima:?}");
     }
 
     #[test]

@@ -42,7 +42,9 @@ impl GlobalClock {
 
 impl fmt::Debug for GlobalClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("GlobalClock").field("now", &self.now()).finish()
+        f.debug_struct("GlobalClock")
+            .field("now", &self.now())
+            .finish()
     }
 }
 

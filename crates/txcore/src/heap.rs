@@ -79,7 +79,10 @@ pub struct Heap {
 impl Heap {
     /// Create a heap with room for `capacity` 64-bit words.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity < u32::MAX as usize, "heap capacity exceeds Addr space");
+        assert!(
+            capacity < u32::MAX as usize,
+            "heap capacity exceeds Addr space"
+        );
         let mut v = Vec::with_capacity(capacity);
         v.resize_with(capacity, || AtomicU64::new(0));
         Heap {

@@ -211,7 +211,10 @@ mod tests {
         assert!(!t.validate(3, 9, me));
         t.try_lock(3, me, None).unwrap();
         assert!(t.validate(3, 0, me), "own lock validates");
-        assert!(!t.validate(3, u64::MAX >> 1, OwnerTag(8)), "foreign lock fails");
+        assert!(
+            !t.validate(3, u64::MAX >> 1, OwnerTag(8)),
+            "foreign lock fails"
+        );
     }
 
     #[test]

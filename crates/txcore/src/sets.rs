@@ -143,8 +143,18 @@ impl WriteSet {
     }
 
     /// The buffered value for `a`, if this transaction wrote it.
-    pub fn get(&mut self, a: Addr) -> Option<u64> {
-        self.position(a).map(|i| self.entries[i].1)
+    ///
+    /// A read-only lookup over the current representation: the hash index
+    /// when one has been built, a linear scan otherwise. The lazy upgrade
+    /// to the index stays in [`WriteSet::insert`], so reads never mutate
+    /// the set and can be issued through a shared reference.
+    pub fn get(&self, a: Addr) -> Option<u64> {
+        let i = if self.indexed {
+            self.index.get(&a.0).map(|&i| i as usize)
+        } else {
+            self.entries.iter().position(|&(ea, _)| ea == a)
+        };
+        i.map(|i| self.entries[i].1)
     }
 
     /// All buffered writes in insertion order.

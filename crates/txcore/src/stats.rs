@@ -97,12 +97,17 @@ impl StatsSnapshot {
     /// Element-wise difference `self - earlier` (for windowed KPIs).
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         let mut aborts = [0u64; 5];
-        for (a, (now, then)) in aborts.iter_mut().zip(self.aborts.iter().zip(&earlier.aborts)) {
+        for (a, (now, then)) in aborts
+            .iter_mut()
+            .zip(self.aborts.iter().zip(&earlier.aborts))
+        {
             *a = now.saturating_sub(*then);
         }
         StatsSnapshot {
             commits: self.commits.saturating_sub(earlier.commits),
-            fallback_commits: self.fallback_commits.saturating_sub(earlier.fallback_commits),
+            fallback_commits: self
+                .fallback_commits
+                .saturating_sub(earlier.fallback_commits),
             aborts,
         }
     }

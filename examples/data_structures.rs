@@ -54,8 +54,7 @@ fn main() {
                 key_range,
                 prefill: key_range / 2,
             };
-            let app: Arc<dyn TmApp> =
-                Arc::new(DsApp::setup(poly.system(), kind, params));
+            let app: Arc<dyn TmApp> = Arc::new(DsApp::setup(poly.system(), kind, params));
             let xs: Vec<f64> = candidates
                 .iter()
                 .map(|c| measure(&poly, &app, c, threads))

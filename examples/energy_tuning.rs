@@ -46,8 +46,8 @@ fn main() {
     let rectm_edp = train(&model, Kpi::Edp);
 
     println!(
-        "{:<16} {:<22} {:<22} {}",
-        "workload", "throughput optimum", "EDP optimum", "same?"
+        "{:<16} {:<22} {:<22} same?",
+        "workload", "throughput optimum", "EDP optimum"
     );
     for family in [
         WorkloadFamily::Genome,
@@ -60,15 +60,19 @@ fn main() {
         let spec = family.base_spec();
         let thr = rectm_thr
             .optimize_workload(&mut |i| model.kpi(&spec, &space.configs()[i], Kpi::Throughput));
-        let edp = rectm_edp
-            .optimize_workload(&mut |i| model.kpi(&spec, &space.configs()[i], Kpi::Edp));
+        let edp =
+            rectm_edp.optimize_workload(&mut |i| model.kpi(&spec, &space.configs()[i], Kpi::Edp));
         let same = thr.recommended == edp.recommended;
         println!(
             "{:<16} {:<22} {:<22} {}",
             family.name(),
             space.configs()[thr.recommended].to_string(),
             space.configs()[edp.recommended].to_string(),
-            if same { "yes" } else { "NO — energy changes the answer" }
+            if same {
+                "yes"
+            } else {
+                "NO — energy changes the answer"
+            }
         );
     }
     println!(

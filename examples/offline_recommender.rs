@@ -15,11 +15,7 @@ fn main() {
     let machine = MachineModel::machine_a();
     let model = PerfModel::new(machine.clone());
     let space = machine.config_space();
-    println!(
-        "machine {}: {} configurations",
-        machine.name,
-        space.len()
-    );
+    println!("machine {}: {} configurations", machine.name, space.len());
 
     // Off-line: profile 60 base workloads in every configuration.
     let workloads = corpus(64, 7);

@@ -44,7 +44,10 @@ fn main() {
         TmConfig::htm(BackendId::Htm, threads, HtmSetting::DEFAULT),
     ] {
         poly.apply(&cfg).unwrap();
-        println!("  {cfg:<20} {:>12.0} tx/s", measure(cfg.threads.min(threads)));
+        println!(
+            "  {cfg:<20} {:>12.0} tx/s",
+            measure(cfg.threads.min(threads))
+        );
     }
 
     println!("\nProteusTM tuning...");

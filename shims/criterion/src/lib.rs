@@ -1,0 +1,228 @@
+//! Offline shim for the subset of the `criterion` 0.5 API this workspace
+//! uses. The build container cannot fetch crates, so this provides a small
+//! wall-clock benchmark harness with the same surface: `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `black_box` and
+//! the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement: each benchmark is warmed up for `warm_up_time`, then run
+//! for `measurement_time` split into `sample_size` samples; the median,
+//! fastest and slowest per-iteration times are printed. No plots, no
+//! statistical regression — numbers only.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from const-folding a value away.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Warm-up duration before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let cfg = self.clone();
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            cfg,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = self.clone();
+        run_benchmark(&cfg, &name.into(), f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    cfg: Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(2);
+        self
+    }
+
+    /// Override the measurement duration for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Override the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_benchmark(&self.cfg, &full, f);
+        self
+    }
+
+    /// Finish the group (printing is already done incrementally).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; drives the measured loop.
+pub struct Bencher {
+    mode: BencherMode,
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+enum BencherMode {
+    /// Run for roughly this long, counting iterations.
+    Timed(Duration),
+}
+
+impl Bencher {
+    /// Measure `f` repeatedly until this sample's time budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let BencherMode::Timed(budget) = self.mode;
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            // Check the clock every few iterations to keep overhead low.
+            if iters.is_multiple_of(8) || iters < 8 {
+                let t = start.elapsed();
+                if t >= budget {
+                    self.iters_done = iters;
+                    self.elapsed = t;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn run_benchmark<F>(cfg: &Criterion, name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: run until the warm-up budget is spent.
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < cfg.warm_up_time {
+        let mut b = Bencher {
+            mode: BencherMode::Timed(cfg.warm_up_time / 4),
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+    }
+    // Measurement: sample_size samples, each a slice of measurement_time.
+    let per_sample = cfg.measurement_time / cfg.sample_size as u32;
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(cfg.sample_size);
+    for _ in 0..cfg.sample_size {
+        let mut b = Bencher {
+            mode: BencherMode::Timed(per_sample),
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.iters_done > 0 {
+            per_iter_ns.push(b.elapsed.as_nanos() as f64 / b.iters_done as f64);
+        }
+    }
+    per_iter_ns.sort_by(f64::total_cmp);
+    let pick = |q: f64| per_iter_ns[((per_iter_ns.len() - 1) as f64 * q) as usize];
+    println!(
+        "{name:<48} time: [{} {} {}]",
+        fmt_ns(pick(0.05)),
+        fmt_ns(pick(0.5)),
+        fmt_ns(pick(0.95)),
+    );
+}
+
+/// Declare a benchmark group, mirroring criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declare the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

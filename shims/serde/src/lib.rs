@@ -1,0 +1,6 @@
+//! Offline shim for the `serde` facade: re-exports no-op derive macros so
+//! `#[derive(Serialize, Deserialize)]` compiles. No trait machinery is
+//! provided — nothing in this workspace serializes; the derives exist for
+//! API compatibility with downstream consumers of the model types.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! Offline shim: `#[derive(Serialize, Deserialize)]` that expands to
+//! nothing. The workspace derives serde traits on a few model types for
+//! downstream consumers, but nothing in-tree serializes, so empty
+//! expansions keep those types compiling without the real serde stack.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -97,14 +97,7 @@ impl ProteusTmBuilder {
                 .map(|w| {
                     keep.iter()
                         .map(|&i| {
-                            Some(model.noisy_kpi(
-                                w.id,
-                                &w.spec,
-                                &full.configs()[i],
-                                i,
-                                self.kpi,
-                                0,
-                            ))
+                            Some(model.noisy_kpi(w.id, &w.spec, &full.configs()[i], i, self.kpi, 0))
                         })
                         .collect()
                 })

@@ -23,12 +23,7 @@ fn all_configs(threads: usize) -> Vec<TmConfig> {
 
 #[test]
 fn every_kernel_runs_on_every_backend() {
-    let poly = Arc::new(
-        PolyTm::builder()
-            .heap_words(1 << 20)
-            .max_threads(2)
-            .build(),
-    );
+    let poly = Arc::new(PolyTm::builder().heap_words(1 << 20).max_threads(2).build());
     let sys = poly.system();
     let apps: Vec<Arc<dyn TmApp>> = vec![
         Arc::new(Vacation::setup(sys, 32, 4, 2)),
@@ -94,12 +89,7 @@ fn red_black_tree_invariants_hold_on_every_backend() {
         }
     }
     for config in all_configs(3) {
-        let poly = Arc::new(
-            PolyTm::builder()
-                .heap_words(1 << 20)
-                .max_threads(3)
-                .build(),
-        );
+        let poly = Arc::new(PolyTm::builder().heap_words(1 << 20).max_threads(3).build());
         poly.apply(&config).unwrap();
         let tree = RedBlackTree::create(&poly.system().heap);
         let app: Arc<dyn TmApp> = Arc::new(RbtApp { tree });
@@ -118,12 +108,7 @@ fn red_black_tree_invariants_hold_on_every_backend() {
 
 #[test]
 fn switching_mid_run_preserves_kernel_invariants() {
-    let poly = Arc::new(
-        PolyTm::builder()
-            .heap_words(1 << 20)
-            .max_threads(4)
-            .build(),
-    );
+    let poly = Arc::new(PolyTm::builder().heap_words(1 << 20).max_threads(4).build());
     let app = Arc::new(Kmeans::setup(poly.system(), 4, 2));
     let app_dyn: Arc<dyn TmApp> = app.clone();
     let configs = all_configs(4);
