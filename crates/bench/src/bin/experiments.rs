@@ -5,13 +5,19 @@
 //! experiments fig4 fig5         # selected experiments
 //! experiments --quick all       # reduced corpus sizes (CI-friendly)
 //! experiments --jobs 4 fig5     # evaluation worker threads (or PROTEUS_JOBS)
+//! experiments --trace-out t.jsonl fig4   # JSONL telemetry trace (or PROTEUS_TRACE)
 //! ```
 //!
 //! Results are bit-identical at every `--jobs` value: the evaluation
 //! pipeline derives all randomness from per-task seeds and folds results
-//! in a fixed order (see the `parx` crate).
+//! in a fixed order (see the `parx` crate). With `--trace-out PATH` (or
+//! the `PROTEUS_TRACE` environment variable) every adaptation-layer event
+//! — quiescence epochs, configuration switches, CUSUM alarms, EI steps,
+//! per-backend abort counters — is written to PATH as JSON Lines, and a
+//! human-readable summary is printed at the end of the run.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 type Runner = (&'static str, fn(bool));
 
@@ -58,9 +64,18 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let mut targets: Vec<&String> = Vec::new();
+    let mut trace_out: Option<PathBuf> = std::env::var_os("PROTEUS_TRACE").map(PathBuf::from);
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
-        if a == "--jobs" {
+        if a == "--trace-out" {
+            let path = iter.next().unwrap_or_else(|| {
+                eprintln!("--trace-out expects a path");
+                std::process::exit(2);
+            });
+            trace_out = Some(PathBuf::from(path));
+        } else if let Some(v) = a.strip_prefix("--trace-out=") {
+            trace_out = Some(PathBuf::from(v));
+        } else if a == "--jobs" {
             let n = iter
                 .next()
                 .and_then(|v| v.parse::<usize>().ok())
@@ -84,11 +99,28 @@ fn main() {
     }
     if targets.is_empty() {
         eprintln!(
-            "usage: experiments [--quick] [--jobs N] <all | {} ...>",
+            "usage: experiments [--quick] [--jobs N] [--trace-out PATH] <all | {} ...>",
             index.keys().cloned().collect::<Vec<_>>().join(" | ")
         );
         std::process::exit(2);
     }
+    let tracing = match &trace_out {
+        Some(path) => {
+            if !obs::telemetry_compiled() {
+                eprintln!(
+                    "warning: built without the `telemetry` feature; \
+                     {} will contain no events",
+                    path.display()
+                );
+            }
+            if let Err(e) = obs::start_trace_file(path) {
+                eprintln!("cannot open trace file {}: {e}", path.display());
+                std::process::exit(2);
+            }
+            true
+        }
+        None => false,
+    };
     for target in targets {
         if target == "all" {
             for (name, f) in RUNNERS {
@@ -103,6 +135,14 @@ fn main() {
         } else {
             eprintln!("unknown experiment: {target}");
             std::process::exit(2);
+        }
+    }
+    if tracing {
+        let report = obs::finish_trace();
+        println!();
+        print!("{}", obs::summary::render(&report));
+        if let Some(path) = &trace_out {
+            println!("trace written to {}", path.display());
         }
     }
 }

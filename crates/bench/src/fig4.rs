@@ -121,6 +121,16 @@ fn eval_scheme(
         } else {
             dfos.iter().sum::<f64>() / dfos.len() as f64
         });
+        // Emitted at this serial fold point — never from the parallel
+        // closures above — so the trace is byte-identical at every
+        // PROTEUS_JOBS value (crates/bench/tests/determinism.rs).
+        obs::event!(
+            "fig4.result",
+            "scheme" => choice.label(),
+            "k" => k,
+            "mape" => *mape_by_k.last().unwrap(),
+            "mdfo" => *mdfo_by_k.last().unwrap(),
+        );
     }
     SchemeResult {
         mape_by_k,
@@ -132,11 +142,13 @@ fn eval_scheme(
 pub fn run_with(n: usize) {
     let bench = Bench::new(MachineModel::machine_a(), Kpi::ExecTime, n, 0xF164);
     let (train, test) = bench.split(0.3, 42);
+    obs::event!("fig4.start", "workloads" => n, "test_rows" => test.len());
     let headers = ["normalization", "k=2", "k=3", "k=5", "k=10", "k=20"];
     for (algo_name, algo) in [("KNN cosine", knn()), ("MF-SGD", mf())] {
         let mut mape_rows = Vec::new();
         let mut mdfo_rows = Vec::new();
         for choice in NormalizationChoice::ALL {
+            obs::event!("fig4.scheme", "algo" => algo_name, "scheme" => choice.label());
             let res = eval_scheme(&bench, choice, algo, &train, &test);
             let label = choice.label().to_string();
             let mut r1 = vec![label.clone()];

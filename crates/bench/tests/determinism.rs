@@ -54,6 +54,35 @@ fn bagging_fit_and_predict_are_identical_across_job_counts() {
     );
 }
 
+/// The telemetry stream itself is part of the determinism contract: the
+/// fig4 workflow must emit a byte-identical JSONL trace at every job
+/// count. Events are only emitted from serial driver code with logical
+/// sequence numbers, so the captured bytes — not just the parsed events —
+/// must match exactly. `capture_trace` serializes captures internally, so
+/// concurrent tests in this binary cannot interleave events into either
+/// stream.
+#[cfg(feature = "telemetry")]
+#[test]
+fn fig4_trace_is_byte_identical_across_job_counts() {
+    let (_, serial) = obs::capture_trace(|| parx::with_jobs(1, || bench::fig4::run_with(24)));
+    let (_, parallel) = obs::capture_trace(|| parx::with_jobs(4, || bench::fig4::run_with(24)));
+    assert!(
+        !serial.is_empty(),
+        "fig4 must emit telemetry events while a trace is active"
+    );
+    let text = String::from_utf8(serial.clone()).expect("trace is UTF-8 JSONL");
+    for kind in ["fig4.start", "fig4.scheme", "fig4.result"] {
+        assert!(
+            text.contains(&format!("\"kind\":\"{kind}\"")),
+            "missing {kind} events in trace"
+        );
+    }
+    assert_eq!(
+        serial, parallel,
+        "fig4 JSONL trace must be byte-identical at jobs=1 and jobs=4"
+    );
+}
+
 #[test]
 fn tuner_is_identical_across_job_counts() {
     let training = UtilityMatrix::from_rows(

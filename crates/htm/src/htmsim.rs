@@ -97,6 +97,9 @@ impl TmBackend for HtmSim {
         }
         if ctx.htm_budget == 0 {
             // Budget drained: run irrevocably under the fallback lock.
+            if obs::enabled() {
+                obs::counter("htm.budget_exhausted.htm").inc();
+            }
             ctx.reset_logs();
             self.acquire_fallback(ctx);
             ctx.in_fallback = true;

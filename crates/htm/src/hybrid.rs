@@ -66,6 +66,9 @@ impl TmBackend for HybridNOrec {
             ctx.htm_budget = self.cm.budget().max(1);
         }
         if ctx.htm_budget == 0 {
+            if obs::enabled() {
+                obs::counter("htm.budget_exhausted.hybrid-norec").inc();
+            }
             self.norec.begin(ctx)?;
             ctx.in_fallback = true;
             return Ok(());
@@ -278,6 +281,9 @@ impl TmBackend for HybridTl2 {
             ctx.htm_budget = self.cm.budget().max(1);
         }
         let software = ctx.htm_budget == 0;
+        if software && obs::enabled() {
+            obs::counter("htm.budget_exhausted.hybrid-tl2").inc();
+        }
         self.tl2.begin(ctx)?; // resets logs (and the in_fallback flag)
         ctx.in_fallback = software;
         Ok(())

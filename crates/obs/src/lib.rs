@@ -1,0 +1,134 @@
+//! Structured observability for the ProteusTM stack.
+//!
+//! The adaptation loop of ProteusTM makes decisions — quiescence switches,
+//! thread-gate resizes, CUSUM alarms, EI exploration steps — that used to
+//! leave no trace. This crate makes those decisions first-class, measurable
+//! events:
+//!
+//! * **Events** ([`Event`]): structured records with a monotonic *logical*
+//!   sequence number, a kind from a small stable taxonomy (DESIGN.md §7)
+//!   and typed fields. Events flow to an optional JSONL sink (one object
+//!   per line) and to a bounded [`EventRing`] holding the most recent
+//!   events for post-mortem inspection.
+//! * **Metrics** ([`metrics`]): a process-wide registry of named counters,
+//!   gauges and fixed-bucket latency histograms. Counters on the
+//!   deterministic learning path hold logically deterministic values;
+//!   anything wall-clock lives in gauges/histograms, which never enter the
+//!   JSONL stream.
+//! * **Determinism**: traces captured around the learning pipeline are
+//!   byte-identical at every `PROTEUS_JOBS` value because events are only
+//!   emitted from serial driver code, sequence numbers are logical, and no
+//!   wall-clock field exists on that path (`crates/bench/tests/
+//!   determinism.rs` enforces this).
+//! * **Cost**: every instrumentation site is guarded by [`enabled`]. With
+//!   the `telemetry` cargo feature off it is `const false` and the site
+//!   compiles out; with the feature on but no trace active it is one
+//!   relaxed atomic load.
+//!
+//! # Example
+//!
+//! ```
+//! let (out, trace) = obs::capture_trace(|| {
+//!     obs::event!("demo.tick", "step" => 1u64, "label" => "warmup");
+//!     42
+//! });
+//! assert_eq!(out, 42);
+//! if obs::telemetry_compiled() {
+//!     let text = String::from_utf8(trace).unwrap();
+//!     assert!(text.contains("\"kind\":\"demo.tick\""));
+//! }
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+pub mod metrics;
+mod ring;
+pub mod summary;
+mod trace;
+
+pub use event::{Event, Value};
+pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram};
+pub use ring::EventRing;
+pub use trace::{
+    capture_trace, emit, finish_trace, recent_events, start_trace_file, start_trace_memory,
+    TraceReport,
+};
+
+/// Whether the `telemetry` cargo feature was compiled in.
+pub const fn telemetry_compiled() -> bool {
+    cfg!(feature = "telemetry")
+}
+
+/// Fast-path guard: `true` only while a trace is active *and* the
+/// `telemetry` feature is compiled in.
+///
+/// Instrumentation sites check this before building any event fields or
+/// metric names, so an inactive pipeline costs one relaxed atomic load and
+/// a feature-disabled build costs nothing at all.
+#[cfg(feature = "telemetry")]
+#[inline(always)]
+pub fn enabled() -> bool {
+    trace::active()
+}
+
+/// Fast-path guard (feature off): always `false`, letting the optimizer
+/// remove every guarded instrumentation site.
+#[cfg(not(feature = "telemetry"))]
+#[inline(always)]
+pub const fn enabled() -> bool {
+    false
+}
+
+/// Emit a structured event if telemetry is enabled.
+///
+/// Fields are `"key" => value` pairs; values can be any type with a
+/// [`Value`] conversion (unsigned/signed integers, `f64`, `bool`, strings).
+/// The whole expansion is guarded by [`enabled`], so arguments are not
+/// evaluated when telemetry is off.
+///
+/// ```
+/// obs::event!("config.switch", "from" => "TL2:8t", "to" => "NOrec:4t");
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($kind:expr $(, $key:literal => $val:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::emit($kind, vec![$(($key, $crate::Value::from($val))),*]);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn disabled_by_default() {
+        // No trace has been started in this test, so the guard is off
+        // (other tests start traces, but they serialize on the capture
+        // lock and always finish them).
+        if !crate::telemetry_compiled() {
+            assert!(!crate::enabled());
+        }
+    }
+
+    #[test]
+    fn event_macro_compiles_with_mixed_field_types() {
+        // Must type-check regardless of the feature. Runs inside a capture
+        // so the emits can't leak into a concurrent test's trace.
+        let (_, bytes) = crate::capture_trace(|| {
+            crate::event!(
+                "test.mixed",
+                "u" => 3u64,
+                "i" => -4i64,
+                "f" => 2.5f64,
+                "b" => true,
+                "s" => "text",
+                "owned" => String::from("owned"),
+            );
+            crate::event!("test.bare");
+        });
+        if crate::telemetry_compiled() {
+            assert_eq!(String::from_utf8(bytes).unwrap().lines().count(), 2);
+        }
+    }
+}

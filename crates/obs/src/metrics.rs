@@ -1,0 +1,329 @@
+//! A process-wide registry of named counters, gauges and fixed-bucket
+//! latency histograms.
+//!
+//! Registration leaks one small allocation per distinct name (names form a
+//! small closed set), which lets hot paths hold `&'static` handles and
+//! update them with a single relaxed atomic RMW.
+//!
+//! Determinism contract: **counters** on the learning path must hold
+//! logically deterministic values (they are dumped into the JSONL trace at
+//! [`crate::finish_trace`]); anything derived from wall-clock time belongs
+//! in **gauges** or **histograms**, which only ever appear in the
+//! human-readable summary.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value-wins gauge storing an `f64`.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.set(0.0);
+    }
+}
+
+/// Upper bounds (inclusive, in nanoseconds) of the fixed histogram
+/// buckets; values beyond the last bound land in an overflow bucket.
+pub const LATENCY_BOUNDS_NS: [u64; 12] = [
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_000_000,
+    4_000_000,
+    16_000_000,
+    64_000_000,
+    256_000_000,
+    1_000_000_000,
+    4_000_000_000,
+];
+
+/// A fixed-bucket latency histogram over [`LATENCY_BOUNDS_NS`].
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; LATENCY_BOUNDS_NS.len() + 1],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation (nanoseconds).
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        let idx = LATENCY_BOUNDS_NS
+            .iter()
+            .position(|&b| ns <= b)
+            .unwrap_or(LATENCY_BOUNDS_NS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Per-bucket counts, in [`LATENCY_BOUNDS_NS`] order plus the overflow
+    /// bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+    }
+}
+
+enum Metric {
+    C(&'static Counter),
+    G(&'static Gauge),
+    H(&'static Histogram),
+}
+
+static REGISTRY: Mutex<BTreeMap<String, Metric>> = Mutex::new(BTreeMap::new());
+
+fn registry() -> std::sync::MutexGuard<'static, BTreeMap<String, Metric>> {
+    REGISTRY.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Look up (or register) the counter `name`.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric type.
+pub fn counter(name: &str) -> &'static Counter {
+    let mut reg = registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::C(Box::leak(Box::default())))
+    {
+        Metric::C(c) => c,
+        _ => panic!("metric {name:?} is not a counter"),
+    }
+}
+
+/// Look up (or register) the gauge `name`.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric type.
+pub fn gauge(name: &str) -> &'static Gauge {
+    let mut reg = registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::G(Box::leak(Box::default())))
+    {
+        Metric::G(g) => g,
+        _ => panic!("metric {name:?} is not a gauge"),
+    }
+}
+
+/// Look up (or register) the histogram `name`.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric type.
+pub fn histogram(name: &str) -> &'static Histogram {
+    let mut reg = registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::H(Box::leak(Box::default())))
+    {
+        Metric::H(h) => h,
+        _ => panic!("metric {name:?} is not a histogram"),
+    }
+}
+
+/// A point-in-time copy of one metric's value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram count, mean (ns), and per-bucket counts.
+    Histogram {
+        /// Observations recorded.
+        count: u64,
+        /// Mean observation in nanoseconds.
+        mean_ns: f64,
+        /// Counts per [`LATENCY_BOUNDS_NS`] bucket plus overflow.
+        buckets: Vec<u64>,
+    },
+}
+
+/// Snapshot every registered metric, sorted by name.
+pub fn snapshot() -> Vec<(String, MetricValue)> {
+    registry()
+        .iter()
+        .map(|(name, m)| {
+            let v = match m {
+                Metric::C(c) => MetricValue::Counter(c.get()),
+                Metric::G(g) => MetricValue::Gauge(g.get()),
+                Metric::H(h) => MetricValue::Histogram {
+                    count: h.count(),
+                    mean_ns: h.mean_ns(),
+                    buckets: h.bucket_counts(),
+                },
+            };
+            (name.clone(), v)
+        })
+        .collect()
+}
+
+/// Counter names and values, sorted by name, skipping zeros. This is what
+/// [`crate::finish_trace`] dumps into the JSONL stream.
+pub fn counter_snapshot() -> Vec<(String, u64)> {
+    registry()
+        .iter()
+        .filter_map(|(name, m)| match m {
+            Metric::C(c) if c.get() > 0 => Some((name.clone(), c.get())),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Zero every registered metric (registrations are kept, so `&'static`
+/// handles stay valid). Called by [`crate::start_trace_file`] and friends
+/// so each trace reports only its own run.
+pub fn reset() {
+    for m in registry().values() {
+        match m {
+            Metric::C(c) => c.reset(),
+            Metric::G(g) => g.reset(),
+            Metric::H(h) => h.reset(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        // Trace tests reset the registry; hold the capture lock so values
+        // survive until the assertions.
+        let _serial = crate::trace::hold_capture_lock_for_test();
+        let c = counter("test.metrics.counter");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = gauge("test.metrics.gauge");
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        // Same name returns the same handle.
+        assert_eq!(counter("test.metrics.counter").get(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let _serial = crate::trace::hold_capture_lock_for_test();
+        let h = histogram("test.metrics.hist");
+        h.record(500); // bucket 0 (<= 1us)
+        h.record(2_000); // bucket 1
+        h.record(10_000_000_000); // overflow
+        assert_eq!(h.count(), 3);
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets[0], 1);
+        assert_eq!(buckets[1], 1);
+        assert_eq!(buckets[LATENCY_BOUNDS_NS.len()], 1);
+        assert!(h.mean_ns() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn type_confusion_panics() {
+        gauge("test.metrics.confused");
+        counter("test.metrics.confused");
+    }
+
+    #[test]
+    fn counter_snapshot_skips_zeros_and_sorts() {
+        let _serial = crate::trace::hold_capture_lock_for_test();
+        counter("test.snap.zzz").inc();
+        counter("test.snap.aaa").inc();
+        let _zero = counter("test.snap.zero");
+        let snap = counter_snapshot();
+        let names: Vec<&str> = snap
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .filter(|n| n.starts_with("test.snap."))
+            .collect();
+        assert_eq!(names, vec!["test.snap.aaa", "test.snap.zzz"]);
+    }
+}

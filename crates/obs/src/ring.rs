@@ -1,0 +1,175 @@
+//! A bounded ring of recent events with a non-blocking writer path.
+//!
+//! The ring is the always-on half of the event pipeline: while a trace is
+//! active every emitted event is also pushed here, so the most recent
+//! window of activity is available for post-mortem inspection (and for the
+//! end-of-run summary) without unbounded memory.
+//!
+//! Progress guarantees, stated precisely: writers *reserve* a slot with a
+//! single `fetch_add` (lock-free — a writer can always reserve, regardless
+//! of what other threads do) and then publish the payload through a
+//! per-slot `try_lock`. A writer **never blocks**: if its slot is still
+//! being read or written by someone else (which requires the ring to have
+//! wrapped a full capacity in the meantime), it drops the event and counts
+//! it in [`EventRing::dropped`] instead of waiting. Overwriting an old,
+//! unread event also counts as a drop — the ring is bounded by design.
+
+use crate::event::Event;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+struct Slot {
+    data: Mutex<Option<Event>>,
+}
+
+/// Bounded multi-producer ring of the most recent [`Event`]s.
+pub struct EventRing {
+    slots: Vec<Slot>,
+    head: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventRing {
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    data: Mutex::new(None),
+                })
+                .collect(),
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Push an event, never blocking. Returns `false` when the event was
+    /// dropped (slot busy) or displaced an unread event.
+    pub fn push(&self, event: Event) -> bool {
+        let pos = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(pos % self.slots.len() as u64) as usize];
+        match slot.data.try_lock() {
+            Ok(mut guard) => {
+                let displaced = guard.replace(event).is_some();
+                if displaced {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                !displaced
+            }
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Take every buffered event, oldest first (by sequence number).
+    pub fn drain(&self) -> Vec<Event> {
+        let mut out: Vec<Event> = Vec::new();
+        for slot in &self.slots {
+            if let Ok(mut guard) = slot.data.try_lock() {
+                if let Some(e) = guard.take() {
+                    out.push(e);
+                }
+            }
+        }
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// Events dropped or displaced since construction (or the last
+    /// [`EventRing::reset`]).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Clear the buffer and the drop counter.
+    pub fn reset(&self) {
+        for slot in &self.slots {
+            if let Ok(mut guard) = slot.data.try_lock() {
+                *guard = None;
+            }
+        }
+        self.dropped.store(0, Ordering::Relaxed);
+        self.head.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for EventRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventRing")
+            .field("capacity", &self.capacity())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Value;
+
+    fn ev(seq: u64) -> Event {
+        Event {
+            seq,
+            kind: "test",
+            fields: vec![("i", Value::U64(seq))],
+        }
+    }
+
+    #[test]
+    fn keeps_the_most_recent_window() {
+        let ring = EventRing::new(4);
+        for i in 0..10 {
+            ring.push(ev(i));
+        }
+        let seqs: Vec<u64> = ring.drain().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(ring.dropped(), 6, "displaced events count as drops");
+    }
+
+    #[test]
+    fn drain_empties_the_ring() {
+        let ring = EventRing::new(8);
+        ring.push(ev(0));
+        assert_eq!(ring.drain().len(), 1);
+        assert!(ring.drain().is_empty());
+    }
+
+    #[test]
+    fn concurrent_pushes_never_block_and_account_for_everything() {
+        let ring = EventRing::new(64);
+        const PER_THREAD: u64 = 500;
+        const THREADS: u64 = 4;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let ring = &ring;
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        ring.push(ev(t * PER_THREAD + i));
+                    }
+                });
+            }
+        });
+        let kept = ring.drain().len() as u64;
+        assert_eq!(kept + ring.dropped(), THREADS * PER_THREAD);
+        assert!(kept <= 64);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let ring = EventRing::new(2);
+        for i in 0..5 {
+            ring.push(ev(i));
+        }
+        ring.reset();
+        assert_eq!(ring.dropped(), 0);
+        assert!(ring.drain().is_empty());
+    }
+}

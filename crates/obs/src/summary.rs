@@ -1,0 +1,123 @@
+//! Human-readable end-of-run summary.
+//!
+//! Rendered by the `experiments` binary after [`crate::finish_trace`].
+//! Unlike the JSONL stream this view *does* include wall-clock metrics
+//! (gauges, histograms) — it is for humans, not for byte-identity
+//! comparison.
+
+use crate::metrics::{self, MetricValue, LATENCY_BOUNDS_NS};
+use crate::trace::TraceReport;
+use std::fmt::Write;
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Render the end-of-run telemetry summary: events by kind, non-zero
+/// counters, gauges, and histogram means with their busiest bucket.
+pub fn render(report: &TraceReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== telemetry summary ===");
+    let _ = writeln!(
+        out,
+        "events: {} emitted, {} dropped from ring",
+        report.events, report.dropped
+    );
+    for (kind, count) in &report.by_kind {
+        let _ = writeln!(out, "  {kind:<28} {count:>8}");
+    }
+
+    let snapshot = metrics::snapshot();
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut histograms = Vec::new();
+    for (name, value) in snapshot {
+        match value {
+            MetricValue::Counter(v) if v > 0 => counters.push((name, v)),
+            MetricValue::Counter(_) => {}
+            MetricValue::Gauge(v) => gauges.push((name, v)),
+            MetricValue::Histogram {
+                count,
+                mean_ns,
+                buckets,
+            } if count > 0 => histograms.push((name, count, mean_ns, buckets)),
+            MetricValue::Histogram { .. } => {}
+        }
+    }
+    if !counters.is_empty() {
+        let _ = writeln!(out, "counters:");
+        for (name, v) in counters {
+            let _ = writeln!(out, "  {name:<28} {v:>8}");
+        }
+    }
+    if !gauges.is_empty() {
+        let _ = writeln!(out, "gauges:");
+        for (name, v) in gauges {
+            let _ = writeln!(out, "  {name:<28} {v:>8}");
+        }
+    }
+    if !histograms.is_empty() {
+        let _ = writeln!(out, "latency histograms:");
+        for (name, count, mean_ns, buckets) in histograms {
+            let (mode_idx, _) = buckets
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, c)| **c)
+                .unwrap_or((0, &0));
+            let mode = if mode_idx < LATENCY_BOUNDS_NS.len() {
+                format!("<= {}", fmt_ns(LATENCY_BOUNDS_NS[mode_idx] as f64))
+            } else {
+                format!("> {}", fmt_ns(*LATENCY_BOUNDS_NS.last().unwrap() as f64))
+            };
+            let _ = writeln!(
+                out,
+                "  {name:<28} n={count} mean={} mode_bucket={mode}",
+                fmt_ns(mean_ns)
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_report_and_metrics() {
+        // Trace tests reset the metrics registry when they start a trace;
+        // holding the capture lock keeps our counters alive until render.
+        let _serial = crate::trace::hold_capture_lock_for_test();
+        let report = TraceReport {
+            events: 3,
+            by_kind: vec![("config.switch", 2), ("cusum.alarm", 1)],
+            dropped: 0,
+            bytes: None,
+        };
+        metrics::counter("test.summary.commits").add(7);
+        metrics::gauge("test.summary.workers").set(4.0);
+        metrics::histogram("test.summary.lat").record(5_000);
+        let text = render(&report);
+        assert!(text.contains("3 emitted"));
+        assert!(text.contains("config.switch"));
+        assert!(text.contains("test.summary.commits"));
+        assert!(text.contains("test.summary.workers"));
+        assert!(text.contains("test.summary.lat"));
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(500.0), "500ns");
+        assert_eq!(fmt_ns(5_000.0), "5.00us");
+        assert_eq!(fmt_ns(5_000_000.0), "5.00ms");
+        assert_eq!(fmt_ns(5_000_000_000.0), "5.00s");
+    }
+}

@@ -1,0 +1,296 @@
+//! Trace lifecycle: start/finish a JSONL trace, emit events into it.
+//!
+//! One trace can be active per process. Starting a trace zeroes the
+//! metrics registry, the global [`EventRing`] and the logical sequence
+//! counter, so every captured stream is self-contained and starts at
+//! `seq == 0` — a precondition for the byte-identity determinism tests.
+//!
+//! [`finish_trace`] appends a sorted dump of non-zero counters to the
+//! stream; [`capture_trace`] deliberately does **not** (concurrent tests
+//! in the same binary would otherwise leak their counter increments into
+//! each other's captures), which is what makes it safe to compare two
+//! captures byte-for-byte.
+
+use crate::event::{Event, Value};
+use crate::metrics;
+use crate::ring::EventRing;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// How many recent events the global ring retains for `recent_events`.
+const RING_CAPACITY: usize = 4096;
+
+enum Sink {
+    File(BufWriter<File>),
+    Memory(Vec<u8>),
+}
+
+struct TraceState {
+    sink: Sink,
+    seq: u64,
+    events: u64,
+    by_kind: BTreeMap<&'static str, u64>,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<Option<TraceState>> = Mutex::new(None);
+// Serializes whole capture_trace sections (not just individual emits) so
+// concurrent tests in one binary can't interleave events into each
+// other's captured streams.
+static CAPTURE_LOCK: Mutex<()> = Mutex::new(());
+
+fn ring() -> &'static EventRing {
+    static RING: OnceLock<EventRing> = OnceLock::new();
+    RING.get_or_init(|| EventRing::new(RING_CAPACITY))
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Whether a trace is currently active (the hot-path guard behind
+/// [`crate::enabled`]).
+#[inline(always)]
+pub(crate) fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Emit one event into the active trace.
+///
+/// Prefer the [`crate::event!`] macro, which guards field construction
+/// behind [`crate::enabled`]. Calling this with no active trace is a
+/// silent no-op.
+pub fn emit(kind: &'static str, fields: Vec<(&'static str, Value)>) {
+    let mut state = lock(&STATE);
+    let Some(state) = state.as_mut() else {
+        return;
+    };
+    let event = Event {
+        seq: state.seq,
+        kind,
+        fields,
+    };
+    state.seq += 1;
+    state.events += 1;
+    *state.by_kind.entry(kind).or_insert(0) += 1;
+    write_line(&mut state.sink, &event.to_json());
+    ring().push(event);
+}
+
+fn write_line(sink: &mut Sink, json: &str) {
+    match sink {
+        Sink::File(w) => {
+            let _ = w.write_all(json.as_bytes());
+            let _ = w.write_all(b"\n");
+        }
+        Sink::Memory(buf) => {
+            buf.extend_from_slice(json.as_bytes());
+            buf.push(b'\n');
+        }
+    }
+}
+
+fn start(sink: Sink) {
+    let mut state = lock(&STATE);
+    metrics::reset();
+    ring().reset();
+    *state = Some(TraceState {
+        sink,
+        seq: 0,
+        events: 0,
+        by_kind: BTreeMap::new(),
+    });
+    ACTIVE.store(true, Ordering::Relaxed);
+}
+
+/// Start a trace writing JSONL to `path` (truncating it).
+pub fn start_trace_file(path: &Path) -> io::Result<()> {
+    let file = File::create(path)?;
+    start(Sink::File(BufWriter::new(file)));
+    Ok(())
+}
+
+/// Start a trace buffering JSONL in memory; retrieve the bytes from the
+/// [`TraceReport`] returned by [`finish_trace`].
+pub fn start_trace_memory() {
+    start(Sink::Memory(Vec::new()));
+}
+
+/// End-of-trace accounting returned by [`finish_trace`].
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// Total events emitted (excluding the trailing counter dump).
+    pub events: u64,
+    /// Events per kind, sorted by kind.
+    pub by_kind: Vec<(&'static str, u64)>,
+    /// Events dropped by the bounded ring (the JSONL stream itself never
+    /// drops).
+    pub dropped: u64,
+    /// The JSONL bytes, for memory-sink traces only.
+    pub bytes: Option<Vec<u8>>,
+}
+
+fn end(dump_counters: bool) -> TraceReport {
+    ACTIVE.store(false, Ordering::Relaxed);
+    let taken = lock(&STATE).take();
+    let Some(mut state) = taken else {
+        return TraceReport {
+            events: 0,
+            by_kind: Vec::new(),
+            dropped: 0,
+            bytes: None,
+        };
+    };
+    if dump_counters {
+        for (name, value) in metrics::counter_snapshot() {
+            let event = Event {
+                seq: state.seq,
+                kind: "counter",
+                fields: vec![("name", Value::Str(name)), ("value", Value::U64(value))],
+            };
+            state.seq += 1;
+            write_line(&mut state.sink, &event.to_json());
+        }
+    }
+    let bytes = match state.sink {
+        Sink::File(mut w) => {
+            let _ = w.flush();
+            None
+        }
+        Sink::Memory(buf) => Some(buf),
+    };
+    TraceReport {
+        events: state.events,
+        by_kind: state.by_kind.into_iter().collect(),
+        dropped: ring().dropped(),
+        bytes,
+    }
+}
+
+/// Finish the active trace: append a sorted dump of all non-zero counters
+/// as `{"kind":"counter","name":…,"value":…}` lines, flush the sink, and
+/// return the accounting. No-op (empty report) when no trace is active.
+pub fn finish_trace() -> TraceReport {
+    end(true)
+}
+
+/// Most recent events still buffered in the global ring (oldest first).
+/// Draining: a second call returns only events emitted in between.
+pub fn recent_events() -> Vec<Event> {
+    ring().drain()
+}
+
+#[cfg(test)]
+pub(crate) fn hold_capture_lock_for_test() -> MutexGuard<'static, ()> {
+    lock(&CAPTURE_LOCK)
+}
+
+struct CaptureGuard;
+
+impl Drop for CaptureGuard {
+    fn drop(&mut self) {
+        // Runs on panic inside the captured closure too, so a failing test
+        // can't leave the trace active for unrelated tests.
+        ACTIVE.store(false, Ordering::Relaxed);
+        *lock(&STATE) = None;
+    }
+}
+
+/// Run `f` with an in-memory trace active and return `(f(), jsonl_bytes)`.
+///
+/// Captures serialize on an internal lock, so concurrent captures (e.g.
+/// tests in one binary) never interleave. Unlike [`finish_trace`], no
+/// counter dump is appended — counters are process-global and other
+/// threads may touch them mid-capture, which would break the byte-identity
+/// guarantee this function exists to provide.
+pub fn capture_trace<T>(f: impl FnOnce() -> T) -> (T, Vec<u8>) {
+    let _serial = lock(&CAPTURE_LOCK);
+    start_trace_memory();
+    let guard = CaptureGuard;
+    let out = f();
+    let report = end(false);
+    std::mem::forget(guard); // end() already cleared the state
+    (out, report.bytes.unwrap_or_default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_is_byte_stable_and_self_contained() {
+        let run = || {
+            crate::event!("test.trace", "step" => 0u64);
+            crate::event!("test.trace", "step" => 1u64, "label" => "x");
+            "done"
+        };
+        let (out, a) = capture_trace(run);
+        let (_, b) = capture_trace(run);
+        assert_eq!(out, "done");
+        assert_eq!(a, b, "identical runs must capture identical bytes");
+        if crate::telemetry_compiled() {
+            let text = String::from_utf8(a).unwrap();
+            let lines: Vec<&str> = text.lines().collect();
+            assert_eq!(lines.len(), 2);
+            assert!(lines[0].starts_with("{\"seq\":0,\"kind\":\"test.trace\""));
+            assert!(lines[1].contains("\"label\":\"x\""));
+        } else {
+            assert!(a.is_empty());
+        }
+    }
+
+    #[test]
+    fn finish_trace_dumps_counters() {
+        let _serial = lock(&CAPTURE_LOCK);
+        start_trace_memory();
+        crate::metrics::counter("test.trace.finish").inc();
+        emit("test.finish", vec![]);
+        let report = finish_trace();
+        assert_eq!(report.events, 1);
+        assert_eq!(report.by_kind, vec![("test.finish", 1)]);
+        let text = String::from_utf8(report.bytes.unwrap()).unwrap();
+        assert!(
+            text.contains("\"kind\":\"counter\",\"name\":\"test.trace.finish\",\"value\":1"),
+            "missing counter dump in: {text}"
+        );
+    }
+
+    #[test]
+    fn emit_without_trace_is_a_noop() {
+        // Hold the capture lock so this stray emit can't land inside a
+        // concurrently running test's capture.
+        let _serial = lock(&CAPTURE_LOCK);
+        emit("test.orphan", vec![]);
+        let report = finish_trace();
+        assert_eq!(report.events, 0);
+        assert!(report.bytes.is_none());
+    }
+
+    #[test]
+    fn file_sink_writes_jsonl() {
+        let _serial = lock(&CAPTURE_LOCK);
+        let path = std::env::temp_dir().join("obs_trace_test.jsonl");
+        start_trace_file(&path).unwrap();
+        emit("test.file", vec![("ok", Value::Bool(true))]);
+        let report = finish_trace();
+        assert_eq!(report.events, 1);
+        assert!(report.bytes.is_none());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"kind\":\"test.file\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ring_retains_recent_events() {
+        let (_, _) = capture_trace(|| {
+            emit("test.ring", vec![]);
+        });
+        // The ring is global and drained by whoever asks; all we can
+        // assert under concurrent tests is that draining works.
+        let _ = recent_events();
+    }
+}

@@ -38,10 +38,21 @@ impl AdapterHandle {
         let join = std::thread::Builder::new()
             .name("polytm-adapter".into())
             .spawn(move || {
+                let mut ticks: u64 = 0;
                 while let Ok(cmd) = rx.recv() {
                     match cmd {
                         Command::Reconfig(req) => {
                             let result = poly.apply(&req.config);
+                            if obs::enabled() {
+                                obs::event!(
+                                    "adapter.tick",
+                                    "tick" => ticks,
+                                    "config" => req.config.to_string(),
+                                    "ok" => result.is_ok(),
+                                );
+                                obs::counter("polytm.adapter.ticks").inc();
+                            }
+                            ticks += 1;
                             // The requester may have given up; ignore.
                             let _ = req.reply.send(result);
                         }

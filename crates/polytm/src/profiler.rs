@@ -67,6 +67,16 @@ impl KpiProbe {
         let secs = elapsed.as_secs_f64().max(1e-9);
         let throughput = delta.commits as f64 / secs;
         let energy = self.energy.energy_joules(elapsed, active_threads);
+        if obs::enabled() {
+            obs::event!(
+                "kpi.sample",
+                "commits" => delta.commits,
+                "aborts" => delta.total_aborts(),
+                "threads" => active_threads,
+            );
+            obs::gauge("polytm.kpi.throughput").set(throughput);
+            obs::gauge("polytm.kpi.abort_rate").set(delta.abort_rate());
+        }
         WindowKpis {
             elapsed,
             commits: delta.commits,

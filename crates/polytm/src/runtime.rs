@@ -9,15 +9,20 @@ use htm::{HtmGeometry, HtmSim, HybridNOrec, HybridTl2};
 use parking_lot::Mutex;
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use stm::{NOrec, SwissTm, TinyStm, Tl2};
 use txcore::{run_tx, StatsSnapshot, ThreadCtx, ThreadStats, TmBackend, TmSystem, Tx, TxResult};
 
-/// A reconfiguration request that PolyTM cannot honour.
+/// A configuration-switch request that PolyTM cannot honour.
+///
+/// Returned (never panicked) from every switching entry point —
+/// [`PolyTm::apply`], [`crate::AdapterHandle::reconfigure`] and
+/// [`PolyTmBuilder::try_build`] — so callers on the adaptation path can
+/// recover instead of unwinding mid-run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ReconfigError {
+pub enum SwitchError {
     /// The requested parallelism degree exceeds the registered capacity.
     TooManyThreads {
         /// Requested degree.
@@ -29,21 +34,24 @@ pub enum ReconfigError {
     ZeroThreads,
 }
 
-impl fmt::Display for ReconfigError {
+/// Former name of [`SwitchError`], kept for source compatibility.
+pub type ReconfigError = SwitchError;
+
+impl fmt::Display for SwitchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ReconfigError::TooManyThreads { requested, max } => {
+            SwitchError::TooManyThreads { requested, max } => {
                 write!(
                     f,
                     "requested {requested} threads but runtime supports {max}"
                 )
             }
-            ReconfigError::ZeroThreads => f.write_str("parallelism degree must be positive"),
+            SwitchError::ZeroThreads => f.write_str("parallelism degree must be positive"),
         }
     }
 }
 
-impl Error for ReconfigError {}
+impl Error for SwitchError {}
 
 /// A registered application thread's handle into PolyTM.
 ///
@@ -118,8 +126,19 @@ impl PolyTmBuilder {
     /// # Panics
     ///
     /// Panics if the initial configuration is invalid for the built
-    /// capacity.
+    /// capacity; use [`PolyTmBuilder::try_build`] to handle that case.
     pub fn build(self) -> PolyTm {
+        self.try_build().expect("invalid initial configuration")
+    }
+
+    /// Construct the runtime, rejecting an invalid initial configuration
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SwitchError`] the initial configuration would trigger
+    /// (zero threads, or more threads than `max_threads`).
+    pub fn try_build(self) -> Result<PolyTm, SwitchError> {
         let initial = self
             .initial
             .unwrap_or(TmConfig::stm(BackendId::Tl2, self.max_threads));
@@ -156,9 +175,10 @@ impl PolyTmBuilder {
             energy: self.energy,
             reconfig: Mutex::new(()),
             config: Mutex::new(initial),
+            epochs: AtomicU64::new(0),
         };
-        poly.apply(&initial).expect("invalid initial configuration");
-        poly
+        poly.apply(&initial)?;
+        Ok(poly)
     }
 }
 
@@ -179,6 +199,8 @@ pub struct PolyTm {
     /// Serializes adapters; application threads never take it.
     reconfig: Mutex<()>,
     config: Mutex<TmConfig>,
+    /// Completed quiescence epochs (one per algorithm switch).
+    epochs: AtomicU64,
 }
 
 impl PolyTm {
@@ -254,20 +276,28 @@ impl PolyTm {
     ///
     /// Fails without any effect if the configuration requests more threads
     /// than the runtime capacity, or zero threads.
-    pub fn apply(&self, config: &TmConfig) -> Result<Duration, ReconfigError> {
+    pub fn apply(&self, config: &TmConfig) -> Result<Duration, SwitchError> {
         if config.threads == 0 {
-            return Err(ReconfigError::ZeroThreads);
+            return Err(SwitchError::ZeroThreads);
         }
         if config.threads > self.max_threads {
-            return Err(ReconfigError::TooManyThreads {
+            return Err(SwitchError::TooManyThreads {
                 requested: config.threads,
                 max: self.max_threads,
             });
         }
         let _adapter = self.reconfig.lock();
+        let from = *self.config.lock();
         let started = Instant::now();
         let switch_algo = self.current.load(Ordering::Acquire) != config.backend.index();
         if switch_algo {
+            let epoch = self.epochs.fetch_add(1, Ordering::Relaxed);
+            obs::event!(
+                "quiesce.start",
+                "epoch" => epoch,
+                "from" => from.backend.label(),
+                "to" => config.backend.label(),
+            );
             // Quiesce *every* thread (pinned ones included — brief by
             // design), swap the function-pointer table, resume.
             for t in 0..self.max_threads {
@@ -277,13 +307,29 @@ impl PolyTm {
             }
             self.current
                 .store(config.backend.index(), Ordering::Release);
+            obs::event!(
+                "quiesce.end",
+                "epoch" => epoch,
+                "duration_ns" => started.elapsed().as_nanos() as u64,
+            );
         }
         self.set_parallelism_locked(config.threads);
         if let Some(setting) = config.htm {
             self.set_htm_locked(setting);
         }
         *self.config.lock() = *config;
-        Ok(started.elapsed())
+        let latency = started.elapsed();
+        if obs::enabled() {
+            obs::event!(
+                "config.switch",
+                "from" => from.to_string(),
+                "to" => config.to_string(),
+                "quiesced" => switch_algo,
+                "latency_ns" => latency.as_nanos() as u64,
+            );
+            obs::histogram("polytm.switch_ns").record(latency.as_nanos() as u64);
+        }
+        Ok(latency)
     }
 
     /// Retune only the HTM contention management (lock-free, no quiescence —
@@ -304,6 +350,7 @@ impl PolyTm {
     }
 
     fn set_parallelism_locked(&self, p: usize) {
+        let before = self.parallelism.load(Ordering::Acquire);
         for t in 0..self.max_threads {
             let should_run = t < p || self.pinned[t].load(Ordering::Acquire);
             let disabled = self.gate.is_disabled(t);
@@ -314,11 +361,22 @@ impl PolyTm {
             }
         }
         self.parallelism.store(p, Ordering::Release);
+        if before != p {
+            obs::event!("gate.resize", "from" => before, "to" => p);
+        }
     }
 
     /// Current parallelism degree.
     pub fn parallelism(&self) -> usize {
         self.parallelism.load(Ordering::Acquire)
+    }
+
+    /// Number of quiescence epochs started so far (one per algorithm
+    /// switch). Because [`PolyTm::apply`] only returns once every thread
+    /// has been quiesced and resumed, this also counts *terminated*
+    /// epochs whenever no switch is in flight.
+    pub fn quiescence_epochs(&self) -> u64 {
+        self.epochs.load(Ordering::Relaxed)
     }
 
     /// Re-enable every thread (used to drain workers at shutdown).
@@ -390,15 +448,64 @@ mod tests {
         let poly = PolyTm::builder().max_threads(2).heap_words(64).build();
         assert_eq!(
             poly.apply(&TmConfig::stm(BackendId::Tl2, 3)),
-            Err(ReconfigError::TooManyThreads {
+            Err(SwitchError::TooManyThreads {
                 requested: 3,
                 max: 2
             })
         );
         assert_eq!(
             poly.apply(&TmConfig::stm(BackendId::Tl2, 0)),
-            Err(ReconfigError::ZeroThreads)
+            Err(SwitchError::ZeroThreads)
         );
+    }
+
+    #[test]
+    fn rejected_switch_leaves_runtime_fully_usable() {
+        let poly = PolyTm::builder().max_threads(2).heap_words(1 << 10).build();
+        let before = poly.current_config();
+        let err = poly
+            .apply(&TmConfig::stm(BackendId::NOrec, 9))
+            .expect_err("over-capacity switch must be rejected");
+        assert_eq!(
+            err,
+            SwitchError::TooManyThreads {
+                requested: 9,
+                max: 2
+            }
+        );
+        assert!(!err.to_string().is_empty());
+        // No half-applied state: config, parallelism and epochs untouched,
+        // and transactions still run.
+        assert_eq!(poly.current_config(), before);
+        assert_eq!(poly.parallelism(), 2);
+        assert_eq!(poly.quiescence_epochs(), 0);
+        let a = poly.system().heap.alloc(1);
+        let mut w = poly.register_thread(0);
+        assert_eq!(poly.run_tx(&mut w, |tx| tx.read(a)), 0);
+    }
+
+    #[test]
+    fn try_build_surfaces_invalid_initial_config() {
+        let err = PolyTm::builder()
+            .max_threads(2)
+            .heap_words(64)
+            .initial_config(TmConfig::stm(BackendId::Tl2, 4))
+            .try_build()
+            .expect_err("initial config beyond capacity must be rejected");
+        assert_eq!(
+            err,
+            SwitchError::TooManyThreads {
+                requested: 4,
+                max: 2
+            }
+        );
+        // And the happy path still works through the fallible API.
+        let poly = PolyTm::builder()
+            .max_threads(2)
+            .heap_words(64)
+            .try_build()
+            .unwrap();
+        assert_eq!(poly.parallelism(), 2);
     }
 
     #[test]

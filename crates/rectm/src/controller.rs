@@ -114,6 +114,7 @@ impl Controller {
     /// then explore the model's final recommendation if it was not sampled,
     /// and return the best *sampled* configuration.
     pub fn optimize(&self, sample: &mut dyn FnMut(usize) -> f64) -> Exploration {
+        let started = std::time::Instant::now();
         let mut known: Row = vec![None; self.ncols];
         let mut explored: Vec<(usize, f64)> = Vec::new();
         let mut seed = self.settings.seed;
@@ -123,9 +124,21 @@ impl Controller {
             explored.push((c, kpi));
             kpi
         };
-        probe(self.first_config(), &mut known, &mut explored);
+        obs::event!(
+            "explore.start",
+            "first" => self.first_config(),
+            "max" => self.settings.max_explorations,
+            "stopping" => self.settings.stopping.name(),
+        );
+        let reference_kpi = probe(self.first_config(), &mut known, &mut explored);
+        obs::event!(
+            "ei.reference",
+            "config" => self.first_config(),
+            "kpi" => reference_kpi,
+        );
 
         let mut stop = StopState::new();
+        let mut stop_reason = "exhausted";
         while explored.len() < self.settings.max_explorations {
             let Some((candidates, ratings_known)) = self.candidates(&known) else {
                 break;
@@ -144,16 +157,31 @@ impl Controller {
             else {
                 break;
             };
-            probe(chosen.index, &mut known, &mut explored);
+            let actual = probe(chosen.index, &mut known, &mut explored);
+            obs::event!(
+                "ei.step",
+                "step" => stop.steps(),
+                "config" => chosen.index,
+                "ei" => ei,
+                "predicted" => chosen.mu,
+                "actual" => actual,
+            );
             let new_best = self
                 .ratings(&known)
                 .and_then(|r| self.best_of(&r))
                 .unwrap_or(best_rating);
             stop.record(ei, new_best);
             if self.settings.stopping.should_stop(&stop) {
+                stop_reason = "criterion";
                 break;
             }
         }
+        obs::event!(
+            "stop.verdict",
+            "rule" => self.settings.stopping.name(),
+            "steps" => stop.steps(),
+            "reason" => stop_reason,
+        );
 
         // Final step: explore the model's recommendation if new.
         let inner = self.inner_goal();
@@ -191,6 +219,18 @@ impl Controller {
                 }
             })
             .expect("at least the reference was explored");
+        if obs::enabled() {
+            let latency = started.elapsed().as_nanos() as u64;
+            obs::event!(
+                "recommend",
+                "config" => recommended,
+                "kpi" => best_kpi,
+                "explored" => explored.len(),
+                "latency_ns" => latency,
+            );
+            obs::histogram("rectm.recommend_ns").record(latency);
+            obs::counter("rectm.recommendations").inc();
+        }
         Exploration {
             explored,
             recommended,

@@ -69,6 +69,7 @@ impl Monitor {
     /// Restart baseline estimation (called automatically on detection, and
     /// externally after a re-optimization settles on a new configuration).
     pub fn reset(&mut self) {
+        obs::event!("cusum.reset", "seen" => self.seen);
         self.mean = 0.0;
         self.var = 0.0;
         self.m2 = 0.0;
@@ -97,6 +98,17 @@ impl Monitor {
         self.g_pos = (self.g_pos + z - s.slack_k).max(0.0);
         self.g_neg = (self.g_neg - z - s.slack_k).max(0.0);
         if self.g_pos > s.threshold_h || self.g_neg > s.threshold_h {
+            if obs::enabled() {
+                obs::event!(
+                    "cusum.alarm",
+                    "sample" => x,
+                    "g_pos" => self.g_pos,
+                    "g_neg" => self.g_neg,
+                    "mean" => self.mean,
+                    "seen" => self.seen,
+                );
+                obs::counter("rectm.cusum.alarms").inc();
+            }
             self.reset();
             return true;
         }

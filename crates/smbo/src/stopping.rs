@@ -47,6 +47,22 @@ impl StopState {
 }
 
 impl StoppingRule {
+    /// Stable short name of the rule ("cautious" / "naive"), for telemetry
+    /// and figure labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StoppingRule::Cautious { .. } => "cautious",
+            StoppingRule::Naive { .. } => "naive",
+        }
+    }
+
+    /// The rule's early-stop threshold ε.
+    pub fn epsilon(&self) -> f64 {
+        match *self {
+            StoppingRule::Cautious { epsilon } | StoppingRule::Naive { epsilon } => epsilon,
+        }
+    }
+
     /// Whether exploration should stop given the recorded history.
     pub fn should_stop(&self, state: &StopState) -> bool {
         let k = state.steps();
@@ -79,6 +95,16 @@ impl StoppingRule {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn names_and_epsilons_are_stable() {
+        let c = StoppingRule::Cautious { epsilon: 0.01 };
+        let n = StoppingRule::Naive { epsilon: 0.05 };
+        assert_eq!(c.name(), "cautious");
+        assert_eq!(n.name(), "naive");
+        assert_eq!(c.epsilon(), 0.01);
+        assert_eq!(n.epsilon(), 0.05);
+    }
 
     #[test]
     fn naive_stops_immediately_on_low_ei() {

@@ -47,6 +47,20 @@ impl AbortCode {
             AbortCode::Spurious => 4,
         }
     }
+
+    /// Stable single-word identifier, safe for metric names
+    /// (`tx.abort.<backend>.<slug>`). Unlike [`fmt::Display`] it never
+    /// contains spaces.
+    #[inline]
+    pub fn slug(self) -> &'static str {
+        match self {
+            AbortCode::Conflict => "conflict",
+            AbortCode::Capacity => "capacity",
+            AbortCode::Explicit => "explicit",
+            AbortCode::Fallback => "fallback",
+            AbortCode::Spurious => "spurious",
+        }
+    }
 }
 
 impl fmt::Display for AbortCode {
@@ -135,6 +149,16 @@ mod tests {
         }
         let a = Abort::CONFLICT;
         assert!(a.to_string().contains("conflict"));
+    }
+
+    #[test]
+    fn slugs_are_single_words_and_distinct() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in AbortCode::ALL {
+            let s = c.slug();
+            assert!(!s.contains(' '), "slug {s:?} must be one word");
+            assert!(seen.insert(s), "duplicate slug {s:?}");
+        }
     }
 
     #[test]

@@ -1,10 +1,18 @@
 //! The transaction driver: runs an atomic block until it commits.
 
-use crate::abort::{Abort, TxResult};
+use crate::abort::{Abort, AbortCode, TxResult};
 use crate::backend::TmBackend;
 use crate::heap::Addr;
 use crate::system::ThreadCtx;
 use crate::util::backoff;
+
+/// Bump the per-backend, per-cause abort counter
+/// (`tx.abort.<backend>.<cause>`). Only called behind [`obs::enabled`], so
+/// the name formatting and registry lookup never run in the common case.
+#[cold]
+fn count_abort(backend: &dyn TmBackend, code: AbortCode) {
+    obs::counter(&format!("tx.abort.{}.{}", backend.name(), code.slug())).inc();
+}
 
 /// Attempts after which the driver assumes a livelock caused by a backend
 /// bug and panics instead of spinning forever. Real workloads stay many
@@ -84,6 +92,9 @@ pub fn run_tx<T>(
         );
         if let Err(a) = backend.begin(ctx) {
             ctx.stats.record_abort(a.code);
+            if obs::enabled() {
+                count_abort(backend, a.code);
+            }
             ctx.attempt += 1;
             backoff(&mut ctx.rng, ctx.attempt);
             continue;
@@ -98,17 +109,30 @@ pub fn run_tx<T>(
                 match backend.commit(ctx) {
                     Ok(()) => {
                         ctx.stats.record_commit(via_fallback);
+                        if obs::enabled() {
+                            obs::counter(&format!("tx.commit.{}", backend.name())).inc();
+                            if via_fallback {
+                                obs::counter(&format!("tx.commit.{}.fallback", backend.name()))
+                                    .inc();
+                            }
+                        }
                         return value;
                     }
                     Err(a) => {
                         backend.rollback(ctx);
                         ctx.stats.record_abort(a.code);
+                        if obs::enabled() {
+                            count_abort(backend, a.code);
+                        }
                     }
                 }
             }
             Err(a) => {
                 backend.rollback(ctx);
                 ctx.stats.record_abort(a.code);
+                if obs::enabled() {
+                    count_abort(backend, a.code);
+                }
             }
         }
         ctx.attempt += 1;
