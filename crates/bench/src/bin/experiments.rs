@@ -104,6 +104,22 @@ fn main() {
         );
         std::process::exit(2);
     }
+    // Resolve every target *before* a trace starts: `std::process::exit`
+    // skips destructors, so bailing out on an unknown name mid-run would
+    // lose the BufWriter's buffered tail and silently truncate a
+    // partially-written trace file.
+    let mut plan: Vec<Runner> = Vec::new();
+    for target in &targets {
+        if target.as_str() == "all" {
+            plan.extend(RUNNERS);
+            plan.push(("fig9", |_| bench::fig9::run()));
+        } else if let Some((&name, &f)) = index.get_key_value(target.as_str()) {
+            plan.push((name, f));
+        } else {
+            eprintln!("unknown experiment: {target}");
+            std::process::exit(2);
+        }
+    }
     let tracing = match &trace_out {
         Some(path) => {
             if !obs::telemetry_compiled() {
@@ -121,21 +137,9 @@ fn main() {
         }
         None => false,
     };
-    for target in targets {
-        if target == "all" {
-            for (name, f) in RUNNERS {
-                banner(name);
-                f(quick);
-            }
-            banner("fig9");
-            bench::fig9::run();
-        } else if let Some(f) = index.get(target.as_str()) {
-            banner(target);
-            f(quick);
-        } else {
-            eprintln!("unknown experiment: {target}");
-            std::process::exit(2);
-        }
+    for (name, f) in plan {
+        banner(name);
+        f(quick);
     }
     if tracing {
         let report = obs::finish_trace();

@@ -5,7 +5,7 @@
 use crate::harness::{f3, pct, print_table, Bench};
 use polytm::Kpi;
 use recsys::{mape, CfAlgorithm, Row, Similarity};
-use rectm::{Controller, ControllerSettings, NormalizationChoice};
+use rectm::{Controller, ControllerSettings, Exploration, NormalizationChoice};
 use smbo::{Acquisition, Goal, StoppingRule};
 use tmsim::MachineModel;
 
@@ -31,9 +31,11 @@ fn controller(bench: &Bench, train: &[usize], acq: Acquisition) -> Controller {
     )
 }
 
-/// For one workload: the exploration order (capped at the max budget).
-fn exploration_order(ctl: &Controller, bench: &Bench, row: usize) -> Vec<(usize, f64)> {
-    ctl.optimize(&mut |col| bench.truth[row][col]).explored
+/// For one workload: the full exploration (capped at the max budget). Runs
+/// inside parx workers, so the controller's telemetry comes back buffered
+/// on the `Exploration` and is replayed at the serial fold point.
+fn exploration_order(ctl: &Controller, bench: &Bench, row: usize) -> Exploration {
+    ctl.optimize(&mut |col| bench.truth[row][col])
 }
 
 /// DFO of the best configuration among the first `n` explorations.
@@ -76,15 +78,22 @@ fn policy_sweep(bench: &Bench, train: &[usize], test: &[usize], with_mape: bool)
         // Each test workload explores independently against the shared
         // (immutable) controller, so the orders come off the parx pool in
         // test order — identical to the serial sweep at every job count.
-        let orders: Vec<Vec<(usize, f64)>> =
+        let orders: Vec<Exploration> =
             parx::par_map(test, |&row| exploration_order(&ctl, bench, row));
+        // Replay each worker's buffered telemetry here, at the serial fold
+        // point, in test order — never from the parallel closures above —
+        // so the JSONL stream is byte-identical at every PROTEUS_JOBS
+        // value (crates/bench/tests/determinism.rs).
+        for order in &orders {
+            order.emit_trace();
+        }
         // MDFO per budget.
         let mut row_out = vec![acq.label().to_string()];
         for &n in &BUDGETS {
             let m = test
                 .iter()
                 .zip(&orders)
-                .map(|(&row, order)| prefix_dfo(bench, row, order, n))
+                .map(|(&row, order)| prefix_dfo(bench, row, &order.explored, n))
                 .sum::<f64>()
                 / test.len() as f64;
             row_out.push(f3(m));
@@ -94,7 +103,7 @@ fn policy_sweep(bench: &Bench, train: &[usize], test: &[usize], with_mape: bool)
         let dfos5: Vec<f64> = test
             .iter()
             .zip(&orders)
-            .map(|(&row, order)| prefix_dfo(bench, row, order, 5))
+            .map(|(&row, order)| prefix_dfo(bench, row, &order.explored, 5))
             .collect();
         cdf_rows.push(vec![
             acq.label().to_string(),
@@ -111,7 +120,7 @@ fn policy_sweep(bench: &Bench, train: &[usize], test: &[usize], with_mape: bool)
             let per_row: Vec<Vec<f64>> = parx::par_map_indexed(test.len(), |i| {
                 BUDGETS
                     .iter()
-                    .map(|&n| prefix_mape(&ctl, bench, test[i], &orders[i], n))
+                    .map(|&n| prefix_mape(&ctl, bench, test[i], &orders[i].explored, n))
                     .collect()
             });
             let mut row_out = vec![acq.label().to_string()];

@@ -40,6 +40,9 @@ fn sweep(bench: &Bench, train: &[usize], test: &[usize], title: &str) {
             let mut expls = Vec::new();
             for &row in test {
                 let out = ctl.optimize(&mut |col| bench.truth[row][col]);
+                // This loop is serial driver code, so the buffered
+                // controller telemetry can be replayed right away.
+                out.emit_trace();
                 dfos.push(bench.dfo(row, out.recommended));
                 expls.push(out.explored.len() as f64);
             }

@@ -61,13 +61,18 @@ fn run_split(bench: &Bench, train_frac: f64, seed: u64) {
     );
     // Each test workload runs its own adaptive exploration against the
     // shared (immutable) controller; results come back in test order, so
-    // the CDFs match the serial loop at every job count.
-    let per_row: Vec<(f64, f64)> = parx::par_map(&test, |&row| {
-        let out = ctl.optimize(&mut |col| bench.truth[row][col]);
-        (bench.dfo(row, out.recommended), out.explored.len() as f64)
-    });
-    let proteus_dfo: Vec<f64> = per_row.iter().map(|&(d, _)| d).collect();
-    let proteus_expl: Vec<f64> = per_row.iter().map(|&(_, e)| e).collect();
+    // the CDFs match the serial loop at every job count. The controller's
+    // telemetry comes back buffered and is replayed in the serial fold
+    // below (DESIGN.md §7 rule 1).
+    let explorations: Vec<rectm::Exploration> =
+        parx::par_map(&test, |&row| ctl.optimize(&mut |col| bench.truth[row][col]));
+    let mut proteus_dfo = Vec::with_capacity(test.len());
+    let mut proteus_expl = Vec::with_capacity(test.len());
+    for (&row, out) in test.iter().zip(&explorations) {
+        out.emit_trace();
+        proteus_dfo.push(bench.dfo(row, out.recommended));
+        proteus_expl.push(out.explored.len() as f64);
+    }
 
     // ML baselines: classify the best-configuration id from features.
     let train_data = Dataset::new(

@@ -263,6 +263,8 @@ pub fn simulate(scn: &Scenario, seed: u64) -> SimResult {
                 local += 1;
                 kpi
             });
+            // Serial adaptation loop: replay the buffered telemetry now.
+            out.emit_trace();
             explorations[phase] += out.explored.len();
             for (off, &(_, kpi)) in out.explored.iter().enumerate() {
                 let p = ((t + off) / PHASE_TICKS).min(2);

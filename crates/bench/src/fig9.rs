@@ -75,6 +75,8 @@ pub fn run() {
                 local += 1;
                 kpi
             });
+            // Serial adaptation loop: replay the buffered telemetry now.
+            out.emit_trace();
             for (off, &(_, kpi)) in out.explored.iter().enumerate() {
                 let p = ((t + off) / PHASE_TICKS).min(windows.len() - 1);
                 sums[p] += kpi;

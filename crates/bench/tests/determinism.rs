@@ -83,6 +83,43 @@ fn fig4_trace_is_byte_identical_across_job_counts() {
     );
 }
 
+/// Fig. 5 drives `Controller::optimize` inside parx workers. The
+/// controller *buffers* its events (`explore.start`, `ei.step`,
+/// `recommend`, …) on the returned `Exploration` and the bench replays
+/// them at the serial fold point, so this stream too must be byte-identical
+/// at every job count — and free of wall-clock fields.
+#[cfg(feature = "telemetry")]
+#[test]
+fn fig5_trace_is_byte_identical_across_job_counts() {
+    let (_, serial) = obs::capture_trace(|| parx::with_jobs(1, || bench::fig5::run_with(12)));
+    let (_, parallel) = obs::capture_trace(|| parx::with_jobs(4, || bench::fig5::run_with(12)));
+    assert!(
+        !serial.is_empty(),
+        "fig5 must emit controller telemetry while a trace is active"
+    );
+    let text = String::from_utf8(serial.clone()).expect("trace is UTF-8 JSONL");
+    for kind in [
+        "explore.start",
+        "ei.reference",
+        "ei.step",
+        "stop.verdict",
+        "recommend",
+    ] {
+        assert!(
+            text.contains(&format!("\"kind\":\"{kind}\"")),
+            "missing {kind} events in trace"
+        );
+    }
+    assert!(
+        !text.contains("latency_ns"),
+        "wall-clock fields must stay out of the learning-path stream"
+    );
+    assert_eq!(
+        serial, parallel,
+        "fig5 JSONL trace must be byte-identical at jobs=1 and jobs=4"
+    );
+}
+
 #[test]
 fn tuner_is_identical_across_job_counts() {
     let training = UtilityMatrix::from_rows(

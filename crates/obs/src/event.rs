@@ -101,6 +101,24 @@ fn encode_str(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// An event assembled *off* the serial path, to be emitted later.
+///
+/// Code that may run inside `parx` workers (e.g. `rectm`'s Controller,
+/// which Figs. 5/7 run one-per-workload on the pool) must not call
+/// [`crate::emit`] directly — concurrent emission would interleave
+/// sequence numbers in arrival order and break the byte-identity
+/// determinism contract. Instead such code buffers `PendingEvent`s into
+/// its return value and the serial driver replays them, in fold order,
+/// with [`crate::emit_pending`], which assigns sequence numbers at replay
+/// time (DESIGN.md §7, rule 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingEvent {
+    /// Event kind from the stable taxonomy (DESIGN.md §7).
+    pub kind: &'static str,
+    /// Typed fields, in emission order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
 /// One structured observability event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {

@@ -47,12 +47,12 @@ mod ring;
 pub mod summary;
 mod trace;
 
-pub use event::{Event, Value};
+pub use event::{Event, PendingEvent, Value};
 pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram};
 pub use ring::EventRing;
 pub use trace::{
-    capture_trace, emit, finish_trace, recent_events, start_trace_file, start_trace_memory,
-    TraceReport,
+    capture_trace, emit, emit_pending, finish_trace, recent_events, start_trace_file,
+    start_trace_memory, TraceReport,
 };
 
 /// Whether the `telemetry` cargo feature was compiled in.
@@ -95,6 +95,22 @@ macro_rules! event {
     ($kind:expr $(, $key:literal => $val:expr)* $(,)?) => {
         if $crate::enabled() {
             $crate::emit($kind, vec![$(($key, $crate::Value::from($val))),*]);
+        }
+    };
+}
+
+/// Build a [`PendingEvent`] for later serial emission via [`emit_pending`].
+///
+/// Same `"key" => value` field syntax as [`event!`], but nothing is
+/// emitted and no guard is applied — callers buffering events off the
+/// serial path wrap construction in `if obs::enabled()` so buffers stay
+/// empty (and arguments unevaluated) when no trace is active.
+#[macro_export]
+macro_rules! pending_event {
+    ($kind:expr $(, $key:literal => $val:expr)* $(,)?) => {
+        $crate::PendingEvent {
+            kind: $kind,
+            fields: vec![$(($key, $crate::Value::from($val))),*],
         }
     };
 }

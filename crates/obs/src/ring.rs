@@ -90,11 +90,15 @@ impl EventRing {
     }
 
     /// Clear the buffer and the drop counter.
+    ///
+    /// Unlike the writer path this *blocks* on each slot lock: `reset` is
+    /// only called from the serial trace-start path (no lock-freedom
+    /// requirement there), and skipping a momentarily-locked slot would let
+    /// an event from the previous trace resurface via
+    /// [`EventRing::drain`] with a stale sequence number.
     pub fn reset(&self) {
         for slot in &self.slots {
-            if let Ok(mut guard) = slot.data.try_lock() {
-                *guard = None;
-            }
+            *slot.data.lock().unwrap_or_else(|p| p.into_inner()) = None;
         }
         self.dropped.store(0, Ordering::Relaxed);
         self.head.store(0, Ordering::Relaxed);

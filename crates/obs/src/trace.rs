@@ -11,7 +11,7 @@
 //! each other's captures), which is what makes it safe to compare two
 //! captures byte-for-byte.
 
-use crate::event::{Event, Value};
+use crate::event::{Event, PendingEvent, Value};
 use crate::metrics;
 use crate::ring::EventRing;
 use std::collections::BTreeMap;
@@ -79,6 +79,30 @@ pub fn emit(kind: &'static str, fields: Vec<(&'static str, Value)>) {
     *state.by_kind.entry(kind).or_insert(0) += 1;
     write_line(&mut state.sink, &event.to_json());
     ring().push(event);
+}
+
+/// Replay events that were buffered off the serial path (see
+/// [`PendingEvent`]) into the active trace, in slice order.
+///
+/// Sequence numbers are assigned here, at replay time, so the stream stays
+/// deterministic as long as the *replay* happens from serial driver code —
+/// the buffering itself may occur inside `parx` workers. No-op when no
+/// trace is active.
+///
+/// ```
+/// let ((), bytes) = obs::capture_trace(|| {
+///     // Imagine this Vec came back from a parallel worker.
+///     let buffered = vec![obs::pending_event!("demo.buffered", "i" => 1u64)];
+///     obs::emit_pending(&buffered);
+/// });
+/// if obs::telemetry_compiled() {
+///     assert!(String::from_utf8(bytes).unwrap().contains("demo.buffered"));
+/// }
+/// ```
+pub fn emit_pending(events: &[PendingEvent]) {
+    for e in events {
+        emit(e.kind, e.fields.clone());
+    }
 }
 
 fn write_line(sink: &mut Sink, json: &str) {

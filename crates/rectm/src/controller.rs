@@ -44,6 +44,12 @@ pub struct Exploration {
     pub recommended: usize,
     /// Its raw KPI.
     pub best_kpi: f64,
+    /// Telemetry events buffered during this optimization (empty when no
+    /// trace is active). [`Controller::optimize`] may run inside `parx`
+    /// workers, so it never writes the trace stream itself (DESIGN.md §7,
+    /// rule 1); serial driver code replays the buffer with
+    /// [`Exploration::emit_trace`].
+    pub trace: Vec<obs::PendingEvent>,
 }
 
 impl Exploration {
@@ -55,6 +61,16 @@ impl Exploration {
     /// Whether no exploration happened (never true for a completed run).
     pub fn is_empty(&self) -> bool {
         self.explored.is_empty()
+    }
+
+    /// Replay the buffered telemetry events into the active trace.
+    ///
+    /// Call from **serial driver code only** — sequence numbers are
+    /// assigned here, in replay order, which is what keeps the JSONL
+    /// stream byte-identical at every `PROTEUS_JOBS` value when
+    /// optimizations ran on the worker pool.
+    pub fn emit_trace(&self) {
+        obs::emit_pending(&self.trace);
     }
 }
 
@@ -114,7 +130,12 @@ impl Controller {
     /// then explore the model's final recommendation if it was not sampled,
     /// and return the best *sampled* configuration.
     pub fn optimize(&self, sample: &mut dyn FnMut(usize) -> f64) -> Exploration {
-        let started = std::time::Instant::now();
+        // Telemetry is *buffered*, never emitted, in this function: it runs
+        // inside parx workers (Figs. 5/7), and only serial replay of the
+        // buffer keeps the trace deterministic (DESIGN.md §7, rule 1). The
+        // wall-clock reading feeds a histogram only — never the buffer.
+        let started = obs::enabled().then(std::time::Instant::now);
+        let mut trace: Vec<obs::PendingEvent> = Vec::new();
         let mut known: Row = vec![None; self.ncols];
         let mut explored: Vec<(usize, f64)> = Vec::new();
         let mut seed = self.settings.seed;
@@ -124,18 +145,22 @@ impl Controller {
             explored.push((c, kpi));
             kpi
         };
-        obs::event!(
-            "explore.start",
-            "first" => self.first_config(),
-            "max" => self.settings.max_explorations,
-            "stopping" => self.settings.stopping.name(),
-        );
+        if obs::enabled() {
+            trace.push(obs::pending_event!(
+                "explore.start",
+                "first" => self.first_config(),
+                "max" => self.settings.max_explorations,
+                "stopping" => self.settings.stopping.name(),
+            ));
+        }
         let reference_kpi = probe(self.first_config(), &mut known, &mut explored);
-        obs::event!(
-            "ei.reference",
-            "config" => self.first_config(),
-            "kpi" => reference_kpi,
-        );
+        if obs::enabled() {
+            trace.push(obs::pending_event!(
+                "ei.reference",
+                "config" => self.first_config(),
+                "kpi" => reference_kpi,
+            ));
+        }
 
         let mut stop = StopState::new();
         let mut stop_reason = "exhausted";
@@ -158,14 +183,16 @@ impl Controller {
                 break;
             };
             let actual = probe(chosen.index, &mut known, &mut explored);
-            obs::event!(
-                "ei.step",
-                "step" => stop.steps(),
-                "config" => chosen.index,
-                "ei" => ei,
-                "predicted" => chosen.mu,
-                "actual" => actual,
-            );
+            if obs::enabled() {
+                trace.push(obs::pending_event!(
+                    "ei.step",
+                    "step" => stop.steps(),
+                    "config" => chosen.index,
+                    "ei" => ei,
+                    "predicted" => chosen.mu,
+                    "actual" => actual,
+                ));
+            }
             let new_best = self
                 .ratings(&known)
                 .and_then(|r| self.best_of(&r))
@@ -176,12 +203,14 @@ impl Controller {
                 break;
             }
         }
-        obs::event!(
-            "stop.verdict",
-            "rule" => self.settings.stopping.name(),
-            "steps" => stop.steps(),
-            "reason" => stop_reason,
-        );
+        if obs::enabled() {
+            trace.push(obs::pending_event!(
+                "stop.verdict",
+                "rule" => self.settings.stopping.name(),
+                "steps" => stop.steps(),
+                "reason" => stop_reason,
+            ));
+        }
 
         // Final step: explore the model's recommendation if new.
         let inner = self.inner_goal();
@@ -220,21 +249,25 @@ impl Controller {
             })
             .expect("at least the reference was explored");
         if obs::enabled() {
-            let latency = started.elapsed().as_nanos() as u64;
-            obs::event!(
+            // Recommendation latency is wall-clock and job-count-dependent,
+            // so it goes to the histogram only — never into the event
+            // buffer, which ends up in the deterministic JSONL stream.
+            if let Some(t0) = started {
+                obs::histogram("rectm.recommend_ns").record(t0.elapsed().as_nanos() as u64);
+            }
+            obs::counter("rectm.recommendations").inc();
+            trace.push(obs::pending_event!(
                 "recommend",
                 "config" => recommended,
                 "kpi" => best_kpi,
                 "explored" => explored.len(),
-                "latency_ns" => latency,
-            );
-            obs::histogram("rectm.recommend_ns").record(latency);
-            obs::counter("rectm.recommendations").inc();
+            ));
         }
         Exploration {
             explored,
             recommended,
             best_kpi,
+            trace,
         }
     }
 
@@ -428,6 +461,45 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for (c, _) in &out.explored {
             assert!(seen.insert(*c), "config {c} sampled twice");
+        }
+    }
+
+    /// The determinism contract: `optimize` may run inside parx workers,
+    /// so it must never write the trace stream itself — its events are
+    /// buffered on the `Exploration` and replayed serially.
+    #[test]
+    fn optimize_buffers_events_for_serial_emission() {
+        let ctl = controller(ControllerSettings::default());
+        let truth: Vec<f64> = (0..8)
+            .map(|c| 3.3 * (10.0 - (c as f64 - 5.0).powi(2)).max(0.5))
+            .collect();
+        let (out, direct) = obs::capture_trace(|| ctl.optimize(&mut |c| truth[c]));
+        assert!(
+            direct.is_empty(),
+            "optimize must not emit events directly (got: {})",
+            String::from_utf8_lossy(&direct)
+        );
+        let (_, replayed) = obs::capture_trace(|| out.emit_trace());
+        if obs::telemetry_compiled() {
+            let text = String::from_utf8(replayed).unwrap();
+            for kind in [
+                "explore.start",
+                "ei.reference",
+                "ei.step",
+                "stop.verdict",
+                "recommend",
+            ] {
+                assert!(
+                    text.contains(&format!("\"kind\":\"{kind}\"")),
+                    "missing {kind} in replayed trace: {text}"
+                );
+            }
+            assert!(
+                !text.contains("latency_ns"),
+                "wall-clock fields are banned from the deterministic stream"
+            );
+        } else {
+            assert!(out.trace.is_empty());
         }
     }
 

@@ -6,12 +6,53 @@ use crate::heap::Addr;
 use crate::system::ThreadCtx;
 use crate::util::backoff;
 
-/// Bump the per-backend, per-cause abort counter
-/// (`tx.abort.<backend>.<cause>`). Only called behind [`obs::enabled`], so
-/// the name formatting and registry lookup never run in the common case.
-#[cold]
-fn count_abort(backend: &dyn TmBackend, code: AbortCode) {
-    obs::counter(&format!("tx.abort.{}.{}", backend.name(), code.slug())).inc();
+/// Pre-registered `tx.commit.<backend>` / `tx.abort.<backend>.<cause>`
+/// counter handles for one backend.
+///
+/// Resolved once per (thread, backend) and cached in [`ThreadCtx`], so the
+/// traced per-transaction path updates counters with single relaxed RMWs —
+/// no name formatting and no metrics-registry lock, which would otherwise
+/// serialize every TM worker thread on the hottest path and distort the
+/// very KPIs a trace is meant to measure. The registry zeroes but never
+/// drops registrations ([`obs::metrics`]), so the cached `&'static`
+/// handles stay valid across traces.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TxCounters {
+    backend: &'static str,
+    commit: &'static obs::Counter,
+    commit_fallback: &'static obs::Counter,
+    aborts: [&'static obs::Counter; AbortCode::ALL.len()],
+}
+
+impl TxCounters {
+    /// Register (or look up) the handles for `backend`. The only place on
+    /// the transaction path that formats names or locks the registry.
+    #[cold]
+    fn register(backend: &'static str) -> Self {
+        TxCounters {
+            backend,
+            commit: obs::counter(&format!("tx.commit.{backend}")),
+            commit_fallback: obs::counter(&format!("tx.commit.{backend}.fallback")),
+            aborts: AbortCode::ALL
+                .map(|code| obs::counter(&format!("tx.abort.{backend}.{}", code.slug()))),
+        }
+    }
+}
+
+/// The cached counter handles for `backend`, registering on first use (and
+/// after this thread migrates to a different backend, e.g. across a PolyTM
+/// config switch — rare by construction).
+#[inline]
+fn counters(ctx: &mut ThreadCtx, backend: &dyn TmBackend) -> TxCounters {
+    let name = backend.name();
+    match ctx.tx_counters {
+        Some(c) if c.backend == name => c,
+        _ => {
+            let c = TxCounters::register(name);
+            ctx.tx_counters = Some(c);
+            c
+        }
+    }
 }
 
 /// Attempts after which the driver assumes a livelock caused by a backend
@@ -93,7 +134,7 @@ pub fn run_tx<T>(
         if let Err(a) = backend.begin(ctx) {
             ctx.stats.record_abort(a.code);
             if obs::enabled() {
-                count_abort(backend, a.code);
+                counters(ctx, backend).aborts[a.code.index()].inc();
             }
             ctx.attempt += 1;
             backoff(&mut ctx.rng, ctx.attempt);
@@ -110,10 +151,10 @@ pub fn run_tx<T>(
                     Ok(()) => {
                         ctx.stats.record_commit(via_fallback);
                         if obs::enabled() {
-                            obs::counter(&format!("tx.commit.{}", backend.name())).inc();
+                            let c = counters(ctx, backend);
+                            c.commit.inc();
                             if via_fallback {
-                                obs::counter(&format!("tx.commit.{}.fallback", backend.name()))
-                                    .inc();
+                                c.commit_fallback.inc();
                             }
                         }
                         return value;
@@ -122,7 +163,7 @@ pub fn run_tx<T>(
                         backend.rollback(ctx);
                         ctx.stats.record_abort(a.code);
                         if obs::enabled() {
-                            count_abort(backend, a.code);
+                            counters(ctx, backend).aborts[a.code.index()].inc();
                         }
                     }
                 }
@@ -131,7 +172,7 @@ pub fn run_tx<T>(
                 backend.rollback(ctx);
                 ctx.stats.record_abort(a.code);
                 if obs::enabled() {
-                    count_abort(backend, a.code);
+                    counters(ctx, backend).aborts[a.code.index()].inc();
                 }
             }
         }
@@ -216,6 +257,30 @@ mod tests {
         });
         assert_eq!(out, 5);
         assert_eq!(ctx.stats.snapshot().commits, 1);
+    }
+
+    /// The cached-handle path must produce the same counter names and
+    /// values the old per-transaction `format!` lookup did.
+    #[test]
+    fn telemetry_counters_track_commits_and_aborts() {
+        let sys = Arc::new(TmSystem::new(16));
+        let tm = GlobalLockTm::new(Arc::clone(&sys));
+        let mut ctx = ThreadCtx::new(0);
+        // Assert inside the capture: it holds the process-wide capture
+        // lock, so no concurrent test can reset the registry under us.
+        obs::capture_trace(|| {
+            run_tx(&tm, &mut ctx, |tx| {
+                if tx.attempt() < 2 {
+                    return tx.retry();
+                }
+                Ok(())
+            });
+            if obs::telemetry_compiled() {
+                assert_eq!(obs::counter("tx.commit.test-global-lock").get(), 1);
+                assert_eq!(obs::counter("tx.abort.test-global-lock.explicit").get(), 2);
+                assert_eq!(obs::counter("tx.abort.test-global-lock.conflict").get(), 0);
+            }
+        });
     }
 
     #[test]

@@ -106,6 +106,10 @@ pub struct ThreadCtx {
     pub rng: XorShift64,
     /// Shared commit/abort counters read by the Monitor.
     pub stats: Arc<ThreadStats>,
+    /// Cached `&'static` telemetry counter handles for the backend this
+    /// thread last ran transactions on, so the traced commit/abort path
+    /// never formats metric names or locks the registry.
+    pub(crate) tx_counters: Option<crate::exec::TxCounters>,
 }
 
 impl ThreadCtx {
@@ -127,6 +131,7 @@ impl ThreadCtx {
             scratch: Vec::new(),
             rng: XorShift64::new(0x5DEECE66D ^ ((id as u64 + 1) << 16)),
             stats: Arc::new(ThreadStats::new()),
+            tx_counters: None,
         }
     }
 
