@@ -6,6 +6,7 @@
 //! experiments --quick all       # reduced corpus sizes (CI-friendly)
 //! experiments --jobs 4 fig5     # evaluation worker threads (or PROTEUS_JOBS)
 //! experiments --trace-out t.jsonl fig4   # JSONL telemetry trace (or PROTEUS_TRACE)
+//! experiments --faults plan.json fig5    # seeded fault injection (or PROTEUS_FAULTS)
 //! ```
 //!
 //! Results are bit-identical at every `--jobs` value: the evaluation
@@ -65,9 +66,18 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let mut targets: Vec<&String> = Vec::new();
     let mut trace_out: Option<PathBuf> = std::env::var_os("PROTEUS_TRACE").map(PathBuf::from);
+    let mut faults_path: Option<PathBuf> = std::env::var_os("PROTEUS_FAULTS").map(PathBuf::from);
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
-        if a == "--trace-out" {
+        if a == "--faults" {
+            let path = iter.next().unwrap_or_else(|| {
+                eprintln!("--faults expects a path to a fault-plan JSON file");
+                std::process::exit(2);
+            });
+            faults_path = Some(PathBuf::from(path));
+        } else if let Some(v) = a.strip_prefix("--faults=") {
+            faults_path = Some(PathBuf::from(v));
+        } else if a == "--trace-out" {
             let path = iter.next().unwrap_or_else(|| {
                 eprintln!("--trace-out expects a path");
                 std::process::exit(2);
@@ -99,7 +109,8 @@ fn main() {
     }
     if targets.is_empty() {
         eprintln!(
-            "usage: experiments [--quick] [--jobs N] [--trace-out PATH] <all | {} ...>",
+            "usage: experiments [--quick] [--jobs N] [--trace-out PATH] \
+             [--faults PLAN.json] <all | {} ...>",
             index.keys().cloned().collect::<Vec<_>>().join(" | ")
         );
         std::process::exit(2);
@@ -120,6 +131,31 @@ fn main() {
             std::process::exit(2);
         }
     }
+    // Install the fault plan before the trace starts, so a malformed plan
+    // exits before any trace file is created, and so the plan's fault and
+    // recovery events are in the stream from its first line.
+    let faults_armed = match &faults_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read fault plan {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            let plan = faultsim::FaultPlan::parse_json(&text).unwrap_or_else(|e| {
+                eprintln!("invalid fault plan {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            if !faultsim::enabled() {
+                eprintln!(
+                    "warning: built without the `faults` feature; \
+                     the plan in {} will inject nothing",
+                    path.display()
+                );
+            }
+            faultsim::install(&plan);
+            true
+        }
+        None => false,
+    };
     let tracing = match &trace_out {
         Some(path) => {
             if !obs::telemetry_compiled() {
@@ -140,6 +176,13 @@ fn main() {
     for (name, f) in plan {
         banner(name);
         f(quick);
+    }
+    if faults_armed {
+        println!("\nfault injection summary:");
+        for site in faultsim::Site::ALL {
+            println!("  {:<14} fired {:>6}", site.slug(), faultsim::fired(site));
+        }
+        faultsim::uninstall();
     }
     if tracing {
         let report = obs::finish_trace();

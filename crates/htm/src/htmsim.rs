@@ -5,7 +5,7 @@ use crate::params::{HtmGeometry, TunableCm};
 use crate::spec::SpecCore;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use txcore::{AbortCode, Addr, BackendKind, ThreadCtx, TmBackend, TmSystem, TxResult};
+use txcore::{Abort, AbortCode, Addr, BackendKind, ThreadCtx, TmBackend, TmSystem, TxResult};
 
 /// Simulated best-effort HTM with a global-lock fallback.
 ///
@@ -104,6 +104,17 @@ impl TmBackend for HtmSim {
             self.acquire_fallback(ctx);
             ctx.in_fallback = true;
             return Ok(());
+        }
+        // Fault injection: a spurious hardware abort (interrupt, cache
+        // eviction, ...) before the speculative region even starts. It
+        // charges the budget like a real one, so a hostile plan drives the
+        // block into the fallback path rather than spinning forever.
+        if faultsim::armed() && faultsim::should_fire(faultsim::Site::HtmSpurious) {
+            if obs::enabled() {
+                obs::counter("fault.fired.htm_spurious").inc();
+            }
+            self.charge(ctx, AbortCode::Spurious);
+            return Err(Abort::SPURIOUS);
         }
         self.core.begin(&self.sys, ctx, &self.sys.fallback_seq)
     }

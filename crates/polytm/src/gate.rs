@@ -92,6 +92,38 @@ impl ThreadGate {
         }
     }
 
+    /// Adapter side: like [`ThreadGate::disable`], but give up if `t`'s
+    /// in-flight transaction has not drained within `timeout`.
+    ///
+    /// On timeout the block bit is rolled back (under the slot lock, so a
+    /// thread that withdrew into the condvar wait is woken) and `false` is
+    /// returned: the thread keeps running as if `try_disable` was never
+    /// called. This is the quiescence watchdog's primitive — Algorithm 1
+    /// assumes transactions drain promptly, and a stalled or wedged worker
+    /// would otherwise block reconfiguration forever.
+    #[must_use]
+    pub fn try_disable(&self, t: usize, timeout: std::time::Duration) -> bool {
+        let slot = &self.slots[t];
+        let mut val = slot.state.fetch_add(BLOCK, Ordering::AcqRel);
+        if val & RUN == 0 {
+            return true;
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            std::thread::yield_now();
+            val = slot.state.load(Ordering::Acquire);
+            if val & RUN == 0 {
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                let _guard = slot.lock.lock();
+                slot.state.fetch_sub(BLOCK, Ordering::AcqRel);
+                slot.cv.notify_all();
+                return false;
+            }
+        }
+    }
+
     /// Adapter side: re-enable thread `t` (Algorithm 1, `enable-thread`).
     pub fn enable(&self, t: usize) {
         let slot = &self.slots[t];
@@ -193,6 +225,38 @@ mod tests {
         g.enable(0);
         h.join().unwrap();
         assert!(entered.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn try_disable_succeeds_when_idle_and_times_out_when_stuck() {
+        let g = Arc::new(ThreadGate::new(2));
+        // Idle thread: disabled immediately.
+        assert!(g.try_disable(0, std::time::Duration::from_millis(1)));
+        assert!(g.is_disabled(0));
+        g.enable(0);
+        // Stuck thread: the watchdog gives up and rolls the block back.
+        g.enter(1);
+        assert!(!g.try_disable(1, std::time::Duration::from_millis(5)));
+        assert!(!g.is_disabled(1), "block bit rolled back on timeout");
+        g.exit(1);
+        // After the stall clears, a retry succeeds.
+        assert!(g.try_disable(1, std::time::Duration::from_millis(1)));
+        g.enable(1);
+    }
+
+    #[test]
+    fn try_disable_timeout_leaves_gate_usable() {
+        let g = Arc::new(ThreadGate::new(1));
+        g.enter(0);
+        assert!(!g.try_disable(0, std::time::Duration::from_millis(2)));
+        g.exit(0);
+        // The thread can keep transacting (no leaked BLOCK bit) ...
+        g.enter(0);
+        g.exit(0);
+        // ... and a real disable still quiesces it.
+        g.disable(0);
+        assert!(g.is_disabled(0));
+        g.enable(0);
     }
 
     #[test]

@@ -13,7 +13,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use stm::{NOrec, SwissTm, TinyStm, Tl2};
-use txcore::{run_tx, StatsSnapshot, ThreadCtx, ThreadStats, TmBackend, TmSystem, Tx, TxResult};
+use txcore::{
+    run_tx, try_run_tx, StatsSnapshot, ThreadCtx, ThreadStats, TmBackend, TmSystem, Tx, TxResult,
+};
 
 /// A configuration-switch request that PolyTM cannot honour.
 ///
@@ -32,6 +34,48 @@ pub enum SwitchError {
     },
     /// A parallelism degree of zero is not a runnable configuration.
     ZeroThreads,
+    /// The quiescence drain exceeded the watchdog budget
+    /// ([`PolyTmBuilder::drain_timeout`]): some thread held its RUN bit past
+    /// the deadline. The half-applied switch was rolled back — every thread
+    /// disabled by this attempt was re-enabled and the backend pointer was
+    /// never swapped, so the runtime is exactly as before the call.
+    QuiesceTimeout {
+        /// The thread slot that failed to drain.
+        thread: usize,
+    },
+    /// A `switch_apply` fault-injection plan rejected the switch before it
+    /// had any effect (only with the `faults` feature and an armed plan).
+    Injected,
+    /// The adapter thread panicked while applying the switch; the panic was
+    /// contained and the adapter restarted, but this request failed.
+    AdapterPanicked,
+    /// The adapter thread is gone and could not be respawned.
+    AdapterUnavailable,
+    /// [`PolyTm::apply_with_retry`] exhausted its retry budget.
+    RetriesExhausted {
+        /// Total `apply` attempts made (including the first).
+        attempts: u32,
+        /// Whether the runtime successfully fell back to the last
+        /// known-good configuration afterwards.
+        degraded: bool,
+    },
+}
+
+impl SwitchError {
+    /// Whether retrying the same switch later can plausibly succeed.
+    ///
+    /// Transient failures (a stalled drain, an injected fault, a contained
+    /// adapter panic) are retried by [`PolyTm::apply_with_retry`];
+    /// deterministic rejections (invalid degree) and terminal states are
+    /// not.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SwitchError::QuiesceTimeout { .. }
+                | SwitchError::Injected
+                | SwitchError::AdapterPanicked
+        )
+    }
 }
 
 /// Former name of [`SwitchError`], kept for source compatibility.
@@ -47,11 +91,57 @@ impl fmt::Display for SwitchError {
                 )
             }
             SwitchError::ZeroThreads => f.write_str("parallelism degree must be positive"),
+            SwitchError::QuiesceTimeout { thread } => {
+                write!(f, "thread {thread} did not drain within the quiescence watchdog budget; switch rolled back")
+            }
+            SwitchError::Injected => f.write_str("switch rejected by fault injection"),
+            SwitchError::AdapterPanicked => {
+                f.write_str("adapter thread panicked while switching (contained and restarted)")
+            }
+            SwitchError::AdapterUnavailable => {
+                f.write_str("adapter thread is gone and could not be respawned")
+            }
+            SwitchError::RetriesExhausted { attempts, degraded } => {
+                write!(
+                    f,
+                    "switch failed after {attempts} attempts ({})",
+                    if *degraded {
+                        "degraded to last known-good configuration"
+                    } else {
+                        "degrade to known-good also failed"
+                    }
+                )
+            }
         }
     }
 }
 
 impl Error for SwitchError {}
+
+/// Backoff schedule for [`PolyTm::apply_with_retry`].
+///
+/// A failed transient switch is retried up to `max_retries` times, sleeping
+/// `initial_backoff` before the first retry and doubling (capped at
+/// `max_backoff`) before each subsequent one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Sleep before the first retry.
+    pub initial_backoff: Duration,
+    /// Upper bound on the (doubling) backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
 
 /// A registered application thread's handle into PolyTM.
 ///
@@ -88,6 +178,8 @@ pub struct PolyTmBuilder {
     geometry: HtmGeometry,
     energy: EnergyModel,
     initial: Option<TmConfig>,
+    drain_timeout: Duration,
+    tx_retry_budget: u32,
 }
 
 impl PolyTmBuilder {
@@ -118,6 +210,25 @@ impl PolyTmBuilder {
     /// Initial TM configuration (defaults to TL2 with all threads enabled).
     pub fn initial_config(mut self, config: TmConfig) -> Self {
         self.initial = Some(config);
+        self
+    }
+
+    /// Quiescence watchdog budget: how long [`PolyTm::apply`] waits for any
+    /// single thread to drain its in-flight transaction before rolling the
+    /// switch back with [`SwitchError::QuiesceTimeout`]. Defaults to 1 s —
+    /// far beyond any healthy transaction, tight enough to unwedge a run.
+    pub fn drain_timeout(mut self, timeout: Duration) -> Self {
+        self.drain_timeout = timeout;
+        self
+    }
+
+    /// Per-transaction optimistic retry budget before [`PolyTm::run_tx`]
+    /// escapes to serial-irrevocable execution (defaults to 65 536
+    /// attempts). Real workloads commit within tens of attempts; the escape
+    /// hatch bounds the latency of a pathologically starved block instead
+    /// of letting it spin toward the driver's livelock panic.
+    pub fn tx_retry_budget(mut self, budget: u32) -> Self {
+        self.tx_retry_budget = budget.max(1);
         self
     }
 
@@ -175,9 +286,13 @@ impl PolyTmBuilder {
             energy: self.energy,
             reconfig: Mutex::new(()),
             config: Mutex::new(initial),
+            known_good: Mutex::new(initial),
             epochs: AtomicU64::new(0),
+            drain_timeout: self.drain_timeout,
+            tx_budget: self.tx_retry_budget,
+            serial_escapes: AtomicU64::new(0),
         };
-        poly.apply(&initial)?;
+        poly.apply_impl(&initial, false)?;
         Ok(poly)
     }
 }
@@ -196,11 +311,22 @@ pub struct PolyTm {
     pinned: Vec<AtomicBool>,
     stats: Vec<Arc<ThreadStats>>,
     energy: EnergyModel,
-    /// Serializes adapters; application threads never take it.
+    /// Serializes adapters; application threads never take it, except a
+    /// worker escaping to serial-irrevocable mode (which holds no RUN bit
+    /// while waiting, so it cannot deadlock against a draining adapter).
     reconfig: Mutex<()>,
     config: Mutex<TmConfig>,
-    /// Completed quiescence epochs (one per algorithm switch).
+    /// Last configuration that applied cleanly; the degrade target when a
+    /// switch keeps failing ([`PolyTm::apply_with_retry`]).
+    known_good: Mutex<TmConfig>,
+    /// Quiescence epochs started (one per attempted algorithm switch).
     epochs: AtomicU64,
+    /// Watchdog budget for draining one thread during quiescence.
+    drain_timeout: Duration,
+    /// Optimistic attempts per transaction before the serial escape.
+    tx_budget: u32,
+    /// Transactions that fell back to serial-irrevocable execution.
+    serial_escapes: AtomicU64,
 }
 
 impl PolyTm {
@@ -212,6 +338,8 @@ impl PolyTm {
             geometry: HtmGeometry::default(),
             energy: EnergyModel::default(),
             initial: None,
+            drain_timeout: Duration::from_secs(1),
+            tx_retry_budget: 1 << 16,
         }
     }
 
@@ -250,14 +378,79 @@ impl PolyTm {
 
     /// Execute an atomic block on the currently selected backend, honouring
     /// the thread gate (the worker blocks while its slot is disabled).
-    pub fn run_tx<T>(&self, worker: &mut Worker, f: impl FnMut(&mut Tx<'_>) -> TxResult<T>) -> T {
+    ///
+    /// A block that fails to commit within the optimistic retry budget
+    /// ([`PolyTmBuilder::tx_retry_budget`]) escapes to serial-irrevocable
+    /// execution: the worker leaves the gate, excludes adapters, drains
+    /// every other thread and runs the block alone, so it commits without
+    /// interference and overall progress is guaranteed.
+    pub fn run_tx<T>(
+        &self,
+        worker: &mut Worker,
+        mut f: impl FnMut(&mut Tx<'_>) -> TxResult<T>,
+    ) -> T {
         self.gate.enter(worker.slot);
+        // Fault injection: stall while holding the RUN bit, violating
+        // Algorithm 1's prompt-drain assumption — exactly what the
+        // quiescence watchdog exists for. Counter only (no event): worker
+        // threads must never write to the trace directly.
+        if faultsim::armed() && faultsim::should_fire(faultsim::Site::GateStall) {
+            if obs::enabled() {
+                obs::counter("fault.fired.gate_stall").inc();
+            }
+            let ms = faultsim::stall_ms(faultsim::Site::GateStall);
+            std::thread::sleep(Duration::from_millis(ms));
+        }
         // Safe: the quiescence protocol guarantees the backend cannot change
         // while any thread holds its RUN bit.
         let backend = &self.backends[self.current.load(Ordering::Acquire)];
-        let out = run_tx(backend.as_ref(), &mut worker.ctx, f);
+        let out = try_run_tx(backend.as_ref(), &mut worker.ctx, self.tx_budget, &mut f);
         self.gate.exit(worker.slot);
+        match out {
+            Some(value) => value,
+            None => self.run_serial(worker, f),
+        }
+    }
+
+    /// The serial-irrevocable escape hatch: run `f` with every other thread
+    /// drained and adapters excluded. Called (rarely) by [`PolyTm::run_tx`]
+    /// after the optimistic budget is exhausted.
+    #[cold]
+    fn run_serial<T>(&self, worker: &mut Worker, f: impl FnMut(&mut Tx<'_>) -> TxResult<T>) -> T {
+        // The worker holds no RUN bit here, so an adapter mid-drain cannot
+        // deadlock against us: it finishes its switch, then we take the
+        // lock. Holding `reconfig` excludes further switches for the whole
+        // serial window.
+        let _adapter = self.reconfig.lock();
+        self.serial_escapes.fetch_add(1, Ordering::Relaxed);
+        if obs::enabled() {
+            obs::counter("polytm.serial_escapes").inc();
+        }
+        let mut drained = Vec::new();
+        for t in 0..self.max_threads {
+            if t != worker.slot && !self.gate.is_disabled(t) {
+                // Unbounded disable is safe: every RUN holder is inside a
+                // finite transaction attempt (injected stalls are finite
+                // too), and blocked escapees wait on `reconfig` RUN-free.
+                self.gate.disable(t);
+                drained.push(t);
+            }
+        }
+        // Run on the current backend even if our own slot was disabled by a
+        // parallelism shrink meanwhile: the block already consumed its
+        // budget, and delaying an irrevocable block behind a gate the
+        // adapter may not reopen soon would trade starvation for stalling.
+        let backend = &self.backends[self.current.load(Ordering::Acquire)];
+        let out = run_tx(backend.as_ref(), &mut worker.ctx, f);
+        for &t in &drained {
+            self.gate.enable(t);
+        }
         out
+    }
+
+    /// Transactions that took the serial-irrevocable escape hatch.
+    pub fn serial_escapes(&self) -> u64 {
+        self.serial_escapes.load(Ordering::Relaxed)
     }
 
     /// Forbid PolyTM from *permanently* disabling thread `slot` when tuning
@@ -275,8 +468,16 @@ impl PolyTm {
     /// # Errors
     ///
     /// Fails without any effect if the configuration requests more threads
-    /// than the runtime capacity, or zero threads.
+    /// than the runtime capacity, or zero threads. Fails *rolled back* (the
+    /// runtime stays on the previous configuration, fully usable) with
+    /// [`SwitchError::QuiesceTimeout`] if a thread does not drain within
+    /// the watchdog budget, or [`SwitchError::Injected`] under a
+    /// `switch_apply` fault plan.
     pub fn apply(&self, config: &TmConfig) -> Result<Duration, SwitchError> {
+        self.apply_impl(config, true)
+    }
+
+    fn apply_impl(&self, config: &TmConfig, injectable: bool) -> Result<Duration, SwitchError> {
         if config.threads == 0 {
             return Err(SwitchError::ZeroThreads);
         }
@@ -285,6 +486,17 @@ impl PolyTm {
                 requested: config.threads,
                 max: self.max_threads,
             });
+        }
+        // Fault injection: fail the switch before it has any effect, as a
+        // transient error the retry path must absorb. Initial construction
+        // is exempt (`injectable: false`): it is not a switch, and there is
+        // no previous configuration to roll back to.
+        if injectable && faultsim::armed() && faultsim::should_fire(faultsim::Site::SwitchApply) {
+            if obs::enabled() {
+                obs::counter("fault.fired.switch_apply").inc();
+                obs::event!("fault.switch_apply", "to" => config.to_string());
+            }
+            return Err(SwitchError::Injected);
         }
         let _adapter = self.reconfig.lock();
         let from = *self.config.lock();
@@ -299,10 +511,30 @@ impl PolyTm {
                 "to" => config.backend.label(),
             );
             // Quiesce *every* thread (pinned ones included — brief by
-            // design), swap the function-pointer table, resume.
+            // design), swap the function-pointer table, resume. The
+            // watchdog bounds each drain: on timeout the threads disabled
+            // by this pass are re-enabled and the switch is abandoned
+            // before the backend pointer moves, so no thread can ever run
+            // on a half-switched runtime.
+            let mut drained = Vec::new();
             for t in 0..self.max_threads {
                 if !self.gate.is_disabled(t) {
-                    self.gate.disable(t);
+                    if !self.gate.try_disable(t, self.drain_timeout) {
+                        for &u in &drained {
+                            self.gate.enable(u);
+                        }
+                        if obs::enabled() {
+                            obs::counter("polytm.quiesce_rollbacks").inc();
+                            obs::event!(
+                                "recovery.quiesce_rollback",
+                                "epoch" => epoch,
+                                "thread" => t,
+                                "waited_ns" => started.elapsed().as_nanos() as u64,
+                            );
+                        }
+                        return Err(SwitchError::QuiesceTimeout { thread: t });
+                    }
+                    drained.push(t);
                 }
             }
             self.current
@@ -318,6 +550,7 @@ impl PolyTm {
             self.set_htm_locked(setting);
         }
         *self.config.lock() = *config;
+        *self.known_good.lock() = *config;
         let latency = started.elapsed();
         if obs::enabled() {
             obs::event!(
@@ -330,6 +563,83 @@ impl PolyTm {
             obs::histogram("polytm.switch_ns").record(latency.as_nanos() as u64);
         }
         Ok(latency)
+    }
+
+    /// Apply `config`, retrying transient failures with exponential backoff
+    /// and degrading to the last known-good configuration once the budget
+    /// is exhausted (the paper's self-tuning loop must survive a failed
+    /// switch; losing a recommendation is recoverable, wedging is not).
+    ///
+    /// # Errors
+    ///
+    /// Non-transient errors ([`SwitchError::is_transient`] = false) are
+    /// returned immediately. After `policy.max_retries` failed retries the
+    /// runtime re-applies the known-good configuration and returns
+    /// [`SwitchError::RetriesExhausted`], whose `degraded` flag reports
+    /// whether that fallback succeeded.
+    pub fn apply_with_retry(
+        &self,
+        config: &TmConfig,
+        policy: &RetryPolicy,
+    ) -> Result<Duration, SwitchError> {
+        let mut backoff = policy.initial_backoff;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match self.apply(config) {
+                Ok(latency) => {
+                    if attempts > 1 && obs::enabled() {
+                        obs::counter("polytm.switch_retries_ok").inc();
+                        obs::event!("recovery.switch_retry_ok", "attempts" => attempts);
+                    }
+                    return Ok(latency);
+                }
+                Err(e) if e.is_transient() && attempts <= policy.max_retries => {
+                    if obs::enabled() {
+                        obs::counter("polytm.switch_retries").inc();
+                        obs::event!(
+                            "recovery.switch_retry",
+                            "attempt" => attempts,
+                            "error" => e.to_string(),
+                            "backoff_ns" => backoff.as_nanos() as u64,
+                        );
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(policy.max_backoff);
+                }
+                Err(e) if e.is_transient() => {
+                    let good = *self.known_good.lock();
+                    // The degrade target itself can hit a transient fault
+                    // (an injected plan does not care which config we
+                    // apply); give it the same number of chances.
+                    let mut degraded = false;
+                    for _ in 0..=policy.max_retries {
+                        if self.apply(&good).is_ok() {
+                            degraded = true;
+                            break;
+                        }
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(policy.max_backoff);
+                    }
+                    if obs::enabled() {
+                        obs::counter("polytm.degraded_switches").inc();
+                        obs::event!(
+                            "recovery.degraded",
+                            "target" => config.to_string(),
+                            "known_good" => good.to_string(),
+                            "ok" => degraded,
+                        );
+                    }
+                    return Err(SwitchError::RetriesExhausted { attempts, degraded });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The last configuration that applied cleanly (the degrade target).
+    pub fn known_good_config(&self) -> TmConfig {
+        *self.known_good.lock()
     }
 
     /// Retune only the HTM contention management (lock-free, no quiescence —
@@ -357,7 +667,14 @@ impl PolyTm {
             if should_run && disabled {
                 self.gate.enable(t);
             } else if !should_run && !disabled {
-                self.gate.disable(t);
+                // Bounded by the same watchdog as quiescence: a thread that
+                // will not drain stays enabled (the degree is then slightly
+                // higher than requested until the next resize — a degraded
+                // but live outcome, unlike an unbounded wait).
+                if !self.gate.try_disable(t, self.drain_timeout) && obs::enabled() {
+                    obs::counter("polytm.gate_skips").inc();
+                    obs::event!("recovery.gate_skip", "thread" => t, "degree" => p);
+                }
             }
         }
         self.parallelism.store(p, Ordering::Release);
@@ -371,10 +688,11 @@ impl PolyTm {
         self.parallelism.load(Ordering::Acquire)
     }
 
-    /// Number of quiescence epochs started so far (one per algorithm
-    /// switch). Because [`PolyTm::apply`] only returns once every thread
-    /// has been quiesced and resumed, this also counts *terminated*
-    /// epochs whenever no switch is in flight.
+    /// Number of quiescence epochs started so far (one per *attempted*
+    /// algorithm switch). Because [`PolyTm::apply`] only returns once every
+    /// thread has been quiesced and resumed — or the watchdog has rolled
+    /// the attempt back — this also counts *terminated* epochs whenever no
+    /// switch is in flight.
     pub fn quiescence_epochs(&self) -> u64 {
         self.epochs.load(Ordering::Relaxed)
     }
@@ -574,6 +892,93 @@ mod tests {
         };
         poly.set_htm_setting(s);
         assert_eq!(poly.current_config().htm, Some(s));
+    }
+
+    #[test]
+    fn quiesce_watchdog_rolls_back_stalled_switch() {
+        let poly = Arc::new(
+            PolyTm::builder()
+                .heap_words(1 << 10)
+                .max_threads(2)
+                .drain_timeout(Duration::from_millis(20))
+                .build(),
+        );
+        let a = poly.system().heap.alloc(1);
+        let before = poly.current_config();
+        let in_tx = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let p = Arc::clone(&poly);
+            let flag = Arc::clone(&in_tx);
+            s.spawn(move || {
+                let mut w = p.register_thread(0);
+                // A worker that stalls inside its transaction, holding its
+                // RUN bit far past the drain budget.
+                p.run_tx(&mut w, |tx| {
+                    flag.store(true, Ordering::Release);
+                    std::thread::sleep(Duration::from_millis(250));
+                    let v = tx.read(a)?;
+                    tx.write(a, v + 1)
+                });
+            });
+            while !in_tx.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            let err = poly
+                .apply(&TmConfig::stm(BackendId::NOrec, 2))
+                .expect_err("the watchdog must abandon the drain");
+            assert_eq!(err, SwitchError::QuiesceTimeout { thread: 0 });
+            assert!(err.is_transient());
+            // Rolled back: still on the old configuration, fully usable.
+            assert_eq!(poly.current_config(), before);
+        });
+        // The stalled transaction still committed (its gate was restored).
+        assert_eq!(poly.system().heap.read_raw(a), 1);
+        // And with the stall gone, the same switch goes through.
+        poly.apply(&TmConfig::stm(BackendId::NOrec, 2)).unwrap();
+        assert_eq!(poly.current_config().backend, BackendId::NOrec);
+    }
+
+    #[test]
+    fn starved_transaction_escapes_to_serial_irrevocable() {
+        let poly = PolyTm::builder()
+            .heap_words(1 << 10)
+            .max_threads(2)
+            .tx_retry_budget(3)
+            .build();
+        let a = poly.system().heap.alloc(1);
+        let mut w = poly.register_thread(0);
+        let mut tries = 0u32;
+        // Fails 12 times no matter the mode: exhausts the optimistic
+        // budget (3), then keeps failing serially until attempt 13.
+        let out = poly.run_tx(&mut w, |tx| {
+            tries += 1;
+            if tries <= 12 {
+                return tx.retry();
+            }
+            let v = tx.read(a)?;
+            tx.write(a, v + 1)?;
+            Ok(v + 1)
+        });
+        assert_eq!(out, 1);
+        assert_eq!(poly.system().heap.read_raw(a), 1);
+        assert_eq!(poly.serial_escapes(), 1);
+        assert_eq!(tries, 13, "3 optimistic attempts + 10 serial");
+        // The runtime is not stuck in serial mode afterwards.
+        let v = poly.run_tx(&mut w, |tx| tx.read(a));
+        assert_eq!(v, 1);
+        assert_eq!(poly.serial_escapes(), 1);
+    }
+
+    #[test]
+    fn known_good_tracks_last_successful_apply() {
+        let poly = PolyTm::builder().heap_words(1 << 10).max_threads(2).build();
+        let initial = poly.known_good_config();
+        assert_eq!(initial, poly.current_config());
+        poly.apply(&TmConfig::stm(BackendId::NOrec, 1)).unwrap();
+        assert_eq!(poly.known_good_config(), TmConfig::stm(BackendId::NOrec, 1));
+        // A rejected switch does not move the known-good target.
+        let _ = poly.apply(&TmConfig::stm(BackendId::Tl2, 99));
+        assert_eq!(poly.known_good_config(), TmConfig::stm(BackendId::NOrec, 1));
     }
 
     #[test]

@@ -5,6 +5,11 @@ use recsys::{BaggingEnsemble, CfAlgorithm, Normalization, Row, UtilityMatrix};
 use smbo::{Acquisition, Candidate, Goal, StopState, StoppingRule};
 use std::fmt;
 
+/// KPI magnitudes at or beyond this are discarded as corrupt rather than
+/// rated: no physical throughput/abort-rate measurement approaches 1e300,
+/// but an injected or garbage sample easily can.
+const ABSURD_KPI: f64 = 1e300;
+
 /// Knobs of the Controller's SMBO loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ControllerSettings {
@@ -138,11 +143,57 @@ impl Controller {
         let mut trace: Vec<obs::PendingEvent> = Vec::new();
         let mut known: Row = vec![None; self.ncols];
         let mut explored: Vec<(usize, f64)> = Vec::new();
+        // Sampled-at-least-once mask, distinct from `known`: a corrupt
+        // sample is discarded from the ratings but must not be re-picked by
+        // the acquisition loop, or a hostile plan could pin the Controller
+        // on one configuration forever.
+        let mut tried: Vec<bool> = vec![false; self.ncols];
+        // Profiling runs spent, distinct from *surviving* samples and from
+        // *distinct* configurations: the exploration budget pays per run,
+        // and a discarded corrupt KPI still burned one.
+        let spent = std::cell::Cell::new(0usize);
+        // Fault injection uses a *local* stream, not the global counters:
+        // optimizations run concurrently on parx workers, and a per-instance
+        // schedule is what keeps traces byte-identical at every job count.
+        let mut kpi_faults = faultsim::FaultStream::for_site(faultsim::Site::KpiCorrupt);
         let mut seed = self.settings.seed;
-        let mut probe = |c: usize, known: &mut Row, explored: &mut Vec<(usize, f64)>| {
-            let kpi = sample(c);
-            known[c] = Some(kpi);
-            explored.push((c, kpi));
+        let mut probe = |c: usize,
+                         known: &mut Row,
+                         explored: &mut Vec<(usize, f64)>,
+                         tried: &mut Vec<bool>,
+                         trace: &mut Vec<obs::PendingEvent>| {
+            spent.set(spent.get() + 1);
+            let mut kpi = sample(c);
+            if let Some(bad) = kpi_faults.as_mut().and_then(|s| s.corrupt()) {
+                if obs::enabled() {
+                    obs::counter("fault.fired.kpi_corrupt").inc();
+                    trace.push(obs::pending_event!(
+                        "fault.kpi_corrupt",
+                        "config" => c,
+                        "replaced" => kpi,
+                        "with" => bad,
+                    ));
+                }
+                kpi = bad;
+            }
+            tried[c] = true;
+            // Sanitization: a non-finite KPI never enters the ratings (it
+            // would propagate NaN through normalization into every
+            // prediction) and never competes for the recommendation. An
+            // absurd finite magnitude is rejected too — it would win every
+            // Maximize comparison outright — with the bound far beyond any
+            // physical KPI so legitimate dynamic range is untouched.
+            if kpi.is_finite() && kpi.abs() < ABSURD_KPI {
+                known[c] = Some(kpi);
+                explored.push((c, kpi));
+            } else if obs::enabled() {
+                obs::counter("rectm.kpi.discarded").inc();
+                trace.push(obs::pending_event!(
+                    "kpi.sanitized",
+                    "reason" => if kpi.is_finite() { "absurd" } else { "nonfinite" },
+                    "config" => c,
+                ));
+            }
             kpi
         };
         if obs::enabled() {
@@ -153,7 +204,25 @@ impl Controller {
                 "stopping" => self.settings.stopping.name(),
             ));
         }
-        let reference_kpi = probe(self.first_config(), &mut known, &mut explored);
+        let mut reference_kpi = probe(
+            self.first_config(),
+            &mut known,
+            &mut explored,
+            &mut tried,
+            &mut trace,
+        );
+        // Recovery: every rating is a ratio against the reference sample, so
+        // a corrupted one would abort the entire exploration after a single
+        // probe. Re-probe the reference while budget remains instead.
+        while known[self.first_config()].is_none() && spent.get() < self.settings.max_explorations {
+            reference_kpi = probe(
+                self.first_config(),
+                &mut known,
+                &mut explored,
+                &mut tried,
+                &mut trace,
+            );
+        }
         if obs::enabled() {
             trace.push(obs::pending_event!(
                 "ei.reference",
@@ -164,8 +233,8 @@ impl Controller {
 
         let mut stop = StopState::new();
         let mut stop_reason = "exhausted";
-        while explored.len() < self.settings.max_explorations {
-            let Some((candidates, ratings_known)) = self.candidates(&known) else {
+        while spent.get() < self.settings.max_explorations {
+            let Some((candidates, ratings_known)) = self.candidates(&known, &tried) else {
                 break;
             };
             if candidates.is_empty() {
@@ -182,7 +251,13 @@ impl Controller {
             else {
                 break;
             };
-            let actual = probe(chosen.index, &mut known, &mut explored);
+            let actual = probe(
+                chosen.index,
+                &mut known,
+                &mut explored,
+                &mut tried,
+                &mut trace,
+            );
             if obs::enabled() {
                 trace.push(obs::pending_event!(
                     "ei.step",
@@ -214,7 +289,7 @@ impl Controller {
 
         // Final step: explore the model's recommendation if new.
         let inner = self.inner_goal();
-        if let Some((candidates, _)) = self.candidates(&known) {
+        if let Some((candidates, _)) = self.candidates(&known, &tried) {
             let best_candidate =
                 candidates.iter().copied().reduce(
                     |a, b| {
@@ -231,12 +306,21 @@ impl Controller {
                     Some(b) => inner.better(cand.mu, b),
                     None => true,
                 };
-                if improves && explored.len() < self.settings.max_explorations {
-                    probe(cand.index, &mut known, &mut explored);
+                if improves && spent.get() < self.settings.max_explorations {
+                    probe(
+                        cand.index,
+                        &mut known,
+                        &mut explored,
+                        &mut tried,
+                        &mut trace,
+                    );
                 }
             }
         }
 
+        // `explored` holds finite KPIs only; if every sample this run was
+        // corrupted away, recommend the reference configuration — the
+        // known-safe default — rather than panicking or picking garbage.
         let (recommended, best_kpi) = explored
             .iter()
             .copied()
@@ -247,7 +331,12 @@ impl Controller {
                     best
                 }
             })
-            .expect("at least the reference was explored");
+            .unwrap_or_else(|| {
+                if obs::enabled() {
+                    obs::counter("rectm.recommend_fallbacks").inc();
+                }
+                (self.first_config(), f64::NAN)
+            });
         if obs::enabled() {
             // Recommendation latency is wall-clock and job-count-dependent,
             // so it goes to the histogram only — never into the event
@@ -332,15 +421,16 @@ impl Controller {
             .reduce(|a, b| inner.best(a, b))
     }
 
-    /// Predictive candidates for all unexplored columns, plus the known
-    /// ratings row.
-    fn candidates(&self, known_kpis: &Row) -> Option<(Vec<Candidate>, Row)> {
+    /// Predictive candidates for all columns not yet sampled (the `tried`
+    /// mask also excludes columns whose sample was discarded as corrupt),
+    /// plus the known ratings row.
+    fn candidates(&self, known_kpis: &Row, tried: &[bool]) -> Option<(Vec<Candidate>, Row)> {
         let ratings = self.ratings(known_kpis)?;
         let stats = self.ensemble.predict_stats(&ratings);
         let candidates = stats
             .iter()
             .enumerate()
-            .filter(|(c, _)| known_kpis[*c].is_none())
+            .filter(|(c, _)| known_kpis[*c].is_none() && !tried[*c])
             .filter_map(|(c, s)| {
                 s.map(|(mu, sigma2)| Candidate {
                     index: c,

@@ -20,6 +20,13 @@ pub struct MonitorSettings {
     pub ewma_alpha: f64,
     /// Samples used to (re)estimate the baseline after a reset.
     pub warmup: usize,
+    /// Winsorization bound: a standardized deviation beyond `clamp_z`·σ is
+    /// clamped before it touches the CUSUM sums or the EWMA baseline, so a
+    /// single corrupt sample cannot trip the alarm or poison the
+    /// estimates (set it non-positive to disable clamping). Must stay
+    /// below `threshold_h + slack_k` for one-sample immunity and above the
+    /// per-sample drift a genuine shift produces, or detection suffers.
+    pub clamp_z: f64,
 }
 
 impl Default for MonitorSettings {
@@ -29,6 +36,10 @@ impl Default for MonitorSettings {
             threshold_h: 5.0,
             ewma_alpha: 0.05,
             warmup: 10,
+            // One clamped outlier adds 4.0 − 0.5 = 3.5 < h = 5 (immune);
+            // two consecutive ones add 7 > 5 (a real shift still alarms
+            // within two samples).
+            clamp_z: 4.0,
         }
     }
 }
@@ -45,6 +56,10 @@ pub struct Monitor {
     seen: usize,
     g_pos: f64,
     g_neg: f64,
+    /// Non-finite samples dropped since construction (never reset).
+    dropped: u64,
+    /// Outlier samples winsorized since construction (never reset).
+    clamped: u64,
 }
 
 impl Monitor {
@@ -58,6 +73,8 @@ impl Monitor {
             seen: 0,
             g_pos: 0.0,
             g_neg: 0.0,
+            dropped: 0,
+            clamped: 0,
         }
     }
 
@@ -80,8 +97,23 @@ impl Monitor {
 
     /// Feed one KPI sample; returns `true` when a behaviour change is
     /// detected (the detector resets itself in that case).
+    ///
+    /// The sample is sanitized first: non-finite values (a crashed probe, a
+    /// division by a zero window, an injected fault) are dropped and
+    /// counted, and finite outliers beyond [`MonitorSettings::clamp_z`]
+    /// standard deviations are winsorized, so corrupt telemetry degrades
+    /// detection latency instead of poisoning the detector state or
+    /// triggering a false-alarm storm.
     pub fn observe(&mut self, x: f64) -> bool {
         let s = self.settings;
+        if !x.is_finite() {
+            self.dropped += 1;
+            if obs::enabled() {
+                obs::counter("rectm.kpi.nonfinite").inc();
+                obs::event!("kpi.sanitized", "reason" => "nonfinite", "seen" => self.seen);
+            }
+            return false;
+        }
         if self.seen < s.warmup {
             // Welford running estimate during warm-up.
             self.seen += 1;
@@ -94,7 +126,24 @@ impl Monitor {
             return false;
         }
         let sigma = self.var.sqrt().max(self.mean.abs() * 0.02).max(1e-12);
-        let z = (x - self.mean) / sigma;
+        let mut z = (x - self.mean) / sigma;
+        if s.clamp_z > 0.0 && z.abs() > s.clamp_z {
+            self.clamped += 1;
+            if obs::enabled() {
+                obs::counter("rectm.kpi.clamped").inc();
+                obs::event!(
+                    "kpi.sanitized",
+                    "reason" => "outlier",
+                    "z" => z,
+                    "clamp" => s.clamp_z,
+                    "seen" => self.seen,
+                );
+            }
+            z = z.signum() * s.clamp_z;
+        }
+        // The winsorized sample: what the CUSUM sums and the EWMA baseline
+        // below actually see (equals `x` when nothing was clamped).
+        let x = self.mean + z * sigma;
         self.g_pos = (self.g_pos + z - s.slack_k).max(0.0);
         self.g_neg = (self.g_neg - z - s.slack_k).max(0.0);
         if self.g_pos > s.threshold_h || self.g_neg > s.threshold_h {
@@ -122,6 +171,16 @@ impl Monitor {
     /// Number of samples since the last reset.
     pub fn samples(&self) -> usize {
         self.seen
+    }
+
+    /// Non-finite samples dropped over the detector's lifetime.
+    pub fn dropped_samples(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Outlier samples winsorized over the detector's lifetime.
+    pub fn clamped_samples(&self) -> u64 {
+        self.clamped
     }
 }
 
@@ -181,6 +240,45 @@ mod tests {
         // same new level must not alarm again.
         assert_eq!(m.samples(), 0);
         assert_eq!(feed(&mut m, (0..100).map(|_| 30.0)), None);
+    }
+
+    #[test]
+    fn nonfinite_samples_are_dropped_not_learned() {
+        let mut m = Monitor::with_defaults();
+        feed(&mut m, (0..30).map(|_| 100.0));
+        let baseline_seen = m.samples();
+        for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(!m.observe(poison), "poison must never alarm");
+        }
+        assert_eq!(m.dropped_samples(), 3);
+        assert_eq!(m.samples(), baseline_seen, "dropped samples don't count");
+        // The detector state is intact: a clean stream stays quiet and a
+        // real shift is still caught.
+        assert_eq!(feed(&mut m, (0..50).map(|_| 100.0)), None);
+        assert!(feed(&mut m, (0..20).map(|_| 40.0)).is_some());
+    }
+
+    #[test]
+    fn single_outlier_is_clamped_without_alarm() {
+        let mut m = Monitor::with_defaults();
+        feed(&mut m, (0..30).map(|i| 100.0 + (i % 3) as f64));
+        // A lone wild sample (sensor glitch): winsorized, no alarm.
+        assert!(!m.observe(1e12));
+        assert_eq!(m.clamped_samples(), 1);
+        // And it did not drag the baseline: the old level is still normal.
+        assert_eq!(feed(&mut m, (0..50).map(|i| 100.0 + (i % 3) as f64)), None);
+    }
+
+    #[test]
+    fn sustained_extreme_shift_still_alarms_through_the_clamp() {
+        let mut m = Monitor::with_defaults();
+        feed(&mut m, (0..30).map(|_| 100.0));
+        // Clamped to ±4σ per sample, two samples exceed h = 5.
+        let hit = feed(&mut m, (0..10).map(|_| 1e9));
+        assert!(
+            hit.is_some() && hit.unwrap() <= 2,
+            "clamp must not mask a real shift"
+        );
     }
 
     #[test]

@@ -124,13 +124,31 @@ pub fn run_tx<T>(
     ctx: &mut ThreadCtx,
     mut f: impl FnMut(&mut Tx<'_>) -> TxResult<T>,
 ) -> T {
+    match try_run_tx(backend, ctx, LIVELOCK_LIMIT, &mut f) {
+        Some(value) => value,
+        None => panic!("transaction livelock on backend {}", backend.name()),
+    }
+}
+
+/// Like [`run_tx`], but give up after `budget` failed attempts instead of
+/// retrying forever.
+///
+/// Returns `None` when the block did not commit within `budget` attempts;
+/// the transaction is rolled back, so the heap is untouched and the caller
+/// may re-run the block under a different regime (PolyTM uses this to
+/// escape to serial-irrevocable execution when a block starves). A budget
+/// of `0` fails without running the closure at all.
+pub fn try_run_tx<T>(
+    backend: &dyn TmBackend,
+    ctx: &mut ThreadCtx,
+    budget: u32,
+    mut f: impl FnMut(&mut Tx<'_>) -> TxResult<T>,
+) -> Option<T> {
     ctx.attempt = 0;
     loop {
-        assert!(
-            ctx.attempt < LIVELOCK_LIMIT,
-            "transaction livelock on backend {}",
-            backend.name()
-        );
+        if ctx.attempt >= budget {
+            return None;
+        }
         if let Err(a) = backend.begin(ctx) {
             ctx.stats.record_abort(a.code);
             if obs::enabled() {
@@ -157,7 +175,7 @@ pub fn run_tx<T>(
                                 c.commit_fallback.inc();
                             }
                         }
-                        return value;
+                        return Some(value);
                     }
                     Err(a) => {
                         backend.rollback(ctx);
@@ -281,6 +299,42 @@ mod tests {
                 assert_eq!(obs::counter("tx.abort.test-global-lock.conflict").get(), 0);
             }
         });
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none_and_rolls_back() {
+        let sys = Arc::new(TmSystem::new(16));
+        let tm = GlobalLockTm::new(Arc::clone(&sys));
+        let a = sys.heap.alloc(1);
+        let mut ctx = ThreadCtx::new(0);
+        let out: Option<()> = try_run_tx(&tm, &mut ctx, 4, |tx| {
+            tx.write(a, 99)?;
+            tx.retry()
+        });
+        assert!(out.is_none());
+        assert_eq!(ctx.stats.snapshot().aborts_of(AbortCode::Explicit), 4);
+        // A zero budget never even runs the closure.
+        let mut ran = false;
+        let out: Option<()> = try_run_tx(&tm, &mut ctx, 0, |_tx| {
+            ran = true;
+            Ok(())
+        });
+        assert!(out.is_none());
+        assert!(!ran);
+    }
+
+    #[test]
+    fn budget_allows_commit_on_last_attempt() {
+        let sys = Arc::new(TmSystem::new(16));
+        let tm = GlobalLockTm::new(Arc::clone(&sys));
+        let mut ctx = ThreadCtx::new(0);
+        let out = try_run_tx(&tm, &mut ctx, 4, |tx| {
+            if tx.attempt() < 3 {
+                return tx.retry();
+            }
+            Ok(tx.attempt())
+        });
+        assert_eq!(out, Some(3));
     }
 
     #[test]
