@@ -6,6 +6,7 @@
 //! experiments --quick all       # reduced corpus sizes (CI-friendly)
 //! experiments --jobs 4 fig5     # evaluation worker threads (or PROTEUS_JOBS)
 //! experiments --trace-out t.jsonl fig4   # JSONL telemetry trace (or PROTEUS_TRACE)
+//! experiments --metrics-out m.json fig4  # final metrics snapshot (or PROTEUS_METRICS)
 //! experiments --faults plan.json fig5    # seeded fault injection (or PROTEUS_FAULTS)
 //! ```
 //!
@@ -66,6 +67,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let mut targets: Vec<&String> = Vec::new();
     let mut trace_out: Option<PathBuf> = std::env::var_os("PROTEUS_TRACE").map(PathBuf::from);
+    let mut metrics_out: Option<PathBuf> = std::env::var_os("PROTEUS_METRICS").map(PathBuf::from);
     let mut faults_path: Option<PathBuf> = std::env::var_os("PROTEUS_FAULTS").map(PathBuf::from);
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
@@ -85,6 +87,14 @@ fn main() {
             trace_out = Some(PathBuf::from(path));
         } else if let Some(v) = a.strip_prefix("--trace-out=") {
             trace_out = Some(PathBuf::from(v));
+        } else if a == "--metrics-out" {
+            let path = iter.next().unwrap_or_else(|| {
+                eprintln!("--metrics-out expects a path");
+                std::process::exit(2);
+            });
+            metrics_out = Some(PathBuf::from(path));
+        } else if let Some(v) = a.strip_prefix("--metrics-out=") {
+            metrics_out = Some(PathBuf::from(v));
         } else if a == "--jobs" {
             let n = iter
                 .next()
@@ -110,7 +120,7 @@ fn main() {
     if targets.is_empty() {
         eprintln!(
             "usage: experiments [--quick] [--jobs N] [--trace-out PATH] \
-             [--faults PLAN.json] <all | {} ...>",
+             [--metrics-out PATH] [--faults PLAN.json] <all | {} ...>",
             index.keys().cloned().collect::<Vec<_>>().join(" | ")
         );
         std::process::exit(2);
@@ -183,6 +193,23 @@ fn main() {
             println!("  {:<14} fired {:>6}", site.slug(), faultsim::fired(site));
         }
         faultsim::uninstall();
+    }
+    // Snapshot metrics *before* finish_trace deactivates nothing but after
+    // every experiment ran; instrumentation only records while a trace is
+    // active, so --metrics-out without --trace-out yields a zero snapshot.
+    if let Some(path) = &metrics_out {
+        if !tracing {
+            eprintln!(
+                "warning: --metrics-out without --trace-out; metrics are \
+                 only recorded while a trace is active, so {} will hold zeros",
+                path.display()
+            );
+        }
+        if let Err(e) = std::fs::write(path, obs::summary::metrics_json()) {
+            eprintln!("cannot write metrics file {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        println!("\nmetrics written to {}", path.display());
     }
     if tracing {
         let report = obs::finish_trace();

@@ -41,6 +41,7 @@ struct SchemeResult {
 fn eval_scheme(
     bench: &Bench,
     choice: NormalizationChoice,
+    algo_name: &str,
     algo: CfAlgorithm,
     train: &[usize],
     test: &[usize],
@@ -126,6 +127,7 @@ fn eval_scheme(
         // PROTEUS_JOBS value (crates/bench/tests/determinism.rs).
         obs::event!(
             "fig4.result",
+            "algo" => algo_name,
             "scheme" => choice.label(),
             "k" => k,
             "mape" => *mape_by_k.last().unwrap(),
@@ -149,7 +151,7 @@ pub fn run_with(n: usize) {
         let mut mdfo_rows = Vec::new();
         for choice in NormalizationChoice::ALL {
             obs::event!("fig4.scheme", "algo" => algo_name, "scheme" => choice.label());
-            let res = eval_scheme(&bench, choice, algo, &train, &test);
+            let res = eval_scheme(&bench, choice, algo_name, algo, &train, &test);
             let label = choice.label().to_string();
             let mut r1 = vec![label.clone()];
             r1.extend(res.mape_by_k.iter().map(|v| f3(*v)));

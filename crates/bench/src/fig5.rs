@@ -83,8 +83,17 @@ fn policy_sweep(bench: &Bench, train: &[usize], test: &[usize], with_mape: bool)
         // Replay each worker's buffered telemetry here, at the serial fold
         // point, in test order — never from the parallel closures above —
         // so the JSONL stream is byte-identical at every PROTEUS_JOBS
-        // value (crates/bench/tests/determinism.rs).
-        for order in &orders {
+        // value (crates/bench/tests/determinism.rs). The oracle.row event
+        // ahead of each exploration gives `proteus-trace` the ground-truth
+        // optimum its regret curves are computed against.
+        for (&row, order) in test.iter().zip(&orders) {
+            obs::event!(
+                "oracle.row",
+                "row" => row,
+                "policy" => acq.label(),
+                "best" => bench.best_kpi(row),
+                "goal" => bench.goal_label(),
+            );
             order.emit_trace();
         }
         // MDFO per budget.

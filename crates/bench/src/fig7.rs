@@ -69,6 +69,14 @@ fn run_split(bench: &Bench, train_frac: f64, seed: u64) {
     let mut proteus_dfo = Vec::with_capacity(test.len());
     let mut proteus_expl = Vec::with_capacity(test.len());
     for (&row, out) in test.iter().zip(&explorations) {
+        // Ground truth for the analyzer's regret-to-oracle curves.
+        obs::event!(
+            "oracle.row",
+            "row" => row,
+            "policy" => "ei-cautious",
+            "best" => bench.best_kpi(row),
+            "goal" => bench.goal_label(),
+        );
         out.emit_trace();
         proteus_dfo.push(bench.dfo(row, out.recommended));
         proteus_expl.push(out.explored.len() as f64);

@@ -93,6 +93,14 @@ impl Bench {
         )
     }
 
+    /// The goal as a stable lowercase label (for trace records).
+    pub fn goal_label(&self) -> &'static str {
+        match self.goal {
+            Goal::Maximize => "maximize",
+            Goal::Minimize => "minimize",
+        }
+    }
+
     /// Best KPI of a row (respecting the goal).
     pub fn best_kpi(&self, row: usize) -> f64 {
         let it = self.truth[row].iter().copied();

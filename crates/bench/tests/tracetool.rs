@@ -1,0 +1,80 @@
+//! The analyzer inherits the trace's determinism guarantee: `proteus-trace
+//! report` over a fig4 trace must be byte-identical at every job count and
+//! across repeated runs, and must actually surface the decision-quality
+//! numbers (regret to the oracle, steps-to-within-ε) the ISSUE promises.
+//!
+//! These tests run the analyzer in-process (`tracetool::report::render`) on
+//! traces captured with `obs::capture_trace`, which is exactly what the
+//! `proteus-trace` binary does after reading the file.
+
+#![cfg(feature = "telemetry")]
+
+fn fig4_trace(jobs: usize) -> String {
+    let (_, bytes) = obs::capture_trace(|| parx::with_jobs(jobs, || bench::fig4::run_with(24)));
+    String::from_utf8(bytes).expect("trace is UTF-8 JSONL")
+}
+
+#[test]
+fn fig4_report_is_byte_identical_across_job_counts_and_runs() {
+    let serial = fig4_trace(1);
+    let parallel = fig4_trace(4);
+    let again = fig4_trace(4);
+
+    let report = |text: &str| {
+        let trace = tracetool::parse_trace(text).expect("fig4 trace parses");
+        tracetool::report::render(&trace, 0.05)
+    };
+    let a = report(&serial);
+    let b = report(&parallel);
+    let c = report(&again);
+    assert_eq!(a, b, "report must not depend on the job count");
+    assert_eq!(b, c, "report must be stable across repeated runs");
+
+    // The report surfaces the fig4 regret-to-oracle curves and the
+    // steps-to-within-ε verdicts, one row per (algorithm, scheme).
+    assert!(
+        a.contains("regret to oracle (fig4"),
+        "missing regret section:\n{a}"
+    );
+    assert!(a.contains("KNN cosine / "), "missing KNN rows:\n{a}");
+    assert!(a.contains("MF-SGD / "), "missing MF rows:\n{a}");
+    assert!(
+        a.contains("within eps=0.05: k="),
+        "missing steps-to-within-eps verdicts:\n{a}"
+    );
+    assert!(a.contains("k=2:"), "missing regret curve points:\n{a}");
+}
+
+#[test]
+fn fig4_traces_diff_clean_across_job_counts() {
+    let a = tracetool::parse_trace(&fig4_trace(1)).unwrap();
+    let b = tracetool::parse_trace(&fig4_trace(4)).unwrap();
+    let (text, identical) = tracetool::diff::render(&a, &b);
+    assert!(identical, "fig4 traces must diff clean:\n{text}");
+    assert!(text.contains("structurally identical"));
+}
+
+#[test]
+fn analyzer_rejects_schema_drift_loudly() {
+    // A trace from a future emitter must be refused, not half-parsed.
+    let future = format!(
+        "{{\"kind\":\"trace.meta\",\"schema\":{}}}\n\
+         {{\"seq\":0,\"kind\":\"config.switch\",\"to\":\"b\"}}\n",
+        obs::SCHEMA_VERSION + 1
+    );
+    let err = tracetool::parse_trace(&future).unwrap_err();
+    assert!(
+        matches!(err, tracetool::TraceError::UnsupportedSchema { .. }),
+        "got {err:?}"
+    );
+
+    // And a real captured trace must carry the current schema header.
+    let trace = fig4_trace(1);
+    assert!(
+        trace.starts_with(&format!(
+            "{{\"kind\":\"trace.meta\",\"schema\":{}}}",
+            obs::SCHEMA_VERSION
+        )),
+        "capture must start with the schema header"
+    );
+}

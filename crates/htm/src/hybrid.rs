@@ -10,7 +10,7 @@
 
 use crate::params::{HtmGeometry, TunableCm};
 use crate::spec::SpecCore;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use stm::NOrec;
 use txcore::{AbortCode, Addr, BackendKind, ThreadCtx, TmBackend, TmSystem, TxResult};
 
@@ -51,6 +51,20 @@ impl HybridNOrec {
         };
     }
 }
+
+/// Cached handle for the software-fallback commit-latency histogram of
+/// `backend`. Worker threads must not emit trace records (DESIGN.md §7,
+/// rule 1), so the cost of running commits in software is profiled as a
+/// histogram; the `OnceLock` keeps registry locking off the commit path.
+fn fallback_commit_ns(
+    cell: &'static OnceLock<&'static obs::Histogram>,
+    backend: &str,
+) -> &'static obs::Histogram {
+    cell.get_or_init(|| obs::histogram(&format!("htm.fallback_commit.{backend}_ns")))
+}
+
+static NOREC_FALLBACK_NS: OnceLock<&'static obs::Histogram> = OnceLock::new();
+static TL2_FALLBACK_NS: OnceLock<&'static obs::Histogram> = OnceLock::new();
 
 impl TmBackend for HybridNOrec {
     fn name(&self) -> &'static str {
@@ -109,7 +123,13 @@ impl TmBackend for HybridNOrec {
 
     fn commit(&self, ctx: &mut ThreadCtx) -> TxResult<()> {
         if ctx.in_fallback {
-            return self.norec.commit(ctx);
+            let t0 = obs::enabled().then(std::time::Instant::now);
+            let out = self.norec.commit(ctx);
+            if let (Some(t0), Ok(())) = (t0, &out) {
+                fallback_commit_ns(&NOREC_FALLBACK_NS, "hybrid-norec")
+                    .record(t0.elapsed().as_nanos() as u64);
+            }
+            return out;
         }
         self.core
             .commit(&self.sys, ctx, &self.sys.norec_seq, true)
@@ -339,11 +359,21 @@ impl TmBackend for HybridTl2 {
             return Err(txcore::Abort::SPURIOUS);
         }
         let speculative = !ctx.in_fallback;
-        self.tl2.commit(ctx).inspect_err(|a| {
+        let t0 = if speculative {
+            None
+        } else {
+            obs::enabled().then(std::time::Instant::now)
+        };
+        let out = self.tl2.commit(ctx).inspect_err(|a| {
             if speculative {
                 self.charge(ctx, a.code);
             }
-        })
+        });
+        if let (Some(t0), Ok(())) = (t0, &out) {
+            fallback_commit_ns(&TL2_FALLBACK_NS, "hybrid-tl2")
+                .record(t0.elapsed().as_nanos() as u64);
+        }
+        out
     }
 
     fn rollback(&self, ctx: &mut ThreadCtx) {

@@ -64,7 +64,7 @@ impl From<String> for Value {
 
 impl Value {
     /// Append this value's JSON encoding to `out`.
-    fn encode(&self, out: &mut String) {
+    pub(crate) fn encode(&self, out: &mut String) {
         match self {
             Value::U64(v) => {
                 let _ = fmt::Write::write_fmt(out, format_args!("{v}"));
@@ -83,7 +83,7 @@ impl Value {
 }
 
 /// JSON string encoding with the mandatory escapes.
-fn encode_str(out: &mut String, s: &str) {
+pub(crate) fn encode_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

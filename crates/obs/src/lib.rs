@@ -44,16 +44,28 @@
 mod event;
 pub mod metrics;
 mod ring;
+mod span;
 pub mod summary;
 mod trace;
 
 pub use event::{Event, PendingEvent, Value};
 pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram};
 pub use ring::EventRing;
+pub use span::Span;
 pub use trace::{
-    capture_trace, emit, emit_pending, finish_trace, recent_events, start_trace_file,
-    start_trace_memory, TraceReport,
+    capture_trace, emit, emit_pending, finish_trace, recent_events, span_begin_detached,
+    span_end_detached, start_trace_file, start_trace_memory, TraceReport, SPAN_BEGIN, SPAN_END,
 };
+
+/// Version of the JSONL trace schema, written as the
+/// `{"kind":"trace.meta","schema":N}` header line of every trace.
+///
+/// Bump when a change would make old analyzers misread new traces: a
+/// record-shape change, a field re-type, a semantic change to an existing
+/// kind. Adding a new event kind is *not* a schema bump — analyzers skip
+/// kinds they do not know. Version history: 1 = events + counter dump
+/// (PR 2–3, no header line); 2 = header line + span records.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Whether the `telemetry` cargo feature was compiled in.
 pub const fn telemetry_compiled() -> bool {
@@ -95,6 +107,42 @@ macro_rules! event {
     ($kind:expr $(, $key:literal => $val:expr)* $(,)?) => {
         if $crate::enabled() {
             $crate::emit($kind, vec![$(($key, $crate::Value::from($val))),*]);
+        }
+    };
+}
+
+/// Open a scoped [`Span`] if telemetry is enabled (else an inactive guard).
+///
+/// Same `"key" => value` field syntax as [`event!`]; the begin record gets
+/// a logical `id` (and `parent` when nested inside another scoped span),
+/// the end record is emitted when the returned guard drops. Bind the
+/// result — `let _guard = obs::span!(...)` — or the span closes
+/// immediately.
+///
+/// ```
+/// let _sw = obs::span!("switch", "from" => "TL2:8t", "to" => "NOrec:4t");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:literal $(, $key:literal => $val:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::Span::enter($name, vec![$(($key, $crate::Value::from($val))),*])
+        } else {
+            $crate::Span::inactive()
+        }
+    };
+}
+
+/// Like [`span!`] but the end record carries wall-clock `duration_ns`.
+/// Reserved for serial-protocol paths outside the deterministic learning
+/// trace (DESIGN.md §7, rule 3).
+#[macro_export]
+macro_rules! timed_span {
+    ($name:literal $(, $key:literal => $val:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::Span::timed($name, vec![$(($key, $crate::Value::from($val))),*])
+        } else {
+            $crate::Span::inactive()
         }
     };
 }
@@ -144,7 +192,23 @@ mod tests {
             crate::event!("test.bare");
         });
         if crate::telemetry_compiled() {
-            assert_eq!(String::from_utf8(bytes).unwrap().lines().count(), 2);
+            // Schema header + the two events.
+            assert_eq!(String::from_utf8(bytes).unwrap().lines().count(), 3);
+        }
+    }
+
+    #[test]
+    fn span_macros_compile_and_nest() {
+        let (_, bytes) = crate::capture_trace(|| {
+            let _outer = crate::span!("test.macro.outer", "step" => 1u64);
+            let _inner = crate::timed_span!("test.macro.inner");
+        });
+        if crate::telemetry_compiled() {
+            let text = String::from_utf8(bytes).unwrap();
+            assert_eq!(text.matches("span.begin").count(), 2);
+            assert_eq!(text.matches("span.end").count(), 2);
+        } else {
+            assert!(bytes.is_empty());
         }
     }
 }

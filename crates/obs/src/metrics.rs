@@ -139,6 +139,14 @@ impl Histogram {
             .collect()
     }
 
+    /// Estimated `q`-th percentile (0–100) in nanoseconds.
+    ///
+    /// See [`percentile_from_buckets`] for the estimation rules; 0 when
+    /// the histogram is empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        percentile_from_buckets(&self.bucket_counts(), q)
+    }
+
     fn reset(&self) {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
@@ -146,6 +154,41 @@ impl Histogram {
         self.sum.store(0, Ordering::Relaxed);
         self.count.store(0, Ordering::Relaxed);
     }
+}
+
+/// Estimate the `q`-th percentile (0–100) from fixed-bucket counts laid
+/// out as [`LATENCY_BOUNDS_NS`] buckets plus a trailing overflow bucket.
+///
+/// The estimate interpolates linearly inside the bucket containing the
+/// rank-`⌈q·n/100⌉` observation, assuming observations spread uniformly
+/// between the bucket's bounds; an observation landing in the unbounded
+/// overflow bucket reports the last finite bound. An empty histogram
+/// reports 0. The result is a pure function of the counts, so equal
+/// snapshots yield equal percentiles.
+pub fn percentile_from_buckets(buckets: &[u64], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let q = q.clamp(0.0, 100.0);
+    let rank = ((q / 100.0 * total as f64).ceil() as u64).max(1);
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cum += c;
+        if cum >= rank {
+            if i >= LATENCY_BOUNDS_NS.len() {
+                return LATENCY_BOUNDS_NS[LATENCY_BOUNDS_NS.len() - 1];
+            }
+            let lower = if i == 0 { 0 } else { LATENCY_BOUNDS_NS[i - 1] };
+            let upper = LATENCY_BOUNDS_NS[i];
+            let into = (rank - (cum - c)) as f64 / c as f64;
+            return lower + ((upper - lower) as f64 * into).round() as u64;
+        }
+    }
+    LATENCY_BOUNDS_NS[LATENCY_BOUNDS_NS.len() - 1]
 }
 
 enum Metric {
@@ -303,6 +346,68 @@ mod tests {
         assert_eq!(buckets[1], 1);
         assert_eq!(buckets[LATENCY_BOUNDS_NS.len()], 1);
         assert!(h.mean_ns() > 0.0);
+    }
+
+    #[test]
+    fn percentiles_of_empty_histogram_are_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(percentile_from_buckets(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn percentiles_of_single_sample_agree_across_quantiles() {
+        let h = Histogram::default();
+        h.record(500); // bucket 0: (0, 1000]
+        let p50 = h.percentile(50.0);
+        assert_eq!(p50, h.percentile(95.0));
+        assert_eq!(p50, h.percentile(99.0));
+        assert!(p50 > 0 && p50 <= LATENCY_BOUNDS_NS[0]);
+    }
+
+    #[test]
+    fn percentiles_with_all_samples_in_one_bucket_stay_in_its_bounds() {
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.record(2_000); // bucket 1: (1000, 4000]
+        }
+        for q in [1.0, 50.0, 95.0, 99.0, 100.0] {
+            let p = h.percentile(q);
+            assert!(
+                p > LATENCY_BOUNDS_NS[0] && p <= LATENCY_BOUNDS_NS[1],
+                "p{q} = {p} escaped the only populated bucket"
+            );
+        }
+        // And they order correctly within the bucket.
+        assert!(h.percentile(50.0) <= h.percentile(95.0));
+        assert!(h.percentile(95.0) <= h.percentile(99.0));
+    }
+
+    #[test]
+    fn percentile_interpolates_across_buckets() {
+        // 90 fast samples, 10 slow ones: p50 stays in the fast bucket,
+        // p95/p99 land in the slow one.
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.record(500);
+        }
+        for _ in 0..10 {
+            h.record(100_000); // bucket 4: (64k, 256k]
+        }
+        assert!(h.percentile(50.0) <= LATENCY_BOUNDS_NS[0]);
+        assert!(h.percentile(95.0) > LATENCY_BOUNDS_NS[3]);
+        assert!(h.percentile(95.0) <= h.percentile(99.0));
+    }
+
+    #[test]
+    fn percentile_of_overflow_reports_last_bound() {
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        assert_eq!(
+            h.percentile(50.0),
+            LATENCY_BOUNDS_NS[LATENCY_BOUNDS_NS.len() - 1]
+        );
     }
 
     #[test]

@@ -77,13 +77,93 @@ pub fn render(report: &TraceReport) -> String {
             } else {
                 format!("> {}", fmt_ns(*LATENCY_BOUNDS_NS.last().unwrap() as f64))
             };
+            let p50 = metrics::percentile_from_buckets(&buckets, 50.0);
+            let p95 = metrics::percentile_from_buckets(&buckets, 95.0);
+            let p99 = metrics::percentile_from_buckets(&buckets, 99.0);
             let _ = writeln!(
                 out,
-                "  {name:<28} n={count} mean={} mode_bucket={mode}",
-                fmt_ns(mean_ns)
+                "  {name:<28} n={count} mean={} p50={} p95={} p99={} mode_bucket={mode}",
+                fmt_ns(mean_ns),
+                fmt_ns(p50 as f64),
+                fmt_ns(p95 as f64),
+                fmt_ns(p99 as f64),
             );
         }
     }
+    out
+}
+
+/// Render every registered metric as one JSON object (machine-readable
+/// counterpart of [`render`], dumped by `experiments --metrics-out`).
+///
+/// Shape: `{"schema":N,"counters":{...},"gauges":{...},"histograms":
+/// {name:{"count":..,"mean_ns":..,"p50_ns":..,"p95_ns":..,"p99_ns":..,
+/// "buckets":[..]}}}`. All registered metrics are included (zeros too) so
+/// consumers can diff two snapshots key-by-key; names are sorted, floats
+/// use the same shortest-roundtrip encoding as the trace (non-finite
+/// values become strings), so equal registries yield equal bytes.
+pub fn metrics_json() -> String {
+    let snapshot = metrics::snapshot();
+    let mut out = String::from("{\"schema\":");
+    let _ = write!(out, "{}", crate::SCHEMA_VERSION);
+    out.push_str(",\"counters\":{");
+    let mut first = true;
+    for (name, value) in &snapshot {
+        if let MetricValue::Counter(v) = value {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            crate::event::encode_str(&mut out, name);
+            let _ = write!(out, ":{v}");
+        }
+    }
+    out.push_str("},\"gauges\":{");
+    let mut first = true;
+    for (name, value) in &snapshot {
+        if let MetricValue::Gauge(v) = value {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            crate::event::encode_str(&mut out, name);
+            out.push(':');
+            crate::Value::from(*v).encode(&mut out);
+        }
+    }
+    out.push_str("},\"histograms\":{");
+    let mut first = true;
+    for (name, value) in &snapshot {
+        if let MetricValue::Histogram {
+            count,
+            mean_ns,
+            buckets,
+        } = value
+        {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            crate::event::encode_str(&mut out, name);
+            let _ = write!(out, ":{{\"count\":{count},\"mean_ns\":");
+            crate::Value::from(*mean_ns).encode(&mut out);
+            let _ = write!(
+                out,
+                ",\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"buckets\":[",
+                metrics::percentile_from_buckets(buckets, 50.0),
+                metrics::percentile_from_buckets(buckets, 95.0),
+                metrics::percentile_from_buckets(buckets, 99.0),
+            );
+            for (i, b) in buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push_str("]}");
+        }
+    }
+    out.push_str("}}\n");
     out
 }
 
@@ -111,6 +191,24 @@ mod tests {
         assert!(text.contains("test.summary.commits"));
         assert!(text.contains("test.summary.workers"));
         assert!(text.contains("test.summary.lat"));
+        assert!(text.contains("p50=") && text.contains("p95=") && text.contains("p99="));
+    }
+
+    #[test]
+    fn metrics_json_is_flat_valid_and_stable() {
+        let _serial = crate::trace::hold_capture_lock_for_test();
+        metrics::counter("test.mjson.commits").add(3);
+        metrics::gauge("test.mjson.load").set(1.5);
+        metrics::histogram("test.mjson.lat").record(2_000);
+        let a = metrics_json();
+        assert!(a.starts_with(&format!("{{\"schema\":{}", crate::SCHEMA_VERSION)));
+        assert!(a.contains("\"test.mjson.commits\":3"));
+        assert!(a.contains("\"test.mjson.load\":1.5"));
+        assert!(a.contains("\"test.mjson.lat\":{\"count\":1,"));
+        assert!(a.contains("\"p50_ns\":"));
+        assert!(a.ends_with("}}\n"));
+        // Pure function of the registry: equal state, equal bytes.
+        assert_eq!(a, metrics_json());
     }
 
     #[test]

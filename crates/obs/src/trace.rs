@@ -34,6 +34,11 @@ struct TraceState {
     seq: u64,
     events: u64,
     by_kind: BTreeMap<&'static str, u64>,
+    /// Next span id to hand out (ids are 1-based; 0 means "no span").
+    span_next: u64,
+    /// Ids of the currently open *scoped* spans, innermost last. Detached
+    /// spans (see [`span_begin_detached`]) never enter this stack.
+    span_stack: Vec<u64>,
 }
 
 static ACTIVE: AtomicBool = AtomicBool::new(false);
@@ -53,22 +58,110 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 /// Whether a trace is currently active (the hot-path guard behind
-/// [`crate::enabled`]).
+/// [`crate::enabled`]). With the feature off, `enabled()` is const-false
+/// and never calls this.
+#[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
 #[inline(always)]
 pub(crate) fn active() -> bool {
     ACTIVE.load(Ordering::Relaxed)
 }
+
+/// Event kind opening a logical span. Emitting this kind (directly, via
+/// [`crate::span!`], or by replaying a buffered [`PendingEvent`]) makes the
+/// trace assign the record a fresh `id` field (and a `parent` field when
+/// another scoped span is open) and push it on the scoped-span stack.
+pub const SPAN_BEGIN: &str = "span.begin";
+
+/// Event kind closing the innermost scoped span: the trace pops the stack
+/// and attaches the popped `id`, pairing the record with its
+/// [`SPAN_BEGIN`]. Detached spans close via [`span_end_detached`] instead.
+pub const SPAN_END: &str = "span.end";
 
 /// Emit one event into the active trace.
 ///
 /// Prefer the [`crate::event!`] macro, which guards field construction
 /// behind [`crate::enabled`]. Calling this with no active trace is a
 /// silent no-op.
+///
+/// The kinds [`SPAN_BEGIN`] and [`SPAN_END`] are special: span ids (and
+/// parent links) are assigned here, under the same lock that assigns
+/// sequence numbers. Buffered span records therefore get their ids at
+/// *replay* time, which keeps them deterministic for the same reason
+/// replayed sequence numbers are (DESIGN.md §7, rule 1).
 pub fn emit(kind: &'static str, fields: Vec<(&'static str, Value)>) {
     let mut state = lock(&STATE);
     let Some(state) = state.as_mut() else {
         return;
     };
+    let fields = if kind == SPAN_BEGIN {
+        let id = state.span_next;
+        state.span_next += 1;
+        let parent = state.span_stack.last().copied();
+        state.span_stack.push(id);
+        span_fields(id, parent, fields)
+    } else if kind == SPAN_END {
+        match state.span_stack.pop() {
+            Some(id) => span_fields(id, None, fields),
+            // Unbalanced end (a bug in the instrumentation site): keep the
+            // record, id-less, so the analyzer can flag it.
+            None => fields,
+        }
+    } else {
+        fields
+    };
+    emit_locked(state, kind, fields);
+}
+
+/// Prepend `id` (and `parent`, when present) to a span record's fields.
+fn span_fields(
+    id: u64,
+    parent: Option<u64>,
+    fields: Vec<(&'static str, Value)>,
+) -> Vec<(&'static str, Value)> {
+    let mut out = Vec::with_capacity(fields.len() + 2);
+    out.push(("id", Value::U64(id)));
+    if let Some(p) = parent {
+        out.push(("parent", Value::U64(p)));
+    }
+    out.extend(fields);
+    out
+}
+
+/// Open a *detached* span: one that outlives the current call stack (e.g.
+/// a Monitor alarm window spanning many `observe` calls). The span gets an
+/// id and a parent link like a scoped span but is **not** pushed on the
+/// scoped-span stack, so scoped spans opened and closed while it is live
+/// nest correctly. Returns the id to pass to [`span_end_detached`], or `0`
+/// when no trace is active.
+pub fn span_begin_detached(fields: Vec<(&'static str, Value)>) -> u64 {
+    let mut state = lock(&STATE);
+    let Some(state) = state.as_mut() else {
+        return 0;
+    };
+    let id = state.span_next;
+    state.span_next += 1;
+    let parent = state.span_stack.last().copied();
+    let fields = span_fields(id, parent, fields);
+    emit_locked(state, SPAN_BEGIN, fields);
+    id
+}
+
+/// Close a detached span by id (from [`span_begin_detached`]). No-op when
+/// `id` is 0 or no trace is active, so callers can store the id
+/// unconditionally.
+pub fn span_end_detached(id: u64, fields: Vec<(&'static str, Value)>) {
+    if id == 0 {
+        return;
+    }
+    let mut state = lock(&STATE);
+    let Some(state) = state.as_mut() else {
+        return;
+    };
+    let fields = span_fields(id, None, fields);
+    emit_locked(state, SPAN_END, fields);
+}
+
+fn emit_locked(state: &mut TraceState, kind: &'static str, fields: Vec<(&'static str, Value)>) {
     let event = Event {
         seq: state.seq,
         kind,
@@ -122,11 +215,28 @@ fn start(sink: Sink) {
     let mut state = lock(&STATE);
     metrics::reset();
     ring().reset();
+    let mut sink = sink;
+    // Schema header: always the first line of a telemetry-enabled trace,
+    // outside the event sequence (no seq number, not counted in the
+    // report). `proteus-trace` refuses streams whose header is missing or
+    // names a schema it does not understand. A feature-off build emits no
+    // header so feature-off captures stay byte-empty.
+    if cfg!(feature = "telemetry") {
+        write_line(
+            &mut sink,
+            &format!(
+                "{{\"kind\":\"trace.meta\",\"schema\":{}}}",
+                crate::SCHEMA_VERSION
+            ),
+        );
+    }
     *state = Some(TraceState {
         sink,
         seq: 0,
         events: 0,
         by_kind: BTreeMap::new(),
+        span_next: 1,
+        span_stack: Vec::new(),
     });
     ACTIVE.store(true, Ordering::Relaxed);
 }
@@ -259,11 +369,89 @@ mod tests {
         if crate::telemetry_compiled() {
             let text = String::from_utf8(a).unwrap();
             let lines: Vec<&str> = text.lines().collect();
-            assert_eq!(lines.len(), 2);
-            assert!(lines[0].starts_with("{\"seq\":0,\"kind\":\"test.trace\""));
-            assert!(lines[1].contains("\"label\":\"x\""));
+            assert_eq!(lines.len(), 3);
+            assert_eq!(
+                lines[0],
+                format!(
+                    "{{\"kind\":\"trace.meta\",\"schema\":{}}}",
+                    crate::SCHEMA_VERSION
+                ),
+                "first line must be the schema header"
+            );
+            assert!(lines[1].starts_with("{\"seq\":0,\"kind\":\"test.trace\""));
+            assert!(lines[2].contains("\"label\":\"x\""));
         } else {
             assert!(a.is_empty());
+        }
+    }
+
+    #[test]
+    fn scoped_spans_get_nested_ids_at_emit_time() {
+        let ((), bytes) = capture_trace(|| {
+            emit(SPAN_BEGIN, vec![("name", Value::from("outer"))]);
+            emit(SPAN_BEGIN, vec![("name", Value::from("inner"))]);
+            emit("test.span.body", vec![]);
+            emit(SPAN_END, vec![("name", Value::from("inner"))]);
+            emit(SPAN_END, vec![("name", Value::from("outer"))]);
+        });
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("\"kind\":\"span."))
+            .collect();
+        assert!(lines[0].contains("\"id\":1") && lines[0].contains("\"name\":\"outer\""));
+        assert!(!lines[0].contains("\"parent\""), "root span has no parent");
+        assert!(
+            lines[1].contains("\"id\":2") && lines[1].contains("\"parent\":1"),
+            "inner span must link to outer: {}",
+            lines[1]
+        );
+        assert!(lines[2].contains("\"id\":2"), "LIFO end pairs inner first");
+        assert!(lines[3].contains("\"id\":1"));
+    }
+
+    #[test]
+    fn detached_spans_do_not_disturb_scoped_nesting() {
+        let ((), bytes) = capture_trace(|| {
+            let win = span_begin_detached(vec![("name", Value::from("window"))]);
+            emit(SPAN_BEGIN, vec![("name", Value::from("scoped"))]);
+            emit(SPAN_END, vec![("name", Value::from("scoped"))]);
+            span_end_detached(win, vec![("name", Value::from("window"))]);
+        });
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("\"kind\":\"span."))
+            .collect();
+        assert!(lines[0].contains("\"id\":1") && lines[0].contains("window"));
+        // The scoped span opened while the detached one is live must NOT
+        // treat it as an enclosing scope.
+        assert!(
+            lines[1].contains("\"id\":2") && !lines[1].contains("\"parent\""),
+            "detached spans are not scope parents: {}",
+            lines[1]
+        );
+        assert!(lines[2].contains("\"id\":2"));
+        assert!(lines[3].contains("\"id\":1") && lines[3].contains("window"));
+    }
+
+    #[test]
+    fn detached_span_id_zero_is_a_noop() {
+        let ((), bytes) = capture_trace(|| {
+            span_end_detached(0, vec![("name", Value::from("ghost"))]);
+        });
+        assert!(!String::from_utf8(bytes).unwrap().contains("ghost"));
+    }
+
+    #[test]
+    fn unbalanced_span_end_keeps_the_record_without_id() {
+        let ((), bytes) = capture_trace(|| {
+            emit(SPAN_END, vec![("name", Value::from("orphan"))]);
+        });
+        if crate::telemetry_compiled() {
+            let text = String::from_utf8(bytes).unwrap();
+            let line = text.lines().find(|l| l.contains("orphan")).unwrap();
+            assert!(!line.contains("\"id\""));
         }
     }
 

@@ -502,52 +502,78 @@ impl PolyTm {
         let from = *self.config.lock();
         let started = Instant::now();
         let switch_algo = self.current.load(Ordering::Acquire) != config.backend.index();
+        // Spans on this path may be wall-clock `timed` because the whole
+        // switch protocol runs serially under `reconfig` (the same carve-out
+        // that lets `config.switch` carry `latency_ns` — DESIGN.md §7,
+        // rule 3); the deterministic fig4/fig5 traces never reach it.
+        let _switch_span = obs::timed_span!(
+            "switch",
+            "from" => from.to_string(),
+            "to" => config.to_string(),
+            "quiesced" => switch_algo,
+        );
         if switch_algo {
-            let epoch = self.epochs.fetch_add(1, Ordering::Relaxed);
-            obs::event!(
-                "quiesce.start",
-                "epoch" => epoch,
-                "from" => from.backend.label(),
-                "to" => config.backend.label(),
-            );
+            let epoch = {
+                let _prepare = obs::span!("quiesce.prepare");
+                let epoch = self.epochs.fetch_add(1, Ordering::Relaxed);
+                obs::event!(
+                    "quiesce.start",
+                    "epoch" => epoch,
+                    "from" => from.backend.label(),
+                    "to" => config.backend.label(),
+                );
+                epoch
+            };
             // Quiesce *every* thread (pinned ones included — brief by
             // design), swap the function-pointer table, resume. The
             // watchdog bounds each drain: on timeout the threads disabled
             // by this pass are re-enabled and the switch is abandoned
             // before the backend pointer moves, so no thread can ever run
             // on a half-switched runtime.
-            let mut drained = Vec::new();
-            for t in 0..self.max_threads {
-                if !self.gate.is_disabled(t) {
-                    if !self.gate.try_disable(t, self.drain_timeout) {
-                        for &u in &drained {
-                            self.gate.enable(u);
+            {
+                let _drain = obs::timed_span!("quiesce.drain", "epoch" => epoch);
+                let mut drained = Vec::new();
+                for t in 0..self.max_threads {
+                    if !self.gate.is_disabled(t) {
+                        if !self.gate.try_disable(t, self.drain_timeout) {
+                            for &u in &drained {
+                                self.gate.enable(u);
+                            }
+                            if obs::enabled() {
+                                obs::counter("polytm.quiesce_rollbacks").inc();
+                                obs::event!(
+                                    "recovery.quiesce_rollback",
+                                    "epoch" => epoch,
+                                    "thread" => t,
+                                    "waited_ns" => started.elapsed().as_nanos() as u64,
+                                );
+                            }
+                            return Err(SwitchError::QuiesceTimeout { thread: t });
                         }
-                        if obs::enabled() {
-                            obs::counter("polytm.quiesce_rollbacks").inc();
-                            obs::event!(
-                                "recovery.quiesce_rollback",
-                                "epoch" => epoch,
-                                "thread" => t,
-                                "waited_ns" => started.elapsed().as_nanos() as u64,
-                            );
-                        }
-                        return Err(SwitchError::QuiesceTimeout { thread: t });
+                        drained.push(t);
                     }
-                    drained.push(t);
                 }
             }
-            self.current
-                .store(config.backend.index(), Ordering::Release);
+            {
+                let _swap = obs::span!("quiesce.switch", "epoch" => epoch);
+                self.current
+                    .store(config.backend.index(), Ordering::Release);
+            }
             obs::event!(
                 "quiesce.end",
                 "epoch" => epoch,
                 "duration_ns" => started.elapsed().as_nanos() as u64,
             );
-        }
-        self.set_parallelism_locked(config.threads);
-        if let Some(setting) = config.htm {
-            self.set_htm_locked(setting);
+            let _resume = obs::timed_span!("quiesce.resume", "epoch" => epoch);
+            self.set_parallelism_locked(config.threads);
+            if let Some(setting) = config.htm {
+                self.set_htm_locked(setting);
+            }
+        } else {
+            self.set_parallelism_locked(config.threads);
+            if let Some(setting) = config.htm {
+                self.set_htm_locked(setting);
+            }
         }
         *self.config.lock() = *config;
         *self.known_good.lock() = *config;
@@ -661,6 +687,11 @@ impl PolyTm {
 
     fn set_parallelism_locked(&self, p: usize) {
         let before = self.parallelism.load(Ordering::Acquire);
+        let _resize_span = if before != p {
+            obs::timed_span!("gate.resize", "from" => before, "to" => p)
+        } else {
+            obs::Span::inactive()
+        };
         for t in 0..self.max_threads {
             let should_run = t < p || self.pinned[t].load(Ordering::Acquire);
             let disabled = self.gate.is_disabled(t);

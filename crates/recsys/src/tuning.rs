@@ -46,6 +46,20 @@ pub struct CvReport {
     pub best_mape: f64,
     /// Every evaluated candidate with its score.
     pub evaluated: Vec<(CfAlgorithm, f64)>,
+    /// Telemetry buffered during tuning (candidate/fold spans), empty when
+    /// no trace is active. Candidates score on the `parx` pool, so nothing
+    /// is emitted here (DESIGN.md §7, rule 1) — serial driver code replays
+    /// the buffer with [`CvReport::emit_trace`].
+    pub trace: Vec<obs::PendingEvent>,
+}
+
+impl CvReport {
+    /// Replay the buffered telemetry into the active trace. Call from
+    /// **serial driver code only** — span ids and sequence numbers are
+    /// assigned at replay, in buffer order.
+    pub fn emit_trace(&self) {
+        obs::emit_pending(&self.trace);
+    }
 }
 
 fn random_candidate(rng: &mut StdRng, knn_only: bool) -> CfAlgorithm {
@@ -65,8 +79,15 @@ fn random_candidate(rng: &mut StdRng, knn_only: bool) -> CfAlgorithm {
     }
 }
 
-/// Cross-validated MAPE of one candidate on the training matrix.
-fn cv_score(training: &UtilityMatrix, algo: CfAlgorithm, opts: &TuningOptions) -> f64 {
+/// Cross-validated MAPE of one candidate on the training matrix, plus the
+/// per-fold span records buffered for later serial replay (empty when no
+/// trace is active — this function runs inside `parx` workers and must
+/// never write the trace itself).
+fn cv_score(
+    training: &UtilityMatrix,
+    algo: CfAlgorithm,
+    opts: &TuningOptions,
+) -> (f64, Vec<obs::PendingEvent>) {
     let mut rng = StdRng::seed_from_u64(opts.seed ^ 0xC0FFEE);
     let nrows = training.nrows();
     let folds = opts.folds.clamp(2, nrows.max(2));
@@ -76,51 +97,67 @@ fn cv_score(training: &UtilityMatrix, algo: CfAlgorithm, opts: &TuningOptions) -
         let j = rng.gen_range(0..=i);
         assignment.swap(i, j);
     }
+    let mut trace: Vec<obs::PendingEvent> = Vec::new();
     let mut pairs: Vec<(f64, f64)> = Vec::new();
     for fold in 0..folds {
+        if obs::enabled() {
+            trace.push(obs::pending_event!(
+                obs::SPAN_BEGIN,
+                "name" => "cv.fold",
+                "fold" => fold,
+            ));
+        }
+        let before = pairs.len();
         let fit_rows: Vec<Row> = (0..nrows)
             .filter(|&r| assignment[r] != fold)
             .map(|r| training.row(r).clone())
             .collect();
-        if fit_rows.is_empty() {
-            continue;
+        if !fit_rows.is_empty() {
+            let model = CfPredictor::fit(&UtilityMatrix::from_rows(fit_rows), algo);
+            for r in (0..nrows).filter(|&r| assignment[r] == fold) {
+                let full = training.row(r);
+                let known_cols: Vec<usize> = full
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(c, v)| v.map(|_| c))
+                    .collect();
+                if known_cols.len() < 2 {
+                    continue;
+                }
+                // Hide a fraction of this row's entries, predict them back.
+                let mut hidden = Vec::new();
+                let mut masked = full.clone();
+                for &c in &known_cols {
+                    if rng.gen_bool(opts.holdout_fraction) && hidden.len() + 1 < known_cols.len() {
+                        hidden.push(c);
+                        masked[c] = None;
+                    }
+                }
+                if hidden.is_empty() {
+                    continue;
+                }
+                let pred = model.predict_row(&masked);
+                for c in hidden {
+                    if let (Some(real), Some(p)) = (full[c], pred[c]) {
+                        pairs.push((real, p));
+                    }
+                }
+            }
         }
-        let model = CfPredictor::fit(&UtilityMatrix::from_rows(fit_rows), algo);
-        for r in (0..nrows).filter(|&r| assignment[r] == fold) {
-            let full = training.row(r);
-            let known_cols: Vec<usize> = full
-                .iter()
-                .enumerate()
-                .filter_map(|(c, v)| v.map(|_| c))
-                .collect();
-            if known_cols.len() < 2 {
-                continue;
-            }
-            // Hide a fraction of this row's entries, predict them back.
-            let mut hidden = Vec::new();
-            let mut masked = full.clone();
-            for &c in &known_cols {
-                if rng.gen_bool(opts.holdout_fraction) && hidden.len() + 1 < known_cols.len() {
-                    hidden.push(c);
-                    masked[c] = None;
-                }
-            }
-            if hidden.is_empty() {
-                continue;
-            }
-            let pred = model.predict_row(&masked);
-            for c in hidden {
-                if let (Some(real), Some(p)) = (full[c], pred[c]) {
-                    pairs.push((real, p));
-                }
-            }
+        if obs::enabled() {
+            trace.push(obs::pending_event!(
+                obs::SPAN_END,
+                "name" => "cv.fold",
+                "pairs" => pairs.len() - before,
+            ));
         }
     }
-    if pairs.is_empty() {
+    let score = if pairs.is_empty() {
         f64::INFINITY
     } else {
         mape(&pairs)
-    }
+    };
+    (score, trace)
 }
 
 /// Select a CF algorithm and its hyper-parameters for the given training
@@ -144,17 +181,54 @@ pub fn tune_cf(training: &UtilityMatrix, opts: &TuningOptions) -> CvReport {
     // Candidates are drawn serially above; each CV evaluation re-seeds its
     // own fold/holdout RNG from `opts.seed`, so scoring them on the parx
     // pool returns exactly the serial result in the serial order.
-    let evaluated: Vec<(CfAlgorithm, f64)> =
-        parx::par_map(&candidates, |&c| (c, cv_score(training, c, opts)));
+    let scored: Vec<(CfAlgorithm, f64, Vec<obs::PendingEvent>)> =
+        parx::par_map(&candidates, |&c| {
+            let (score, fold_trace) = cv_score(training, c, opts);
+            (c, score, fold_trace)
+        });
+    // Assemble the replay buffer in candidate order: one `cv.candidate`
+    // span per candidate wrapping its fold spans. Ids are assigned at
+    // replay, so the buffer is identical at every job count.
+    let mut trace: Vec<obs::PendingEvent> = Vec::new();
+    if obs::enabled() {
+        trace.push(obs::pending_event!(
+            obs::SPAN_BEGIN,
+            "name" => "cv.search",
+            "candidates" => scored.len(),
+        ));
+        for (algo, score, fold_trace) in &scored {
+            trace.push(obs::pending_event!(
+                obs::SPAN_BEGIN,
+                "name" => "cv.candidate",
+                "algo" => format!("{algo:?}"),
+            ));
+            trace.extend(fold_trace.iter().cloned());
+            trace.push(obs::pending_event!(
+                obs::SPAN_END,
+                "name" => "cv.candidate",
+                "mape" => *score,
+            ));
+        }
+    }
+    let evaluated: Vec<(CfAlgorithm, f64)> = scored.iter().map(|(c, s, _)| (*c, *s)).collect();
     let (best, best_mape) = evaluated
         .iter()
         .min_by(|a, b| a.1.total_cmp(&b.1))
         .copied()
         .expect("at least one candidate");
+    if obs::enabled() {
+        trace.push(obs::pending_event!(
+            "cv.best",
+            "algo" => format!("{best:?}"),
+            "mape" => best_mape,
+        ));
+        trace.push(obs::pending_event!(obs::SPAN_END, "name" => "cv.search"));
+    }
     CvReport {
         best,
         best_mape,
         evaluated,
+        trace,
     }
 }
 
@@ -204,6 +278,38 @@ mod tests {
         let b = tune_cf(&training(), &opts);
         assert_eq!(format!("{:?}", a.best), format!("{:?}", b.best));
         assert_eq!(a.best_mape, b.best_mape);
+    }
+
+    #[test]
+    fn tuner_buffers_spans_instead_of_emitting() {
+        let opts = TuningOptions {
+            n_candidates: 3,
+            knn_only: true,
+            ..TuningOptions::default()
+        };
+        let (report, direct) = obs::capture_trace(|| tune_cf(&training(), &opts));
+        // Nothing beyond the trace's own schema header may be emitted
+        // while tuning runs (candidates score on the worker pool).
+        assert!(
+            String::from_utf8_lossy(&direct)
+                .lines()
+                .all(|l| l.contains("\"kind\":\"trace.meta\"")),
+            "tune_cf must not emit directly: {}",
+            String::from_utf8_lossy(&direct)
+        );
+        let (_, replayed) = obs::capture_trace(|| report.emit_trace());
+        if obs::telemetry_compiled() {
+            let text = String::from_utf8(replayed).unwrap();
+            assert!(text.contains("\"name\":\"cv.search\""));
+            assert_eq!(text.matches("\"name\":\"cv.candidate\"").count(), 6);
+            assert!(text.contains("\"name\":\"cv.fold\""));
+            assert!(text.contains("\"kind\":\"cv.best\""));
+            // Replaying the same buffer twice yields identical bytes.
+            let (_, again) = obs::capture_trace(|| report.emit_trace());
+            assert_eq!(String::from_utf8(again).unwrap(), text);
+        } else {
+            assert!(report.trace.is_empty());
+        }
     }
 
     #[test]

@@ -197,6 +197,10 @@ impl Controller {
             kpi
         };
         if obs::enabled() {
+            // Span ids are assigned when the serial driver replays the
+            // buffer, so pushing span records here is as deterministic as
+            // pushing events (obs assigns ids under the same lock as seq).
+            trace.push(obs::pending_event!(obs::SPAN_BEGIN, "name" => "explore"));
             trace.push(obs::pending_event!(
                 "explore.start",
                 "first" => self.first_config(),
@@ -251,6 +255,14 @@ impl Controller {
             else {
                 break;
             };
+            if obs::enabled() {
+                trace.push(obs::pending_event!(
+                    obs::SPAN_BEGIN,
+                    "name" => "ei.round",
+                    "step" => stop.steps(),
+                    "config" => chosen.index,
+                ));
+            }
             let actual = probe(
                 chosen.index,
                 &mut known,
@@ -267,6 +279,7 @@ impl Controller {
                     "predicted" => chosen.mu,
                     "actual" => actual,
                 ));
+                trace.push(obs::pending_event!(obs::SPAN_END, "name" => "ei.round"));
             }
             let new_best = self
                 .ratings(&known)
@@ -351,6 +364,7 @@ impl Controller {
                 "kpi" => best_kpi,
                 "explored" => explored.len(),
             ));
+            trace.push(obs::pending_event!(obs::SPAN_END, "name" => "explore"));
         }
         Exploration {
             explored,
@@ -564,8 +578,12 @@ mod tests {
             .map(|c| 3.3 * (10.0 - (c as f64 - 5.0).powi(2)).max(0.5))
             .collect();
         let (out, direct) = obs::capture_trace(|| ctl.optimize(&mut |c| truth[c]));
+        // The capture contains at most the schema header the trace itself
+        // writes — optimize must add nothing to it.
         assert!(
-            direct.is_empty(),
+            String::from_utf8_lossy(&direct)
+                .lines()
+                .all(|l| l.contains("\"kind\":\"trace.meta\"")),
             "optimize must not emit events directly (got: {})",
             String::from_utf8_lossy(&direct)
         );

@@ -60,6 +60,13 @@ pub struct Monitor {
     dropped: u64,
     /// Outlier samples winsorized since construction (never reset).
     clamped: u64,
+    /// Id of the open `monitor.window` detached span (0 = none). A window
+    /// opens when warm-up completes and closes at the next alarm or
+    /// external reset, so it brackets every sample the CUSUM judged
+    /// against one baseline. Detached because it spans many `observe`
+    /// calls (see `obs::span_begin_detached`). The Monitor is driven from
+    /// serial code, so emitting here is within the determinism contract.
+    window: u64,
 }
 
 impl Monitor {
@@ -75,6 +82,7 @@ impl Monitor {
             g_neg: 0.0,
             dropped: 0,
             clamped: 0,
+            window: 0,
         }
     }
 
@@ -86,6 +94,19 @@ impl Monitor {
     /// Restart baseline estimation (called automatically on detection, and
     /// externally after a re-optimization settles on a new configuration).
     pub fn reset(&mut self) {
+        if self.window != 0 {
+            // An externally requested reset ends the window without an
+            // alarm (the alarm path closes it itself, before calling us).
+            obs::span_end_detached(
+                self.window,
+                vec![
+                    ("name", obs::Value::from("monitor.window")),
+                    ("alarmed", obs::Value::from(false)),
+                    ("samples", obs::Value::from(self.seen)),
+                ],
+            );
+            self.window = 0;
+        }
         obs::event!("cusum.reset", "seen" => self.seen);
         self.mean = 0.0;
         self.var = 0.0;
@@ -122,6 +143,12 @@ impl Monitor {
             self.m2 += delta * (x - self.mean);
             if self.seen == s.warmup {
                 self.var = self.m2 / self.seen as f64;
+                if obs::enabled() {
+                    self.window = obs::span_begin_detached(vec![
+                        ("name", obs::Value::from("monitor.window")),
+                        ("mean", obs::Value::from(self.mean)),
+                    ]);
+                }
             }
             return false;
         }
@@ -157,6 +184,17 @@ impl Monitor {
                     "seen" => self.seen,
                 );
                 obs::counter("rectm.cusum.alarms").inc();
+            }
+            if self.window != 0 {
+                obs::span_end_detached(
+                    self.window,
+                    vec![
+                        ("name", obs::Value::from("monitor.window")),
+                        ("alarmed", obs::Value::from(true)),
+                        ("samples", obs::Value::from(self.seen)),
+                    ],
+                );
+                self.window = 0;
             }
             self.reset();
             return true;
@@ -279,6 +317,25 @@ mod tests {
             hit.is_some() && hit.unwrap() <= 2,
             "clamp must not mask a real shift"
         );
+    }
+
+    #[test]
+    fn alarm_windows_are_bracketed_by_detached_spans() {
+        let ((), bytes) = obs::capture_trace(|| {
+            let mut m = Monitor::with_defaults();
+            feed(&mut m, (0..30).map(|_| 100.0));
+            assert!(feed(&mut m, (0..30).map(|_| 30.0)).is_some());
+            // The post-alarm window re-opens after warm-up and closes
+            // unalarmed on an external reset.
+            feed(&mut m, (0..15).map(|_| 30.0));
+            m.reset();
+        });
+        if obs::telemetry_compiled() {
+            let text = String::from_utf8(bytes).unwrap();
+            assert_eq!(text.matches("\"name\":\"monitor.window\"").count(), 4);
+            assert!(text.contains("\"alarmed\":true"));
+            assert!(text.contains("\"alarmed\":false"));
+        }
     }
 
     #[test]

@@ -108,7 +108,11 @@ impl RecTm {
             let scores = to_scores(training_kpis, options.goal);
             norm.fit(&scores);
             let ratings = norm.transform_matrix(&scores);
-            tune_cf(&ratings, &options.tuning).best
+            let report = tune_cf(&ratings, &options.tuning);
+            // `offline` is serial driver code: replay the CV candidate/fold
+            // spans the tuner buffered on the parx pool.
+            report.emit_trace();
+            report.best
         });
         let recommender = Recommender::fit(
             training_kpis,

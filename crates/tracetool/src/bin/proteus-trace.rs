@@ -1,0 +1,100 @@
+//! `proteus-trace` — decision-quality analyzer for ProteusTM JSONL traces.
+//!
+//! ```text
+//! proteus-trace report <trace.jsonl> [--epsilon E]
+//! proteus-trace diff <a.jsonl> <b.jsonl>
+//! ```
+//!
+//! Exit codes: `report` exits 0 on success, 1 on schema violations, empty
+//! traces, or I/O errors. `diff` exits 0 when the traces are structurally
+//! identical, 1 when they differ or fail to parse. Usage errors exit 2.
+
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  proteus-trace report <trace.jsonl> [--epsilon E]   single-trace report
+  proteus-trace diff <a.jsonl> <b.jsonl>             structural comparison
+
+The trace must start with a {\"kind\":\"trace.meta\",\"schema\":N} header
+(written by obs::trace::start); unknown schemas are rejected.";
+
+fn load(path: &str) -> Result<tracetool::Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    tracetool::parse_trace(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("report") => {
+            let mut path = None;
+            let mut epsilon = 0.05f64;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                if arg == "--epsilon" {
+                    let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                        eprintln!("--epsilon needs a numeric argument");
+                        return ExitCode::from(2);
+                    };
+                    epsilon = v;
+                } else if let Some(v) = arg.strip_prefix("--epsilon=") {
+                    match v.parse::<f64>() {
+                        Ok(v) => epsilon = v,
+                        Err(_) => {
+                            eprintln!("--epsilon needs a numeric argument");
+                            return ExitCode::from(2);
+                        }
+                    }
+                } else if path.is_none() {
+                    path = Some(arg.clone());
+                } else {
+                    eprintln!("unexpected argument {arg:?}\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            }
+            let Some(path) = path else {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            };
+            let trace = match load(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(1);
+                }
+            };
+            if trace.records.is_empty() && trace.counters.is_empty() {
+                eprintln!("error: {path}: trace holds a header but no records — nothing to report");
+                return ExitCode::from(1);
+            }
+            print!("{}", tracetool::report::render(&trace, epsilon));
+            ExitCode::SUCCESS
+        }
+        Some("diff") => {
+            let [_, a, b] = args.as_slice() else {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            };
+            let (a, b) = match (load(a), load(b)) {
+                (Ok(a), Ok(b)) => (a, b),
+                (ra, rb) => {
+                    for e in [ra.err(), rb.err()].into_iter().flatten() {
+                        eprintln!("error: {e}");
+                    }
+                    return ExitCode::from(1);
+                }
+            };
+            let (text, identical) = tracetool::diff::render(&a, &b);
+            print!("{text}");
+            if identical {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -22,6 +22,13 @@ pub(crate) struct TxCounters {
     commit: &'static obs::Counter,
     commit_fallback: &'static obs::Counter,
     aborts: [&'static obs::Counter; AbortCode::ALL.len()],
+    /// Wall-clock of *retried* transactions' ladders (first attempt →
+    /// resolution). Worker threads must never emit span records (DESIGN.md
+    /// §7, rule 1), so the per-transaction retry ladder is profiled as a
+    /// histogram instead — histograms never enter the JSONL stream.
+    ladder: &'static obs::Histogram,
+    /// Ladders that ran out of budget (the caller's serial-escape signal).
+    ladder_exhausted: &'static obs::Counter,
 }
 
 impl TxCounters {
@@ -35,6 +42,8 @@ impl TxCounters {
             commit_fallback: obs::counter(&format!("tx.commit.{backend}.fallback")),
             aborts: AbortCode::ALL
                 .map(|code| obs::counter(&format!("tx.abort.{backend}.{}", code.slug()))),
+            ladder: obs::histogram(&format!("tx.ladder.{backend}_ns")),
+            ladder_exhausted: obs::counter(&format!("tx.ladder.{backend}.exhausted")),
         }
     }
 }
@@ -145,8 +154,20 @@ pub fn try_run_tx<T>(
     mut f: impl FnMut(&mut Tx<'_>) -> TxResult<T>,
 ) -> Option<T> {
     ctx.attempt = 0;
+    // Ladder timing is recorded only for transactions that actually retried
+    // (attempt > 0 at resolution): first-try commits have no ladder and
+    // would swamp the histogram. One `Instant::now` per traced transaction;
+    // nothing at all when telemetry is inactive.
+    let ladder_t0 = obs::enabled().then(std::time::Instant::now);
     loop {
         if ctx.attempt >= budget {
+            if let Some(t0) = ladder_t0 {
+                if obs::enabled() {
+                    let c = counters(ctx, backend);
+                    c.ladder.record(t0.elapsed().as_nanos() as u64);
+                    c.ladder_exhausted.inc();
+                }
+            }
             return None;
         }
         if let Err(a) = backend.begin(ctx) {
@@ -173,6 +194,11 @@ pub fn try_run_tx<T>(
                             c.commit.inc();
                             if via_fallback {
                                 c.commit_fallback.inc();
+                            }
+                            if ctx.attempt > 0 {
+                                if let Some(t0) = ladder_t0 {
+                                    c.ladder.record(t0.elapsed().as_nanos() as u64);
+                                }
                             }
                         }
                         return Some(value);
