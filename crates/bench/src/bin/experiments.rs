@@ -8,6 +8,7 @@
 //! experiments --trace-out t.jsonl fig4   # JSONL telemetry trace (or PROTEUS_TRACE)
 //! experiments --metrics-out m.json fig4  # final metrics snapshot (or PROTEUS_METRICS)
 //! experiments --faults plan.json fig5    # seeded fault injection (or PROTEUS_FAULTS)
+//! experiments bench-snapshot             # perf-regression gate (see below)
 //! ```
 //!
 //! Results are bit-identical at every `--jobs` value: the evaluation
@@ -17,9 +18,16 @@
 //! — quiescence epochs, configuration switches, CUSUM alarms, EI steps,
 //! per-backend abort counters — is written to PATH as JSON Lines, and a
 //! human-readable summary is printed at the end of the run.
+//!
+//! `bench-snapshot` is special: it runs the fig4/fig5 quick pipelines
+//! plain and traced, writes `BENCH_perf.json`, and gates against the
+//! checked-in `BENCH_perf_baseline.json` (options: `--out`, `--baseline`,
+//! `--noise`, `--update-baseline`). It manages its own in-memory traces,
+//! so it cannot be combined with other targets or `--trace-out`.
 
+use bench::opts::Options;
+use bench::snapshot::SnapshotArgs;
 use std::collections::BTreeMap;
-use std::path::PathBuf;
 
 type Runner = (&'static str, fn(bool));
 
@@ -55,6 +63,35 @@ const ALIASES: [(&str, &str); 3] = [
     ("table6", "fig8"),
 ];
 
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+/// Strip the flags the shared [`Options`] parser owns, leaving only the
+/// `bench-snapshot` subcommand's own arguments.
+fn snapshot_rest(args: &[String]) -> Vec<String> {
+    let mut rest = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--quick" | "bench-snapshot" => {}
+            "--jobs" | "--trace-out" | "--metrics-out" | "--faults" => {
+                let _ = iter.next();
+            }
+            other => {
+                let owned = ["--jobs=", "--trace-out=", "--metrics-out=", "--faults="]
+                    .iter()
+                    .any(|p| other.starts_with(p));
+                if !owned {
+                    rest.push(a.clone());
+                }
+            }
+        }
+    }
+    rest
+}
+
 fn main() {
     let mut index: BTreeMap<&str, fn(bool)> = RUNNERS.iter().cloned().collect();
     index.insert("fig9", |_| bench::fig9::run());
@@ -64,95 +101,66 @@ fn main() {
     }
 
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let mut targets: Vec<&String> = Vec::new();
-    let mut trace_out: Option<PathBuf> = std::env::var_os("PROTEUS_TRACE").map(PathBuf::from);
-    let mut metrics_out: Option<PathBuf> = std::env::var_os("PROTEUS_METRICS").map(PathBuf::from);
-    let mut faults_path: Option<PathBuf> = std::env::var_os("PROTEUS_FAULTS").map(PathBuf::from);
-    let mut iter = args.iter();
-    while let Some(a) = iter.next() {
-        if a == "--faults" {
-            let path = iter.next().unwrap_or_else(|| {
-                eprintln!("--faults expects a path to a fault-plan JSON file");
-                std::process::exit(2);
-            });
-            faults_path = Some(PathBuf::from(path));
-        } else if let Some(v) = a.strip_prefix("--faults=") {
-            faults_path = Some(PathBuf::from(v));
-        } else if a == "--trace-out" {
-            let path = iter.next().unwrap_or_else(|| {
-                eprintln!("--trace-out expects a path");
-                std::process::exit(2);
-            });
-            trace_out = Some(PathBuf::from(path));
-        } else if let Some(v) = a.strip_prefix("--trace-out=") {
-            trace_out = Some(PathBuf::from(v));
-        } else if a == "--metrics-out" {
-            let path = iter.next().unwrap_or_else(|| {
-                eprintln!("--metrics-out expects a path");
-                std::process::exit(2);
-            });
-            metrics_out = Some(PathBuf::from(path));
-        } else if let Some(v) = a.strip_prefix("--metrics-out=") {
-            metrics_out = Some(PathBuf::from(v));
-        } else if a == "--jobs" {
-            let n = iter
-                .next()
-                .and_then(|v| v.parse::<usize>().ok())
-                .filter(|&n| n > 0)
-                .unwrap_or_else(|| {
-                    eprintln!("--jobs expects a positive integer");
-                    std::process::exit(2);
-                });
-            parx::set_jobs(n);
-        } else if let Some(v) = a.strip_prefix("--jobs=") {
-            match v.parse::<usize>() {
-                Ok(n) if n > 0 => parx::set_jobs(n),
-                _ => {
-                    eprintln!("--jobs expects a positive integer");
-                    std::process::exit(2);
-                }
+    let opts = Options::parse(&args).unwrap_or_else(|e| fail_usage(&e));
+    opts.apply_jobs();
+
+    // The perf gate manages its own in-memory traces and writes its own
+    // snapshot file, so it must be the sole target and cannot be combined
+    // with the trace/metrics/faults plumbing below.
+    if opts.targets.iter().any(|t| t == "bench-snapshot") {
+        // Other positionals may be values of snapshot-only flags (e.g.
+        // `--noise 0.6`); SnapshotArgs::parse rejects genuine strays.
+        if opts.trace_out.is_some() || opts.metrics_out.is_some() || opts.faults.is_some() {
+            fail_usage(
+                "bench-snapshot runs its own in-memory traces; \
+                 --trace-out/--metrics-out/--faults do not apply",
+            );
+        }
+        let snap_args =
+            SnapshotArgs::parse(&snapshot_rest(&args)).unwrap_or_else(|e| fail_usage(&e));
+        match bench::snapshot::run(&snap_args) {
+            Ok(true) => return,
+            Ok(false) => std::process::exit(1),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
             }
-        } else if !a.starts_with("--") {
-            targets.push(a);
         }
     }
-    if targets.is_empty() {
-        eprintln!(
+
+    if opts.targets.is_empty() {
+        fail_usage(&format!(
             "usage: experiments [--quick] [--jobs N] [--trace-out PATH] \
-             [--metrics-out PATH] [--faults PLAN.json] <all | {} ...>",
+             [--metrics-out PATH] [--faults PLAN.json] \
+             <all | bench-snapshot | {} ...>",
             index.keys().cloned().collect::<Vec<_>>().join(" | ")
-        );
-        std::process::exit(2);
+        ));
     }
     // Resolve every target *before* a trace starts: `std::process::exit`
     // skips destructors, so bailing out on an unknown name mid-run would
     // lose the BufWriter's buffered tail and silently truncate a
     // partially-written trace file.
     let mut plan: Vec<Runner> = Vec::new();
-    for target in &targets {
+    for target in &opts.targets {
         if target.as_str() == "all" {
             plan.extend(RUNNERS);
             plan.push(("fig9", |_| bench::fig9::run()));
         } else if let Some((&name, &f)) = index.get_key_value(target.as_str()) {
             plan.push((name, f));
         } else {
-            eprintln!("unknown experiment: {target}");
-            std::process::exit(2);
+            fail_usage(&format!("unknown experiment: {target}"));
         }
     }
     // Install the fault plan before the trace starts, so a malformed plan
     // exits before any trace file is created, and so the plan's fault and
     // recovery events are in the stream from its first line.
-    let faults_armed = match &faults_path {
+    let faults_armed = match &opts.faults {
         Some(path) => {
             let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                eprintln!("cannot read fault plan {}: {e}", path.display());
-                std::process::exit(2);
+                fail_usage(&format!("cannot read fault plan {}: {e}", path.display()))
             });
             let plan = faultsim::FaultPlan::parse_json(&text).unwrap_or_else(|e| {
-                eprintln!("invalid fault plan {}: {e}", path.display());
-                std::process::exit(2);
+                fail_usage(&format!("invalid fault plan {}: {e}", path.display()))
             });
             if !faultsim::enabled() {
                 eprintln!(
@@ -166,7 +174,7 @@ fn main() {
         }
         None => false,
     };
-    let tracing = match &trace_out {
+    let tracing = match &opts.trace_out {
         Some(path) => {
             if !obs::telemetry_compiled() {
                 eprintln!(
@@ -176,8 +184,7 @@ fn main() {
                 );
             }
             if let Err(e) = obs::start_trace_file(path) {
-                eprintln!("cannot open trace file {}: {e}", path.display());
-                std::process::exit(2);
+                fail_usage(&format!("cannot open trace file {}: {e}", path.display()));
             }
             true
         }
@@ -185,7 +192,7 @@ fn main() {
     };
     for (name, f) in plan {
         banner(name);
-        f(quick);
+        f(opts.quick);
     }
     if faults_armed {
         println!("\nfault injection summary:");
@@ -194,10 +201,10 @@ fn main() {
         }
         faultsim::uninstall();
     }
-    // Snapshot metrics *before* finish_trace deactivates nothing but after
-    // every experiment ran; instrumentation only records while a trace is
-    // active, so --metrics-out without --trace-out yields a zero snapshot.
-    if let Some(path) = &metrics_out {
+    // Snapshot metrics *before* finish_trace deactivates the trace but
+    // after every experiment ran; instrumentation only records while a
+    // trace is active, so --metrics-out without --trace-out yields zeros.
+    if let Some(path) = &opts.metrics_out {
         if !tracing {
             eprintln!(
                 "warning: --metrics-out without --trace-out; metrics are \
@@ -215,7 +222,7 @@ fn main() {
         let report = obs::finish_trace();
         println!();
         print!("{}", obs::summary::render(&report));
-        if let Some(path) = &trace_out {
+        if let Some(path) = &opts.trace_out {
             println!("trace written to {}", path.display());
         }
     }

@@ -95,6 +95,14 @@ fn policy_sweep(bench: &Bench, train: &[usize], test: &[usize], with_mape: bool)
                 "goal" => bench.goal_label(),
             );
             order.emit_trace();
+            // Flight recorder: final-exploration DFO per workload, one tick
+            // per replayed row. Sampled and ticked at this serial point, so
+            // the windows are byte-identical at every PROTEUS_JOBS value.
+            let dfo = prefix_dfo(bench, row, &order.explored, order.explored.len());
+            if dfo.is_finite() {
+                obs::ts_record("fig5.final_dfo", dfo);
+            }
+            obs::ts_tick();
         }
         // MDFO per budget.
         let mut row_out = vec![acq.label().to_string()];

@@ -1,0 +1,194 @@
+//! Shared flag/environment handling for the `experiments` binary.
+//!
+//! Every knob comes in a flag/env pair (`--jobs`/`PROTEUS_JOBS`,
+//! `--trace-out`/`PROTEUS_TRACE`, `--metrics-out`/`PROTEUS_METRICS`,
+//! `--faults`/`PROTEUS_FAULTS`); the flag always wins so a CI matrix can
+//! export a default and individual legs can still override it. Parsing is
+//! pure (`parse_with` takes the environment as a closure) so the precedence
+//! rules are unit-testable without mutating the process environment.
+
+use std::ffi::OsString;
+use std::path::PathBuf;
+
+/// Parsed `experiments` command line.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Options {
+    /// `--quick`: reduced corpus sizes (CI-friendly).
+    pub quick: bool,
+    /// `--jobs N` / `PROTEUS_JOBS`: evaluation worker threads. `None`
+    /// leaves the `parx` default (one per core) in place.
+    pub jobs: Option<usize>,
+    /// `--trace-out PATH` / `PROTEUS_TRACE`: JSONL telemetry trace.
+    pub trace_out: Option<PathBuf>,
+    /// `--metrics-out PATH` / `PROTEUS_METRICS`: final metrics snapshot.
+    pub metrics_out: Option<PathBuf>,
+    /// `--faults PLAN.json` / `PROTEUS_FAULTS`: seeded fault plan.
+    pub faults: Option<PathBuf>,
+    /// Positional arguments (experiment names). Unknown `--flags` are
+    /// ignored, matching the historical parser.
+    pub targets: Vec<String>,
+}
+
+impl Options {
+    /// Parse `args` (without the program name) against the process
+    /// environment.
+    pub fn parse(args: &[String]) -> Result<Options, String> {
+        Self::parse_with(args, |k| std::env::var_os(k))
+    }
+
+    /// Parse `args` against an explicit environment (for tests).
+    pub fn parse_with(
+        args: &[String],
+        env: impl Fn(&str) -> Option<OsString>,
+    ) -> Result<Options, String> {
+        let mut opts = Options {
+            jobs: env("PROTEUS_JOBS").and_then(|v| {
+                let parsed = v.to_str().and_then(|s| s.parse::<usize>().ok());
+                match parsed {
+                    Some(n) if n > 0 => Some(n),
+                    // Invalid env values are diagnosed (and ignored) by
+                    // parx::jobs_from_env; don't double-report here.
+                    _ => None,
+                }
+            }),
+            trace_out: env("PROTEUS_TRACE").map(PathBuf::from),
+            metrics_out: env("PROTEUS_METRICS").map(PathBuf::from),
+            faults: env("PROTEUS_FAULTS").map(PathBuf::from),
+            ..Options::default()
+        };
+        let mut iter = args.iter();
+        while let Some(a) = iter.next() {
+            match a.as_str() {
+                "--quick" => opts.quick = true,
+                "--faults" => {
+                    opts.faults =
+                        Some(take_path(&mut iter, a, "a path to a fault-plan JSON file")?);
+                }
+                "--trace-out" => opts.trace_out = Some(take_path(&mut iter, a, "a path")?),
+                "--metrics-out" => opts.metrics_out = Some(take_path(&mut iter, a, "a path")?),
+                "--jobs" => {
+                    opts.jobs = Some(parse_jobs(iter.next().map(String::as_str))?);
+                }
+                _ => {
+                    if let Some(v) = a.strip_prefix("--faults=") {
+                        opts.faults = Some(PathBuf::from(v));
+                    } else if let Some(v) = a.strip_prefix("--trace-out=") {
+                        opts.trace_out = Some(PathBuf::from(v));
+                    } else if let Some(v) = a.strip_prefix("--metrics-out=") {
+                        opts.metrics_out = Some(PathBuf::from(v));
+                    } else if let Some(v) = a.strip_prefix("--jobs=") {
+                        opts.jobs = Some(parse_jobs(Some(v))?);
+                    } else if !a.starts_with("--") {
+                        opts.targets.push(a.clone());
+                    }
+                }
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Install the side-effecting options (worker count) into the process.
+    pub fn apply_jobs(&self) {
+        if let Some(n) = self.jobs {
+            parx::set_jobs(n);
+        }
+    }
+}
+
+fn take_path(
+    iter: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+    what: &str,
+) -> Result<PathBuf, String> {
+    iter.next()
+        .map(PathBuf::from)
+        .ok_or_else(|| format!("{flag} expects {what}"))
+}
+
+fn parse_jobs(v: Option<&str>) -> Result<usize, String> {
+    v.and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .ok_or_else(|| "--jobs expects a positive integer".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    fn no_env(_: &str) -> Option<OsString> {
+        None
+    }
+
+    #[test]
+    fn flags_override_environment() {
+        let env = |k: &str| -> Option<OsString> {
+            match k {
+                "PROTEUS_JOBS" => Some("8".into()),
+                "PROTEUS_TRACE" => Some("env-trace.jsonl".into()),
+                "PROTEUS_METRICS" => Some("env-metrics.json".into()),
+                "PROTEUS_FAULTS" => Some("env-plan.json".into()),
+                _ => None,
+            }
+        };
+        let args = s(&[
+            "--jobs",
+            "2",
+            "--trace-out=flag.jsonl",
+            "--metrics-out",
+            "flag.json",
+            "--faults=flag-plan.json",
+            "fig4",
+        ]);
+        let o = Options::parse_with(&args, env).unwrap();
+        assert_eq!(o.jobs, Some(2), "flag beats PROTEUS_JOBS");
+        assert_eq!(o.trace_out.as_deref(), Some("flag.jsonl".as_ref()));
+        assert_eq!(o.metrics_out.as_deref(), Some("flag.json".as_ref()));
+        assert_eq!(o.faults.as_deref(), Some("flag-plan.json".as_ref()));
+        assert_eq!(o.targets, vec!["fig4".to_string()]);
+
+        // Without flags the environment fills the same slots.
+        let o = Options::parse_with(&s(&["fig4"]), env).unwrap();
+        assert_eq!(o.jobs, Some(8));
+        assert_eq!(o.trace_out.as_deref(), Some("env-trace.jsonl".as_ref()));
+        assert_eq!(o.metrics_out.as_deref(), Some("env-metrics.json".as_ref()));
+        assert_eq!(o.faults.as_deref(), Some("env-plan.json".as_ref()));
+    }
+
+    #[test]
+    fn both_flag_spellings_parse() {
+        let o = Options::parse_with(&s(&["--jobs=3", "--quick", "all"]), no_env).unwrap();
+        assert_eq!(o.jobs, Some(3));
+        assert!(o.quick);
+        let o = Options::parse_with(&s(&["--jobs", "3", "all"]), no_env).unwrap();
+        assert_eq!(o.jobs, Some(3));
+        assert_eq!(o.targets, vec!["all".to_string()]);
+    }
+
+    #[test]
+    fn errors_on_missing_or_bad_values() {
+        assert!(Options::parse_with(&s(&["--jobs"]), no_env).is_err());
+        assert!(Options::parse_with(&s(&["--jobs", "0"]), no_env).is_err());
+        assert!(Options::parse_with(&s(&["--jobs=none"]), no_env).is_err());
+        assert!(Options::parse_with(&s(&["--trace-out"]), no_env).is_err());
+        assert!(Options::parse_with(&s(&["--metrics-out"]), no_env).is_err());
+        assert!(Options::parse_with(&s(&["--faults"]), no_env).is_err());
+    }
+
+    #[test]
+    fn invalid_env_jobs_is_ignored_not_fatal() {
+        let env =
+            |k: &str| -> Option<OsString> { (k == "PROTEUS_JOBS").then(|| OsString::from("zero")) };
+        let o = Options::parse_with(&s(&["fig4"]), env).unwrap();
+        assert_eq!(o.jobs, None);
+    }
+
+    #[test]
+    fn unknown_double_dash_flags_are_ignored() {
+        let o = Options::parse_with(&s(&["--frobnicate", "fig5"]), no_env).unwrap();
+        assert_eq!(o.targets, vec!["fig5".to_string()]);
+    }
+}

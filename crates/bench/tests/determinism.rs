@@ -120,6 +120,57 @@ fn fig5_trace_is_byte_identical_across_job_counts() {
     );
 }
 
+/// The flight recorder rides on the same contract: `metrics.window`
+/// records are keyed by logical sample tick and emitted only at serial
+/// tick points, so the window stream — and the `proteus-trace perf` view
+/// derived from it — must be byte-identical at jobs 1, 2, and 4.
+#[cfg(feature = "telemetry")]
+#[test]
+fn metrics_windows_and_perf_view_are_byte_identical_across_job_counts() {
+    let run = |jobs: usize| {
+        let (_, bytes) = obs::capture_trace(|| {
+            parx::with_jobs(jobs, || {
+                bench::fig4::run_with(24);
+                bench::fig5::run_with(12);
+            })
+        });
+        String::from_utf8(bytes).expect("trace is UTF-8 JSONL")
+    };
+    let traces: Vec<String> = [1, 2, 4].into_iter().map(run).collect();
+    let windows = |text: &str| -> Vec<String> {
+        text.lines()
+            .filter(|l| l.contains("\"kind\":\"metrics.window\""))
+            .map(str::to_string)
+            .collect()
+    };
+    let w1 = windows(&traces[0]);
+    assert!(
+        !w1.is_empty(),
+        "fig4+fig5 must flush metrics.window records"
+    );
+    for series in ["fig4.mape", "fig4.mdfo", "fig5.final_dfo"] {
+        assert!(
+            w1.iter()
+                .any(|l| l.contains(&format!("\"series\":\"{series}\""))),
+            "missing {series} windows"
+        );
+    }
+    assert_eq!(w1, windows(&traces[1]), "windows differ at jobs=2");
+    assert_eq!(w1, windows(&traces[2]), "windows differ at jobs=4");
+
+    let perf = |text: &str| {
+        let trace = tracetool::parse_trace(text).expect("trace parses");
+        tracetool::perf::render(&trace)
+    };
+    let p1 = perf(&traces[0]);
+    assert!(
+        p1.contains("series fig4.mape"),
+        "perf view lists series:\n{p1}"
+    );
+    assert_eq!(p1, perf(&traces[1]), "perf view differs at jobs=2");
+    assert_eq!(p1, perf(&traces[2]), "perf view differs at jobs=4");
+}
+
 #[test]
 fn tuner_is_identical_across_job_counts() {
     let training = UtilityMatrix::from_rows(

@@ -1,0 +1,34 @@
+//! The disabled hot path must be silent: with no trace active, the
+//! metrics snapshot carries zero instrumentation overhead, zero windows,
+//! and no exemplars. This lives in its own test binary so no concurrent
+//! `capture_trace` from a sibling test can activate a trace under it
+//! (the `--no-default-features` build goes further and compiles the
+//! recording out entirely — see obs's own tests).
+
+#![cfg(feature = "telemetry")]
+
+#[test]
+fn snapshot_outside_a_trace_holds_zero_overhead_and_no_exemplars() {
+    // Recording attempts while disabled must leave no residue either.
+    obs::ts_record("should.be.dropped", 42.0);
+    obs::ts_tick();
+    obs::exemplar("should.be.dropped", "ignored".to_string(), 1.0);
+
+    let json = obs::summary::metrics_json();
+    assert!(
+        json.contains(
+            "\"obs_overhead\":{\"events\":0,\"bytes\":0,\"spans\":0,\
+             \"windows\":0,\"histogram_updates\":0,\"per_subsystem\":{}}"
+        ),
+        "overhead must be zero outside a trace:\n{json}"
+    );
+    assert!(
+        json.contains("\"exemplars\":[]"),
+        "no exemplars outside a trace:\n{json}"
+    );
+    assert_eq!(
+        obs::overhead_snapshot(),
+        obs::OverheadSnapshot::default(),
+        "overhead accountant must be idle outside a trace"
+    );
+}

@@ -66,6 +66,19 @@ fn fallback_commit_ns(
 static NOREC_FALLBACK_NS: OnceLock<&'static obs::Histogram> = OnceLock::new();
 static TL2_FALLBACK_NS: OnceLock<&'static obs::Histogram> = OnceLock::new();
 
+/// Cached handle for the matching flight-recorder time-series. Workers may
+/// *record* samples (the series is drained and emitted from the serial
+/// driver on the next window flush) but must never tick or emit here.
+fn fallback_commit_series(
+    cell: &'static OnceLock<&'static obs::TsSeries>,
+    backend: &str,
+) -> &'static obs::TsSeries {
+    cell.get_or_init(|| obs::ts_series(&format!("htm.fallback_commit.{backend}_ns")))
+}
+
+static NOREC_FALLBACK_TS: OnceLock<&'static obs::TsSeries> = OnceLock::new();
+static TL2_FALLBACK_TS: OnceLock<&'static obs::TsSeries> = OnceLock::new();
+
 impl TmBackend for HybridNOrec {
     fn name(&self) -> &'static str {
         "hybrid-norec"
@@ -126,8 +139,9 @@ impl TmBackend for HybridNOrec {
             let t0 = obs::enabled().then(std::time::Instant::now);
             let out = self.norec.commit(ctx);
             if let (Some(t0), Ok(())) = (t0, &out) {
-                fallback_commit_ns(&NOREC_FALLBACK_NS, "hybrid-norec")
-                    .record(t0.elapsed().as_nanos() as u64);
+                let ns = t0.elapsed().as_nanos() as u64;
+                fallback_commit_ns(&NOREC_FALLBACK_NS, "hybrid-norec").record(ns);
+                fallback_commit_series(&NOREC_FALLBACK_TS, "hybrid-norec").record(ns as f64);
             }
             return out;
         }
@@ -370,8 +384,9 @@ impl TmBackend for HybridTl2 {
             }
         });
         if let (Some(t0), Ok(())) = (t0, &out) {
-            fallback_commit_ns(&TL2_FALLBACK_NS, "hybrid-tl2")
-                .record(t0.elapsed().as_nanos() as u64);
+            let ns = t0.elapsed().as_nanos() as u64;
+            fallback_commit_ns(&TL2_FALLBACK_NS, "hybrid-tl2").record(ns);
+            fallback_commit_series(&TL2_FALLBACK_TS, "hybrid-tl2").record(ns as f64);
         }
         out
     }

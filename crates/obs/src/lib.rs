@@ -46,15 +46,19 @@ pub mod metrics;
 mod ring;
 mod span;
 pub mod summary;
+mod timeseries;
 mod trace;
 
 pub use event::{Event, PendingEvent, Value};
 pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram};
 pub use ring::EventRing;
 pub use span::Span;
+pub use timeseries::{TsSeries, TICKS_PER_WINDOW};
 pub use trace::{
-    capture_trace, emit, emit_pending, finish_trace, recent_events, span_begin_detached,
-    span_end_detached, start_trace_file, start_trace_memory, TraceReport, SPAN_BEGIN, SPAN_END,
+    capture_trace, emit, emit_pending, exemplar, exemplar_snapshot, finish_trace,
+    overhead_snapshot, recent_events, span_begin_detached, span_end_detached, start_trace_file,
+    start_trace_memory, ts_tick, Exemplar, OverheadSnapshot, TraceReport, METRICS_WINDOW,
+    SPAN_BEGIN, SPAN_END,
 };
 
 /// Version of the JSONL trace schema, written as the
@@ -64,8 +68,32 @@ pub use trace::{
 /// record-shape change, a field re-type, a semantic change to an existing
 /// kind. Adding a new event kind is *not* a schema bump — analyzers skip
 /// kinds they do not know. Version history: 1 = events + counter dump
-/// (PR 2–3, no header line); 2 = header line + span records.
-pub const SCHEMA_VERSION: u32 = 2;
+/// (PR 2–3, no header line); 2 = header line + span records; 3 =
+/// windowed time-series (`metrics.window`) + self-overhead audit
+/// (`obs.overhead`) records. Analyzers accept 2–3: a v2 trace is a v3
+/// trace with no windows and no audit.
+pub const SCHEMA_VERSION: u32 = 3;
+
+/// Oldest schema version analyzers still accept (see [`SCHEMA_VERSION`]).
+pub const MIN_SUPPORTED_SCHEMA: u32 = 2;
+
+/// Look up (or register) the windowed time-series `name`. The handle is
+/// `&'static`, so hot paths can cache it (the same leak-once registration
+/// scheme as [`metrics`]).
+pub fn ts_series(name: &str) -> &'static TsSeries {
+    timeseries::series(name)
+}
+
+/// Record one sample into the time-series `name` (registering it on first
+/// use). Convenience for cold sample points; hot paths should cache the
+/// [`ts_series`] handle instead of paying the registry lock per sample.
+/// No-op unless [`enabled`].
+#[inline]
+pub fn ts_record(name: &str, v: f64) {
+    if enabled() {
+        timeseries::series(name).record(v);
+    }
+}
 
 /// Whether the `telemetry` cargo feature was compiled in.
 pub const fn telemetry_compiled() -> bool {

@@ -300,6 +300,35 @@ pub fn counter_snapshot() -> Vec<(String, u64)> {
         .collect()
 }
 
+/// Non-zero counters whose name starts with `prefix`, sorted by name.
+/// Used by KPI sample points that fan one logical quantity out over a
+/// name family (e.g. per-backend commit counters `tx.commit.*`).
+pub fn counters_with_prefix(prefix: &str) -> Vec<(String, u64)> {
+    registry()
+        .iter()
+        .filter_map(|(name, m)| match m {
+            Metric::C(c) if name.starts_with(prefix) && c.get() > 0 => {
+                Some((name.clone(), c.get()))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Total observations across all registered histograms. Histograms are
+/// zeroed at trace start, so during a trace this is the trace's own
+/// histogram-update count — part of the instrumentation self-overhead
+/// audit ([`crate::OverheadSnapshot`]).
+pub fn histogram_update_total() -> u64 {
+    registry()
+        .values()
+        .map(|m| match m {
+            Metric::H(h) => h.count(),
+            _ => 0,
+        })
+        .sum()
+}
+
 /// Zero every registered metric (registrations are kept, so `&'static`
 /// handles stay valid). Called by [`crate::start_trace_file`] and friends
 /// so each trace reports only its own run.
@@ -415,6 +444,23 @@ mod tests {
     fn type_confusion_panics() {
         gauge("test.metrics.confused");
         counter("test.metrics.confused");
+    }
+
+    #[test]
+    fn prefix_scan_filters_and_sorts() {
+        let _serial = crate::trace::hold_capture_lock_for_test();
+        counter("test.prefix.b").add(2);
+        counter("test.prefix.a").inc();
+        let _zero = counter("test.prefix.zero");
+        counter("test.other").inc();
+        let got = counters_with_prefix("test.prefix.");
+        assert_eq!(
+            got,
+            vec![
+                ("test.prefix.a".to_string(), 1),
+                ("test.prefix.b".to_string(), 2)
+            ]
+        );
     }
 
     #[test]

@@ -90,18 +90,59 @@ pub fn render(report: &TraceReport) -> String {
             );
         }
     }
+
+    // Instrumentation self-overhead: what observability itself cost.
+    let oh = &report.overhead;
+    if oh.events > 0 || oh.histogram_updates > 0 {
+        let _ = writeln!(out, "obs.overhead:");
+        let _ = writeln!(
+            out,
+            "  records={} bytes={} spans={} windows={} histogram_updates={}",
+            oh.events, oh.bytes, oh.spans, oh.windows, oh.histogram_updates
+        );
+        for (sub, events, bytes) in &oh.per_subsystem {
+            let _ = writeln!(out, "  {sub:<28} events={events:<8} bytes={bytes}");
+        }
+    }
+    if !report.exemplars.is_empty() {
+        let _ = writeln!(
+            out,
+            "exemplars ({} kept, seed-deterministic reservoir):",
+            report.exemplars.len()
+        );
+        for e in &report.exemplars {
+            let _ = writeln!(
+                out,
+                "  [seq {:>6}] {:<24} {} value={}",
+                e.seq, e.label, e.detail, e.value
+            );
+        }
+    }
     out
 }
 
 /// Render every registered metric as one JSON object (machine-readable
 /// counterpart of [`render`], dumped by `experiments --metrics-out`).
 ///
-/// Shape: `{"schema":N,"counters":{...},"gauges":{...},"histograms":
+/// Shape: `{"schema":N,"counters":{...},"obs_overhead":{...},
+/// "exemplars":[...],"wallclock":{"gauges":{...},"histograms":
 /// {name:{"count":..,"mean_ns":..,"p50_ns":..,"p95_ns":..,"p99_ns":..,
-/// "buckets":[..]}}}`. All registered metrics are included (zeros too) so
-/// consumers can diff two snapshots key-by-key; names are sorted, floats
-/// use the same shortest-roundtrip encoding as the trace (non-finite
-/// values become strings), so equal registries yield equal bytes.
+/// "buckets":[..]}}}}`. All registered metrics are included (zeros too)
+/// so consumers can diff two snapshots key-by-key; names are sorted,
+/// floats use the same shortest-roundtrip encoding as the trace
+/// (non-finite values become strings), so equal registries yield equal
+/// bytes.
+///
+/// Key order is load-bearing: everything before the `"wallclock"` key is
+/// logically deterministic (counters, overhead accounting, exemplars from
+/// serial sites) and byte-identical across `--jobs` values; the
+/// `wallclock` section holds gauges and histograms, whose values are
+/// timing-derived. The determinism tests compare the prefix byte-for-byte
+/// (crates/bench/tests/metrics_snapshot.rs).
+///
+/// `obs_overhead` and `exemplars` read the *live* trace state — call this
+/// while the trace is still active (as `experiments --metrics-out` does,
+/// before `finish_trace`); afterwards both are empty.
 pub fn metrics_json() -> String {
     let snapshot = metrics::snapshot();
     let mut out = String::from("{\"schema\":");
@@ -118,7 +159,34 @@ pub fn metrics_json() -> String {
             let _ = write!(out, ":{v}");
         }
     }
-    out.push_str("},\"gauges\":{");
+    let oh = crate::overhead_snapshot();
+    let _ = write!(
+        out,
+        "}},\"obs_overhead\":{{\"events\":{},\"bytes\":{},\"spans\":{},\"windows\":{},\
+         \"histogram_updates\":{},\"per_subsystem\":{{",
+        oh.events, oh.bytes, oh.spans, oh.windows, oh.histogram_updates
+    );
+    for (i, (sub, events, bytes)) in oh.per_subsystem.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        crate::event::encode_str(&mut out, sub);
+        let _ = write!(out, ":{{\"events\":{events},\"bytes\":{bytes}}}");
+    }
+    out.push_str("}},\"exemplars\":[");
+    for (i, e) in crate::exemplar_snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"label\":");
+        crate::event::encode_str(&mut out, e.label);
+        out.push_str(",\"detail\":");
+        crate::event::encode_str(&mut out, &e.detail);
+        out.push_str(",\"value\":");
+        crate::Value::from(e.value).encode(&mut out);
+        let _ = write!(out, ",\"seq\":{}}}", e.seq);
+    }
+    out.push_str("],\"wallclock\":{\"gauges\":{");
     let mut first = true;
     for (name, value) in &snapshot {
         if let MetricValue::Gauge(v) = value {
@@ -163,7 +231,7 @@ pub fn metrics_json() -> String {
             out.push_str("]}");
         }
     }
-    out.push_str("}}\n");
+    out.push_str("}}}\n");
     out
 }
 
@@ -181,6 +249,20 @@ mod tests {
             by_kind: vec![("config.switch", 2), ("cusum.alarm", 1)],
             dropped: 0,
             bytes: None,
+            overhead: crate::OverheadSnapshot {
+                events: 3,
+                bytes: 120,
+                spans: 0,
+                windows: 1,
+                histogram_updates: 1,
+                per_subsystem: vec![("config".to_string(), 2, 80), ("cusum".to_string(), 1, 40)],
+            },
+            exemplars: vec![crate::Exemplar {
+                label: "test.slow",
+                detail: "cfg=TL2:8t".to_string(),
+                value: 9.5,
+                seq: 2,
+            }],
         };
         metrics::counter("test.summary.commits").add(7);
         metrics::gauge("test.summary.workers").set(4.0);
@@ -192,6 +274,11 @@ mod tests {
         assert!(text.contains("test.summary.workers"));
         assert!(text.contains("test.summary.lat"));
         assert!(text.contains("p50=") && text.contains("p95=") && text.contains("p99="));
+        assert!(text.contains("obs.overhead:"));
+        assert!(text.contains("records=3 bytes=120 spans=0 windows=1 histogram_updates=1"));
+        assert!(text.contains("config"));
+        assert!(text.contains("exemplars (1 kept"));
+        assert!(text.contains("cfg=TL2:8t"));
     }
 
     #[test]
@@ -203,10 +290,14 @@ mod tests {
         let a = metrics_json();
         assert!(a.starts_with(&format!("{{\"schema\":{}", crate::SCHEMA_VERSION)));
         assert!(a.contains("\"test.mjson.commits\":3"));
-        assert!(a.contains("\"test.mjson.load\":1.5"));
-        assert!(a.contains("\"test.mjson.lat\":{\"count\":1,"));
-        assert!(a.contains("\"p50_ns\":"));
-        assert!(a.ends_with("}}\n"));
+        assert!(a.contains("\"obs_overhead\":{\"events\":"));
+        assert!(a.contains("\"exemplars\":["));
+        // Wall-clock metrics live behind the deterministic prefix.
+        let wall = a.find("\"wallclock\":").expect("wallclock section");
+        assert!(a[wall..].contains("\"test.mjson.load\":1.5"));
+        assert!(a[wall..].contains("\"test.mjson.lat\":{\"count\":1,"));
+        assert!(a[wall..].contains("\"p50_ns\":"));
+        assert!(a.ends_with("}}}\n"));
         // Pure function of the registry: equal state, equal bytes.
         assert_eq!(a, metrics_json());
     }

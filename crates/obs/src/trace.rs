@@ -14,6 +14,7 @@
 use crate::event::{Event, PendingEvent, Value};
 use crate::metrics;
 use crate::ring::EventRing;
+use crate::timeseries;
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
@@ -39,6 +40,20 @@ struct TraceState {
     /// Ids of the currently open *scoped* spans, innermost last. Detached
     /// spans (see [`span_begin_detached`]) never enter this stack.
     span_stack: Vec<u64>,
+    /// Self-overhead accounting: bytes written to the sink so far.
+    bytes: u64,
+    /// Per-subsystem (kind prefix before the first `.`) event and byte
+    /// counts. Keys borrow from the `&'static` kind strings, so this costs
+    /// no allocation on the emit path.
+    subsystems: BTreeMap<&'static str, (u64, u64)>,
+    /// `span.begin` records emitted (span count).
+    spans: u64,
+    /// `metrics.window` records emitted.
+    windows: u64,
+    /// Seed-deterministic reservoir of notable (slow/aborted/clamped)
+    /// transaction exemplars. Never enters the JSONL stream; surfaced via
+    /// [`TraceReport`] and the metrics snapshot.
+    exemplars: Reservoir,
 }
 
 static ACTIVE: AtomicBool = AtomicBool::new(false);
@@ -76,6 +91,54 @@ pub const SPAN_BEGIN: &str = "span.begin";
 /// and attaches the popped `id`, pairing the record with its
 /// [`SPAN_BEGIN`]. Detached spans close via [`span_end_detached`] instead.
 pub const SPAN_END: &str = "span.end";
+
+/// Event kind of one flushed time-series window (schema v3): fields
+/// `series`, `window` (0-based index), `tick` (tick at flush), `n`,
+/// `mean`, `min`, `max`, `last`. Emitted from serial code only — either a
+/// [`ts_tick`] crossing a window boundary or the end-of-trace partial
+/// flush.
+pub const METRICS_WINDOW: &str = "metrics.window";
+
+/// Advance the global KPI sample tick. Call from **serial driver code
+/// only** (DESIGN.md §7, rule 1): crossing a
+/// [`crate::TICKS_PER_WINDOW`] boundary flushes every non-empty
+/// [`crate::TsSeries`] as `metrics.window` records, which assigns sequence
+/// numbers. No-op when no trace is active.
+pub fn ts_tick() {
+    if !crate::enabled() {
+        return;
+    }
+    let t = timeseries::advance_tick();
+    if t.is_multiple_of(timeseries::TICKS_PER_WINDOW) {
+        flush_windows(t);
+    }
+}
+
+/// Flush the current window of every non-empty series, in name order.
+/// Emits nothing when no series has pending samples (so traces without
+/// KPI sample points stay byte-for-byte as they were under schema v2).
+fn flush_windows(tick: u64) {
+    let drained = timeseries::drain_windows();
+    if drained.is_empty() {
+        return;
+    }
+    let window = timeseries::next_window_index();
+    for (name, agg) in drained {
+        emit(
+            METRICS_WINDOW,
+            vec![
+                ("series", Value::Str(name)),
+                ("window", Value::U64(window)),
+                ("tick", Value::U64(tick)),
+                ("n", Value::U64(agg.n)),
+                ("mean", Value::F64(agg.sum / agg.n as f64)),
+                ("min", Value::F64(agg.min)),
+                ("max", Value::F64(agg.max)),
+                ("last", Value::F64(agg.last)),
+            ],
+        );
+    }
+}
 
 /// Emit one event into the active trace.
 ///
@@ -161,6 +224,17 @@ pub fn span_end_detached(id: u64, fields: Vec<(&'static str, Value)>) {
     emit_locked(state, SPAN_END, fields);
 }
 
+/// Subsystem a kind belongs to for overhead accounting: the prefix before
+/// the first `.` (`"quiesce.drain"` → `"quiesce"`, `"counter"` →
+/// `"counter"`). Kinds are `&'static str`, so the prefix is too — no
+/// allocation on the emit path.
+fn subsystem_of(kind: &'static str) -> &'static str {
+    match kind.find('.') {
+        Some(i) => &kind[..i],
+        None => kind,
+    }
+}
+
 fn emit_locked(state: &mut TraceState, kind: &'static str, fields: Vec<(&'static str, Value)>) {
     let event = Event {
         seq: state.seq,
@@ -170,7 +244,18 @@ fn emit_locked(state: &mut TraceState, kind: &'static str, fields: Vec<(&'static
     state.seq += 1;
     state.events += 1;
     *state.by_kind.entry(kind).or_insert(0) += 1;
-    write_line(&mut state.sink, &event.to_json());
+    if kind == SPAN_BEGIN {
+        state.spans += 1;
+    } else if kind == METRICS_WINDOW {
+        state.windows += 1;
+    }
+    let json = event.to_json();
+    let line_bytes = json.len() as u64 + 1; // trailing newline
+    state.bytes += line_bytes;
+    let sub = state.subsystems.entry(subsystem_of(kind)).or_insert((0, 0));
+    sub.0 += 1;
+    sub.1 += line_bytes;
+    write_line(&mut state.sink, &json);
     ring().push(event);
 }
 
@@ -214,6 +299,7 @@ fn write_line(sink: &mut Sink, json: &str) {
 fn start(sink: Sink) {
     let mut state = lock(&STATE);
     metrics::reset();
+    timeseries::reset_all();
     ring().reset();
     let mut sink = sink;
     // Schema header: always the first line of a telemetry-enabled trace,
@@ -237,6 +323,11 @@ fn start(sink: Sink) {
         by_kind: BTreeMap::new(),
         span_next: 1,
         span_stack: Vec::new(),
+        bytes: 0,
+        subsystems: BTreeMap::new(),
+        spans: 0,
+        windows: 0,
+        exemplars: Reservoir::new(),
     });
     ACTIVE.store(true, Ordering::Relaxed);
 }
@@ -254,6 +345,144 @@ pub fn start_trace_memory() {
     start(Sink::Memory(Vec::new()));
 }
 
+/// A reservoir-sampled transaction exemplar: one notable (slow, aborted,
+/// clamped, serialized...) observation kept for post-mortem context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exemplar {
+    /// What made it notable (`"monitor.clamp"`, `"tx.serial_escape"`, ...).
+    pub label: &'static str,
+    /// Free-form context (config name, workload, ...).
+    pub detail: String,
+    /// The observation (KPI value, retry count, ...).
+    pub value: f64,
+    /// Sequence number the trace was at when the exemplar was offered — a
+    /// position hint into the JSONL stream.
+    pub seq: u64,
+}
+
+/// How many exemplars the per-trace reservoir retains.
+const EXEMPLAR_CAPACITY: usize = 8;
+
+/// Fixed xorshift64* seed: the reservoir resets to it at every trace
+/// start, so the kept set is a pure function of the offer sequence.
+const EXEMPLAR_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Algorithm-R reservoir with a seed-deterministic RNG.
+#[derive(Debug)]
+struct Reservoir {
+    seen: u64,
+    rng: u64,
+    slots: Vec<Exemplar>,
+}
+
+impl Reservoir {
+    fn new() -> Reservoir {
+        Reservoir {
+            seen: 0,
+            rng: EXEMPLAR_SEED,
+            slots: Vec::new(),
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        // xorshift64*: fine for sampling, fully deterministic.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn offer(&mut self, e: Exemplar) {
+        self.seen += 1;
+        if self.slots.len() < EXEMPLAR_CAPACITY {
+            self.slots.push(e);
+        } else {
+            let j = self.next() % self.seen;
+            if (j as usize) < EXEMPLAR_CAPACITY {
+                self.slots[j as usize] = e;
+            }
+        }
+    }
+}
+
+/// Offer a notable observation to the active trace's exemplar reservoir.
+/// No-op without an active trace. Guard call sites with
+/// [`crate::enabled`] so `detail` is not built for nothing.
+///
+/// Exemplars never enter the JSONL stream — they surface in
+/// [`TraceReport::exemplars`], `obs::summary::render` and the metrics
+/// snapshot. Offers from serial driver code are deterministic; offers
+/// from concurrent paths (e.g. the serial-irrevocable escape) are
+/// best-effort and stay off the byte-compared learning path.
+pub fn exemplar(label: &'static str, detail: String, value: f64) {
+    let mut state = lock(&STATE);
+    let Some(state) = state.as_mut() else {
+        return;
+    };
+    let seq = state.seq;
+    state.exemplars.offer(Exemplar {
+        label,
+        detail,
+        value,
+        seq,
+    });
+}
+
+/// Exemplars currently held by the active trace's reservoir (empty when no
+/// trace is active).
+pub fn exemplar_snapshot() -> Vec<Exemplar> {
+    lock(&STATE)
+        .as_ref()
+        .map(|s| s.exemplars.slots.clone())
+        .unwrap_or_default()
+}
+
+/// Instrumentation self-overhead: what the observability layer itself
+/// cost, counted at the emit path (DESIGN.md §7). Covers every record
+/// written through the event path plus the counter dump; the one-line
+/// schema header and the trailing `obs.overhead` records themselves are
+/// excluded (the snapshot is taken before they are written).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OverheadSnapshot {
+    /// Records emitted (events + spans + windows + counter-dump lines).
+    pub events: u64,
+    /// JSONL bytes written, trailing newlines included.
+    pub bytes: u64,
+    /// `span.begin` records among them.
+    pub spans: u64,
+    /// `metrics.window` records among them.
+    pub windows: u64,
+    /// Histogram observations recorded since the trace started.
+    pub histogram_updates: u64,
+    /// `(subsystem, events, bytes)` rows, sorted by subsystem — the kind
+    /// prefix before the first `.`.
+    pub per_subsystem: Vec<(String, u64, u64)>,
+}
+
+fn overhead_of(state: &TraceState) -> OverheadSnapshot {
+    OverheadSnapshot {
+        events: state.events,
+        bytes: state.bytes,
+        spans: state.spans,
+        windows: state.windows,
+        histogram_updates: metrics::histogram_update_total(),
+        per_subsystem: state
+            .subsystems
+            .iter()
+            .map(|(k, (e, b))| (k.to_string(), *e, *b))
+            .collect(),
+    }
+}
+
+/// Live overhead accounting for the active trace (zeros when none is
+/// active). The metrics snapshot (`obs::summary::metrics_json`) embeds
+/// this, which is why it exists separately from [`TraceReport`].
+pub fn overhead_snapshot() -> OverheadSnapshot {
+    lock(&STATE).as_ref().map(overhead_of).unwrap_or_default()
+}
+
 /// End-of-trace accounting returned by [`finish_trace`].
 #[derive(Debug, Clone)]
 pub struct TraceReport {
@@ -266,19 +495,35 @@ pub struct TraceReport {
     pub dropped: u64,
     /// The JSONL bytes, for memory-sink traces only.
     pub bytes: Option<Vec<u8>>,
+    /// Instrumentation self-overhead accounting.
+    pub overhead: OverheadSnapshot,
+    /// The exemplar reservoir at end of trace.
+    pub exemplars: Vec<Exemplar>,
 }
 
-fn end(dump_counters: bool) -> TraceReport {
-    ACTIVE.store(false, Ordering::Relaxed);
-    let taken = lock(&STATE).take();
-    let Some(mut state) = taken else {
-        return TraceReport {
+impl TraceReport {
+    fn empty() -> TraceReport {
+        TraceReport {
             events: 0,
             by_kind: Vec::new(),
             dropped: 0,
             bytes: None,
-        };
+            overhead: OverheadSnapshot::default(),
+            exemplars: Vec::new(),
+        }
+    }
+}
+
+fn end(dump_counters: bool) -> TraceReport {
+    // Flush the partial window first: flushing emits records, which needs
+    // the trace state still in place.
+    flush_windows(timeseries::current_tick());
+    ACTIVE.store(false, Ordering::Relaxed);
+    let taken = lock(&STATE).take();
+    let Some(mut state) = taken else {
+        return TraceReport::empty();
     };
+    let mut dump_lines = 0u64;
     if dump_counters {
         for (name, value) in metrics::counter_snapshot() {
             let event = Event {
@@ -287,8 +532,50 @@ fn end(dump_counters: bool) -> TraceReport {
                 fields: vec![("name", Value::Str(name)), ("value", Value::U64(value))],
             };
             state.seq += 1;
+            dump_lines += 1;
+            let json = event.to_json();
+            let line_bytes = json.len() as u64 + 1;
+            state.bytes += line_bytes;
+            let sub = state.subsystems.entry("counter").or_insert((0, 0));
+            sub.0 += 1;
+            sub.1 += line_bytes;
+            write_line(&mut state.sink, &json);
+        }
+    }
+    let mut overhead = overhead_of(&state);
+    // `TraceReport::events` keeps its historical meaning (records emitted
+    // before the dump); the overhead audit counts the dump lines too.
+    overhead.events += dump_lines;
+    if dump_counters {
+        // The overhead audit rides in the stream too, after the snapshot
+        // is taken (so it does not count itself).
+        for (name, events, bytes) in &overhead.per_subsystem {
+            let event = Event {
+                seq: state.seq,
+                kind: "obs.overhead",
+                fields: vec![
+                    ("subsystem", Value::Str(name.clone())),
+                    ("events", Value::U64(*events)),
+                    ("bytes", Value::U64(*bytes)),
+                ],
+            };
+            state.seq += 1;
             write_line(&mut state.sink, &event.to_json());
         }
+        let total = Event {
+            seq: state.seq,
+            kind: "obs.overhead",
+            fields: vec![
+                ("subsystem", Value::Str("total".to_string())),
+                ("events", Value::U64(overhead.events)),
+                ("bytes", Value::U64(overhead.bytes)),
+                ("spans", Value::U64(overhead.spans)),
+                ("windows", Value::U64(overhead.windows)),
+                ("histogram_updates", Value::U64(overhead.histogram_updates)),
+            ],
+        };
+        state.seq += 1;
+        write_line(&mut state.sink, &total.to_json());
     }
     let bytes = match state.sink {
         Sink::File(mut w) => {
@@ -302,6 +589,8 @@ fn end(dump_counters: bool) -> TraceReport {
         by_kind: state.by_kind.into_iter().collect(),
         dropped: ring().dropped(),
         bytes,
+        overhead,
+        exemplars: state.exemplars.slots,
     }
 }
 
@@ -504,5 +793,124 @@ mod tests {
         // The ring is global and drained by whoever asks; all we can
         // assert under concurrent tests is that draining works.
         let _ = recent_events();
+    }
+
+    #[test]
+    fn ticks_flush_windows_and_partial_windows_flush_at_end() {
+        let run = || {
+            let s = crate::ts_series("test.ts.kpi");
+            for i in 0..timeseries::TICKS_PER_WINDOW {
+                s.record(i as f64);
+                ts_tick();
+            }
+            // One more sample without a full window: must flush at end.
+            s.record(100.0);
+            ts_tick();
+        };
+        let (_, a) = capture_trace(run);
+        let (_, b) = capture_trace(run);
+        assert_eq!(a, b, "window records must be byte-stable");
+        if crate::telemetry_compiled() {
+            let text = String::from_utf8(a).unwrap();
+            let windows: Vec<&str> = text
+                .lines()
+                .filter(|l| l.contains("\"kind\":\"metrics.window\""))
+                .collect();
+            assert_eq!(windows.len(), 2, "one full + one partial window: {text}");
+            assert!(windows[0].contains("\"series\":\"test.ts.kpi\""));
+            assert!(windows[0].contains("\"window\":0"));
+            assert!(windows[0].contains("\"n\":8"));
+            assert!(windows[0].contains("\"mean\":3.5"));
+            assert!(windows[0].contains("\"min\":0"));
+            assert!(windows[0].contains("\"max\":7"));
+            assert!(windows[1].contains("\"window\":1"));
+            assert!(windows[1].contains("\"n\":1"));
+            assert!(windows[1].contains("\"last\":100"));
+        }
+    }
+
+    #[test]
+    fn empty_series_emit_no_window_records() {
+        let ((), bytes) = capture_trace(|| {
+            // Ticks advance but nothing was recorded: the stream must stay
+            // exactly as it was under schema v2 (no metrics.window lines).
+            for _ in 0..20 {
+                ts_tick();
+            }
+        });
+        assert!(!String::from_utf8(bytes).unwrap().contains("metrics.window"));
+    }
+
+    #[test]
+    fn no_trace_means_zero_windows_and_zero_overhead() {
+        let _serial = lock(&CAPTURE_LOCK);
+        // Without an active trace, sampling and ticking are no-ops...
+        crate::ts_record("test.ts.orphan", 9.0);
+        ts_tick();
+        assert_eq!(overhead_snapshot(), OverheadSnapshot::default());
+        assert!(exemplar_snapshot().is_empty());
+        // ...and nothing leaks into the next trace.
+        drop(_serial);
+        let ((), bytes) = capture_trace(|| {});
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(!text.contains("metrics.window"));
+        assert!(!text.contains("test.ts.orphan"));
+    }
+
+    #[test]
+    fn overhead_accounting_matches_the_stream() {
+        let _serial = lock(&CAPTURE_LOCK);
+        start_trace_memory();
+        emit("test.oh.alpha", vec![("x", Value::U64(1))]);
+        emit("quiesce.fake", vec![]);
+        crate::metrics::counter("test.oh.counter").inc();
+        crate::metrics::histogram("test.oh.hist").record(500);
+        let live = overhead_snapshot();
+        assert_eq!(live.events, 2);
+        assert_eq!(live.histogram_updates, 1);
+        let report = finish_trace();
+        let text = String::from_utf8(report.bytes.unwrap()).unwrap();
+        // Bytes cover every line except the header and the obs.overhead
+        // trailer (the snapshot is taken before the trailer is written).
+        let accounted: usize = text
+            .lines()
+            .filter(|l| !l.contains("\"kind\":\"trace.meta\"") && !l.contains("obs.overhead"))
+            .map(|l| l.len() + 1)
+            .sum();
+        assert_eq!(report.overhead.bytes, accounted as u64, "in: {text}");
+        // 2 events + 1 counter-dump line.
+        assert_eq!(report.overhead.events, 3);
+        let subs: Vec<&str> = report
+            .overhead
+            .per_subsystem
+            .iter()
+            .map(|(n, _, _)| n.as_str())
+            .collect();
+        assert_eq!(subs, vec!["counter", "quiesce", "test"]);
+        // The audit rides in the finished stream.
+        assert!(text.contains("\"kind\":\"obs.overhead\",\"subsystem\":\"quiesce\""));
+        assert!(text.contains("\"subsystem\":\"total\""));
+        assert!(text.contains("\"histogram_updates\":1"));
+    }
+
+    #[test]
+    fn exemplar_reservoir_is_seed_deterministic() {
+        let run = || {
+            for i in 0..100u64 {
+                exemplar("test.slow", format!("tx-{i}"), i as f64);
+            }
+            exemplar_snapshot()
+        };
+        let (a, _) = capture_trace(run);
+        let (b, _) = capture_trace(run);
+        assert_eq!(a, b, "same offers, same kept set");
+        assert_eq!(a.len(), EXEMPLAR_CAPACITY);
+        // Reservoir property: later offers displace earlier ones sometimes.
+        assert!(a.iter().any(|e| e.value >= EXEMPLAR_CAPACITY as f64));
+        // Exemplars never enter the JSONL stream.
+        let ((), bytes) = capture_trace(|| {
+            exemplar("test.slow", "tx".to_string(), 1.0);
+        });
+        assert!(!String::from_utf8(bytes).unwrap().contains("test.slow"));
     }
 }

@@ -1,6 +1,7 @@
 //! Lightweight KPI profiling (the data source for RecTM's Monitor).
 
 use crate::energy::EnergyModel;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use txcore::{StatsSnapshot, ThreadStats};
@@ -34,6 +35,9 @@ pub struct KpiProbe {
     energy: EnergyModel,
     last: StatsSnapshot,
     last_at: Instant,
+    /// Per-backend commit counters (`tx.commit.*`) at the previous sample,
+    /// for the commit-mix time-series deltas.
+    last_commit_mix: BTreeMap<String, u64>,
 }
 
 impl KpiProbe {
@@ -45,6 +49,7 @@ impl KpiProbe {
             energy,
             last,
             last_at: Instant::now(),
+            last_commit_mix: BTreeMap::new(),
         }
     }
 
@@ -76,6 +81,25 @@ impl KpiProbe {
             );
             obs::gauge("polytm.kpi.throughput").set(throughput);
             obs::gauge("polytm.kpi.abort_rate").set(delta.abort_rate());
+            // Flight recorder: the probe is sampled from the serial
+            // monitoring loop, so it doubles as the KPI sample tick
+            // (DESIGN.md §7). Throughput is wall-clock-derived, which is
+            // allowed here — this is a serial protocol path, like the
+            // switch-latency carve-out.
+            obs::ts_record("kpi.throughput", throughput);
+            obs::ts_record("kpi.abort_rate", delta.abort_rate());
+            obs::ts_record("kpi.commits", delta.commits as f64);
+            for (name, total) in obs::metrics::counters_with_prefix("tx.commit.") {
+                let prev = self.last_commit_mix.insert(name.clone(), total);
+                // saturating: the registry zeroes at trace start, which can
+                // put `total` below a stale pre-trace snapshot.
+                let d = total.saturating_sub(prev.unwrap_or(0));
+                if d > 0 {
+                    let backend = name.rsplit('.').next().unwrap_or(&name);
+                    obs::ts_record(&format!("kpi.commit_mix.{backend}"), d as f64);
+                }
+            }
+            obs::ts_tick();
         }
         WindowKpis {
             elapsed,

@@ -165,6 +165,9 @@ impl Monitor {
                     "clamp" => s.clamp_z,
                     "seen" => self.seen,
                 );
+                // Keep a few raw outliers for the summary: the stream only
+                // shows the winsorized value, the exemplar keeps the z.
+                obs::exemplar("kpi.winsorized", format!("z={z:.3} seen={}", self.seen), x);
             }
             z = z.signum() * s.clamp_z;
         }
@@ -173,6 +176,13 @@ impl Monitor {
         let x = self.mean + z * sigma;
         self.g_pos = (self.g_pos + z - s.slack_k).max(0.0);
         self.g_neg = (self.g_neg - z - s.slack_k).max(0.0);
+        if obs::enabled() {
+            // Flight recorder: the detector statistic, one tick per
+            // post-warmup sample. `observe` only runs on serial monitoring
+            // paths (DESIGN.md §7), so the tick may flush window records.
+            obs::ts_record("monitor.cusum", self.g_pos.max(self.g_neg));
+            obs::ts_tick();
+        }
         if self.g_pos > s.threshold_h || self.g_neg > s.threshold_h {
             if obs::enabled() {
                 obs::event!(

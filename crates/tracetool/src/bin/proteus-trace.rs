@@ -1,26 +1,50 @@
 //! `proteus-trace` — decision-quality analyzer for ProteusTM JSONL traces.
 //!
 //! ```text
-//! proteus-trace report <trace.jsonl> [--epsilon E]
+//! proteus-trace report <trace.jsonl> [--epsilon E] [--json]
 //! proteus-trace diff <a.jsonl> <b.jsonl>
+//! proteus-trace perf <trace.jsonl>
+//! proteus-trace perf-diff <a.jsonl> <b.jsonl> [--noise F]
 //! ```
 //!
-//! Exit codes: `report` exits 0 on success, 1 on schema violations, empty
-//! traces, or I/O errors. `diff` exits 0 when the traces are structurally
-//! identical, 1 when they differ or fail to parse. Usage errors exit 2.
+//! Exit codes: `report` and `perf` exit 0 on success, 1 on schema
+//! violations, empty traces, or I/O errors. `diff` exits 0 when the traces
+//! are structurally identical, 1 when they differ or fail to parse.
+//! `perf-diff` exits 0 when no KPI degraded beyond the noise band, 1 on a
+//! regression or a parse failure. Usage errors exit 2.
 
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
-  proteus-trace report <trace.jsonl> [--epsilon E]   single-trace report
-  proteus-trace diff <a.jsonl> <b.jsonl>             structural comparison
+  proteus-trace report <trace.jsonl> [--epsilon E] [--json]   single-trace report
+  proteus-trace diff <a.jsonl> <b.jsonl>                      structural comparison
+  proteus-trace perf <trace.jsonl>                            KPI time-series & overhead audit
+  proteus-trace perf-diff <a.jsonl> <b.jsonl> [--noise F]     window-by-window KPI gate
 
 The trace must start with a {\"kind\":\"trace.meta\",\"schema\":N} header
-(written by obs::trace::start); unknown schemas are rejected.";
+(written by obs::trace::start); schemas outside the supported range are
+rejected.";
 
 fn load(path: &str) -> Result<tracetool::Trace, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     tracetool::parse_trace(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Parse `--flag V` / `--flag=V` as an `f64`, or report a usage error.
+fn float_flag(flag: &str, arg: &str, next: Option<&String>) -> Result<Option<(f64, bool)>, String> {
+    if arg == flag {
+        let v = next
+            .and_then(|v| v.parse::<f64>().ok())
+            .ok_or_else(|| format!("{flag} needs a numeric argument"))?;
+        Ok(Some((v, true))) // consumed the next arg
+    } else if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+        let v = v
+            .parse::<f64>()
+            .map_err(|_| format!("{flag} needs a numeric argument"))?;
+        Ok(Some((v, false)))
+    } else {
+        Ok(None)
+    }
 }
 
 fn main() -> ExitCode {
@@ -29,28 +53,32 @@ fn main() -> ExitCode {
         Some("report") => {
             let mut path = None;
             let mut epsilon = 0.05f64;
-            let mut it = args[1..].iter();
-            while let Some(arg) = it.next() {
-                if arg == "--epsilon" {
-                    let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
-                        eprintln!("--epsilon needs a numeric argument");
-                        return ExitCode::from(2);
-                    };
-                    epsilon = v;
-                } else if let Some(v) = arg.strip_prefix("--epsilon=") {
-                    match v.parse::<f64>() {
-                        Ok(v) => epsilon = v,
-                        Err(_) => {
-                            eprintln!("--epsilon needs a numeric argument");
-                            return ExitCode::from(2);
-                        }
+            let mut json = false;
+            let rest = &args[1..];
+            let mut i = 0;
+            while i < rest.len() {
+                let arg = &rest[i];
+                match float_flag("--epsilon", arg, rest.get(i + 1)) {
+                    Ok(Some((v, consumed))) => {
+                        epsilon = v;
+                        i += 1 + usize::from(consumed);
+                        continue;
                     }
+                    Ok(None) => {}
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::from(2);
+                    }
+                }
+                if arg == "--json" {
+                    json = true;
                 } else if path.is_none() {
                     path = Some(arg.clone());
                 } else {
                     eprintln!("unexpected argument {arg:?}\n{USAGE}");
                     return ExitCode::from(2);
                 }
+                i += 1;
             }
             let Some(path) = path else {
                 eprintln!("{USAGE}");
@@ -67,7 +95,11 @@ fn main() -> ExitCode {
                 eprintln!("error: {path}: trace holds a header but no records — nothing to report");
                 return ExitCode::from(1);
             }
-            print!("{}", tracetool::report::render(&trace, epsilon));
+            if json {
+                print!("{}", tracetool::report::render_json(&trace, epsilon));
+            } else {
+                print!("{}", tracetool::report::render(&trace, epsilon));
+            }
             ExitCode::SUCCESS
         }
         Some("diff") => {
@@ -87,6 +119,63 @@ fn main() -> ExitCode {
             let (text, identical) = tracetool::diff::render(&a, &b);
             print!("{text}");
             if identical {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Some("perf") => {
+            let [_, path] = args.as_slice() else {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            };
+            let trace = match load(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(1);
+                }
+            };
+            print!("{}", tracetool::perf::render(&trace));
+            ExitCode::SUCCESS
+        }
+        Some("perf-diff") => {
+            let mut paths: Vec<&String> = Vec::new();
+            let mut noise = 0.05f64;
+            let rest = &args[1..];
+            let mut i = 0;
+            while i < rest.len() {
+                let arg = &rest[i];
+                match float_flag("--noise", arg, rest.get(i + 1)) {
+                    Ok(Some((v, consumed))) => {
+                        noise = v;
+                        i += 1 + usize::from(consumed);
+                        continue;
+                    }
+                    Ok(None) => paths.push(arg),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 1;
+            }
+            let [a, b] = paths.as_slice() else {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            };
+            let (a, b) = match (load(a), load(b)) {
+                (Ok(a), Ok(b)) => (a, b),
+                (ra, rb) => {
+                    for e in [ra.err(), rb.err()].into_iter().flatten() {
+                        eprintln!("error: {e}");
+                    }
+                    return ExitCode::from(1);
+                }
+            };
+            let (text, ok) = tracetool::perf::render_diff(&a, &b, noise);
+            print!("{text}");
+            if ok {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::from(1)

@@ -23,6 +23,7 @@
 
 pub mod diff;
 pub mod json;
+pub mod perf;
 pub mod report;
 pub mod spans;
 
@@ -129,11 +130,12 @@ pub enum TraceError {
         /// Kind of the first record, when it parsed at all.
         first_kind: Option<String>,
     },
-    /// The header names a schema this analyzer does not understand.
+    /// The header names a schema outside the supported range.
     UnsupportedSchema {
         /// Version found in the stream.
         found: u64,
-        /// Version this binary supports.
+        /// Newest version this binary supports (it also reads back to
+        /// [`obs::MIN_SUPPORTED_SCHEMA`]).
         supported: u32,
     },
     /// A line failed to parse or lacks mandatory structure.
@@ -165,20 +167,52 @@ impl fmt::Display for TraceError {
             TraceError::UnsupportedSchema { found, supported } => write!(
                 f,
                 "unsupported trace schema {found} (this proteus-trace \
-                 understands schema {supported}); re-run the analyzer \
-                 from the toolchain that produced the trace"
+                 understands schemas {}..={supported}); re-run the \
+                 analyzer from the toolchain that produced the trace",
+                obs::MIN_SUPPORTED_SCHEMA
             ),
             TraceError::Malformed { line, msg } => write!(f, "line {line}: {msg}"),
         }
     }
 }
 
+/// Normalize line-ending and encoding quirks a trace file may pick up in
+/// transit (a checkout with `autocrlf`, an editor save, a shell
+/// redirection on Windows): strip a UTF-8 BOM, turn `\r\n` and lone `\r`
+/// terminators into `\n`. Borrows when the text is already clean — the
+/// common case pays one scan and no allocation.
+fn normalize(text: &str) -> std::borrow::Cow<'_, str> {
+    let text = text.strip_prefix('\u{feff}').unwrap_or(text);
+    if !text.contains('\r') {
+        return std::borrow::Cow::Borrowed(text);
+    }
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '\r' {
+            if chars.peek() == Some(&'\n') {
+                chars.next();
+            }
+            out.push('\n');
+        } else {
+            out.push(c);
+        }
+    }
+    std::borrow::Cow::Owned(out)
+}
+
 /// Parse a JSONL trace, enforcing the schema header contract.
 ///
-/// The first line must be the `trace.meta` header with a `schema` equal to
-/// [`obs::SCHEMA_VERSION`]; anything else is a hard error — skew between
-/// emitter and analyzer must fail loudly, not produce a half-right report.
+/// The first line must be the `trace.meta` header with a `schema` in
+/// `obs::MIN_SUPPORTED_SCHEMA..=obs::SCHEMA_VERSION`; anything else is a
+/// hard error — skew between emitter and analyzer must fail loudly, not
+/// produce a half-right report. A v2 trace parses as a v3 trace that
+/// happens to contain no `metrics.window`/`obs.overhead` records.
+///
+/// CRLF / lone-CR line endings, trailing whitespace and a UTF-8 BOM are
+/// tolerated (normalized away before parsing).
 pub fn parse_trace(text: &str) -> Result<Trace, TraceError> {
+    let text = normalize(text);
     let mut lines = text
         .lines()
         .enumerate()
@@ -205,7 +239,7 @@ pub fn parse_trace(text: &str) -> Result<Trace, TraceError> {
             line: header_idx + 1,
             msg: "trace.meta header lacks a numeric \"schema\" field".to_string(),
         })?;
-    if schema != obs::SCHEMA_VERSION as u64 {
+    if schema < obs::MIN_SUPPORTED_SCHEMA as u64 || schema > obs::SCHEMA_VERSION as u64 {
         return Err(TraceError::UnsupportedSchema {
             found: schema,
             supported: obs::SCHEMA_VERSION,
@@ -331,6 +365,51 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("99"));
+    }
+
+    #[test]
+    fn older_supported_schemas_still_parse() {
+        // A v2 trace (previous release) must keep parsing under the v3
+        // analyzer: same records, no windows, no overhead audit.
+        let text = "{\"kind\":\"trace.meta\",\"schema\":2}\n\
+                    {\"seq\":0,\"kind\":\"config.switch\",\"to\":\"b\"}\n";
+        let trace = parse_trace(text).unwrap();
+        assert_eq!(trace.schema, 2);
+        assert_eq!(trace.records.len(), 1);
+        assert_eq!(trace.count_kind("metrics.window"), 0);
+        // ...while pre-header schema 1 stays out of range.
+        let err = parse_trace("{\"kind\":\"trace.meta\",\"schema\":1}\n").unwrap_err();
+        assert!(matches!(
+            err,
+            TraceError::UnsupportedSchema { found: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn crlf_and_trailing_whitespace_are_tolerated() {
+        let unix = format!(
+            "{}\n{{\"seq\":0,\"kind\":\"config.switch\",\"to\":\"b\"}}\n",
+            header()
+        );
+        let crlf = unix.replace('\n', "\r\n");
+        let cr_only = unix.replace('\n', "\r");
+        let padded = format!(
+            "{}   \n  {{\"seq\":0,\"kind\":\"config.switch\",\"to\":\"b\"}}\t\n",
+            header()
+        );
+        let bom = format!("\u{feff}{unix}");
+        let want = parse_trace(&unix).unwrap();
+        for (label, text) in [
+            ("crlf", &crlf),
+            ("cr-only", &cr_only),
+            ("padded", &padded),
+            ("bom", &bom),
+        ] {
+            let got = parse_trace(text).unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert_eq!(got.schema, want.schema, "{label}");
+            assert_eq!(got.records.len(), want.records.len(), "{label}");
+            assert_eq!(got.records[0].kind, "config.switch", "{label}");
+        }
     }
 
     #[test]

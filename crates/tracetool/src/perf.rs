@@ -1,0 +1,493 @@
+//! Performance views over a trace's `metrics.window` records (schema v3).
+//!
+//! [`render`] turns one trace into the KPI time-series view: per-series
+//! window tables aligned with the switch/quiesce decisions that happened
+//! between them, plus the instrumentation self-overhead audit from the
+//! trailing `obs.overhead` records. [`render_diff`] compares two runs
+//! window-by-window and reports (with a non-zero verdict) when a KPI
+//! degraded beyond a noise band — the core of the perf-regression gate.
+//!
+//! Like every view in this crate, both are pure functions of the input
+//! bytes: same trace(s), same output.
+
+use crate::{Record, Trace};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// How many windows to list per series before eliding.
+const WINDOW_LIMIT: usize = 16;
+
+/// One parsed `metrics.window` record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowPoint {
+    /// 0-based window index.
+    pub window: u64,
+    /// Sample tick at flush time.
+    pub tick: u64,
+    /// Samples aggregated into this window.
+    pub n: u64,
+    /// Mean sample value.
+    pub mean: f64,
+    /// Smallest sample value.
+    pub min: f64,
+    /// Largest sample value.
+    pub max: f64,
+    /// Last sample value.
+    pub last: f64,
+    /// Sequence number of the window record itself.
+    pub seq: Option<u64>,
+}
+
+fn point_of(r: &Record) -> Option<(String, WindowPoint)> {
+    Some((
+        r.str("series")?.to_string(),
+        WindowPoint {
+            window: r.u64("window")?,
+            tick: r.u64("tick").unwrap_or(0),
+            n: r.u64("n").unwrap_or(0),
+            mean: r.f64("mean").unwrap_or(0.0),
+            min: r.f64("min").unwrap_or(0.0),
+            max: r.f64("max").unwrap_or(0.0),
+            last: r.f64("last").unwrap_or(0.0),
+            seq: r.seq,
+        },
+    ))
+}
+
+/// All window points grouped by series name (sorted), in stream order
+/// within each series.
+pub fn windows_by_series(trace: &Trace) -> BTreeMap<String, Vec<WindowPoint>> {
+    let mut out: BTreeMap<String, Vec<WindowPoint>> = BTreeMap::new();
+    for r in trace.of_kind("metrics.window") {
+        if let Some((series, p)) = point_of(r) {
+            out.entry(series).or_default().push(p);
+        }
+    }
+    out
+}
+
+/// Sample-weighted mean over all windows of a series (`Σ mean·n / Σ n`).
+pub fn overall_mean(points: &[WindowPoint]) -> f64 {
+    let total: u64 = points.iter().map(|p| p.n).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let sum: f64 = points.iter().map(|p| p.mean * p.n as f64).sum();
+    sum / total as f64
+}
+
+/// Which window of the run a record falls in: the index of the window
+/// still accumulating when the record was emitted, i.e. one past the last
+/// window flushed before it.
+fn window_at(closes: &[(u64, u64)], seq: u64) -> u64 {
+    closes
+        .iter()
+        .filter(|(close_seq, _)| *close_seq < seq)
+        .map(|(_, w)| w + 1)
+        .max()
+        .unwrap_or(0)
+}
+
+fn fmt_val(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    if !(1e-3..1e6).contains(&a) {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Render the performance view of one trace.
+pub fn render(trace: &Trace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== proteus-trace perf (schema {}) ===", trace.schema);
+
+    let by_series = windows_by_series(trace);
+    if by_series.is_empty() {
+        let _ = writeln!(
+            out,
+            "no metrics.window records (schema v2 trace, or no KPI sample \
+             points ticked during the run)"
+        );
+    }
+    for (series, points) in &by_series {
+        let samples: u64 = points.iter().map(|p| p.n).sum();
+        let lo = points.iter().map(|p| p.min).fold(f64::INFINITY, f64::min);
+        let hi = points
+            .iter()
+            .map(|p| p.max)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let _ = writeln!(
+            out,
+            "series {series}: {} windows, {samples} samples, mean={} min={} max={}",
+            points.len(),
+            fmt_val(overall_mean(points)),
+            fmt_val(lo),
+            fmt_val(hi),
+        );
+        for p in points.iter().take(WINDOW_LIMIT) {
+            let _ = writeln!(
+                out,
+                "  w{:<3} tick={:<5} n={:<5} mean={} min={} max={} last={}",
+                p.window,
+                p.tick,
+                p.n,
+                fmt_val(p.mean),
+                fmt_val(p.min),
+                fmt_val(p.max),
+                fmt_val(p.last),
+            );
+        }
+        if points.len() > WINDOW_LIMIT {
+            let _ = writeln!(out, "  ... ({} more windows)", points.len() - WINDOW_LIMIT);
+        }
+    }
+
+    // Phase alignment: where the adaptation decisions landed relative to
+    // the window stream.
+    let mut closes: Vec<(u64, u64)> = Vec::new();
+    for r in trace.of_kind("metrics.window") {
+        if let (Some(seq), Some(w)) = (r.seq, r.u64("window")) {
+            closes.push((seq, w));
+        }
+    }
+    let mut phase_lines: Vec<(u64, String)> = Vec::new();
+    for r in trace.of_kind("config.switch") {
+        let Some(seq) = r.seq else { continue };
+        let from = r.str("from").unwrap_or("?");
+        let to = r.str("to").unwrap_or("?");
+        phase_lines.push((
+            seq,
+            format!(
+                "  seq {seq:<6} during window {:<3} switch {from} -> {to}",
+                window_at(&closes, seq)
+            ),
+        ));
+    }
+    for r in trace.of_kind("span.begin") {
+        let Some(seq) = r.seq else { continue };
+        let name = r.str("name").unwrap_or("");
+        if name == "switch" || name.starts_with("quiesce") {
+            phase_lines.push((
+                seq,
+                format!(
+                    "  seq {seq:<6} during window {:<3} span {name} opens",
+                    window_at(&closes, seq)
+                ),
+            ));
+        }
+    }
+    if !phase_lines.is_empty() {
+        phase_lines.sort();
+        let _ = writeln!(out, "phase alignment (decisions vs windows):");
+        for (_, line) in phase_lines {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+
+    // Self-overhead audit from the trailing obs.overhead records.
+    let audits: Vec<&Record> = trace.of_kind("obs.overhead").collect();
+    if audits.is_empty() {
+        let _ = writeln!(
+            out,
+            "no obs.overhead records (capture trace, or schema v2): overhead \
+             audit unavailable"
+        );
+    } else {
+        let _ = writeln!(out, "obs.overhead audit:");
+        for r in &audits {
+            let sub = r.str("subsystem").unwrap_or("?");
+            let events = r.u64("events").unwrap_or(0);
+            let bytes = r.u64("bytes").unwrap_or(0);
+            if sub == "total" {
+                let _ = writeln!(
+                    out,
+                    "  total: {events} records, {bytes} bytes, {} spans, {} windows, \
+                     {} histogram updates",
+                    r.u64("spans").unwrap_or(0),
+                    r.u64("windows").unwrap_or(0),
+                    r.u64("histogram_updates").unwrap_or(0),
+                );
+            } else {
+                let _ = writeln!(out, "  {sub:<28} events={events:<8} bytes={bytes}");
+            }
+        }
+    }
+    out
+}
+
+/// Whether a lower value of this series is better (for regression
+/// direction). `None` when the series has no known direction — such
+/// series are reported but never fail the gate.
+fn lower_is_better(series: &str) -> Option<bool> {
+    let s = series.to_ascii_lowercase();
+    if ["abort", "latency", "regret", "dfo", "mape", "cusum"]
+        .iter()
+        .any(|k| s.contains(k))
+        || s.ends_with("_ns")
+    {
+        Some(true)
+    } else if s.contains("throughput") || s.contains("commit") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Compare two runs window-by-window. Returns the report and `true` when
+/// no KPI degraded beyond `noise` (a fraction: 0.05 = 5%). A directional
+/// series fails the gate when its overall mean degrades beyond the band
+/// *or* any single aligned window does — a localized spike must not hide
+/// under a large overall mean. A directional series present in `a` but
+/// missing from `b` also counts as a degradation — a KPI silently
+/// ceasing to be recorded is exactly what a gate must catch.
+pub fn render_diff(a: &Trace, b: &Trace, noise: f64) -> (String, bool) {
+    let wa = windows_by_series(a);
+    let wb = windows_by_series(b);
+    let mut out = String::new();
+    let mut ok = true;
+    let _ = writeln!(out, "=== proteus-trace perf-diff (noise band {noise}) ===");
+    let names: std::collections::BTreeSet<&String> = wa.keys().chain(wb.keys()).collect();
+    if names.is_empty() {
+        let _ = writeln!(out, "no metrics.window records in either trace");
+    }
+    for name in names {
+        let pa = wa.get(name).map(Vec::as_slice).unwrap_or(&[]);
+        let pb = wb.get(name).map(Vec::as_slice).unwrap_or(&[]);
+        let direction = lower_is_better(name);
+        let dir_label = match direction {
+            Some(true) => "lower-better",
+            Some(false) => "higher-better",
+            None => "undirected",
+        };
+        if pa.is_empty() || pb.is_empty() {
+            let missing_side = if pa.is_empty() { "A" } else { "B" };
+            let degraded = direction.is_some() && pb.is_empty();
+            if degraded {
+                ok = false;
+            }
+            let _ = writeln!(
+                out,
+                "  {name}: missing in {missing_side} ({dir_label}){}",
+                if degraded { "  ** REGRESSION **" } else { "" }
+            );
+            continue;
+        }
+        let ma = overall_mean(pa);
+        let mb = overall_mean(pb);
+        let rel = if ma.abs() < 1e-12 {
+            if mb.abs() < 1e-12 {
+                0.0
+            } else {
+                f64::INFINITY * (mb - ma).signum()
+            }
+        } else {
+            (mb - ma) / ma.abs()
+        };
+        let degraded = match direction {
+            Some(true) => rel > noise,
+            Some(false) => rel < -noise,
+            None => false,
+        };
+        if degraded {
+            ok = false;
+        }
+        let _ = writeln!(
+            out,
+            "  {name}: A mean={} ({} windows) B mean={} ({} windows) delta={:+.2}% \
+             ({dir_label}){}",
+            fmt_val(ma),
+            pa.len(),
+            fmt_val(mb),
+            pb.len(),
+            rel * 100.0,
+            if degraded { "  ** REGRESSION **" } else { "" }
+        );
+        // Worst per-window drift, over the windows both runs have.
+        let mut worst: Option<(u64, f64)> = None;
+        for (x, y) in pa.iter().zip(pb) {
+            let d = if x.mean.abs() < 1e-12 {
+                0.0
+            } else {
+                (y.mean - x.mean) / x.mean.abs()
+            };
+            let signed = match direction {
+                Some(true) => d,
+                Some(false) => -d,
+                None => d.abs(),
+            };
+            if worst.is_none_or(|(_, w)| signed > w) {
+                worst = Some((x.window, signed));
+            }
+        }
+        if let Some((w, d)) = worst {
+            // A single degraded window fails the gate even when the
+            // overall mean absorbs it (e.g. one series value dwarfing the
+            // rest): the compare is window-by-window, not mean-by-mean.
+            let window_degraded = direction.is_some() && d > noise;
+            if window_degraded {
+                ok = false;
+            }
+            if d.abs() > 1e-12 {
+                let _ = writeln!(
+                    out,
+                    "    worst window: w{w} drift {:+.2}%{}",
+                    d * 100.0,
+                    if window_degraded {
+                        "  ** REGRESSION **"
+                    } else {
+                        ""
+                    }
+                );
+            }
+        }
+        if pa.len() != pb.len() {
+            let _ = writeln!(
+                out,
+                "    window count differs (A={} B={}): runs cover different spans",
+                pa.len(),
+                pb.len()
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "verdict: {}",
+        if ok {
+            "no KPI degraded beyond the noise band"
+        } else {
+            "KPI regression detected"
+        }
+    );
+    (out, ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_trace;
+
+    fn trace_of(body: &str) -> Trace {
+        let text = format!(
+            "{{\"kind\":\"trace.meta\",\"schema\":{}}}\n{body}",
+            obs::SCHEMA_VERSION
+        );
+        parse_trace(&text).unwrap()
+    }
+
+    fn window_line(seq: u64, series: &str, window: u64, mean: f64) -> String {
+        format!(
+            "{{\"seq\":{seq},\"kind\":\"metrics.window\",\"series\":\"{series}\",\
+             \"window\":{window},\"tick\":{},\"n\":4,\"mean\":{mean},\"min\":{mean},\
+             \"max\":{mean},\"last\":{mean}}}\n",
+            (window + 1) * 8
+        )
+    }
+
+    #[test]
+    fn perf_renders_series_phases_and_overhead() {
+        let body = format!(
+            "{}{}{}{}",
+            window_line(0, "kpi.abort_rate", 0, 0.25),
+            "{\"seq\":1,\"kind\":\"config.switch\",\"from\":\"TL2:8t\",\"to\":\"NOrec:4t\"}\n",
+            window_line(2, "kpi.abort_rate", 1, 0.1),
+            "{\"seq\":3,\"kind\":\"obs.overhead\",\"subsystem\":\"kpi\",\"events\":2,\"bytes\":300}\n\
+             {\"seq\":4,\"kind\":\"obs.overhead\",\"subsystem\":\"total\",\"events\":3,\
+             \"bytes\":450,\"spans\":0,\"windows\":2,\"histogram_updates\":5}\n",
+        );
+        let text = render(&trace_of(&body));
+        assert!(
+            text.contains("series kpi.abort_rate: 2 windows, 8 samples"),
+            "{text}"
+        );
+        assert!(text.contains("w0"));
+        assert!(
+            text.contains("during window 1   switch TL2:8t -> NOrec:4t"),
+            "{text}"
+        );
+        assert!(text.contains("obs.overhead audit:"));
+        assert!(text.contains("total: 3 records, 450 bytes"));
+        // Pure function: same trace, same bytes.
+        assert_eq!(text, render(&trace_of(&body)));
+    }
+
+    #[test]
+    fn perf_on_windowless_trace_degrades_gracefully() {
+        let text = render(&trace_of(
+            "{\"seq\":0,\"kind\":\"config.switch\",\"to\":\"b\"}\n",
+        ));
+        assert!(text.contains("no metrics.window records"));
+        assert!(text.contains("overhead audit unavailable"));
+    }
+
+    #[test]
+    fn diff_of_identical_traces_is_clean() {
+        let body = window_line(0, "kpi.abort_rate", 0, 0.25);
+        let (text, ok) = render_diff(&trace_of(&body), &trace_of(&body), 0.05);
+        assert!(ok, "{text}");
+        assert!(text.contains("no KPI degraded"));
+    }
+
+    #[test]
+    fn diff_flags_degradation_beyond_noise_in_the_right_direction() {
+        let a = trace_of(&window_line(0, "kpi.abort_rate", 0, 0.20));
+        let worse = trace_of(&window_line(0, "kpi.abort_rate", 0, 0.30));
+        let better = trace_of(&window_line(0, "kpi.abort_rate", 0, 0.10));
+        // Lower-is-better series: going up fails, going down passes.
+        let (text, ok) = render_diff(&a, &worse, 0.05);
+        assert!(!ok, "{text}");
+        assert!(text.contains("** REGRESSION **"));
+        let (text, ok) = render_diff(&a, &better, 0.05);
+        assert!(ok, "{text}");
+        // Within the noise band: passes.
+        let (_, ok) = render_diff(&a, &worse, 0.60);
+        assert!(ok);
+        // Higher-is-better series: going down fails.
+        let ta = trace_of(&window_line(0, "kpi.throughput", 0, 100.0));
+        let tb = trace_of(&window_line(0, "kpi.throughput", 0, 80.0));
+        let (text, ok) = render_diff(&ta, &tb, 0.05);
+        assert!(!ok, "{text}");
+    }
+
+    #[test]
+    fn diff_flags_a_single_degraded_window_hidden_by_the_overall_mean() {
+        // Window 1 carries almost all the mass, so tripling window 0
+        // barely moves the overall mean — the per-window check must still
+        // catch it.
+        let a = trace_of(&format!(
+            "{}{}",
+            window_line(0, "kpi.abort_rate", 0, 0.01),
+            window_line(1, "kpi.abort_rate", 1, 1000.0)
+        ));
+        let b = trace_of(&format!(
+            "{}{}",
+            window_line(0, "kpi.abort_rate", 0, 0.03),
+            window_line(1, "kpi.abort_rate", 1, 1000.0)
+        ));
+        let (text, ok) = render_diff(&a, &b, 0.05);
+        assert!(!ok, "{text}");
+        assert!(text.contains("worst window: w0"), "{text}");
+        assert!(text.contains("** REGRESSION **"), "{text}");
+        // The same spike in an undirected series never gates.
+        let ua = trace_of(&window_line(0, "some.gauge", 0, 0.01));
+        let ub = trace_of(&window_line(0, "some.gauge", 0, 0.03));
+        let (text, ok) = render_diff(&ua, &ub, 0.05);
+        assert!(ok, "{text}");
+    }
+
+    #[test]
+    fn diff_fails_when_a_directional_series_disappears() {
+        let a = trace_of(&window_line(0, "kpi.throughput", 0, 100.0));
+        let b = trace_of("{\"seq\":0,\"kind\":\"config.switch\",\"to\":\"b\"}\n");
+        let (text, ok) = render_diff(&a, &b, 0.05);
+        assert!(!ok, "{text}");
+        assert!(text.contains("missing in B"));
+        // The reverse (new series appearing) is not a regression.
+        let (text, ok) = render_diff(&b, &a, 0.05);
+        assert!(ok, "{text}");
+        assert!(text.contains("missing in A"));
+    }
+}

@@ -158,6 +158,192 @@ pub fn render(trace: &Trace, epsilon: f64) -> String {
     out
 }
 
+fn esc(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn fnum(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        esc(out, &v.to_string());
+    }
+}
+
+/// Render the report as one machine-readable JSON object (the `--json`
+/// flag of `proteus-trace report`). Key order is fixed and all maps are
+/// name-sorted, so equal traces yield equal bytes — CI can diff or parse
+/// this without scraping the text report. Floats use the same
+/// shortest-roundtrip encoding as the trace itself.
+pub fn render_json(trace: &Trace, epsilon: f64) -> String {
+    let forest = SpanForest::build(&trace.records);
+    let mut out = String::from("{\"schema\":");
+    let _ = write!(out, "{}", trace.schema);
+    let _ = write!(out, ",\"records\":{}", trace.records.len());
+    let _ = write!(
+        out,
+        ",\"spans\":{{\"count\":{},\"unclosed\":{},\"orphan_ends\":{}}}",
+        forest.nodes.len(),
+        forest.unclosed(),
+        forest.orphan_ends
+    );
+
+    out.push_str(",\"kinds\":{");
+    for (i, (kind, count)) in trace.kind_histogram().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        esc(&mut out, kind);
+        let _ = write!(out, ":{count}");
+    }
+    out.push_str("},\"counters\":{");
+    for (i, (name, value)) in trace.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        esc(&mut out, name);
+        let _ = write!(out, ":{value}");
+    }
+
+    // fig4 regret curves, in stream order (same grouping as the text view).
+    out.push_str("},\"fig4\":[");
+    let mut groups: Vec<((String, String), Fig4Curve)> = Vec::new();
+    for r in trace.of_kind("fig4.result") {
+        let key = (
+            r.str("algo").unwrap_or("?").to_string(),
+            r.str("scheme").unwrap_or("?").to_string(),
+        );
+        let point = (r.u64("k").unwrap_or(0), r.f64("mdfo"));
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, pts)) => pts.push(point),
+            None => groups.push((key, vec![point])),
+        }
+    }
+    for (i, ((algo, scheme), pts)) in groups.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"algo\":");
+        esc(&mut out, algo);
+        out.push_str(",\"scheme\":");
+        esc(&mut out, scheme);
+        out.push_str(",\"curve\":[");
+        for (j, (k, mdfo)) in pts.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"k\":{k},\"mdfo\":");
+            match mdfo {
+                Some(v) => fnum(&mut out, *v),
+                None => out.push_str("null"),
+            }
+            out.push('}');
+        }
+        out.push_str("],\"within_epsilon_k\":");
+        match pts
+            .iter()
+            .find(|(_, mdfo)| mdfo.is_some_and(|v| v <= epsilon))
+        {
+            Some((k, _)) => {
+                let _ = write!(out, "{k}");
+            }
+            None => out.push_str("null"),
+        }
+        out.push('}');
+    }
+
+    // Oracle convergence per policy (sorted by policy).
+    out.push_str("],\"oracle\":[");
+    let runs = oracle_runs(&trace.records);
+    let mut by_policy: BTreeMap<&str, Vec<&OracleRun>> = BTreeMap::new();
+    for run in &runs {
+        by_policy.entry(run.policy.as_str()).or_default().push(run);
+    }
+    for (i, (policy, runs)) in by_policy.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let n = runs.len();
+        let mean_final = runs
+            .iter()
+            .filter_map(|r| r.final_kpi.map(|k| dfo(r.oracle_best, k)))
+            .sum::<f64>()
+            / n as f64;
+        let mut steps: Vec<usize> = runs
+            .iter()
+            .filter_map(|r| r.steps_to_within(epsilon))
+            .collect();
+        steps.sort_unstable();
+        out.push_str("{\"policy\":");
+        esc(&mut out, policy);
+        let _ = write!(out, ",\"explorations\":{n},\"mean_final_regret\":");
+        fnum(&mut out, mean_final);
+        let _ = write!(out, ",\"converged\":{},\"median_steps\":", steps.len());
+        match steps.len() {
+            0 => out.push_str("null"),
+            c => {
+                let _ = write!(out, "{}", steps[(c - 1) / 2]);
+            }
+        }
+        out.push('}');
+    }
+
+    // Time-series windows, one aggregate row per series (schema v3).
+    out.push_str("],\"windows\":[");
+    for (i, (series, points)) in crate::perf::windows_by_series(trace).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"series\":");
+        esc(&mut out, series);
+        let _ = write!(
+            out,
+            ",\"windows\":{},\"samples\":{},\"mean\":",
+            points.len(),
+            points.iter().map(|p| p.n).sum::<u64>()
+        );
+        fnum(&mut out, crate::perf::overall_mean(points));
+        out.push('}');
+    }
+
+    // Self-overhead audit from the trailing obs.overhead total record.
+    out.push_str("],\"overhead\":");
+    match trace
+        .of_kind("obs.overhead")
+        .find(|r| r.str("subsystem") == Some("total"))
+    {
+        Some(r) => {
+            let _ = write!(
+                out,
+                "{{\"events\":{},\"bytes\":{},\"spans\":{},\"windows\":{},\
+                 \"histogram_updates\":{}}}",
+                r.u64("events").unwrap_or(0),
+                r.u64("bytes").unwrap_or(0),
+                r.u64("spans").unwrap_or(0),
+                r.u64("windows").unwrap_or(0),
+                r.u64("histogram_updates").unwrap_or(0),
+            );
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str("}\n");
+    out
+}
+
 fn render_timeline(out: &mut String, trace: &Trace) {
     section(out, "decision timeline");
     let decisions: Vec<&Record> = trace
@@ -509,6 +695,42 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("kpi_corrupt            1          1         0  contained"));
+    }
+
+    #[test]
+    fn json_report_is_stable_and_machine_parseable() {
+        let t = trace_of(&[
+            r#"{"seq":0,"kind":"fig4.result","algo":"KNN","scheme":"ProteusTM","k":2,"mape":0.4,"mdfo":0.2}"#.to_string(),
+            r#"{"seq":1,"kind":"fig4.result","algo":"KNN","scheme":"ProteusTM","k":5,"mape":0.1,"mdfo":0.03}"#.to_string(),
+            r#"{"seq":2,"kind":"metrics.window","series":"fig4.mdfo","window":0,"tick":8,"n":2,"mean":0.115,"min":0.03,"max":0.2,"last":0.03}"#.to_string(),
+            r#"{"seq":3,"kind":"obs.overhead","subsystem":"total","events":3,"bytes":400,"spans":0,"windows":1,"histogram_updates":2}"#.to_string(),
+            r#"{"seq":4,"kind":"counter","name":"tx.commit.tl2","value":7}"#.to_string(),
+        ]);
+        let a = render_json(&t, 0.05);
+        assert_eq!(a, render_json(&t, 0.05), "stable bytes");
+        assert!(a.starts_with(&format!("{{\"schema\":{}", obs::SCHEMA_VERSION)));
+        assert!(a.contains("\"kinds\":{\"fig4.result\":2,\"metrics.window\":1,\"obs.overhead\":1}"));
+        assert!(a.contains("\"counters\":{\"tx.commit.tl2\":7}"));
+        assert!(a.contains("\"algo\":\"KNN\""));
+        assert!(a.contains("\"within_epsilon_k\":5"));
+        assert!(a.contains("\"series\":\"fig4.mdfo\",\"windows\":1,\"samples\":2,\"mean\":0.115"));
+        assert!(a.contains("\"overhead\":{\"events\":3,\"bytes\":400,"));
+        assert!(a.ends_with("}\n"));
+        // The flat-object parser cannot parse nested JSON, but the output
+        // must at least be structurally balanced.
+        let opens = a.matches(['{', '[']).count();
+        let closes = a.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn json_report_without_optional_sections_uses_nulls_and_empties() {
+        let t = trace_of(&[r#"{"seq":0,"kind":"config.switch","to":"b"}"#.to_string()]);
+        let a = render_json(&t, 0.05);
+        assert!(a.contains("\"fig4\":[]"));
+        assert!(a.contains("\"oracle\":[]"));
+        assert!(a.contains("\"windows\":[]"));
+        assert!(a.contains("\"overhead\":null"));
     }
 
     #[test]

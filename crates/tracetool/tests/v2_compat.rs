@@ -1,0 +1,44 @@
+//! Backward compatibility: the analyzer must keep reading schema-v2
+//! traces (header + spans, no `metrics.window` / `obs.overhead` records)
+//! byte-for-byte as archived by older emitters. The fixture is checked in
+//! so this can never drift silently with the emitter; CI runs the
+//! `proteus-trace` binary over the same file.
+
+const FIXTURE: &str = include_str!("fixtures/v2_trace.jsonl");
+
+#[test]
+fn v2_fixture_parses_and_reports() {
+    let trace = tracetool::parse_trace(FIXTURE).expect("v2 fixture must parse");
+    assert_eq!(trace.schema, 2);
+    assert_eq!(trace.records.len(), 9, "events minus counter-dump lines");
+    assert_eq!(trace.counters.len(), 2);
+
+    // No flight-recorder data in a v2 trace: the perf view must degrade
+    // gracefully instead of erroring.
+    assert!(tracetool::perf::windows_by_series(&trace).is_empty());
+    let perf = tracetool::perf::render(&trace);
+    assert!(
+        perf.contains("no metrics.window records"),
+        "perf view must say why it is empty:\n{perf}"
+    );
+
+    // The classic report still renders, switches and all.
+    let report = tracetool::report::render(&trace, 0.05);
+    assert!(report.contains("tinystm-t2"), "switch table:\n{report}");
+    let json = tracetool::report::render_json(&trace, 0.05);
+    assert!(json.contains("\"schema\":2"), "{json}");
+    assert!(json.contains("\"overhead\":null"), "{json}");
+}
+
+#[test]
+fn v2_fixture_survives_crlf_mangling() {
+    // Windows checkouts may rewrite line endings on archived traces.
+    let crlf = FIXTURE.replace('\n', "\r\n");
+    let a = tracetool::parse_trace(FIXTURE).unwrap();
+    let b = tracetool::parse_trace(&crlf).unwrap();
+    assert_eq!(a.records.len(), b.records.len());
+    assert_eq!(
+        tracetool::report::render(&a, 0.05),
+        tracetool::report::render(&b, 0.05)
+    );
+}
