@@ -1,0 +1,62 @@
+//! Tentpole companion: single-op commit-latency benches for the
+//! transaction fast path — read-only tx, 1-write tx, HTM fallback take,
+//! gate enter/exit, and a backend switch under live load. The `_legacy`
+//! variants run the in-process replica of the pre-change hot path
+//! (`bench::fastpath::legacy`), so the improvement is visible in one run.
+//!
+//! The authoritative medians (and the pass/fail gate) come from
+//! `experiments bench-snapshot`, which writes `BENCH_fastpath.json`; this
+//! harness is the interactive view of the same probes.
+
+use bench::fastpath::{legacy, HtmFallbackBench, LegacyTxBench, NewTxBench, SwitchBench};
+use criterion::{criterion_group, criterion_main, Criterion};
+use polytm::ThreadGate;
+use std::hint::black_box;
+
+fn bench_fastpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fastpath");
+
+    let mut new_tx = NewTxBench::new();
+    let mut old_tx = LegacyTxBench::new();
+    group.bench_function("read_only", |b| b.iter(|| black_box(new_tx.read_only())));
+    group.bench_function("read_only_legacy", |b| {
+        b.iter(|| black_box(old_tx.read_only()))
+    });
+    group.bench_function("one_write", |b| b.iter(|| black_box(new_tx.one_write())));
+    group.bench_function("one_write_legacy", |b| {
+        b.iter(|| black_box(old_tx.one_write()))
+    });
+
+    let mut htm = HtmFallbackBench::new();
+    group.bench_function("htm_fallback_take", |b| b.iter(|| black_box(htm.take())));
+
+    let gate = ThreadGate::new(4);
+    group.bench_function("gate_enter_exit", |b| {
+        b.iter(|| {
+            gate.enter(black_box(0));
+            gate.exit(black_box(0));
+        })
+    });
+    let lgate = legacy::LegacyGate::new(4);
+    group.bench_function("gate_enter_exit_legacy", |b| {
+        b.iter(|| {
+            lgate.enter(black_box(0));
+            lgate.exit(black_box(0));
+        })
+    });
+
+    let mut sw = SwitchBench::new();
+    group.bench_function("switch_under_load", |b| b.iter(|| sw.switch()));
+
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_fastpath
+);
+criterion_main!(benches);

@@ -1,0 +1,1041 @@
+//! Single-operation commit-latency probes for the transaction fast path.
+//!
+//! The `BENCH_fastpath` section of `experiments bench-snapshot` (and the
+//! `fastpath` Criterion bench) measures the nanosecond-scale operations
+//! the adaptive stack performs on *every* transaction: a read-only
+//! commit, a one-write commit, an HTM fallback take, a gate enter/exit
+//! round-trip, a config read, and a backend switch under load.
+//!
+//! Each software-path probe is measured twice **in the same process and
+//! the same run**:
+//!
+//! - `wall_ns` — the shipping fast path: epoch-publishing [`ThreadGate`],
+//!   seqlock config snapshots, indexed/deduplicating tx sets, per-thread
+//!   KPI folding, allocation-free commit.
+//! - `wall_legacy_ns` — a faithful replica (the [`legacy`] module) of the
+//!   pre-change hot path: append-only read log, linear-scan write set
+//!   with a lazy `HashMap` spill, condvar-slot gate, `Mutex<TmConfig>`
+//!   config reads, per-event telemetry checks and a per-commit stripe
+//!   `Vec` allocation.
+//!
+//! Comparing against an in-process replica instead of a checked-in number
+//! makes the gate host-independent: both paths see the same CPU, the same
+//! allocator state and the same turbo/thermal conditions, so
+//! `wall_ns < wall_legacy_ns` measures the change, not the machine.
+
+use crate::snapshot::Val;
+use htm::{CapacityPolicy, HtmGeometry};
+use polytm::{BackendId, HtmSetting, PolyTm, ThreadGate, TmConfig, Worker};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use txcore::Addr;
+
+/// Faithful replicas of the pre-change (seed) fast path, kept so the
+/// snapshot can measure the old per-transaction costs in the same run as
+/// the new ones.
+///
+/// Every component mirrors the seed implementation it replaces:
+/// the data-structure shapes, the lock/telemetry placement and the
+/// per-commit allocation are reproduced deliberately — do not "fix" them.
+pub mod legacy {
+    use parking_lot::{Condvar, Mutex};
+    use polytm::TmConfig;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use txcore::util::CachePadded;
+    use txcore::{Abort, Addr, OrecState, OwnerTag, ThreadStats, TxResult};
+
+    /// The seed read log: plain appends, one entry per read performed.
+    /// Carries both representations (orec pairs and NOrec value pairs),
+    /// as the seed did — `clear` pays for both on every begin.
+    #[derive(Default)]
+    pub struct LegacyReadSet {
+        orecs: Vec<(u32, u64)>,
+        values: Vec<(Addr, u64)>,
+    }
+
+    impl LegacyReadSet {
+        #[inline]
+        pub fn clear(&mut self) {
+            self.orecs.clear();
+            self.values.clear();
+        }
+
+        #[inline]
+        pub fn push_value(&mut self, a: Addr, value: u64) {
+            self.values.push((a, value));
+        }
+
+        #[inline]
+        pub fn push_orec(&mut self, idx: usize, version: u64) {
+            self.orecs.push((idx as u32, version));
+        }
+
+        #[inline]
+        pub fn orecs(&self) -> &[(u32, u64)] {
+            &self.orecs
+        }
+    }
+
+    /// The seed redo log: linear scan up to 16 entries, then a lazily
+    /// built `HashMap` index.
+    #[derive(Default)]
+    pub struct LegacyWriteSet {
+        entries: Vec<(Addr, u64)>,
+        index: HashMap<u32, u32>,
+        indexed: bool,
+    }
+
+    const LINEAR_SCAN_MAX: usize = 16;
+
+    impl LegacyWriteSet {
+        #[inline]
+        pub fn clear(&mut self) {
+            self.entries.clear();
+            self.index.clear();
+            self.indexed = false;
+        }
+
+        fn build_index(&mut self) {
+            self.index.clear();
+            for (i, (a, _)) in self.entries.iter().enumerate() {
+                self.index.insert(a.0, i as u32);
+            }
+            self.indexed = true;
+        }
+
+        fn position(&mut self, a: Addr) -> Option<usize> {
+            if self.indexed {
+                return self.index.get(&a.0).map(|&i| i as usize);
+            }
+            if self.entries.len() > LINEAR_SCAN_MAX {
+                self.build_index();
+                return self.index.get(&a.0).map(|&i| i as usize);
+            }
+            self.entries.iter().position(|&(ea, _)| ea == a)
+        }
+
+        pub fn insert(&mut self, a: Addr, value: u64) {
+            if let Some(i) = self.position(a) {
+                self.entries[i].1 = value;
+                return;
+            }
+            self.entries.push((a, value));
+            if self.indexed {
+                self.index.insert(a.0, (self.entries.len() - 1) as u32);
+            }
+        }
+
+        pub fn get(&self, a: Addr) -> Option<u64> {
+            let i = if self.indexed {
+                self.index.get(&a.0).map(|&i| i as usize)
+            } else {
+                self.entries.iter().position(|&(ea, _)| ea == a)
+            };
+            i.map(|i| self.entries[i].1)
+        }
+
+        #[inline]
+        pub fn is_empty(&self) -> bool {
+            self.entries.is_empty()
+        }
+
+        #[inline]
+        pub fn entries(&self) -> &[(Addr, u64)] {
+            &self.entries
+        }
+    }
+
+    /// Low bit: running a transaction. Mirrors the gate constants.
+    const RUN: u64 = 1;
+    /// High bit: the adapter wants the thread blocked.
+    const BLOCK: u64 = 1 << 32;
+
+    struct LegacySlot {
+        state: CachePadded<AtomicU64>,
+        lock: Mutex<()>,
+        cv: Condvar,
+    }
+
+    /// The seed thread gate: the same fetch-and-add entry protocol, but
+    /// with a `Mutex`+`Condvar` pair per slot for blocked-thread parking.
+    pub struct LegacyGate {
+        slots: Vec<LegacySlot>,
+    }
+
+    impl LegacyGate {
+        pub fn new(max_threads: usize) -> Self {
+            let mut slots = Vec::with_capacity(max_threads);
+            for _ in 0..max_threads {
+                slots.push(LegacySlot {
+                    state: CachePadded::new(AtomicU64::new(0)),
+                    lock: Mutex::new(()),
+                    cv: Condvar::new(),
+                });
+            }
+            LegacyGate { slots }
+        }
+
+        pub fn enter(&self, t: usize) {
+            let slot = &self.slots[t];
+            loop {
+                let val = slot.state.fetch_add(RUN, Ordering::AcqRel);
+                if val & BLOCK == 0 {
+                    return;
+                }
+                slot.state.fetch_sub(RUN, Ordering::AcqRel);
+                let mut guard = slot.lock.lock();
+                while slot.state.load(Ordering::Acquire) & BLOCK != 0 {
+                    slot.cv.wait(&mut guard);
+                }
+            }
+        }
+
+        #[inline]
+        pub fn exit(&self, t: usize) {
+            self.slots[t].state.fetch_sub(RUN, Ordering::AcqRel);
+        }
+    }
+
+    /// The seed config holder: every probe-path read takes the lock.
+    pub struct LegacyConfigPad {
+        inner: Mutex<TmConfig>,
+    }
+
+    impl LegacyConfigPad {
+        pub fn new(c: TmConfig) -> Self {
+            LegacyConfigPad {
+                inner: Mutex::new(c),
+            }
+        }
+
+        #[inline]
+        pub fn read(&self) -> TmConfig {
+            *self.inner.lock()
+        }
+    }
+
+    /// Per-thread state of the legacy TL2 replica, including the cached
+    /// telemetry handles the seed driver kept on its context.
+    pub struct LegacyCtx {
+        pub read_set: LegacyReadSet,
+        pub write_set: LegacyWriteSet,
+        pub locks: Vec<(u32, u64)>,
+        pub rv: u64,
+        pub attempt: u32,
+        pub stats: Arc<ThreadStats>,
+        owner: OwnerTag,
+        commit_counter: &'static obs::Counter,
+        abort_counter: &'static obs::Counter,
+        ladder: &'static obs::Histogram,
+    }
+
+    impl LegacyCtx {
+        pub fn new(slot: usize) -> Self {
+            LegacyCtx {
+                read_set: LegacyReadSet::default(),
+                write_set: LegacyWriteSet::default(),
+                locks: Vec::new(),
+                rv: 0,
+                attempt: 0,
+                stats: Arc::new(ThreadStats::default()),
+                owner: OwnerTag(slot as u64),
+                commit_counter: obs::counter("fastpath.legacy.commit"),
+                abort_counter: obs::counter("fastpath.legacy.abort"),
+                ladder: obs::histogram("fastpath.legacy.ladder_ns"),
+            }
+        }
+
+        fn reset_logs(&mut self) {
+            self.read_set.clear();
+            self.write_set.clear();
+            self.locks.clear();
+        }
+    }
+
+    /// The seed backend interface shape: the driver and the closure both
+    /// reach the backend through a vtable, exactly like `&dyn TmBackend`
+    /// on the real path — a monomorphized replica would be unfairly fast.
+    pub trait LegacyBackend {
+        fn begin(&self, ctx: &mut LegacyCtx) -> TxResult<()>;
+        fn read(&self, ctx: &mut LegacyCtx, addr: Addr) -> TxResult<u64>;
+        fn write(&self, ctx: &mut LegacyCtx, addr: Addr, val: u64) -> TxResult<()>;
+        fn commit(&self, ctx: &mut LegacyCtx) -> TxResult<()>;
+        fn rollback(&self, ctx: &mut LegacyCtx);
+    }
+
+    /// A word-for-word replica of the seed TL2 hot path over the real
+    /// [`txcore::TmSystem`] heap/orecs/clock.
+    pub struct LegacyTl2 {
+        pub sys: Arc<txcore::TmSystem>,
+    }
+
+    impl LegacyTl2 {
+        pub fn new(sys: Arc<txcore::TmSystem>) -> Self {
+            LegacyTl2 { sys }
+        }
+
+        fn validate_read_set(&self, ctx: &LegacyCtx) -> bool {
+            for &(idx, _) in ctx.read_set.orecs() {
+                match self.sys.orecs.load(idx as usize) {
+                    OrecState::Version(v) => {
+                        if v > ctx.rv {
+                            return false;
+                        }
+                    }
+                    OrecState::Locked(o) => {
+                        if o != ctx.owner {
+                            return false;
+                        }
+                    }
+                }
+            }
+            true
+        }
+
+        fn release_saved(&self, ctx: &mut LegacyCtx) {
+            for &(idx, prev) in &ctx.locks {
+                self.sys.orecs.unlock(idx as usize, prev);
+            }
+            ctx.locks.clear();
+        }
+    }
+
+    impl LegacyBackend for LegacyTl2 {
+        #[inline]
+        fn begin(&self, ctx: &mut LegacyCtx) -> TxResult<()> {
+            ctx.reset_logs();
+            ctx.rv = self.sys.clock.now();
+            Ok(())
+        }
+
+        #[inline]
+        fn read(&self, ctx: &mut LegacyCtx, addr: Addr) -> TxResult<u64> {
+            if let Some(v) = ctx.write_set.get(addr) {
+                return Ok(v);
+            }
+            let idx = self.sys.orecs.index_for(addr);
+            let before = self.sys.orecs.load(idx);
+            let OrecState::Version(v1) = before else {
+                return Err(Abort::CONFLICT);
+            };
+            let val = self.sys.heap.read_raw(addr);
+            let after = self.sys.orecs.load(idx);
+            if after != before || v1 > ctx.rv {
+                return Err(Abort::CONFLICT);
+            }
+            ctx.read_set.push_orec(idx, v1);
+            Ok(val)
+        }
+
+        #[inline]
+        fn write(&self, ctx: &mut LegacyCtx, addr: Addr, val: u64) -> TxResult<()> {
+            ctx.write_set.insert(addr, val);
+            Ok(())
+        }
+
+        fn commit(&self, ctx: &mut LegacyCtx) -> TxResult<()> {
+            if ctx.write_set.is_empty() {
+                ctx.reset_logs();
+                return Ok(());
+            }
+            // The seed's per-commit allocation: collect, sort, dedup a
+            // fresh stripe vector every time.
+            let mut stripes: Vec<u32> = ctx
+                .write_set
+                .entries()
+                .iter()
+                .map(|&(a, _)| self.sys.orecs.index_for(a) as u32)
+                .collect();
+            stripes.sort_unstable();
+            stripes.dedup();
+            for &idx in &stripes {
+                match self.sys.orecs.try_lock(idx as usize, ctx.owner, None) {
+                    Ok(prev) => ctx.locks.push((idx, prev)),
+                    Err(_) => {
+                        self.release_saved(ctx);
+                        return Err(Abort::CONFLICT);
+                    }
+                }
+            }
+            let wv = self.sys.clock.tick();
+            if wv != ctx.rv + 1 && !self.validate_read_set(ctx) {
+                self.release_saved(ctx);
+                return Err(Abort::CONFLICT);
+            }
+            for &(a, v) in ctx.write_set.entries() {
+                self.sys.heap.write_raw(a, v);
+            }
+            for &(idx, _) in &ctx.locks {
+                self.sys.orecs.unlock(idx as usize, wv);
+            }
+            ctx.locks.clear();
+            ctx.reset_logs();
+            Ok(())
+        }
+
+        fn rollback(&self, ctx: &mut LegacyCtx) {
+            self.release_saved(ctx);
+            ctx.reset_logs();
+        }
+    }
+
+    /// The seed transaction driver: telemetry enablement re-checked and
+    /// shared stats RMW'd at *every* event, exactly as the pre-change
+    /// `try_run_tx` did — and the backend reached through a vtable.
+    pub fn run_legacy_tx<T>(
+        tl2: &dyn LegacyBackend,
+        ctx: &mut LegacyCtx,
+        mut f: impl FnMut(&dyn LegacyBackend, &mut LegacyCtx) -> TxResult<T>,
+    ) -> T {
+        ctx.attempt = 0;
+        let ladder_t0 = obs::enabled().then(std::time::Instant::now);
+        loop {
+            if let Err(a) = tl2.begin(ctx) {
+                ctx.stats.record_abort(a.code);
+                if obs::enabled() {
+                    ctx.abort_counter.inc();
+                }
+                ctx.attempt += 1;
+                continue;
+            }
+            match f(tl2, ctx) {
+                Ok(value) => match tl2.commit(ctx) {
+                    Ok(()) => {
+                        ctx.stats.record_commit(false);
+                        if obs::enabled() {
+                            ctx.commit_counter.inc();
+                            if ctx.attempt > 0 {
+                                if let Some(t0) = ladder_t0 {
+                                    ctx.ladder.record(t0.elapsed().as_nanos() as u64);
+                                }
+                            }
+                        }
+                        return value;
+                    }
+                    Err(a) => {
+                        tl2.rollback(ctx);
+                        ctx.stats.record_abort(a.code);
+                        if obs::enabled() {
+                            ctx.abort_counter.inc();
+                        }
+                    }
+                },
+                Err(a) => {
+                    tl2.rollback(ctx);
+                    ctx.stats.record_abort(a.code);
+                    if obs::enabled() {
+                        ctx.abort_counter.inc();
+                    }
+                }
+            }
+            ctx.attempt += 1;
+        }
+    }
+}
+
+/// Number of timed samples per probe; odd so the median is a real sample.
+const SAMPLES: usize = 33;
+/// Untimed warm-up samples discarded before measuring.
+const WARMUP: usize = 4;
+
+/// Median per-iteration latency of `op` in nanoseconds: `SAMPLES` timed
+/// batches of `iters` back-to-back calls, median of the per-call means.
+/// Batching amortises the clock reads; the median shrugs off preemption.
+pub fn median_ns(iters: u32, mut op: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for s in 0..WARMUP + SAMPLES {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        let per_iter = t0.elapsed().as_nanos() as f64 / iters as f64;
+        if s >= WARMUP {
+            samples.push(per_iter);
+        }
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Like [`median_ns`], but for a new/legacy probe *pair*: the two ops are
+/// timed in alternating adjacent batches, so frequency scaling, thermal
+/// drift and scheduler noise hit both sides of the comparison equally.
+/// Sequential measurement (all of A, then all of B) can skew a
+/// nanosecond-scale pair by tens of percent on a busy host.
+pub fn paired_median_ns(
+    iters: u32,
+    mut new_op: impl FnMut(),
+    mut legacy_op: impl FnMut(),
+) -> (f64, f64) {
+    let mut new_samples = Vec::with_capacity(SAMPLES);
+    let mut legacy_samples = Vec::with_capacity(SAMPLES);
+    for s in 0..WARMUP + SAMPLES {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            new_op();
+        }
+        let new_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            legacy_op();
+        }
+        let legacy_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+        if s >= WARMUP {
+            new_samples.push(new_ns);
+            legacy_samples.push(legacy_ns);
+        }
+    }
+    new_samples.sort_by(f64::total_cmp);
+    legacy_samples.sort_by(f64::total_cmp);
+    (
+        new_samples[new_samples.len() / 2],
+        legacy_samples[legacy_samples.len() / 2],
+    )
+}
+
+/// Heap words between probe addresses: far enough apart that every
+/// address maps to its own orec stripe and (for the HTM probe) its own
+/// simulated cache line.
+const ADDR_STRIDE: u32 = 64;
+/// Distinct addresses touched by the transaction probes.
+const FOOTPRINT: usize = 6;
+/// Reads per address in the read-only probe: models the common loop that
+/// re-reads a shared field without caching it locally.
+const REREADS: usize = 4;
+
+/// The new-stack transaction probes: a real [`PolyTm`] running TL2 on one
+/// thread, driven through the full `run_tx` path (gate, epoch, driver,
+/// indexed sets, folded stats).
+pub struct NewTxBench {
+    poly: PolyTm,
+    worker: Worker,
+    addrs: [Addr; FOOTPRINT],
+}
+
+impl Default for NewTxBench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NewTxBench {
+    pub fn new() -> Self {
+        let poly = PolyTm::builder()
+            .heap_words(1 << 12)
+            .max_threads(1)
+            .initial_config(TmConfig::stm(BackendId::Tl2, 1))
+            .build();
+        let base = poly
+            .system()
+            .heap
+            .alloc((FOOTPRINT as u32 * ADDR_STRIDE) as usize);
+        let addrs = std::array::from_fn(|i| base.field(i as u32 * ADDR_STRIDE));
+        let worker = poly.register_thread(0);
+        NewTxBench {
+            poly,
+            worker,
+            addrs,
+        }
+    }
+
+    /// One read-only transaction: `FOOTPRINT` addresses, each re-read
+    /// `REREADS` times. Declared read-only ([`PolyTm::run_read_tx`]) — the
+    /// post-change API for read-only blocks, which on TL2 skips read-set
+    /// maintenance entirely; the pre-change stack had no such mode, so the
+    /// legacy probe runs the same block through its only path.
+    pub fn read_only(&mut self) -> u64 {
+        let addrs = self.addrs;
+        self.poly.run_read_tx(&mut self.worker, |tx| {
+            let mut acc = 0u64;
+            for &a in &addrs {
+                for _ in 0..REREADS {
+                    acc = acc.wrapping_add(tx.read(a)?);
+                }
+            }
+            Ok(acc)
+        })
+    }
+
+    /// One read-modify-write transaction: every address read twice (the
+    /// reads that decide the write), then a single write and a
+    /// read-after-write — one stripe locked at commit.
+    pub fn one_write(&mut self) -> u64 {
+        let addrs = self.addrs;
+        self.poly.run_tx(&mut self.worker, |tx| {
+            let mut acc = 0u64;
+            for &a in &addrs {
+                acc = acc.wrapping_add(tx.read(a)?);
+                acc = acc.wrapping_add(tx.read(a)?);
+            }
+            tx.write(addrs[0], acc)?;
+            tx.read(addrs[0])
+        })
+    }
+
+    /// A transaction with an empty body: driver + gate + begin/commit only.
+    pub fn empty_tx(&mut self) {
+        self.poly.run_tx(&mut self.worker, |_tx| Ok(()));
+    }
+
+    /// A single blind write: isolates the writer commit path.
+    pub fn write_only(&mut self) {
+        let a = self.addrs[0];
+        self.poly.run_tx(&mut self.worker, |tx| tx.write(a, 1));
+    }
+}
+
+/// The pre-change transaction probes over the [`legacy`] replica.
+pub struct LegacyTxBench {
+    gate: legacy::LegacyGate,
+    /// Boxed like the runtime's backend table: the seed reached its
+    /// backend through a bounds-checked `Vec` index and a `Box` deref on
+    /// every transaction, and so must the replica.
+    backends: Vec<Box<dyn legacy::LegacyBackend>>,
+    current: std::sync::atomic::AtomicUsize,
+    ctx: legacy::LegacyCtx,
+    addrs: [Addr; FOOTPRINT],
+}
+
+impl Default for LegacyTxBench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LegacyTxBench {
+    pub fn new() -> Self {
+        let sys = Arc::new(txcore::TmSystem::new(1 << 12));
+        let base = sys.heap.alloc((FOOTPRINT as u32 * ADDR_STRIDE) as usize);
+        let addrs = std::array::from_fn(|i| base.field(i as u32 * ADDR_STRIDE));
+        LegacyTxBench {
+            gate: legacy::LegacyGate::new(1),
+            backends: vec![Box::new(legacy::LegacyTl2::new(sys))],
+            current: std::sync::atomic::AtomicUsize::new(0),
+            ctx: legacy::LegacyCtx::new(0),
+            addrs,
+        }
+    }
+
+    /// Mirror of [`PolyTm::run_tx`]'s per-transaction envelope around the
+    /// legacy driver: gate entry, fault-site check, backend-table index.
+    fn run<T>(
+        &mut self,
+        f: impl FnMut(&dyn legacy::LegacyBackend, &mut legacy::LegacyCtx) -> txcore::TxResult<T>,
+    ) -> T {
+        self.gate.enter(0);
+        if faultsim::armed() && faultsim::should_fire(faultsim::Site::GateStall) {
+            unreachable!("fastpath benches never run with armed fault plans");
+        }
+        // `black_box` keeps the vtable dispatch honest: the replica has a
+        // single `LegacyBackend` impl in this crate, which the optimizer
+        // happily devirtualizes and inlines — an escape the seed's
+        // cross-crate `Vec<Box<dyn TmBackend>>` (seven impls) never had.
+        let backend: &dyn legacy::LegacyBackend =
+            black_box(self.backends[self.current.load(Ordering::Acquire)].as_ref());
+        let out = legacy::run_legacy_tx(backend, &mut self.ctx, f);
+        self.gate.exit(0);
+        out
+    }
+
+    /// Legacy twin of [`NewTxBench::read_only`].
+    pub fn read_only(&mut self) -> u64 {
+        let addrs = self.addrs;
+        self.run(|tl2, ctx| {
+            let mut acc = 0u64;
+            for &a in &addrs {
+                for _ in 0..REREADS {
+                    acc = acc.wrapping_add(tl2.read(ctx, a)?);
+                }
+            }
+            Ok(acc)
+        })
+    }
+
+    /// Legacy twin of [`NewTxBench::one_write`].
+    pub fn one_write(&mut self) -> u64 {
+        let addrs = self.addrs;
+        self.run(|tl2, ctx| {
+            let mut acc = 0u64;
+            for &a in &addrs {
+                acc = acc.wrapping_add(tl2.read(ctx, a)?);
+                acc = acc.wrapping_add(tl2.read(ctx, a)?);
+            }
+            tl2.write(ctx, addrs[0], acc)?;
+            tl2.read(ctx, addrs[0])
+        })
+    }
+
+    /// Legacy twin of [`NewTxBench::empty_tx`].
+    pub fn empty_tx(&mut self) {
+        self.run(|_tl2, _ctx| Ok(()));
+    }
+
+    /// Legacy twin of [`NewTxBench::write_only`].
+    pub fn write_only(&mut self) {
+        let a = self.addrs[0];
+        self.run(|tl2, ctx| tl2.write(ctx, a, 1))
+    }
+}
+
+/// An HTM configuration whose speculative attempts always blow the tiny
+/// test geometry's write capacity, so every transaction takes the
+/// software fallback: the probe measures the *fallback take* latency.
+pub struct HtmFallbackBench {
+    poly: PolyTm,
+    worker: Worker,
+    addrs: [Addr; 8],
+}
+
+impl Default for HtmFallbackBench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HtmFallbackBench {
+    pub fn new() -> Self {
+        let setting = HtmSetting {
+            budget: 1,
+            policy: CapacityPolicy::GiveUp,
+        };
+        let poly = PolyTm::builder()
+            .heap_words(1 << 12)
+            .max_threads(1)
+            .htm_geometry(HtmGeometry::TINY_FOR_TESTS)
+            .initial_config(TmConfig::htm(BackendId::Htm, 1, setting))
+            .build();
+        let base = poly.system().heap.alloc(8 * ADDR_STRIDE as usize);
+        let addrs = std::array::from_fn(|i| base.field(i as u32 * ADDR_STRIDE));
+        let worker = poly.register_thread(0);
+        HtmFallbackBench {
+            poly,
+            worker,
+            addrs,
+        }
+    }
+
+    /// One transaction writing 8 distinct lines (capacity 4): speculative
+    /// attempt, capacity abort, give-up, fallback commit.
+    pub fn take(&mut self) -> u64 {
+        let addrs = self.addrs;
+        self.poly.run_tx(&mut self.worker, |tx| {
+            let mut acc = 0u64;
+            for &a in &addrs {
+                let v = tx.read(a)?;
+                acc = acc.wrapping_add(v);
+                tx.write(a, v.wrapping_add(1))?;
+            }
+            Ok(acc)
+        })
+    }
+}
+
+/// A backend switch with two worker threads continuously committing: the
+/// probe measures `apply()` latency end to end (block, parallel drain,
+/// backend swap, epoch advance, unblock).
+pub struct SwitchBench {
+    poly: Arc<PolyTm>,
+    stop: Arc<AtomicBool>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    flip: bool,
+}
+
+impl Default for SwitchBench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SwitchBench {
+    pub fn new() -> Self {
+        let poly = Arc::new(
+            PolyTm::builder()
+                .heap_words(1 << 12)
+                .max_threads(2)
+                .initial_config(TmConfig::stm(BackendId::Tl2, 2))
+                .build(),
+        );
+        let a = poly.system().heap.alloc(2 * ADDR_STRIDE as usize);
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = (0..2)
+            .map(|slot| {
+                let poly = Arc::clone(&poly);
+                let stop = Arc::clone(&stop);
+                let addr = a.field(slot as u32 * ADDR_STRIDE);
+                std::thread::spawn(move || {
+                    let mut worker = poly.register_thread(slot);
+                    while !stop.load(Ordering::Relaxed) {
+                        poly.run_tx(&mut worker, |tx| {
+                            let v = tx.read(addr)?;
+                            tx.write(addr, v.wrapping_add(1))
+                        });
+                    }
+                })
+            })
+            .collect();
+        SwitchBench {
+            poly,
+            stop,
+            workers,
+            flip: false,
+        }
+    }
+
+    /// One full backend switch under load (alternating TL2 ↔ NOrec).
+    pub fn switch(&mut self) {
+        let to = if self.flip {
+            BackendId::Tl2
+        } else {
+            BackendId::NOrec
+        };
+        self.flip = !self.flip;
+        self.poly
+            .apply(&TmConfig::stm(to, 2))
+            .expect("switch under load must succeed");
+    }
+}
+
+impl Drop for SwitchBench {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Collect the whole `fastpath.*` snapshot section.
+pub fn collect() -> BTreeMap<String, Val> {
+    let mut snap: BTreeMap<String, Val> = BTreeMap::new();
+    snap.insert(
+        "tool".into(),
+        Val::S("experiments bench-snapshot (fastpath)".into()),
+    );
+    snap.insert(
+        "host.cores".into(),
+        Val::U(std::thread::available_parallelism().map_or(1, |n| n.get() as u64)),
+    );
+    snap.insert("host.os".into(), Val::S(std::env::consts::OS.into()));
+    snap.insert("jobs".into(), Val::U(parx::jobs() as u64));
+
+    let mut new_tx = NewTxBench::new();
+    let mut old_tx = LegacyTxBench::new();
+    let (ro_new, ro_old) = paired_median_ns(
+        2048,
+        || {
+            black_box(new_tx.read_only());
+        },
+        || {
+            black_box(old_tx.read_only());
+        },
+    );
+    snap.insert("fastpath.read_only.wall_ns".into(), Val::F(ro_new));
+    snap.insert("fastpath.read_only.wall_legacy_ns".into(), Val::F(ro_old));
+
+    let (w1_new, w1_old) = paired_median_ns(
+        2048,
+        || {
+            black_box(new_tx.one_write());
+        },
+        || {
+            black_box(old_tx.one_write());
+        },
+    );
+    snap.insert("fastpath.one_write.wall_ns".into(), Val::F(w1_new));
+    snap.insert("fastpath.one_write.wall_legacy_ns".into(), Val::F(w1_old));
+
+    // `FASTPATH_DIAG=1` prints a layer breakdown for chasing a gate
+    // failure: the transaction envelope alone and the writer commit path
+    // alone, paired like the gated probes. Diagnostic only — nothing here
+    // enters the snapshot map or the baselines.
+    if std::env::var_os("FASTPATH_DIAG").is_some() {
+        let (e_new, e_old) = paired_median_ns(4096, || new_tx.empty_tx(), || old_tx.empty_tx());
+        println!("  diag  fastpath.empty_tx: {e_new:.1} ns vs legacy {e_old:.1} ns");
+        let (w_new, w_old) = paired_median_ns(4096, || new_tx.write_only(), || old_tx.write_only());
+        println!("  diag  fastpath.write_only: {w_new:.1} ns vs legacy {w_old:.1} ns");
+    }
+
+    let gate = ThreadGate::new(4);
+    let lgate = legacy::LegacyGate::new(4);
+    let (g_new, g_old) = paired_median_ns(
+        8192,
+        || {
+            gate.enter(black_box(0));
+            gate.exit(black_box(0));
+        },
+        || {
+            lgate.enter(black_box(0));
+            lgate.exit(black_box(0));
+        },
+    );
+    snap.insert("fastpath.gate_enter_exit.wall_ns".into(), Val::F(g_new));
+    snap.insert(
+        "fastpath.gate_enter_exit.wall_legacy_ns".into(),
+        Val::F(g_old),
+    );
+
+    let poly = &new_tx.poly;
+    let pad = legacy::LegacyConfigPad::new(TmConfig::stm(BackendId::Tl2, 1));
+    let (c_new, c_old) = paired_median_ns(
+        8192,
+        || {
+            black_box(poly.current_config());
+        },
+        || {
+            black_box(pad.read());
+        },
+    );
+    snap.insert("fastpath.config_read.wall_ns".into(), Val::F(c_new));
+    snap.insert("fastpath.config_read.wall_legacy_ns".into(), Val::F(c_old));
+
+    let mut htm = HtmFallbackBench::new();
+    let h = median_ns(512, || {
+        black_box(htm.take());
+    });
+    snap.insert("fastpath.htm_fallback.wall_ns".into(), Val::F(h));
+
+    {
+        let mut sw = SwitchBench::new();
+        // A switch quiesces two live threads: sample singly, few warmups.
+        let mut samples = Vec::with_capacity(31);
+        for _ in 0..4 {
+            sw.switch();
+        }
+        for _ in 0..31 {
+            let t0 = Instant::now();
+            sw.switch();
+            samples.push(t0.elapsed().as_nanos() as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        snap.insert(
+            "fastpath.switch_under_load.wall_ns".into(),
+            Val::F(samples[samples.len() / 2]),
+        );
+    }
+
+    snap
+}
+
+/// The same-run gate: the commit-latency probes with a legacy twin must
+/// come out *faster* on the shipping path than on the replica measured in
+/// the same process. Returns the verdict text and whether it passed.
+pub fn verdict(snap: &BTreeMap<String, Val>) -> (String, bool) {
+    let mut out = String::new();
+    let mut ok = true;
+    // Gated pairs: the tentpole's acceptance criterion. The gate/config
+    // pairs are reported (below) but not gated: their new-path cost is
+    // dominated by the same single atomic RMW either way.
+    for probe in ["read_only", "one_write"] {
+        let new = snap.get(&format!("fastpath.{probe}.wall_ns"));
+        let old = snap.get(&format!("fastpath.{probe}.wall_legacy_ns"));
+        match (new.and_then(Val::as_f64), old.and_then(Val::as_f64)) {
+            (Some(n), Some(o)) if n < o => {
+                let _ = writeln!(
+                    out,
+                    "  ok    fastpath.{probe}: {n:.1} ns < legacy {o:.1} ns ({:+.1}%)",
+                    100.0 * (n - o) / o
+                );
+            }
+            (Some(n), Some(o)) => {
+                ok = false;
+                let _ = writeln!(
+                    out,
+                    "  FAIL  fastpath.{probe}: {n:.1} ns is not below the legacy \
+                     replica's {o:.1} ns measured in this run"
+                );
+            }
+            _ => {
+                ok = false;
+                let _ = writeln!(out, "  FAIL  fastpath.{probe}: probe pair missing");
+            }
+        }
+    }
+    for probe in ["gate_enter_exit", "config_read"] {
+        if let (Some(n), Some(o)) = (
+            snap.get(&format!("fastpath.{probe}.wall_ns"))
+                .and_then(Val::as_f64),
+            snap.get(&format!("fastpath.{probe}.wall_legacy_ns"))
+                .and_then(Val::as_f64),
+        ) {
+            let _ = writeln!(
+                out,
+                "  note  fastpath.{probe}: {n:.1} ns vs legacy {o:.1} ns (not gated)"
+            );
+        }
+    }
+    let _ = writeln!(out, "fastpath gate: {}", if ok { "PASS" } else { "FAIL" });
+    (out, ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_legacy_probes_compute_the_same_values() {
+        let mut new_tx = NewTxBench::new();
+        let mut old_tx = LegacyTxBench::new();
+        // Same initial heap (zeroed), same ops: identical results.
+        assert_eq!(new_tx.read_only(), old_tx.read_only());
+        assert_eq!(new_tx.one_write(), old_tx.one_write());
+        assert_eq!(new_tx.read_only(), old_tx.read_only());
+    }
+
+    #[test]
+    fn htm_fallback_probe_actually_falls_back() {
+        let mut htm = HtmFallbackBench::new();
+        htm.take();
+        htm.take();
+        let snap = htm.poly.snapshot();
+        assert_eq!(snap.commits, 2);
+        assert_eq!(
+            snap.fallback_commits, 2,
+            "tiny geometry + give-up budget must route every take through the fallback"
+        );
+    }
+
+    #[test]
+    fn switch_bench_switches_under_live_load() {
+        let mut sw = SwitchBench::new();
+        for _ in 0..6 {
+            sw.switch();
+        }
+        let backend = sw.poly.current_config().backend;
+        assert_eq!(backend, BackendId::Tl2, "6 flips from TL2 end on TL2");
+    }
+
+    #[test]
+    fn verdict_gates_only_the_commit_latency_pairs() {
+        let mut snap = BTreeMap::new();
+        snap.insert("fastpath.read_only.wall_ns".into(), Val::F(100.0));
+        snap.insert("fastpath.read_only.wall_legacy_ns".into(), Val::F(120.0));
+        snap.insert("fastpath.one_write.wall_ns".into(), Val::F(150.0));
+        snap.insert("fastpath.one_write.wall_legacy_ns".into(), Val::F(200.0));
+        let (text, ok) = verdict(&snap);
+        assert!(ok, "{text}");
+
+        snap.insert("fastpath.one_write.wall_ns".into(), Val::F(201.0));
+        let (text, ok) = verdict(&snap);
+        assert!(!ok);
+        assert!(text.contains("fastpath.one_write"), "{text}");
+
+        snap.remove("fastpath.read_only.wall_legacy_ns");
+        assert!(!verdict(&snap).1, "a missing pair must fail the gate");
+    }
+
+    #[test]
+    fn median_ns_is_positive_and_finite() {
+        let mut x = 0u64;
+        let ns = median_ns(64, || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            black_box(x);
+        });
+        assert!(ns.is_finite() && ns >= 0.0, "median was {ns}");
+    }
+}

@@ -41,7 +41,8 @@ pub enum Val {
 }
 
 impl Val {
-    fn as_f64(&self) -> Option<f64> {
+    /// Numeric view of the value, for gating; `None` for strings.
+    pub fn as_f64(&self) -> Option<f64> {
         match self {
             Val::U(v) => Some(*v as f64),
             Val::F(v) => Some(*v),
@@ -388,35 +389,75 @@ pub fn compare(
     (out, ok)
 }
 
-/// Run the whole subcommand. Returns `true` when the gate passed.
+/// Compare a freshly collected section against its checked-in baseline
+/// file, if one exists. Shared by the fig4/fig5 and fastpath sections.
+fn gate_against_baseline(
+    snap: &BTreeMap<String, Val>,
+    baseline: &PathBuf,
+    noise: f64,
+) -> Result<bool, String> {
+    let baseline_text = match std::fs::read_to_string(baseline) {
+        Ok(t) => t,
+        Err(e) => {
+            println!(
+                "no baseline at {} ({e}); run with --update-baseline to record one",
+                baseline.display()
+            );
+            return Ok(true);
+        }
+    };
+    let base = parse(&baseline_text)
+        .map_err(|e| format!("invalid baseline {}: {e}", baseline.display()))?;
+    let (verdict, ok) = compare(snap, &base, noise);
+    print!("{verdict}");
+    Ok(ok)
+}
+
+/// Run the whole subcommand. Returns `true` when every gate passed.
+///
+/// Besides the fig4/fig5 snapshot at `--out`, a second section of
+/// single-op fast-path latencies ([`crate::fastpath`]) is written next to
+/// it as `BENCH_fastpath.json` (baseline `BENCH_fastpath_baseline.json`
+/// next to `--baseline`). The fastpath section carries its own *same-run*
+/// gate — the shipping commit path must beat the in-process legacy
+/// replica — on top of the usual baseline comparison.
 pub fn run(args: &SnapshotArgs) -> Result<bool, String> {
+    // The nanosecond probes run first, in a pristine process: the fig
+    // pipelines leave behind a warmed allocator whose hot size classes
+    // flatter exactly the per-commit allocation the legacy replica is
+    // supposed to be charged for.
+    println!("== bench-snapshot: fastpath single-op latencies ==");
+    let fsnap = crate::fastpath::collect();
+
     println!("== bench-snapshot: fig4/fig5 quick pipelines, plain + traced ==");
     let snap = collect()?;
     let text = render(&snap);
     std::fs::write(&args.out, &text)
         .map_err(|e| format!("cannot write {}: {e}", args.out.display()))?;
     println!("snapshot written to {}", args.out.display());
+
+    let ftext = render(&fsnap);
+    let fout = args.out.with_file_name("BENCH_fastpath.json");
+    let fbaseline = args.baseline.with_file_name("BENCH_fastpath_baseline.json");
+    std::fs::write(&fout, &ftext).map_err(|e| format!("cannot write {}: {e}", fout.display()))?;
+    println!("fastpath snapshot written to {}", fout.display());
+    // The same-run gate holds even under --update-baseline: a regression
+    // must not be silently recorded as the new normal.
+    let (fverdict, fok) = crate::fastpath::verdict(&fsnap);
+    print!("{fverdict}");
+
     if args.update_baseline {
         std::fs::write(&args.baseline, &text)
             .map_err(|e| format!("cannot write {}: {e}", args.baseline.display()))?;
         println!("baseline updated at {}", args.baseline.display());
-        return Ok(true);
+        std::fs::write(&fbaseline, &ftext)
+            .map_err(|e| format!("cannot write {}: {e}", fbaseline.display()))?;
+        println!("fastpath baseline updated at {}", fbaseline.display());
+        return Ok(fok);
     }
-    let baseline_text = match std::fs::read_to_string(&args.baseline) {
-        Ok(t) => t,
-        Err(e) => {
-            println!(
-                "no baseline at {} ({e}); run with --update-baseline to record one",
-                args.baseline.display()
-            );
-            return Ok(true);
-        }
-    };
-    let baseline = parse(&baseline_text)
-        .map_err(|e| format!("invalid baseline {}: {e}", args.baseline.display()))?;
-    let (verdict, ok) = compare(&snap, &baseline, args.noise);
-    print!("{verdict}");
-    Ok(ok)
+    let ok = gate_against_baseline(&snap, &args.baseline, args.noise)?;
+    let f_base_ok = gate_against_baseline(&fsnap, &fbaseline, args.noise)?;
+    Ok(ok && fok && f_base_ok)
 }
 
 #[cfg(test)]

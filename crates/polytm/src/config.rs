@@ -56,6 +56,11 @@ impl BackendId {
         }
     }
 
+    /// Inverse of [`BackendId::index`].
+    pub fn from_index(i: usize) -> Option<BackendId> {
+        BackendId::ALL.get(i).copied()
+    }
+
     /// Whether this backend has tunable HTM contention management.
     pub fn is_hardware(self) -> bool {
         matches!(
@@ -150,6 +155,111 @@ impl fmt::Display for TmConfig {
             write!(f, " {}", s)?;
         }
         Ok(())
+    }
+}
+
+/// A seqlock-style atomic cell holding one [`TmConfig`].
+///
+/// Probe and monitor paths (`PolyTm::current_config`, `KpiProbe`) read the
+/// active configuration on every sample; guarding it with a `Mutex` made
+/// every probe contend with — and block behind — an in-progress algorithm
+/// switch. This cell makes reads wait-free in the uncontended case and
+/// lock-free always: a reader retries only while a writer is mid-publish
+/// (a handful of stores).
+///
+/// Writers must be serialized externally (PolyTM holds its `reconfig`
+/// mutex across every store). Every field is an atomic, so there is no
+/// `UnsafeCell` and no torn access at the language level; the sequence
+/// word only ensures a reader never *returns* a mix of two
+/// configurations.
+///
+/// Ordering: the writer bumps the sequence to odd with an `AcqRel` RMW
+/// (its acquire half keeps the field stores from hoisting above the
+/// marker), publishes fields with release stores, then bumps to even with
+/// a release RMW (keeping them from sinking below). The reader's acquire
+/// loads chain in program order, so its second sequence read cannot
+/// observe field values from a later write.
+#[derive(Debug)]
+pub(crate) struct ConfigCell {
+    seq: std::sync::atomic::AtomicU64,
+    backend: std::sync::atomic::AtomicU64,
+    threads: std::sync::atomic::AtomicU64,
+    /// Packed `Option<HtmSetting>`: bit 63 = present, bits 33..=35 the
+    /// policy's position in [`CapacityPolicy::ALL`], low 32 bits the
+    /// budget. Zero = `None`.
+    htm: std::sync::atomic::AtomicU64,
+}
+
+impl ConfigCell {
+    pub(crate) fn new(c: TmConfig) -> Self {
+        let cell = ConfigCell {
+            seq: std::sync::atomic::AtomicU64::new(0),
+            backend: std::sync::atomic::AtomicU64::new(0),
+            threads: std::sync::atomic::AtomicU64::new(0),
+            htm: std::sync::atomic::AtomicU64::new(0),
+        };
+        cell.store(c);
+        cell
+    }
+
+    fn encode_htm(h: Option<HtmSetting>) -> u64 {
+        match h {
+            None => 0,
+            Some(s) => {
+                let p = CapacityPolicy::ALL
+                    .iter()
+                    .position(|&x| x == s.policy)
+                    .expect("policy missing from CapacityPolicy::ALL")
+                    as u64;
+                (1 << 63) | (p << 33) | s.budget as u64
+            }
+        }
+    }
+
+    fn decode_htm(word: u64) -> Option<HtmSetting> {
+        if word & (1 << 63) == 0 {
+            return None;
+        }
+        Some(HtmSetting {
+            budget: word as u32,
+            policy: CapacityPolicy::ALL[((word >> 33) & 0x7) as usize],
+        })
+    }
+
+    /// Publish a new configuration. Callers must hold the runtime's
+    /// reconfiguration lock — concurrent writers would corrupt the
+    /// sequence protocol.
+    pub(crate) fn store(&self, c: TmConfig) {
+        use std::sync::atomic::Ordering;
+        self.seq.fetch_add(1, Ordering::AcqRel); // odd: write in progress
+        self.backend
+            .store(c.backend.index() as u64, Ordering::Release);
+        self.threads.store(c.threads as u64, Ordering::Release);
+        self.htm.store(Self::encode_htm(c.htm), Ordering::Release);
+        self.seq.fetch_add(1, Ordering::Release); // even: stable
+    }
+
+    /// Lock-free consistent snapshot of the configuration.
+    pub(crate) fn load(&self) -> TmConfig {
+        use std::sync::atomic::Ordering;
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let backend = self.backend.load(Ordering::Acquire);
+            let threads = self.threads.load(Ordering::Acquire);
+            let htm = self.htm.load(Ordering::Acquire);
+            if self.seq.load(Ordering::Acquire) == s1 {
+                return TmConfig {
+                    backend: BackendId::from_index(backend as usize)
+                        .expect("config cell holds invalid backend index"),
+                    threads: threads as usize,
+                    htm: Self::decode_htm(htm),
+                };
+            }
+        }
     }
 }
 
@@ -316,6 +426,75 @@ mod tests {
             assert_eq!(space.index_of(c), Some(i));
         }
         assert_eq!(space.index_of(&TmConfig::stm(BackendId::Tl2, 99)), None);
+    }
+
+    #[test]
+    fn from_index_roundtrips() {
+        for b in BackendId::ALL {
+            assert_eq!(BackendId::from_index(b.index()), Some(b));
+        }
+        assert_eq!(BackendId::from_index(BackendId::ALL.len()), None);
+    }
+
+    #[test]
+    fn config_cell_roundtrips_every_shape() {
+        // Every backend × several thread counts (including the invalid-but-
+        // storable counts validation tests use) × HTM settings.
+        for backend in BackendId::ALL {
+            for threads in [0usize, 1, 2, 8, 9, 48, 99] {
+                for htm in [
+                    None,
+                    Some(HtmSetting::DEFAULT),
+                    Some(HtmSetting {
+                        budget: u32::MAX,
+                        policy: CapacityPolicy::Halve,
+                    }),
+                    Some(HtmSetting {
+                        budget: 0,
+                        policy: CapacityPolicy::GiveUp,
+                    }),
+                ] {
+                    let c = TmConfig {
+                        backend,
+                        threads,
+                        htm,
+                    };
+                    let cell = ConfigCell::new(c);
+                    assert_eq!(cell.load(), c);
+                    // Overwrite with something else and back.
+                    cell.store(TmConfig::stm(BackendId::NOrec, 3));
+                    assert_eq!(cell.load(), TmConfig::stm(BackendId::NOrec, 3));
+                    cell.store(c);
+                    assert_eq!(cell.load(), c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn config_cell_readers_never_see_torn_configs() {
+        // Hammer the cell from reader threads while one writer alternates
+        // between two configurations; every loaded value must be exactly
+        // one of the two.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let a = TmConfig::stm(BackendId::Tl2, 1);
+        let b = TmConfig::htm(BackendId::Htm, 8, HtmSetting::DEFAULT);
+        let cell = ConfigCell::new(a);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    while !stop.load(Ordering::Relaxed) {
+                        let got = cell.load();
+                        assert!(got == a || got == b, "torn config: {got}");
+                    }
+                });
+            }
+            for i in 0..20_000u32 {
+                cell.store(if i % 2 == 0 { b } else { a });
+            }
+            stop.store(true, Ordering::SeqCst);
+        });
     }
 
     #[test]

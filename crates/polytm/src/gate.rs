@@ -2,14 +2,37 @@
 //! parallelism and to quiesce all threads before switching TM algorithms.
 //!
 //! Each application thread synchronizes with the adapter through a padded
-//! state word. Starting a transaction sets the word's low bit with a single
-//! `fetch_add` (cheaper than a CAS loop — the `gate` Criterion bench
-//! quantifies the difference); the adapter disables a thread by setting the
-//! high bit. Whoever observes both bits set knows it raced and resolves the
-//! race exactly as the paper prescribes.
+//! per-slot cache line holding two atomics — a **state word** and an
+//! **epoch word** — and nothing else: no mutex, no condvar, no possible
+//! lost wakeup. Starting a transaction sets the state word's low bit with
+//! a single `fetch_add` (cheaper than a CAS loop — the `gate` Criterion
+//! bench quantifies the difference) and publishes the global quiescence
+//! epoch into the slot's epoch word with at most one release store. The
+//! adapter disables a thread by `fetch_or`-ing the high **block** bit and
+//! *polling* (spin → yield → sleep) until the in-flight transaction
+//! drains; a blocked entrant likewise polls the block bit. Whoever
+//! observes both bits set knows it raced and resolves the race exactly as
+//! the paper prescribes: the entrant withdraws its run bit and waits.
+//!
+//! # Memory-ordering contract
+//!
+//! * `enter`'s fetch-and-add is `AcqRel`: when it observes the block bit
+//!   clear, it synchronizes with the adapter's releasing `fetch_and` in
+//!   [`ThreadGate::unblock`], so everything the adapter wrote while the
+//!   thread was blocked (the backend pointer, the config cell) is visible
+//!   to the transaction.
+//! * `exit`'s fetch-sub is `AcqRel`: the adapter's acquiring drain loop in
+//!   [`ThreadGate::await_drained`] that sees the run bit clear therefore
+//!   sees every write of the drained transaction.
+//! * The slot epoch is published *after* a successful enter with a release
+//!   store. Because the adapter advances the global epoch before
+//!   unblocking (both while the thread cannot be inside a transaction), a
+//!   slot whose epoch word reads `e` is guaranteed to have started its
+//!   current/latest transaction on the backend configuration of epoch `e`
+//!   — the property the switch stress tests assert.
 
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 use txcore::util::CachePadded;
 
 /// Low bit: the thread is running a transaction.
@@ -17,10 +40,15 @@ const RUN: u64 = 1;
 /// High bit: the adapter wants the thread blocked.
 const BLOCK: u64 = 1 << 32;
 
+/// Per-thread gate state; one cache line per slot (state + epoch share the
+/// line — they are only ever touched by the owning thread and the single
+/// reconfiguring adapter).
+#[derive(Default)]
 struct Slot {
-    state: CachePadded<AtomicU64>,
-    lock: Mutex<()>,
-    cv: Condvar,
+    /// Run/block word of Algorithm 1.
+    state: AtomicU64,
+    /// Last global quiescence epoch this slot entered under.
+    epoch: AtomicU64,
 }
 
 /// The per-thread gate (Algorithm 1).
@@ -33,9 +61,38 @@ struct Slot {
 /// gate.disable(1);          // adapter blocks thread 1 (waits if running)
 /// assert!(gate.is_disabled(1));
 /// gate.enable(1);
+/// assert_eq!(gate.advance_epoch(), gate.current_epoch());
 /// ```
 pub struct ThreadGate {
-    slots: Vec<Slot>,
+    slots: Vec<CachePadded<Slot>>,
+    /// Global quiescence epoch, advanced once per algorithm switch.
+    epoch: CachePadded<AtomicU64>,
+}
+
+/// Poll until `done` returns true: brief spin for the common
+/// transaction-length wait, then yields, then 50 µs sleeps so an
+/// arbitrarily long block never burns a core. Returns `false` if
+/// `deadline` passes first.
+fn poll_until(mut done: impl FnMut() -> bool, deadline: Option<Instant>) -> bool {
+    let mut round = 0u32;
+    loop {
+        if done() {
+            return true;
+        }
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                return false;
+            }
+        }
+        if round < 64 {
+            std::hint::spin_loop();
+        } else if round < 128 {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        round = round.saturating_add(1);
+    }
 }
 
 impl ThreadGate {
@@ -43,13 +100,12 @@ impl ThreadGate {
     pub fn new(max_threads: usize) -> Self {
         let mut slots = Vec::with_capacity(max_threads);
         for _ in 0..max_threads {
-            slots.push(Slot {
-                state: CachePadded::new(AtomicU64::new(0)),
-                lock: Mutex::new(()),
-                cv: Condvar::new(),
-            });
+            slots.push(CachePadded::new(Slot::default()));
         }
-        ThreadGate { slots }
+        ThreadGate {
+            slots,
+            epoch: CachePadded::new(AtomicU64::new(0)),
+        }
     }
 
     /// Number of thread slots.
@@ -57,21 +113,32 @@ impl ThreadGate {
         self.slots.len()
     }
 
-    /// Called by thread `t` before each transaction; blocks while `t` is
-    /// disabled (Algorithm 1, `tm-start`).
+    /// Publish the current global epoch into `t`'s slot. Runs after a
+    /// successful enter: the acquiring fetch-and-add ordered this load
+    /// after the adapter's pre-unblock epoch advance, so the value is
+    /// never staler than the backend the transaction runs on.
+    #[inline]
+    fn publish_epoch(&self, slot: &Slot) {
+        let g = self.epoch.load(Ordering::Relaxed);
+        if slot.epoch.load(Ordering::Relaxed) != g {
+            slot.epoch.store(g, Ordering::Release);
+        }
+    }
+
+    /// Called by thread `t` before each transaction; blocks (by polling)
+    /// while `t` is disabled (Algorithm 1, `tm-start`).
+    #[inline]
     pub fn enter(&self, t: usize) {
         let slot = &self.slots[t];
         loop {
             let val = slot.state.fetch_add(RUN, Ordering::AcqRel);
             if val & BLOCK == 0 {
+                self.publish_epoch(slot);
                 return;
             }
             // Lost the race with the adapter: withdraw and wait.
             slot.state.fetch_sub(RUN, Ordering::AcqRel);
-            let mut guard = slot.lock.lock();
-            while slot.state.load(Ordering::Acquire) & BLOCK != 0 {
-                slot.cv.wait(&mut guard);
-            }
+            poll_until(|| slot.state.load(Ordering::Acquire) & BLOCK == 0, None);
         }
     }
 
@@ -81,60 +148,93 @@ impl ThreadGate {
         self.slots[t].state.fetch_sub(RUN, Ordering::AcqRel);
     }
 
+    /// Adapter side: set `t`'s block bit without waiting for its in-flight
+    /// transaction. Idempotent (`fetch_or`), so overlapping blocks of the
+    /// same slot cannot accumulate. Pair with [`ThreadGate::await_drained`]
+    /// to quiesce many threads concurrently: block all, then drain all —
+    /// total wait is the *slowest* transaction, not the sum.
+    #[inline]
+    pub fn block(&self, t: usize) {
+        self.slots[t].state.fetch_or(BLOCK, Ordering::AcqRel);
+    }
+
+    /// Adapter side: wait (polling) until `t` has no transaction in
+    /// flight, or until `deadline`. Returns `true` on drain.
+    ///
+    /// Only meaningful after [`ThreadGate::block`]; the acquiring load
+    /// that observes the run bit clear synchronizes with the drained
+    /// transaction's exit.
+    #[must_use]
+    pub fn await_drained(&self, t: usize, deadline: Option<Instant>) -> bool {
+        let slot = &self.slots[t];
+        poll_until(
+            || slot.state.load(Ordering::Acquire) & (BLOCK - 1) == 0,
+            deadline,
+        )
+    }
+
+    /// Adapter side: clear `t`'s block bit, preserving any concurrent
+    /// entrant's run bit (a plain store of 0 here could clobber a
+    /// withdrawing entrant's fetch-add and underflow the state word).
+    /// No-op when `t` is not blocked. Waiters notice by polling — there is
+    /// no wakeup to lose.
+    #[inline]
+    pub fn unblock(&self, t: usize) {
+        self.slots[t].state.fetch_and(!BLOCK, Ordering::AcqRel);
+    }
+
     /// Adapter side: block thread `t`, waiting until any in-flight
     /// transaction of `t` finishes (Algorithm 1, `disable-thread`).
     pub fn disable(&self, t: usize) {
-        let slot = &self.slots[t];
-        let mut val = slot.state.fetch_add(BLOCK, Ordering::AcqRel);
-        while val & RUN != 0 {
-            std::thread::yield_now();
-            val = slot.state.load(Ordering::Acquire);
-        }
+        self.block(t);
+        let drained = self.await_drained(t, None);
+        debug_assert!(drained);
     }
 
     /// Adapter side: like [`ThreadGate::disable`], but give up if `t`'s
     /// in-flight transaction has not drained within `timeout`.
     ///
-    /// On timeout the block bit is rolled back (under the slot lock, so a
-    /// thread that withdrew into the condvar wait is woken) and `false` is
-    /// returned: the thread keeps running as if `try_disable` was never
-    /// called. This is the quiescence watchdog's primitive — Algorithm 1
-    /// assumes transactions drain promptly, and a stalled or wedged worker
-    /// would otherwise block reconfiguration forever.
+    /// On timeout the block bit is rolled back and `false` is returned:
+    /// the thread keeps running as if `try_disable` was never called. This
+    /// is the quiescence watchdog's primitive — Algorithm 1 assumes
+    /// transactions drain promptly, and a stalled or wedged worker would
+    /// otherwise block reconfiguration forever.
     #[must_use]
-    pub fn try_disable(&self, t: usize, timeout: std::time::Duration) -> bool {
-        let slot = &self.slots[t];
-        let mut val = slot.state.fetch_add(BLOCK, Ordering::AcqRel);
-        if val & RUN == 0 {
+    pub fn try_disable(&self, t: usize, timeout: Duration) -> bool {
+        self.block(t);
+        if self.await_drained(t, Some(Instant::now() + timeout)) {
             return true;
         }
-        let deadline = std::time::Instant::now() + timeout;
-        loop {
-            std::thread::yield_now();
-            val = slot.state.load(Ordering::Acquire);
-            if val & RUN == 0 {
-                return true;
-            }
-            if std::time::Instant::now() >= deadline {
-                let _guard = slot.lock.lock();
-                slot.state.fetch_sub(BLOCK, Ordering::AcqRel);
-                slot.cv.notify_all();
-                return false;
-            }
-        }
+        self.unblock(t);
+        false
     }
 
     /// Adapter side: re-enable thread `t` (Algorithm 1, `enable-thread`).
     pub fn enable(&self, t: usize) {
-        let slot = &self.slots[t];
-        let _guard = slot.lock.lock();
-        slot.state.store(0, Ordering::Release);
-        slot.cv.notify_all();
+        self.unblock(t);
     }
 
     /// Whether thread `t` is currently disabled.
     pub fn is_disabled(&self, t: usize) -> bool {
         self.slots[t].state.load(Ordering::Acquire) & BLOCK != 0
+    }
+
+    /// Advance the global quiescence epoch and return the new value.
+    /// Called once per algorithm switch, after every thread is blocked and
+    /// drained and the new backend is installed, *before* unblocking — so
+    /// a slot that observes the new epoch runs on the new backend.
+    pub fn advance_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// The current global quiescence epoch.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The last epoch thread `t` entered a transaction under.
+    pub fn observed_epoch(&self, t: usize) -> u64 {
+        self.slots[t].epoch.load(Ordering::Acquire)
     }
 
     /// CAS-loop variant of [`ThreadGate::enter`], kept for the ablation
@@ -145,10 +245,7 @@ impl ThreadGate {
         loop {
             let cur = slot.state.load(Ordering::Acquire);
             if cur & BLOCK != 0 {
-                let mut guard = slot.lock.lock();
-                while slot.state.load(Ordering::Acquire) & BLOCK != 0 {
-                    slot.cv.wait(&mut guard);
-                }
+                poll_until(|| slot.state.load(Ordering::Acquire) & BLOCK == 0, None);
                 continue;
             }
             if slot
@@ -156,6 +253,7 @@ impl ThreadGate {
                 .compare_exchange(cur, cur + RUN, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
+                self.publish_epoch(slot);
                 return;
             }
         }
@@ -166,6 +264,7 @@ impl std::fmt::Debug for ThreadGate {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ThreadGate")
             .field("capacity", &self.capacity())
+            .field("epoch", &self.current_epoch())
             .finish()
     }
 }
@@ -257,6 +356,83 @@ mod tests {
         g.disable(0);
         assert!(g.is_disabled(0));
         g.enable(0);
+    }
+
+    #[test]
+    fn repeated_block_does_not_accumulate() {
+        // `block` is idempotent: a double block followed by a single
+        // unblock must leave the slot fully enabled.
+        let g = ThreadGate::new(1);
+        g.block(0);
+        g.block(0);
+        g.unblock(0);
+        assert!(!g.is_disabled(0));
+        g.enter(0);
+        g.exit(0);
+        // Unblocking an already-enabled slot is a no-op.
+        g.unblock(0);
+        g.enter(0);
+        g.exit(0);
+    }
+
+    #[test]
+    fn enable_preserves_concurrent_entrants_run_bit() {
+        // Regression for the old condvar gate: `enable` used to store 0
+        // into the state word, which could clobber the RUN bit of an
+        // entrant mid-withdrawal and underflow the word on its fetch_sub.
+        // The CAS-free fetch_and only ever clears BLOCK.
+        let g = Arc::new(ThreadGate::new(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let g2 = Arc::clone(&g);
+            let stop2 = Arc::clone(&stop);
+            s.spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    g2.enter(0);
+                    g2.exit(0);
+                }
+            });
+            for _ in 0..2_000 {
+                g.block(0);
+                g.unblock(0);
+            }
+            stop.store(true, Ordering::SeqCst);
+        });
+        // A wedged or underflowed state word would leave enter spinning or
+        // the run count negative; a clean enter/exit proves neither
+        // happened.
+        g.enter(0);
+        g.exit(0);
+        assert!(!g.is_disabled(0));
+    }
+
+    #[test]
+    fn epoch_publication_tracks_enters() {
+        let g = ThreadGate::new(2);
+        assert_eq!(g.current_epoch(), 0);
+        g.enter(0);
+        g.exit(0);
+        assert_eq!(g.observed_epoch(0), 0);
+        assert_eq!(g.advance_epoch(), 1);
+        assert_eq!(g.current_epoch(), 1);
+        // Slot 0 has not entered since the advance.
+        assert_eq!(g.observed_epoch(0), 0);
+        g.enter(0);
+        assert_eq!(g.observed_epoch(0), 1);
+        g.exit(0);
+        // Slot 1 never entered at all.
+        assert_eq!(g.observed_epoch(1), 0);
+    }
+
+    #[test]
+    fn await_drained_times_out_and_succeeds() {
+        let g = ThreadGate::new(1);
+        g.enter(0);
+        g.block(0);
+        assert!(!g.await_drained(0, Some(Instant::now() + Duration::from_millis(2))));
+        g.exit(0);
+        assert!(g.await_drained(0, Some(Instant::now() + Duration::from_millis(100))));
+        g.unblock(0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The PolyTM runtime: backend registry, safe mode switching, parallelism
 //! adaptation and KPI profiling behind one transactional interface.
 
-use crate::config::{BackendId, HtmSetting, TmConfig};
+use crate::config::{BackendId, ConfigCell, HtmSetting, TmConfig};
 use crate::energy::EnergyModel;
 use crate::gate::ThreadGate;
 use crate::profiler::KpiProbe;
@@ -285,8 +285,8 @@ impl PolyTmBuilder {
             stats,
             energy: self.energy,
             reconfig: Mutex::new(()),
-            config: Mutex::new(initial),
-            known_good: Mutex::new(initial),
+            config: ConfigCell::new(initial),
+            known_good: ConfigCell::new(initial),
             epochs: AtomicU64::new(0),
             drain_timeout: self.drain_timeout,
             tx_budget: self.tx_retry_budget,
@@ -315,10 +315,12 @@ pub struct PolyTm {
     /// worker escaping to serial-irrevocable mode (which holds no RUN bit
     /// while waiting, so it cannot deadlock against a draining adapter).
     reconfig: Mutex<()>,
-    config: Mutex<TmConfig>,
+    /// The active configuration, readable lock-free by probe and monitor
+    /// paths (seqlock); written only under `reconfig`.
+    config: ConfigCell,
     /// Last configuration that applied cleanly; the degrade target when a
     /// switch keeps failing ([`PolyTm::apply_with_retry`]).
-    known_good: Mutex<TmConfig>,
+    known_good: ConfigCell,
     /// Quiescence epochs started (one per attempted algorithm switch).
     epochs: AtomicU64,
     /// Watchdog budget for draining one thread during quiescence.
@@ -354,8 +356,12 @@ impl PolyTm {
     }
 
     /// The current configuration.
+    ///
+    /// Lock-free: served from an atomic snapshot, so probe and monitor
+    /// threads never block behind an in-progress switch (which holds the
+    /// reconfiguration lock for the whole quiescence protocol).
     pub fn current_config(&self) -> TmConfig {
-        *self.config.lock()
+        self.config.load()
     }
 
     /// The energy model in use.
@@ -410,6 +416,30 @@ impl PolyTm {
             Some(value) => value,
             None => self.run_serial(worker, f),
         }
+    }
+
+    /// Like [`PolyTm::run_tx`], declaring the block read-only.
+    ///
+    /// On backends that never revalidate a running transaction's reads
+    /// (TL2) the declaration skips read-set maintenance entirely — the
+    /// fastest way through the runtime for the read-dominated blocks most
+    /// TM workloads are made of (the `fastpath` bench gates the saving).
+    /// The hint is safe, not trusted: a block that writes anyway takes one
+    /// `mode` abort and retries fully instrumented, and backends that
+    /// revalidate mid-transaction simply ignore the hint. See
+    /// [`txcore::run_read_tx`].
+    pub fn run_read_tx<T>(
+        &self,
+        worker: &mut Worker,
+        f: impl FnMut(&mut Tx<'_>) -> TxResult<T>,
+    ) -> T {
+        worker.ctx.read_only = true;
+        let out = self.run_tx(worker, f);
+        // `run_tx` may resolve via the serial escape; either way the hint
+        // must not leak into the worker's next, undeclared block. (A write
+        // under the hint already cleared it inside the backend.)
+        worker.ctx.read_only = false;
+        out
     }
 
     /// The serial-irrevocable escape hatch: run `f` with every other thread
@@ -508,7 +538,7 @@ impl PolyTm {
             return Err(SwitchError::Injected);
         }
         let _adapter = self.reconfig.lock();
-        let from = *self.config.lock();
+        let from = self.config.load();
         let started = Instant::now();
         let switch_algo = self.current.load(Ordering::Acquire) != config.backend.index();
         // Spans on this path may be wall-clock `timed` because the whole
@@ -534,32 +564,38 @@ impl PolyTm {
                 epoch
             };
             // Quiesce *every* thread (pinned ones included — brief by
-            // design), swap the function-pointer table, resume. The
-            // watchdog bounds each drain: on timeout the threads disabled
-            // by this pass are re-enabled and the switch is abandoned
-            // before the backend pointer moves, so no thread can ever run
-            // on a half-switched runtime.
+            // design), swap the function-pointer table, resume. All block
+            // bits are set first and only then drained against one shared
+            // deadline, so the total wait is the *slowest* in-flight
+            // transaction, not the sum over threads. On timeout every
+            // thread blocked by this pass is unblocked and the switch is
+            // abandoned before the backend pointer moves, so no thread can
+            // ever run on a half-switched runtime.
             {
                 let _drain = obs::timed_span!("quiesce.drain", "epoch" => epoch);
-                let mut drained = Vec::new();
+                let mut blocked = Vec::new();
                 for t in 0..self.max_threads {
                     if !self.gate.is_disabled(t) {
-                        if !self.gate.try_disable(t, self.drain_timeout) {
-                            for &u in &drained {
-                                self.gate.enable(u);
-                            }
-                            if obs::enabled() {
-                                obs::counter("polytm.quiesce_rollbacks").inc();
-                                obs::event!(
-                                    "recovery.quiesce_rollback",
-                                    "epoch" => epoch,
-                                    "thread" => t,
-                                    "waited_ns" => started.elapsed().as_nanos() as u64,
-                                );
-                            }
-                            return Err(SwitchError::QuiesceTimeout { thread: t });
+                        self.gate.block(t);
+                        blocked.push(t);
+                    }
+                }
+                let deadline = Instant::now() + self.drain_timeout;
+                for &t in &blocked {
+                    if !self.gate.await_drained(t, Some(deadline)) {
+                        for &u in &blocked {
+                            self.gate.unblock(u);
                         }
-                        drained.push(t);
+                        if obs::enabled() {
+                            obs::counter("polytm.quiesce_rollbacks").inc();
+                            obs::event!(
+                                "recovery.quiesce_rollback",
+                                "epoch" => epoch,
+                                "thread" => t,
+                                "waited_ns" => started.elapsed().as_nanos() as u64,
+                            );
+                        }
+                        return Err(SwitchError::QuiesceTimeout { thread: t });
                     }
                 }
             }
@@ -567,6 +603,10 @@ impl PolyTm {
                 let _swap = obs::span!("quiesce.switch", "epoch" => epoch);
                 self.current
                     .store(config.backend.index(), Ordering::Release);
+                // Advance the gate's quiescence epoch while every thread is
+                // still blocked: a slot that later publishes the new epoch
+                // is guaranteed to be running on the new backend.
+                self.gate.advance_epoch();
             }
             obs::event!(
                 "quiesce.end",
@@ -584,8 +624,8 @@ impl PolyTm {
                 self.set_htm_locked(setting);
             }
         }
-        *self.config.lock() = *config;
-        *self.known_good.lock() = *config;
+        self.config.store(*config);
+        self.known_good.store(*config);
         let latency = started.elapsed();
         if obs::enabled() {
             obs::event!(
@@ -646,7 +686,7 @@ impl PolyTm {
                     backoff = (backoff * 2).min(policy.max_backoff);
                 }
                 Err(e) if e.is_transient() => {
-                    let good = *self.known_good.lock();
+                    let good = self.known_good.load();
                     // The degrade target itself can hit a transient fault
                     // (an injected plan does not care which config we
                     // apply); give it the same number of chances.
@@ -677,17 +717,20 @@ impl PolyTm {
 
     /// The last configuration that applied cleanly (the degrade target).
     pub fn known_good_config(&self) -> TmConfig {
-        *self.known_good.lock()
+        self.known_good.load()
     }
 
-    /// Retune only the HTM contention management (lock-free, no quiescence —
-    /// paper §4.3).
+    /// Retune only the HTM contention management (no quiescence, and
+    /// readers of the configuration stay lock-free — paper §4.3).
     pub fn set_htm_setting(&self, setting: HtmSetting) {
         let _adapter = self.reconfig.lock();
         self.set_htm_locked(setting);
-        let mut cfg = self.config.lock();
+        let cfg = self.config.load();
         if cfg.htm.is_some() {
-            cfg.htm = Some(setting);
+            self.config.store(TmConfig {
+                htm: Some(setting),
+                ..cfg
+            });
         }
     }
 
@@ -802,6 +845,28 @@ mod tests {
         });
         assert_eq!(v, 12);
         assert_eq!(poly.snapshot().commits, 1);
+    }
+
+    #[test]
+    fn run_read_tx_commits_and_clears_the_hint() {
+        let poly = PolyTm::builder().heap_words(1 << 10).max_threads(2).build();
+        let a = poly.system().heap.alloc(2);
+        poly.system().heap.write_raw(a, 3);
+        poly.system().heap.write_raw(a.field(1), 4);
+        let mut w = poly.register_thread(0);
+        let sum = poly.run_read_tx(&mut w, |tx| Ok(tx.read(a)? + tx.read(a.field(1))?));
+        assert_eq!(sum, 7);
+        // An undeclared writing block right after must be fully logged and
+        // commit without a mode abort.
+        let v = poly.run_tx(&mut w, |tx| {
+            let v = tx.read(a)?;
+            tx.write(a, v + 10)?;
+            tx.read(a)
+        });
+        assert_eq!(v, 13);
+        let snap = poly.snapshot();
+        assert_eq!(snap.commits, 2);
+        assert_eq!(snap.total_aborts(), 0);
     }
 
     #[test]
@@ -1010,6 +1075,66 @@ mod tests {
         let v = poly.run_tx(&mut w, |tx| tx.read(a));
         assert_eq!(v, 1);
         assert_eq!(poly.serial_escapes(), 1);
+    }
+
+    #[test]
+    fn probing_never_blocks_behind_inflight_switch() {
+        // A switch that cannot finish (a worker stalls inside its
+        // transaction, and the drain budget is huge) holds `reconfig` for
+        // seconds. Probe/monitor reads must still return immediately from
+        // the atomic config snapshot — the old Mutex<TmConfig> made them
+        // queue behind the adapter.
+        let poly = Arc::new(
+            PolyTm::builder()
+                .heap_words(1 << 10)
+                .max_threads(2)
+                .drain_timeout(Duration::from_secs(10))
+                .build(),
+        );
+        let a = poly.system().heap.alloc(1);
+        let before = poly.current_config();
+        let in_tx = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let p = Arc::clone(&poly);
+            let flag = Arc::clone(&in_tx);
+            let rel = Arc::clone(&release);
+            s.spawn(move || {
+                let mut w = p.register_thread(0);
+                p.run_tx(&mut w, |tx| {
+                    flag.store(true, Ordering::Release);
+                    while !rel.load(Ordering::Acquire) {
+                        std::thread::yield_now();
+                    }
+                    tx.read(a)
+                });
+            });
+            while !in_tx.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            let p = Arc::clone(&poly);
+            let adapter = s.spawn(move || p.apply(&TmConfig::stm(BackendId::NOrec, 2)));
+            // Let the adapter take `reconfig` and start draining slot 0.
+            std::thread::sleep(Duration::from_millis(50));
+            let t0 = Instant::now();
+            let cfg = poly.current_config();
+            let good = poly.known_good_config();
+            let mut probe = poly.probe();
+            let kpi = probe.sample(2);
+            let snap = poly.snapshot();
+            let waited = t0.elapsed();
+            assert_eq!(cfg, before, "switch must not be visible before it lands");
+            assert_eq!(good, before);
+            assert!(kpi.throughput >= 0.0);
+            assert_eq!(snap.commits, 0);
+            assert!(
+                waited < Duration::from_secs(2),
+                "probe paths blocked behind the in-flight switch for {waited:?}"
+            );
+            release.store(true, Ordering::SeqCst);
+            adapter.join().unwrap().unwrap();
+        });
+        assert_eq!(poly.current_config().backend, BackendId::NOrec);
     }
 
     #[test]

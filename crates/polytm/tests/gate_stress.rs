@@ -224,3 +224,103 @@ fn watchdog_rollbacks_under_stalling_workers_lose_nothing() {
         timeouts.load(Ordering::Relaxed)
     );
 }
+
+/// Hammers the gate *directly* — no runtime, no backends — while an
+/// adapter loops block → drain → epoch-advance → unblock over every slot,
+/// the raw sequence `PolyTm::apply` performs around a backend swap.
+///
+/// Asserts, for every round:
+/// * **eventual quiescence** — every slot drains within the watchdog;
+/// * **no activity across a switch** — while all slots are drained, the
+///   per-thread critical-section flags are clear and the enter counters
+///   are frozen;
+/// * **no lost wakeups** — after unblocking, every thread makes fresh
+///   progress before the next round (a thread stuck polling a cleared
+///   block bit would hang the round and trip the watchdog);
+/// * **epoch publication** — once a thread re-enters after the advance,
+///   its slot has observed the new global epoch.
+#[test]
+fn raw_gate_epoch_rounds_never_lose_a_wakeup_or_leak_a_transaction() {
+    const ROUNDS: u64 = 200;
+    let gate = Arc::new(polytm::ThreadGate::new(WORKERS));
+    let stop = Arc::new(AtomicBool::new(false));
+    let entries: Arc<Vec<AtomicU64>> = Arc::new((0..WORKERS).map(|_| AtomicU64::new(0)).collect());
+    let in_cs: Arc<Vec<AtomicBool>> =
+        Arc::new((0..WORKERS).map(|_| AtomicBool::new(false)).collect());
+    let deadline = Instant::now() + WATCHDOG;
+
+    std::thread::scope(|s| {
+        for t in 0..WORKERS {
+            let gate = Arc::clone(&gate);
+            let stop = Arc::clone(&stop);
+            let entries = Arc::clone(&entries);
+            let in_cs = Arc::clone(&in_cs);
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    gate.enter(t);
+                    in_cs[t].store(true, Ordering::Relaxed);
+                    std::hint::spin_loop();
+                    in_cs[t].store(false, Ordering::Relaxed);
+                    gate.exit(t);
+                    entries[t].fetch_add(1, Ordering::Release);
+                }
+            });
+        }
+
+        for round in 0..ROUNDS {
+            for t in 0..WORKERS {
+                gate.block(t);
+            }
+            for t in 0..WORKERS {
+                assert!(
+                    gate.await_drained(t, Some(deadline)),
+                    "round {round}: slot {t} failed to drain (lost wakeup \
+                     or stuck RUN bit)"
+                );
+            }
+            // Full quiescence: nobody inside a critical section, counters
+            // frozen. This is the window a backend swap runs in.
+            let frozen: Vec<u64> = entries.iter().map(|e| e.load(Ordering::Acquire)).collect();
+            for (t, flag) in in_cs.iter().enumerate() {
+                assert!(
+                    !flag.load(Ordering::Relaxed),
+                    "round {round}: thread {t} ran across the switch window"
+                );
+            }
+            let epoch = gate.advance_epoch();
+            for (t, e) in entries.iter().enumerate() {
+                assert_eq!(
+                    e.load(Ordering::Acquire),
+                    frozen[t],
+                    "round {round}: thread {t} advanced while drained"
+                );
+            }
+            for t in 0..WORKERS {
+                gate.unblock(t);
+            }
+            // No lost wakeups: every thread makes fresh progress, and its
+            // first re-entry published the advanced epoch into its slot.
+            for t in 0..WORKERS {
+                while entries[t].load(Ordering::Acquire) == frozen[t] {
+                    assert!(
+                        Instant::now() < deadline,
+                        "round {round}: thread {t} never woke after unblock"
+                    );
+                    std::hint::spin_loop();
+                }
+                assert_eq!(
+                    gate.observed_epoch(t),
+                    epoch,
+                    "round {round}: thread {t} re-entered without observing \
+                     the switch epoch"
+                );
+            }
+        }
+        stop.store(true, Ordering::Release);
+    });
+
+    assert_eq!(gate.current_epoch(), ROUNDS);
+    for (t, e) in entries.iter().enumerate() {
+        assert!(e.load(Ordering::Relaxed) > 0, "thread {t} never entered");
+    }
+}

@@ -150,21 +150,22 @@ impl TmBackend for SwissTm {
         let me = ctx.owner_tag();
         // Lock the read orecs of the stripes we are about to write back, in
         // canonical order (two committers always hold disjoint write orecs,
-        // but their write-back sets can collide on hashed read orecs).
-        let mut r_idxs: Vec<u32> = ctx
-            .write_set
-            .entries()
-            .iter()
-            .map(|&(a, _)| self.rvers().index_for(a) as u32)
-            .collect();
-        r_idxs.sort_unstable();
-        r_idxs.dedup();
-        let mut r_locks: Vec<(u32, u64)> = Vec::with_capacity(r_idxs.len());
-        for &idx in &r_idxs {
+        // but their write-back sets can collide on hashed read orecs). Both
+        // the sorted stripe ids and the saved lock versions live in the
+        // context's reusable scratch buffers, so commits never allocate.
+        ctx.stripe_scratch.clear();
+        for &(a, _) in ctx.write_set.entries() {
+            ctx.stripe_scratch.push(self.rvers().index_for(a) as u32);
+        }
+        ctx.stripe_scratch.sort_unstable();
+        ctx.stripe_scratch.dedup();
+        ctx.scratch.clear();
+        for i in 0..ctx.stripe_scratch.len() {
+            let idx = ctx.stripe_scratch[i];
             loop {
                 match self.rvers().try_lock(idx as usize, me, None) {
                     Ok(prev) => {
-                        r_locks.push((idx, prev));
+                        ctx.scratch.push((idx, prev));
                         break;
                     }
                     // Held briefly by another committer's write-back; the
@@ -174,8 +175,8 @@ impl TmBackend for SwissTm {
             }
         }
         let wv = self.sys.clock.tick();
-        if wv != ctx.rv + 1 && !self.read_set_intact(ctx, &r_locks) {
-            for &(idx, prev) in &r_locks {
+        if wv != ctx.rv + 1 && !self.read_set_intact(ctx, &ctx.scratch) {
+            for &(idx, prev) in &ctx.scratch {
                 self.rvers().unlock(idx as usize, prev);
             }
             release_saved_locks(ctx, self.wlocks());
@@ -184,7 +185,7 @@ impl TmBackend for SwissTm {
         for &(a, v) in ctx.write_set.entries() {
             self.sys.heap.write_raw(a, v);
         }
-        for &(idx, _) in &r_locks {
+        for &(idx, _) in &ctx.scratch {
             self.rvers().unlock(idx as usize, wv);
         }
         release_locks_with(ctx, self.wlocks(), wv);

@@ -88,11 +88,25 @@ impl TmBackend for Tl2 {
         if after != before || v1 > ctx.rv {
             return Err(Abort::CONFLICT);
         }
-        ctx.read_set.push_orec(idx, v1);
+        // Read-only blocks skip the read log altogether — the TL2 paper's
+        // read-only optimization. Each read just validated itself against
+        // `rv`, and TL2 never revisits past reads mid-transaction; the log's
+        // only consumer is writer commit validation, which a read-only
+        // block never reaches.
+        if !ctx.read_only {
+            ctx.read_set.push_orec(idx, v1);
+        }
         Ok(val)
     }
 
     fn write(&self, ctx: &mut ThreadCtx, addr: Addr, val: u64) -> TxResult<()> {
+        if ctx.read_only {
+            // The block lied about being read-only: earlier reads were not
+            // logged, so commit validation could not cover them. Drop the
+            // hint and restart fully instrumented.
+            ctx.read_only = false;
+            return Err(Abort::MODE);
+        }
         ctx.write_set.insert(addr, val);
         Ok(())
     }
@@ -103,18 +117,41 @@ impl TmBackend for Tl2 {
             ctx.reset_logs();
             return Ok(());
         }
+        // Single-write fast path: one entry means one stripe, and one lock
+        // needs no canonical ordering — skip the scratch/sort/dedup
+        // machinery entirely. Single-write transactions (counters,
+        // flag flips, pointer swings) are common enough to earn their own
+        // exit.
+        if let &[(a, v)] = ctx.write_set.entries() {
+            let idx = self.orecs().index_for(a) as u32;
+            match self.orecs().try_lock(idx as usize, ctx.owner_tag(), None) {
+                Ok(prev) => ctx.locks.push((idx, prev)),
+                Err(_) => return Err(Abort::CONFLICT),
+            }
+            let wv = self.sys.clock.tick();
+            if wv != ctx.rv + 1 && !self.validate_read_set(ctx) {
+                release_saved_locks(ctx, self.orecs());
+                return Err(Abort::CONFLICT);
+            }
+            self.sys.heap.write_raw(a, v);
+            release_locks_with(ctx, self.orecs(), wv);
+            ctx.reset_logs();
+            return Ok(());
+        }
         // Lock the write-set stripes in canonical (sorted) order so that
-        // concurrent committers cannot deadlock.
-        let mut stripes: Vec<u32> = ctx
-            .write_set
-            .entries()
-            .iter()
-            .map(|&(a, _)| self.orecs().index_for(a) as u32)
-            .collect();
-        stripes.sort_unstable();
-        stripes.dedup();
+        // concurrent committers cannot deadlock. The stripe ids go through
+        // the context's reusable scratch buffer: a retried or subsequent
+        // commit reuses its capacity, keeping the commit path free of heap
+        // allocation.
+        ctx.stripe_scratch.clear();
+        for &(a, _) in ctx.write_set.entries() {
+            ctx.stripe_scratch.push(self.orecs().index_for(a) as u32);
+        }
+        ctx.stripe_scratch.sort_unstable();
+        ctx.stripe_scratch.dedup();
         let me = ctx.owner_tag();
-        for &idx in &stripes {
+        for i in 0..ctx.stripe_scratch.len() {
+            let idx = ctx.stripe_scratch[i];
             match self.orecs().try_lock(idx as usize, me, None) {
                 Ok(prev) => ctx.locks.push((idx, prev)),
                 Err(_) => {
@@ -177,6 +214,49 @@ mod tests {
             tx.read(a)
         });
         assert_eq!(seen, 42);
+    }
+
+    #[test]
+    fn read_only_mode_skips_the_read_log() {
+        let (sys, tm, mut ctx) = setup();
+        let a = sys.heap.alloc(2);
+        sys.heap.write_raw(a, 11);
+        sys.heap.write_raw(a.field(1), 22);
+        let sum = txcore::run_read_tx(&tm, &mut ctx, |tx| Ok(tx.read(a)? + tx.read(a.field(1))?));
+        assert_eq!(sum, 33);
+        assert_eq!(ctx.stats.snapshot().commits, 1);
+        assert_eq!(ctx.stats.snapshot().total_aborts(), 0);
+        // The hint must not leak past the block.
+        assert!(!ctx.read_only);
+        // Prove the log really was skipped: replay the block by hand.
+        ctx.read_only = true;
+        tm.begin(&mut ctx).unwrap();
+        tm.read(&mut ctx, a).unwrap();
+        tm.read(&mut ctx, a.field(1)).unwrap();
+        assert!(ctx.read_set.is_empty());
+        tm.commit(&mut ctx).unwrap();
+        ctx.read_only = false;
+    }
+
+    #[test]
+    fn write_under_read_only_hint_restarts_fully_instrumented() {
+        let (sys, tm, mut ctx) = setup();
+        let a = sys.heap.alloc(1);
+        sys.heap.write_raw(a, 5);
+        let out = txcore::run_read_tx(&tm, &mut ctx, |tx| {
+            let v = tx.read(a)?;
+            tx.write(a, v + 1)?;
+            Ok(v)
+        });
+        // The block still commits correctly — one Mode abort, then a fully
+        // instrumented retry whose reads are logged and validated.
+        assert_eq!(out, 5);
+        assert_eq!(sys.heap.read_raw(a), 6);
+        let snap = ctx.stats.snapshot();
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.aborts_of(txcore::AbortCode::Mode), 1);
+        assert_eq!(snap.total_aborts(), 1);
+        assert!(!ctx.read_only);
     }
 
     #[test]

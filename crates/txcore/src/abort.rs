@@ -24,16 +24,22 @@ pub enum AbortCode {
     /// Transient abort with no attributable data conflict (the simulated
     /// analogue of interrupts/TLB shootdowns that abort real HTM).
     Spurious,
+    /// The attempt ran under a read-only hint ([`crate::run_read_tx`]) but
+    /// the block attempted a write; it is retried with full read-set
+    /// instrumentation. Frequent `mode` aborts mean a caller is passing the
+    /// hint for blocks that are not actually read-only.
+    Mode,
 }
 
 impl AbortCode {
     /// All codes, in a stable order (useful for per-code statistics).
-    pub const ALL: [AbortCode; 5] = [
+    pub const ALL: [AbortCode; 6] = [
         AbortCode::Conflict,
         AbortCode::Capacity,
         AbortCode::Explicit,
         AbortCode::Fallback,
         AbortCode::Spurious,
+        AbortCode::Mode,
     ];
 
     /// Stable small index of this code, for counter arrays.
@@ -45,6 +51,7 @@ impl AbortCode {
             AbortCode::Explicit => 2,
             AbortCode::Fallback => 3,
             AbortCode::Spurious => 4,
+            AbortCode::Mode => 5,
         }
     }
 
@@ -59,6 +66,7 @@ impl AbortCode {
             AbortCode::Explicit => "explicit",
             AbortCode::Fallback => "fallback",
             AbortCode::Spurious => "spurious",
+            AbortCode::Mode => "mode",
         }
     }
 }
@@ -71,6 +79,7 @@ impl fmt::Display for AbortCode {
             AbortCode::Explicit => "explicit",
             AbortCode::Fallback => "fallback lock held",
             AbortCode::Spurious => "spurious",
+            AbortCode::Mode => "write under read-only hint",
         };
         f.write_str(s)
     }
@@ -104,6 +113,10 @@ impl Abort {
     pub const SPURIOUS: Abort = Abort {
         code: AbortCode::Spurious,
     };
+    /// Write attempted under a read-only hint; retry in full mode.
+    pub const MODE: Abort = Abort {
+        code: AbortCode::Mode,
+    };
 
     /// Construct an abort with the given cause.
     #[inline]
@@ -132,7 +145,7 @@ mod tests {
 
     #[test]
     fn codes_have_distinct_indices() {
-        let mut seen = [false; 5];
+        let mut seen = [false; AbortCode::ALL.len()];
         for c in AbortCode::ALL {
             assert!(!seen[c.index()], "duplicate index for {c:?}");
             seen[c.index()] = true;

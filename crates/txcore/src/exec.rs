@@ -3,6 +3,7 @@
 use crate::abort::{Abort, AbortCode, TxResult};
 use crate::backend::TmBackend;
 use crate::heap::Addr;
+use crate::stats::LocalStats;
 use crate::system::ThreadCtx;
 use crate::util::backoff;
 
@@ -139,6 +140,34 @@ pub fn run_tx<T>(
     }
 }
 
+/// Like [`run_tx`], declaring the block read-only.
+///
+/// Backends that never revalidate a running transaction's reads (TL2) use
+/// the declaration to skip read-set maintenance — the nanosecond fast path
+/// for the read-dominated transactions that dominate most TM workloads.
+/// The hint is safe, not trusted: a block that writes anyway is aborted
+/// with [`AbortCode::Mode`] once and transparently retried with full
+/// instrumentation, so it still commits correctly (at the cost of one
+/// `tx.abort.<backend>.mode` tick — a sign the caller should stop passing
+/// the hint for that block).
+///
+/// # Panics
+///
+/// Panics on implausible livelock, as [`run_tx`].
+pub fn run_read_tx<T>(
+    backend: &dyn TmBackend,
+    ctx: &mut ThreadCtx,
+    mut f: impl FnMut(&mut Tx<'_>) -> TxResult<T>,
+) -> T {
+    ctx.read_only = true;
+    let out = try_run_tx(backend, ctx, LIVELOCK_LIMIT, &mut f);
+    ctx.read_only = false;
+    match out {
+        Some(value) => value,
+        None => panic!("transaction livelock on backend {}", backend.name()),
+    }
+}
+
 /// Like [`run_tx`], but give up after `budget` failed attempts instead of
 /// retrying forever.
 ///
@@ -154,27 +183,26 @@ pub fn try_run_tx<T>(
     mut f: impl FnMut(&mut Tx<'_>) -> TxResult<T>,
 ) -> Option<T> {
     ctx.attempt = 0;
+    // One telemetry check per transaction, not one per event: all shared
+    // counters are folded at resolution anyway, so a trace cannot observe a
+    // half-recorded ladder either way. The serial drivers only start/stop
+    // traces between transactions, which keeps trace bytes identical.
+    let telemetry = obs::enabled();
     // Ladder timing is recorded only for transactions that actually retried
     // (attempt > 0 at resolution): first-try commits have no ladder and
     // would swamp the histogram. One `Instant::now` per traced transaction;
     // nothing at all when telemetry is inactive.
-    let ladder_t0 = obs::enabled().then(std::time::Instant::now);
-    loop {
+    let ladder_t0 = telemetry.then(std::time::Instant::now);
+    // The whole retry ladder accumulates into these plain stack cells —
+    // zero shared-memory traffic per attempt — and folds into the shared
+    // `ThreadStats` / metrics registry exactly once, below the loop.
+    let mut local = LocalStats::default();
+    let outcome = loop {
         if ctx.attempt >= budget {
-            if let Some(t0) = ladder_t0 {
-                if obs::enabled() {
-                    let c = counters(ctx, backend);
-                    c.ladder.record(t0.elapsed().as_nanos() as u64);
-                    c.ladder_exhausted.inc();
-                }
-            }
-            return None;
+            break None;
         }
         if let Err(a) = backend.begin(ctx) {
-            ctx.stats.record_abort(a.code);
-            if obs::enabled() {
-                counters(ctx, backend).aborts[a.code.index()].inc();
-            }
+            local.record_abort(a.code);
             ctx.attempt += 1;
             backoff(&mut ctx.rng, ctx.attempt);
             continue;
@@ -188,41 +216,56 @@ pub fn try_run_tx<T>(
                 let via_fallback = ctx.in_fallback;
                 match backend.commit(ctx) {
                     Ok(()) => {
-                        ctx.stats.record_commit(via_fallback);
-                        if obs::enabled() {
-                            let c = counters(ctx, backend);
-                            c.commit.inc();
-                            if via_fallback {
-                                c.commit_fallback.inc();
-                            }
-                            if ctx.attempt > 0 {
-                                if let Some(t0) = ladder_t0 {
-                                    c.ladder.record(t0.elapsed().as_nanos() as u64);
-                                }
-                            }
-                        }
-                        return Some(value);
+                        local.record_commit(via_fallback);
+                        break Some(value);
                     }
                     Err(a) => {
                         backend.rollback(ctx);
-                        ctx.stats.record_abort(a.code);
-                        if obs::enabled() {
-                            counters(ctx, backend).aborts[a.code.index()].inc();
-                        }
+                        local.record_abort(a.code);
                     }
                 }
             }
             Err(a) => {
                 backend.rollback(ctx);
-                ctx.stats.record_abort(a.code);
-                if obs::enabled() {
-                    counters(ctx, backend).aborts[a.code.index()].inc();
-                }
+                local.record_abort(a.code);
             }
         }
         ctx.attempt += 1;
         backoff(&mut ctx.rng, ctx.attempt);
+    };
+    // Resolution: fold the ladder into shared state. The fast path (first-
+    // try commit, no trace) pays a single fetch-add here on top of the
+    // backend's own work; only retried ladders walk the full fold.
+    if ctx.attempt == 0 && outcome.is_some() {
+        ctx.stats.record_commit(local.fallback_commits > 0);
+    } else {
+        ctx.stats.fold(&local);
     }
+    if telemetry {
+        let c = counters(ctx, backend);
+        for (n, counter) in local.aborts.iter().zip(c.aborts) {
+            if *n > 0 {
+                counter.add(*n);
+            }
+        }
+        if outcome.is_some() {
+            c.commit.inc();
+            if local.fallback_commits > 0 {
+                c.commit_fallback.inc();
+            }
+            if ctx.attempt > 0 {
+                if let Some(t0) = ladder_t0 {
+                    c.ladder.record(t0.elapsed().as_nanos() as u64);
+                }
+            }
+        } else {
+            if let Some(t0) = ladder_t0 {
+                c.ladder.record(t0.elapsed().as_nanos() as u64);
+            }
+            c.ladder_exhausted.inc();
+        }
+    }
+    outcome
 }
 
 #[cfg(test)]

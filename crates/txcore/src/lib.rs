@@ -45,9 +45,9 @@ pub mod util;
 pub use abort::{Abort, AbortCode, TxResult};
 pub use backend::{BackendKind, TmBackend};
 pub use clock::GlobalClock;
-pub use exec::{run_tx, try_run_tx, Tx};
+pub use exec::{run_read_tx, run_tx, try_run_tx, Tx};
 pub use heap::{Addr, Heap, NULL_ADDR};
 pub use orec::{OrecState, OrecTable, OwnerTag};
 pub use sets::{ReadSet, WriteSet};
-pub use stats::{StatsSnapshot, ThreadStats};
+pub use stats::{LocalStats, StatsSnapshot, ThreadStats};
 pub use system::{ThreadCtx, TmSystem};

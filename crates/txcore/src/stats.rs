@@ -9,11 +9,16 @@ use crate::abort::AbortCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters maintained by one application thread.
+///
+/// Cache-line aligned: the `Vec<Arc<ThreadStats>>` the Monitor walks must
+/// not let two threads' counters share a line, or every fold becomes a
+/// false-sharing ping-pong.
 #[derive(Debug, Default)]
+#[repr(align(64))]
 pub struct ThreadStats {
     commits: AtomicU64,
     fallback_commits: AtomicU64,
-    aborts: [AtomicU64; 5],
+    aborts: [AtomicU64; AbortCode::ALL.len()],
 }
 
 impl ThreadStats {
@@ -40,7 +45,7 @@ impl ThreadStats {
 
     /// Consistent-enough snapshot of the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
-        let mut aborts = [0u64; 5];
+        let mut aborts = [0u64; AbortCode::ALL.len()];
         for (dst, src) in aborts.iter_mut().zip(self.aborts.iter()) {
             *dst = src.load(Ordering::Relaxed);
         }
@@ -59,6 +64,66 @@ impl ThreadStats {
             a.store(0, Ordering::Relaxed);
         }
     }
+
+    /// Fold a transaction's locally-accumulated events into the shared
+    /// counters: one relaxed RMW per *nonzero* cell, instead of one per
+    /// event. Called at transaction resolution (commit, rollback-exhausted)
+    /// so the shared view is exact at every transaction boundary — which is
+    /// when the Monitor samples.
+    #[inline]
+    pub fn fold(&self, local: &LocalStats) {
+        if local.commits > 0 {
+            self.commits.fetch_add(local.commits, Ordering::Relaxed);
+        }
+        if local.fallback_commits > 0 {
+            self.fallback_commits
+                .fetch_add(local.fallback_commits, Ordering::Relaxed);
+        }
+        for (dst, src) in self.aborts.iter().zip(local.aborts) {
+            if src > 0 {
+                dst.fetch_add(src, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Plain (non-atomic) per-transaction accumulator.
+///
+/// The retry ladder of one transaction records its commits/aborts here —
+/// ordinary integer adds in registers or the local stack frame, no shared
+/// cache lines — and the driver folds the whole ladder into the owning
+/// [`ThreadStats`] exactly once at resolution via [`ThreadStats::fold`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocalStats {
+    /// Committed transactions (0 or 1 per ladder).
+    pub commits: u64,
+    /// Commits that ran under the HTM fallback lock.
+    pub fallback_commits: u64,
+    /// Aborted attempts, indexed by [`AbortCode::index`].
+    pub aborts: [u64; AbortCode::ALL.len()],
+}
+
+impl LocalStats {
+    /// Record a successful commit (see [`ThreadStats::record_commit`]).
+    #[inline]
+    pub fn record_commit(&mut self, via_fallback: bool) {
+        self.commits += 1;
+        if via_fallback {
+            self.fallback_commits += 1;
+        }
+    }
+
+    /// Record an aborted attempt with its cause.
+    #[inline]
+    pub fn record_abort(&mut self, code: AbortCode) {
+        self.aborts[code.index()] += 1;
+    }
+
+    /// Whether nothing has been recorded (folding would be a no-op).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        *self == LocalStats::default()
+    }
 }
 
 /// A point-in-time copy of [`ThreadStats`], also used as an aggregate over
@@ -70,7 +135,7 @@ pub struct StatsSnapshot {
     /// Commits that ran under the HTM fallback lock.
     pub fallback_commits: u64,
     /// Aborted attempts, indexed by [`AbortCode::index`].
-    pub aborts: [u64; 5],
+    pub aborts: [u64; AbortCode::ALL.len()],
 }
 
 impl StatsSnapshot {
@@ -96,7 +161,7 @@ impl StatsSnapshot {
 
     /// Element-wise difference `self - earlier` (for windowed KPIs).
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
-        let mut aborts = [0u64; 5];
+        let mut aborts = [0u64; AbortCode::ALL.len()];
         for (a, (now, then)) in aborts
             .iter_mut()
             .zip(self.aborts.iter().zip(&earlier.aborts))
@@ -114,7 +179,7 @@ impl StatsSnapshot {
 
     /// Element-wise sum (for aggregating threads).
     pub fn merge(&self, other: &StatsSnapshot) -> StatsSnapshot {
-        let mut aborts = [0u64; 5];
+        let mut aborts = [0u64; AbortCode::ALL.len()];
         for (a, (x, y)) in aborts.iter_mut().zip(self.aborts.iter().zip(&other.aborts)) {
             *a = x + y;
         }
@@ -180,5 +245,36 @@ mod tests {
         s.record_abort(AbortCode::Spurious);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn fold_matches_per_event_recording() {
+        let per_event = ThreadStats::new();
+        per_event.record_commit(true);
+        per_event.record_abort(AbortCode::Conflict);
+        per_event.record_abort(AbortCode::Conflict);
+        per_event.record_abort(AbortCode::Capacity);
+
+        let folded = ThreadStats::new();
+        let mut local = LocalStats::default();
+        assert!(local.is_empty());
+        local.record_commit(true);
+        local.record_abort(AbortCode::Conflict);
+        local.record_abort(AbortCode::Conflict);
+        local.record_abort(AbortCode::Capacity);
+        assert!(!local.is_empty());
+        folded.fold(&local);
+
+        assert_eq!(folded.snapshot(), per_event.snapshot());
+        // Folding twice doubles; folding an empty ladder is a no-op.
+        folded.fold(&local);
+        assert_eq!(folded.snapshot().commits, 2);
+        folded.fold(&LocalStats::default());
+        assert_eq!(folded.snapshot().commits, 2);
+    }
+
+    #[test]
+    fn thread_stats_are_cache_line_aligned() {
+        assert_eq!(std::mem::align_of::<ThreadStats>(), 64);
     }
 }

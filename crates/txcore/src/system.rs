@@ -91,6 +91,16 @@ pub struct ThreadCtx {
     pub attempt: u32,
     /// Whether the current attempt runs under the HTM fallback lock.
     pub in_fallback: bool,
+    /// Whether the current atomic block was declared read-only
+    /// ([`crate::run_read_tx`]). Backends that never revalidate a running
+    /// transaction's reads (TL2: a stale read aborts on the spot) use this
+    /// to skip read-set maintenance entirely — the log exists only to feed
+    /// writer commit validation, which a read-only block never runs. A
+    /// backend that sees a write under this hint clears it and aborts with
+    /// [`AbortCode::Mode`](crate::AbortCode::Mode), so the retry runs fully
+    /// instrumented. Backends that revalidate mid-transaction (TinySTM
+    /// timestamp extension, NOrec value validation) must ignore the hint.
+    pub read_only: bool,
     /// Cache lines touched speculatively (simulated HTM read set).
     pub read_lines: Vec<u32>,
     /// Cache lines written speculatively (simulated HTM write set).
@@ -100,8 +110,13 @@ pub struct ThreadCtx {
     /// Remaining speculative attempts for the current atomic block (HTM
     /// retry budget, managed by the contention manager).
     pub htm_budget: u32,
-    /// Scratch buffer for commit-time lock acquisition (sorted orec ids).
+    /// Scratch buffer for commit-time lock acquisition (saved versions of
+    /// secondary-table locks, e.g. SwissTM's read orecs).
     pub scratch: Vec<(u32, u64)>,
+    /// Scratch buffer for commit-time stripe sorting (canonical lock
+    /// order). Owned here so its capacity survives across transactions and
+    /// the commit path never allocates.
+    pub stripe_scratch: Vec<u32>,
     /// Per-thread PRNG for backoff and simulated-capacity sampling.
     pub rng: XorShift64,
     /// Shared commit/abort counters read by the Monitor.
@@ -124,11 +139,13 @@ impl ThreadCtx {
             start_seq: 0,
             attempt: 0,
             in_fallback: false,
+            read_only: false,
             read_lines: Vec::new(),
             write_lines: Vec::new(),
             greedy_ts: 0,
             htm_budget: 0,
             scratch: Vec::new(),
+            stripe_scratch: Vec::new(),
             rng: XorShift64::new(0x5DEECE66D ^ ((id as u64 + 1) << 16)),
             stats: Arc::new(ThreadStats::new()),
             tx_counters: None,
