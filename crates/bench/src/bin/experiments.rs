@@ -9,6 +9,7 @@
 //! experiments --metrics-out m.json fig4  # final metrics snapshot (or PROTEUS_METRICS)
 //! experiments --faults plan.json fig5    # seeded fault injection (or PROTEUS_FAULTS)
 //! experiments bench-snapshot             # perf-regression gate (see below)
+//! experiments vtime             # virtual-time scalability (byte-identical everywhere)
 //! ```
 //!
 //! Results are bit-identical at every `--jobs` value: the evaluation
@@ -32,7 +33,7 @@ use std::collections::BTreeMap;
 type Runner = (&'static str, fn(bool));
 
 /// The canonical experiments, in the paper's order.
-const RUNNERS: [Runner; 9] = [
+const RUNNERS: [Runner; 10] = [
     ("table23", |_| bench::table23::run()),
     ("fig1", |_| bench::fig1::run()),
     ("table4", |quick| {
@@ -54,6 +55,9 @@ const RUNNERS: [Runner; 9] = [
         bench::fig7::run_with(if quick { 60 } else { 300 })
     }),
     ("fig8", |_| bench::fig8::run()),
+    // Virtual-time scalability: deterministic by construction, so --quick
+    // never scales it down (same bytes on every host or it is a bug).
+    ("vtime", |_| bench::vtime::run()),
 ];
 
 /// Aliases: paper artifact name → canonical experiment.

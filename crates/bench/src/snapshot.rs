@@ -18,6 +18,10 @@
 //!   ratio of two millisecond-scale wall clocks and swings several-fold
 //!   run to run on the quick pipelines, so it is reported but never
 //!   gated.
+//! - **Virtual-time keys** (`vtime.*`, in the `BENCH_vtime.json`
+//!   section) are exact integers on a simulated clock: byte-identical on
+//!   every host, so they are gated exactly — no noise band, no tolerance,
+//!   no skip when the baseline came from a different machine.
 //!
 //! The snapshot file is a *flat* JSON object (dotted keys, one per line,
 //! sorted) in the same dialect `tracetool::json::parse_object` reads, so
@@ -264,6 +268,15 @@ enum KeyClass {
 const NEAR_EXACT_RTOL: f64 = 1e-6;
 
 fn classify(key: &str) -> KeyClass {
+    // Virtual-time keys first: every `vtime.*` value is an exact integer
+    // on a simulated clock, identical on every host by construction. They
+    // are always gated exactly — no noise band, no near-exact float
+    // tolerance (even for suffixes like `.mean` that would soften other
+    // sections), and no skip-on-core-mismatch (their section carries no
+    // host context at all, so the wall-clock skip cannot apply).
+    if key.starts_with("vtime.") {
+        return KeyClass::Exact;
+    }
     if key.starts_with("host.")
         || key == "tool"
         || key == "jobs"
@@ -421,6 +434,12 @@ fn gate_against_baseline(
 /// next to `--baseline`). The fastpath section carries its own *same-run*
 /// gate — the shipping commit path must beat the in-process legacy
 /// replica — on top of the usual baseline comparison.
+///
+/// A third section, the virtual-time scalability report
+/// ([`crate::vtime`]), is written as `BENCH_vtime.json` (baseline
+/// `BENCH_vtime_baseline.json`). Its values live on a simulated clock,
+/// so this section is gated **exactly** — every key byte-for-byte, with
+/// no noise band and no cross-host skip.
 pub fn run(args: &SnapshotArgs) -> Result<bool, String> {
     // The nanosecond probes run first, in a pristine process: the fig
     // pipelines leave behind a warmed allocator whose hot size classes
@@ -446,6 +465,14 @@ pub fn run(args: &SnapshotArgs) -> Result<bool, String> {
     let (fverdict, fok) = crate::fastpath::verdict(&fsnap);
     print!("{fverdict}");
 
+    println!("== bench-snapshot: virtual-time scalability (exact cross-host) ==");
+    let vsnap = crate::vtime::collect();
+    let vtext = render(&vsnap);
+    let vout = args.out.with_file_name("BENCH_vtime.json");
+    let vbaseline = args.baseline.with_file_name("BENCH_vtime_baseline.json");
+    std::fs::write(&vout, &vtext).map_err(|e| format!("cannot write {}: {e}", vout.display()))?;
+    println!("vtime snapshot written to {}", vout.display());
+
     if args.update_baseline {
         std::fs::write(&args.baseline, &text)
             .map_err(|e| format!("cannot write {}: {e}", args.baseline.display()))?;
@@ -453,11 +480,15 @@ pub fn run(args: &SnapshotArgs) -> Result<bool, String> {
         std::fs::write(&fbaseline, &ftext)
             .map_err(|e| format!("cannot write {}: {e}", fbaseline.display()))?;
         println!("fastpath baseline updated at {}", fbaseline.display());
+        std::fs::write(&vbaseline, &vtext)
+            .map_err(|e| format!("cannot write {}: {e}", vbaseline.display()))?;
+        println!("vtime baseline updated at {}", vbaseline.display());
         return Ok(fok);
     }
     let ok = gate_against_baseline(&snap, &args.baseline, args.noise)?;
     let f_base_ok = gate_against_baseline(&fsnap, &fbaseline, args.noise)?;
-    Ok(ok && fok && f_base_ok)
+    let v_ok = gate_against_baseline(&vsnap, &vbaseline, args.noise)?;
+    Ok(ok && fok && f_base_ok && v_ok)
 }
 
 #[cfg(test)]
@@ -562,6 +593,40 @@ mod tests {
             !compare(&c, &b, 0.5).1,
             "new deterministic key not in baseline"
         );
+    }
+
+    #[test]
+    fn vtime_keys_always_classify_exact() {
+        // Even suffixes that soften other sections (`.mean`, `.bytes`)
+        // and the wall marker stay exact under the vtime prefix.
+        for key in [
+            "vtime.machine-a.tl2.t8.tx_per_sec",
+            "vtime.machine-b.switch.latency_ns",
+            "vtime.machine-a.htm.t4.mean",
+            "vtime.machine-a.htm.t4.bytes",
+            "vtime.machine-a.wall_plain_ns",
+            "vtime.seed",
+        ] {
+            assert_eq!(classify(key), KeyClass::Exact, "{key}");
+        }
+    }
+
+    #[test]
+    fn vtime_drift_fails_exactly_even_cross_host_and_inside_noise() {
+        let mut b = base();
+        b.insert("vtime.machine-a.tl2.t8.virtual_ns".into(), Val::U(83_484));
+        let mut c = b.clone();
+        // A different host and a huge noise band: wall keys would be
+        // skipped, but the vtime key must still be gated to the byte.
+        c.insert("host.cores".into(), Val::U(4));
+        c.insert("vtime.machine-a.tl2.t8.virtual_ns".into(), Val::U(83_485));
+        let (text, ok) = compare(&c, &b, 10.0);
+        assert!(!ok, "{text}");
+        assert!(text.contains("vtime.machine-a.tl2.t8.virtual_ns"), "{text}");
+        // Byte-identical vtime keys pass regardless of the host change.
+        c.insert("vtime.machine-a.tl2.t8.virtual_ns".into(), Val::U(83_484));
+        let (text, ok) = compare(&c, &b, 10.0);
+        assert!(ok, "{text}");
     }
 
     #[test]

@@ -171,6 +171,66 @@ fn metrics_windows_and_perf_view_are_byte_identical_across_job_counts() {
     assert_eq!(p1, perf(&traces[2]), "perf view differs at jobs=4");
 }
 
+/// The vtime stage's contract is stronger than the rest of the suite's:
+/// its numbers live on a *simulated* clock, so not just the stream shape
+/// but every value must be byte-identical across job counts and across
+/// two same-seed runs in the same process.
+#[cfg(feature = "telemetry")]
+#[test]
+fn vtime_trace_is_byte_identical_across_job_counts_and_reruns() {
+    let run = |jobs: usize| {
+        let (_, bytes) = obs::capture_trace(|| parx::with_jobs(jobs, bench::vtime::run));
+        bytes
+    };
+    let first = run(1);
+    assert!(
+        !first.is_empty(),
+        "vtime must emit telemetry while a trace is active"
+    );
+    let text = String::from_utf8(first.clone()).expect("trace is UTF-8 JSONL");
+    for needle in [
+        "\"kind\":\"vtime.report\"",
+        "\"series\":\"vtime.machine-a.tl2.t1.tx_per_sec\"",
+        "\"series\":\"vtime.machine-b.swiss.t48.virtual_ns\"",
+        "\"series\":\"vtime.machine-a.switch.latency_ns\"",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in trace");
+    }
+    assert_eq!(
+        first,
+        run(2),
+        "vtime trace must be byte-identical at jobs=2"
+    );
+    assert_eq!(
+        first,
+        run(4),
+        "vtime trace must be byte-identical at jobs=4"
+    );
+    assert_eq!(first, run(1), "same-seed rerun must reproduce the bytes");
+}
+
+/// Likewise the `BENCH_vtime.json` section: rendered bytes, not parsed
+/// values, must match across job counts and reruns — this is the file the
+/// snapshot gate compares exactly against a baseline that may have been
+/// recorded on a completely different machine.
+#[test]
+fn vtime_snapshot_section_is_byte_identical_across_job_counts_and_reruns() {
+    let render =
+        |jobs: usize| parx::with_jobs(jobs, || bench::snapshot::render(&bench::vtime::collect()));
+    let first = render(1);
+    assert!(
+        first.contains("\"vtime.machine-b.swiss.t48.virtual_ns\""),
+        "{first}"
+    );
+    assert!(
+        !first.contains("host.") && !first.contains("\"jobs\""),
+        "the vtime section must carry no host context: {first}"
+    );
+    assert_eq!(first, render(2), "snapshot differs at jobs=2");
+    assert_eq!(first, render(4), "snapshot differs at jobs=4");
+    assert_eq!(first, render(1), "same-seed rerun differs");
+}
+
 #[test]
 fn tuner_is_identical_across_job_counts() {
     let training = UtilityMatrix::from_rows(

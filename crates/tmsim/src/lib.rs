@@ -23,6 +23,15 @@
 //! the paper's 15 applications (STAMP, data structures, STMBench7, TPC-C,
 //! Memcached), and [`PerfModel`] turns them into ground-truth KPI matrices
 //! over a [`polytm::ConfigSpace`].
+//!
+//! Beyond the closed-form model, the [`sched`] module is a **deterministic
+//! virtual-time scheduler**: a discrete-event engine that multiplexes N
+//! logical threads on one OS thread and executes the *real* backend code
+//! paths (txcore read/write/commit, HTM attempts with capacity policies,
+//! ThreadGate quiescence, backend switches) with per-op costs charged on a
+//! virtual clock derived from the same coefficients. [`vtime_report`]
+//! turns it into byte-identical, host-independent scalability curves and
+//! switch/resize latencies for both Table 2 machines.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -30,10 +39,14 @@ mod corpus;
 mod dynamic;
 mod machine;
 mod model;
+pub mod sched;
+pub mod vtime;
 mod workload;
 
 pub use corpus::{corpus, corpus_with_families, Workload};
 pub use dynamic::{Interference, PhasedApp};
 pub use machine::MachineModel;
-pub use model::PerfModel;
+pub use model::{backend_coefs, BackendCoefs, PerfModel};
+pub use sched::{simulate, GateWindow, OpEvent, OpKind, Scenario, SimConfig, SimOutcome};
+pub use vtime::{det_pow, op_costs, vtime_report, OpCosts, VtimeReport};
 pub use workload::{WorkloadFamily, WorkloadSpec};

@@ -12,21 +12,34 @@ use rand::{Rng, SeedableRng};
 /// literature: NOrec's instrumentation is the cheapest but its commits
 /// serialize; SwissTM's bookkeeping is the heaviest but it tolerates
 /// contention best; HTM is nearly free until capacity bites.
+///
+/// Public because the virtual-time scheduler ([`crate::vtime`]) derives its
+/// per-op virtual-ns charges from the *same* coefficients, so the analytical
+/// surface and the discrete-event harness cannot silently drift apart.
 #[derive(Debug, Clone, Copy)]
-struct BackendCoefs {
-    read_ns: f64,
-    write_ns: f64,
-    tx_ns: f64,
+pub struct BackendCoefs {
+    /// Instrumented cost of one transactional read, in ns.
+    pub read_ns: f64,
+    /// Instrumented cost of one transactional write, in ns.
+    pub write_ns: f64,
+    /// Fixed begin+commit overhead of one transaction, in ns.
+    pub tx_ns: f64,
     /// Scaling of the conflict-abort probability.
-    contention_sens: f64,
+    pub contention_sens: f64,
     /// Fraction of a transaction wasted by one abort (eager detection
     /// aborts earlier and wastes less).
-    abort_cost: f64,
+    pub abort_cost: f64,
     /// Exponent on the cross-socket coherence factor (global-metadata
     /// designs ping-pong cache lines across sockets).
-    socket_sens: f64,
+    pub socket_sens: f64,
     /// Commits serialize on one global lock (NOrec family).
-    serial_commits: bool,
+    pub serial_commits: bool,
+}
+
+/// The cost coefficients of one backend (the shared seam between
+/// [`PerfModel`] and the virtual-time scheduler).
+pub fn backend_coefs(backend: BackendId) -> BackendCoefs {
+    coefs(backend)
 }
 
 fn coefs(backend: BackendId) -> BackendCoefs {

@@ -1,0 +1,466 @@
+//! Virtual-time cost model and the `vtime` scalability report.
+//!
+//! The discrete-event scheduler in [`crate::sched`] executes the *real*
+//! backend code paths, but charges time on a **virtual clock** instead of
+//! the host's: every operation costs a fixed number of *vticks* (1/1024 ns)
+//! derived from the same [`crate::model`] coefficients the analytical model
+//! uses, scaled by the simulated machine's SMT efficiency, socket factors
+//! and Amdahl limit. Because every arithmetic step here is either exact
+//! integer math or an IEEE-754 exactly-rounded f64 primitive (`+ - * /`,
+//! `floor`, `round`, bit casts — never `powf`/`ln`/`exp`, which libm is
+//! free to round differently per platform), the resulting curves are
+//! **byte-identical across hosts**, `--jobs` counts and repeated same-seed
+//! runs.
+//!
+//! What virtual nanoseconds claim: the *relative* structure of TM
+//! performance (scalability shapes, backend orderings, switch/drain
+//! latencies) under the repo's analytical coefficients, reproduced exactly
+//! anywhere. What they do not claim: wall-clock performance of any real
+//! hardware.
+
+use crate::machine::MachineModel;
+use crate::model::backend_coefs;
+use crate::sched::{simulate, Scenario, SimConfig};
+use crate::workload::{WorkloadFamily, WorkloadSpec};
+use polytm::{BackendId, HtmSetting, TmConfig};
+use std::fmt::Write as _;
+
+/// Virtual-clock resolution: vticks per nanosecond. All scheduler math is
+/// u64 vticks; only reports divide back down to whole virtual ns.
+pub const TICKS_PER_NS: u64 = 1024;
+
+/// SplitMix64: the deterministic integer mixer seeding every scheduler
+/// decision (tie-breaking priorities, cost jitter, address draws).
+#[inline]
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Natural log from exactly-rounded primitives only: exponent extraction
+/// via bit manipulation plus the atanh series on the normalized mantissa.
+/// Accurate to ~1 ulp for the ranges the cost model feeds it (x in
+/// [0.5, 16]); bitwise identical on every IEEE-754 host.
+fn det_ln(x: f64) -> f64 {
+    debug_assert!(x.is_finite() && x > 0.0, "det_ln domain: {x}");
+    let bits = x.to_bits();
+    let mut e = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    let mut m = f64::from_bits((bits & 0x000F_FFFF_FFFF_FFFF) | (1023u64 << 52));
+    // Normalize the mantissa into [√½, √2) so the series argument stays
+    // small (|t| ≤ 0.172) and 13 terms reach full f64 precision.
+    if m >= std::f64::consts::SQRT_2 {
+        m *= 0.5;
+        e += 1;
+    }
+    let t = (m - 1.0) / (m + 1.0);
+    let t2 = t * t;
+    let mut term = t;
+    let mut sum = t;
+    for k in 1..=12u32 {
+        term *= t2;
+        sum += term / f64::from(2 * k + 1);
+    }
+    e as f64 * std::f64::consts::LN_2 + 2.0 * sum
+}
+
+/// e^x from exactly-rounded primitives only: split off `k = ⌊x/ln 2⌋`,
+/// Taylor-expand the remainder (< ln 2) and scale by a bit-constructed
+/// power of two.
+fn det_exp(x: f64) -> f64 {
+    debug_assert!(x.is_finite() && x.abs() < 64.0, "det_exp domain: {x}");
+    let k = (x / std::f64::consts::LN_2).floor();
+    let r = x - k * std::f64::consts::LN_2;
+    let mut term = 1.0;
+    let mut sum = 1.0;
+    for i in 1..20u32 {
+        term = term * r / f64::from(i);
+        sum += term;
+    }
+    let scale = f64::from_bits(((1023 + k as i64) as u64) << 52);
+    sum * scale
+}
+
+/// Host-independent `base^exp` for the cost model's socket-sensitivity
+/// factor. `powf` is *not* required to be exactly rounded by IEEE-754, so
+/// different libms disagree in the last ulps; this composition of exact
+/// primitives does not.
+pub fn det_pow(base: f64, exp: f64) -> f64 {
+    if exp == 0.0 || base == 1.0 {
+        return 1.0;
+    }
+    det_exp(exp * det_ln(base))
+}
+
+/// Per-operation virtual-time charges, in vticks (1/1024 ns), for one
+/// (machine, workload, backend, thread-count) cell.
+#[derive(Debug, Clone, Copy)]
+pub struct OpCosts {
+    /// Transaction begin (the `tx_ns` share spent on snapshotting).
+    pub begin: u64,
+    /// One transactional read.
+    pub read: u64,
+    /// One transactional write.
+    pub write: u64,
+    /// Commit (the `tx_ns` share spent on validation + write-back).
+    pub commit: u64,
+    /// Cleanup charge of one aborted attempt.
+    pub abort: u64,
+    /// Uninstrumented per-transaction think time (`base_tx_us`).
+    pub think: u64,
+    /// First-retry backoff quantum (doubled per attempt, capped).
+    pub backoff: u64,
+    /// Adapter cost of installing a new backend after quiescence.
+    pub switch_apply: u64,
+    /// Adapter cost of re-publishing the gate after a resize.
+    pub resize_apply: u64,
+}
+
+/// Quantize a nanosecond cost to vticks (at least one: the virtual clock
+/// must advance on every step or same-time events could cycle forever).
+fn q(ns: f64) -> u64 {
+    let t = (ns * TICKS_PER_NS as f64).round();
+    if t < 1.0 {
+        1
+    } else {
+        t as u64
+    }
+}
+
+/// The virtual-time cost table for running `spec` on `backend` with
+/// `threads` threads of `machine`. Uses the same coefficients as
+/// [`crate::PerfModel`]: per-op instrumentation ns, SMT-aware effective
+/// parallelism, the Amdahl limit and the cross-socket coherence factor
+/// (via [`det_pow`], so the table is host-independent).
+pub fn op_costs(
+    machine: &MachineModel,
+    spec: &WorkloadSpec,
+    backend: BackendId,
+    threads: usize,
+) -> OpCosts {
+    let c = backend_coefs(backend);
+    let n = threads.clamp(1, machine.hw_threads.max(1));
+    let eff = machine.effective_parallelism(n);
+    let s = spec.scalability;
+    let parallel = 1.0 / ((1.0 - s) + s / eff);
+    let socket = det_pow(machine.socket_factor(n), c.socket_sens);
+    // Per-thread slowdown: n threads share `parallel` effective cores, so
+    // each op takes n/parallel longer on the virtual clock than serial
+    // (aggregate throughput then scales by exactly `parallel`).
+    let slow = socket * (n as f64 / parallel) / machine.speed;
+    OpCosts {
+        begin: q(c.tx_ns * 0.4 * slow),
+        read: q(c.read_ns * slow),
+        write: q(c.write_ns * slow),
+        commit: q(c.tx_ns * 0.6 * slow),
+        abort: q(c.tx_ns * c.abort_cost * slow),
+        think: q(spec.base_tx_us * 1000.0 * slow),
+        backoff: q(40.0 * slow),
+        switch_apply: q(2500.0 * slow),
+        resize_apply: q(800.0 * slow),
+    }
+}
+
+/// One point of a scalability curve, all in exact integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CurvePoint {
+    /// Thread count of this cell.
+    pub threads: usize,
+    /// Committed transactions per virtual second.
+    pub tx_per_sec: u64,
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted attempts.
+    pub aborts: u64,
+    /// Commits that went through the HTM fallback path.
+    pub fallbacks: u64,
+    /// Virtual time the run took.
+    pub virtual_ns: u64,
+}
+
+/// A backend's scalability curve over the machine's thread counts.
+#[derive(Debug, Clone)]
+pub struct CurveSeries {
+    /// The backend the curve measures.
+    pub backend: BackendId,
+    /// One point per simulated thread count, ascending.
+    pub points: Vec<CurvePoint>,
+}
+
+/// Measured latency of one quiesce-and-switch reconfiguration.
+#[derive(Debug, Clone, Copy)]
+pub struct SwitchResult {
+    /// Backend running before the switch.
+    pub from: BackendId,
+    /// Backend installed by the switch.
+    pub to: BackendId,
+    /// Thread count during the switch.
+    pub threads: usize,
+    /// Block → drained → installed latency, virtual ns.
+    pub latency_ns: u64,
+}
+
+/// Measured latencies of one shrink-then-grow thread resize.
+#[derive(Debug, Clone, Copy)]
+pub struct ResizeResult {
+    /// Thread count before the shrink.
+    pub from_threads: usize,
+    /// Thread count while shrunk.
+    pub to_threads: usize,
+    /// Block → drained quiescence latency of the shrink, virtual ns.
+    pub shrink_ns: u64,
+    /// Re-enable latency of the grow, virtual ns.
+    pub grow_ns: u64,
+}
+
+/// The full deterministic scalability report of one machine.
+#[derive(Debug, Clone)]
+pub struct VtimeReport {
+    /// Machine name (`machine-a` / `machine-b`).
+    pub machine: &'static str,
+    /// Scheduler seed the report was generated under.
+    pub seed: u64,
+    /// One curve per simulated backend.
+    pub curves: Vec<CurveSeries>,
+    /// The Tl2 → NOrec switch measurement.
+    pub switch: SwitchResult,
+    /// The shrink/grow resize measurement.
+    pub resize: ResizeResult,
+}
+
+impl VtimeReport {
+    /// Stable text rendering (the golden-fixture format): pure integers,
+    /// fixed column widths, no floats and no host-dependent content.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "vtime scalability on {} (genome workload, seed {})",
+            self.machine, self.seed
+        );
+        let _ = writeln!(
+            out,
+            "{:<8} {:>7} {:>12} {:>8} {:>7} {:>9} {:>14}",
+            "backend", "threads", "tx_per_sec", "commits", "aborts", "fallback", "virtual_ns"
+        );
+        for curve in &self.curves {
+            for p in &curve.points {
+                let _ = writeln!(
+                    out,
+                    "{:<8} {:>7} {:>12} {:>8} {:>7} {:>9} {:>14}",
+                    curve.backend.label(),
+                    p.threads,
+                    p.tx_per_sec,
+                    p.commits,
+                    p.aborts,
+                    p.fallbacks,
+                    p.virtual_ns
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "switch {} -> {} at {} threads: {} virtual ns",
+            self.switch.from.label(),
+            self.switch.to.label(),
+            self.switch.threads,
+            self.switch.latency_ns
+        );
+        let _ = writeln!(
+            out,
+            "resize {} -> {} threads: shrink {} virtual ns, grow {} virtual ns",
+            self.resize.from_threads,
+            self.resize.to_threads,
+            self.resize.shrink_ns,
+            self.resize.grow_ns
+        );
+        out
+    }
+}
+
+/// Transactions each simulated thread runs per curve point. Fixed (never
+/// scaled by `--quick`): the byte-identity contract requires every host to
+/// run the exact same virtual work.
+pub const TXS_PER_THREAD: u32 = 24;
+
+/// The canonical scheduler seed of the checked-in report: the golden
+/// fixtures, the `experiments vtime` stage and `BENCH_vtime.json` all use
+/// this seed so their numbers line up exactly.
+pub const REPORT_SEED: u64 = 7;
+
+/// The fig6-style workload the report runs everywhere.
+pub fn report_spec() -> WorkloadSpec {
+    WorkloadFamily::Genome.base_spec()
+}
+
+fn curve_cell(
+    machine: &MachineModel,
+    spec: &WorkloadSpec,
+    backend: BackendId,
+    threads: usize,
+    seed: u64,
+) -> CurvePoint {
+    let config = if backend.is_hardware() {
+        TmConfig::htm(backend, threads, HtmSetting::DEFAULT)
+    } else {
+        TmConfig::stm(backend, threads)
+    };
+    let out = simulate(&SimConfig {
+        machine,
+        spec,
+        config,
+        txs_per_thread: TXS_PER_THREAD,
+        seed,
+        record_ops: false,
+        scenario: Scenario::Steady,
+    });
+    CurvePoint {
+        threads,
+        tx_per_sec: out.tx_per_sec,
+        commits: out.commits,
+        aborts: out.aborts,
+        fallbacks: out.fallback_commits,
+        virtual_ns: out.elapsed_vns,
+    }
+}
+
+/// The deterministic scalability report of `machine` under `seed`:
+/// machine-a sweeps TL2/NOrec/HTM over 1..=8 threads, machine-b sweeps
+/// TL2/NOrec/SwissTM over 1..48, and both measure one TL2 → NOrec switch
+/// and one shrink/grow resize. Same (machine, seed) → byte-identical
+/// [`VtimeReport::render`] output on any host.
+pub fn vtime_report(machine: &MachineModel, seed: u64) -> VtimeReport {
+    let spec = report_spec();
+    let (backends, threads): (Vec<BackendId>, Vec<usize>) = if machine.has_htm {
+        (
+            vec![BackendId::Tl2, BackendId::NOrec, BackendId::Htm],
+            (1..=8).collect(),
+        )
+    } else {
+        (
+            vec![BackendId::Tl2, BackendId::NOrec, BackendId::SwissTm],
+            vec![1, 2, 4, 6, 8, 16, 32, 48],
+        )
+    };
+    let curves = backends
+        .iter()
+        .map(|&b| CurveSeries {
+            backend: b,
+            points: threads
+                .iter()
+                .map(|&n| curve_cell(machine, &spec, b, n, seed))
+                .collect(),
+        })
+        .collect();
+
+    let re_threads = if machine.has_htm { 8 } else { 16 };
+    let sw = simulate(&SimConfig {
+        machine,
+        spec: &spec,
+        config: TmConfig::stm(BackendId::Tl2, re_threads),
+        txs_per_thread: TXS_PER_THREAD,
+        seed,
+        record_ops: false,
+        scenario: Scenario::Switch {
+            to: BackendId::NOrec,
+        },
+    });
+    let rz = simulate(&SimConfig {
+        machine,
+        spec: &spec,
+        config: TmConfig::stm(BackendId::Tl2, re_threads),
+        txs_per_thread: TXS_PER_THREAD,
+        seed,
+        record_ops: false,
+        scenario: Scenario::Resize {
+            to_threads: re_threads / 2,
+        },
+    });
+    VtimeReport {
+        machine: machine.name,
+        seed,
+        curves,
+        switch: SwitchResult {
+            from: BackendId::Tl2,
+            to: BackendId::NOrec,
+            threads: re_threads,
+            latency_ns: sw.switch_latency_vns.unwrap_or(0),
+        },
+        resize: ResizeResult {
+            from_threads: re_threads,
+            to_threads: re_threads / 2,
+            shrink_ns: rz.shrink_latency_vns.unwrap_or(0),
+            grow_ns: rz.grow_latency_vns.unwrap_or(0),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn det_ln_matches_std() {
+        for &x in &[
+            0.5,
+            std::f64::consts::FRAC_1_SQRT_2,
+            1.0,
+            1.35,
+            2.0,
+            3.1,
+            8.0,
+            15.9,
+        ] {
+            let (a, b) = (det_ln(x), x.ln());
+            assert!(
+                (a - b).abs() <= 1e-15 * b.abs().max(1.0),
+                "ln({x}): {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn det_exp_matches_std() {
+        for &x in &[-3.0, -0.4, 0.0, 0.3, 1.0, 2.5, 7.2] {
+            let (a, b) = (det_exp(x), x.exp());
+            assert!((a - b).abs() <= 1e-14 * b.abs(), "exp({x}): {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn det_pow_matches_std_on_cost_model_range() {
+        for &base in &[1.0, 1.05, 1.35, 1.7, 2.05] {
+            for &e in &[0.0, 1.0, 1.1, 2.0, 2.2] {
+                let (a, b) = (det_pow(base, e), base.powf(e));
+                assert!(
+                    (a - b).abs() <= 1e-12 * b.abs().max(1.0),
+                    "{base}^{e}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn op_costs_scale_with_contended_resources() {
+        let m = MachineModel::machine_b();
+        let spec = report_spec();
+        let c1 = op_costs(&m, &spec, BackendId::Tl2, 1);
+        let c48 = op_costs(&m, &spec, BackendId::Tl2, 48);
+        // 48 threads across 4 sockets: per-op virtual cost must inflate.
+        assert!(c48.read > c1.read);
+        assert!(c48.commit > c1.commit);
+        // NOrec's socket sensitivity inflates it harder than TL2.
+        let n48 = op_costs(&m, &spec, BackendId::NOrec, 48);
+        let n1 = op_costs(&m, &spec, BackendId::NOrec, 1);
+        let tl2_ratio = c48.commit as f64 / c1.commit as f64;
+        let norec_ratio = n48.commit as f64 / n1.commit as f64;
+        assert!(norec_ratio > tl2_ratio, "{norec_ratio} vs {tl2_ratio}");
+    }
+
+    #[test]
+    fn quantizer_never_returns_zero() {
+        assert_eq!(q(0.0), 1);
+        assert_eq!(q(1.0), TICKS_PER_NS);
+    }
+}

@@ -1,0 +1,44 @@
+//! Golden-fixture test for the virtual-time scalability report.
+//!
+//! The fixtures under `tests/golden/` are the byte-exact renders of both
+//! machines' reports at the canonical seed. Any change to the cost model,
+//! the scheduler, the workload plan or the render format shows up here as
+//! a reviewable diff. Regenerate intentionally with:
+//!
+//! ```text
+//! UPDATE_VTIME_GOLDEN=1 cargo test -p tmsim --test golden_vtime
+//! ```
+
+use std::path::Path;
+use tmsim::vtime::{vtime_report, REPORT_SEED};
+use tmsim::MachineModel;
+
+fn check(machine: &MachineModel, name: &str) {
+    let got = vtime_report(machine, REPORT_SEED).render();
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_VTIME_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
+    assert_eq!(
+        got, want,
+        "vtime report for {} drifted from its golden fixture; if the \
+         change is intentional, regenerate with UPDATE_VTIME_GOLDEN=1 and \
+         review the diff",
+        machine.name
+    );
+}
+
+#[test]
+fn machine_a_scalability_curves_match_golden() {
+    check(&MachineModel::machine_a(), "vtime_machine_a.txt");
+}
+
+#[test]
+fn machine_b_scalability_curves_match_golden() {
+    check(&MachineModel::machine_b(), "vtime_machine_b.txt");
+}

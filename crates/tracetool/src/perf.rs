@@ -113,7 +113,13 @@ pub fn render(trace: &Trace) -> String {
              points ticked during the run)"
         );
     }
-    for (series, points) in &by_series {
+    // Virtual-time series get their own compact table below instead of a
+    // per-window listing (each holds a single deterministic sample, so
+    // dozens of one-window listings would drown the view).
+    let (vtime, general): (Vec<_>, Vec<_>) = by_series
+        .iter()
+        .partition(|(name, _)| name.starts_with("vtime."));
+    for (series, points) in general {
         let samples: u64 = points.iter().map(|p| p.n).sum();
         let lo = points.iter().map(|p| p.min).fold(f64::INFINITY, f64::min);
         let hi = points
@@ -144,6 +150,9 @@ pub fn render(trace: &Trace) -> String {
         if points.len() > WINDOW_LIMIT {
             let _ = writeln!(out, "  ... ({} more windows)", points.len() - WINDOW_LIMIT);
         }
+    }
+    if !vtime.is_empty() {
+        vtime_section(&mut out, &vtime);
     }
 
     // Phase alignment: where the adaptation decisions landed relative to
@@ -217,6 +226,44 @@ pub fn render(trace: &Trace) -> String {
         }
     }
     out
+}
+
+/// The virtual-time scalability table: `vtime.<machine>.<backend>.t<N>.
+/// <metric>` series become one row per (machine, backend, metric) with
+/// numerically sorted thread columns; switch/resize latencies (and any
+/// other non-curve `vtime.*` series) render as single lines. Values are
+/// exact integers on a simulated clock, so they print without decimals.
+fn vtime_section(out: &mut String, vtime: &[(&String, &Vec<WindowPoint>)]) {
+    let _ = writeln!(out, "vtime scalability (virtual ns, host-independent):");
+    let mut curves: BTreeMap<(String, String, String), Vec<(u64, f64)>> = BTreeMap::new();
+    let mut singles: Vec<(String, f64)> = Vec::new();
+    for (name, points) in vtime {
+        let v = points.last().map(|p| p.last).unwrap_or(0.0);
+        let parts: Vec<&str> = name.split('.').collect();
+        let threads = (parts.len() == 5)
+            .then(|| parts[3].strip_prefix('t'))
+            .flatten()
+            .and_then(|s| s.parse::<u64>().ok());
+        match threads {
+            Some(n) => curves
+                .entry((parts[1].into(), parts[2].into(), parts[4].into()))
+                .or_default()
+                .push((n, v)),
+            None => singles.push(((*name).clone(), v)),
+        }
+    }
+    for ((machine, backend, metric), mut pts) in curves {
+        pts.sort_by_key(|&(n, _)| n);
+        let cells: Vec<String> = pts.iter().map(|(n, v)| format!("t{n}={v:.0}")).collect();
+        let _ = writeln!(
+            out,
+            "  {machine} {backend:<7} {metric:<11} {}",
+            cells.join(" ")
+        );
+    }
+    for (name, v) in singles {
+        let _ = writeln!(out, "  {name} = {v:.0}");
+    }
 }
 
 /// Whether a lower value of this series is better (for regression
@@ -411,6 +458,35 @@ mod tests {
         assert!(text.contains("obs.overhead audit:"));
         assert!(text.contains("total: 3 records, 450 bytes"));
         // Pure function: same trace, same bytes.
+        assert_eq!(text, render(&trace_of(&body)));
+    }
+
+    #[test]
+    fn perf_renders_vtime_series_as_a_scalability_table() {
+        let body = format!(
+            "{}{}{}{}{}",
+            window_line(0, "vtime.machine-a.tl2.t1.tx_per_sec", 0, 659050.0),
+            window_line(1, "vtime.machine-a.tl2.t8.tx_per_sec", 1, 2863022.0),
+            window_line(2, "vtime.machine-a.tl2.t16.tx_per_sec", 2, 3000000.0),
+            window_line(3, "vtime.machine-a.switch.latency_ns", 3, 7158.0),
+            window_line(4, "kpi.abort_rate", 4, 0.25),
+        );
+        let text = render(&trace_of(&body));
+        // Curve series collapse into one row with numerically sorted
+        // thread columns (t8 before t16, not lexicographic) ...
+        assert!(
+            text.contains("machine-a tl2     tx_per_sec  t1=659050 t8=2863022 t16=3000000"),
+            "{text}"
+        );
+        // ... non-curve vtime series print as single exact lines ...
+        assert!(
+            text.contains("vtime.machine-a.switch.latency_ns = 7158"),
+            "{text}"
+        );
+        // ... and they are excluded from the generic window listing,
+        // which still covers everything else.
+        assert!(!text.contains("series vtime."), "{text}");
+        assert!(text.contains("series kpi.abort_rate"), "{text}");
         assert_eq!(text, render(&trace_of(&body)));
     }
 
