@@ -33,7 +33,7 @@ use std::collections::BTreeMap;
 type Runner = (&'static str, fn(bool));
 
 /// The canonical experiments, in the paper's order.
-const RUNNERS: [Runner; 10] = [
+const RUNNERS: [Runner; 11] = [
     ("table23", |_| bench::table23::run()),
     ("fig1", |_| bench::fig1::run()),
     ("table4", |quick| {
@@ -58,6 +58,8 @@ const RUNNERS: [Runner; 10] = [
     // Virtual-time scalability: deterministic by construction, so --quick
     // never scales it down (same bytes on every host or it is a bug).
     ("vtime", |_| bench::vtime::run()),
+    // Durability tax + crash-recovery drill: same exact-integer contract.
+    ("durable", |_| bench::durable::run()),
 ];
 
 /// Aliases: paper artifact name → canonical experiment.

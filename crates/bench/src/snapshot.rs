@@ -268,13 +268,14 @@ enum KeyClass {
 const NEAR_EXACT_RTOL: f64 = 1e-6;
 
 fn classify(key: &str) -> KeyClass {
-    // Virtual-time keys first: every `vtime.*` value is an exact integer
-    // on a simulated clock, identical on every host by construction. They
-    // are always gated exactly — no noise band, no near-exact float
-    // tolerance (even for suffixes like `.mean` that would soften other
-    // sections), and no skip-on-core-mismatch (their section carries no
-    // host context at all, so the wall-clock skip cannot apply).
-    if key.starts_with("vtime.") {
+    // Virtual-time keys first: every `vtime.*` / `durable.*` value is an
+    // exact integer on a simulated clock, identical on every host by
+    // construction. They are always gated exactly — no noise band, no
+    // near-exact float tolerance (even for suffixes like `.mean` that
+    // would soften other sections), and no skip-on-core-mismatch (their
+    // sections carry no host context at all, so the wall-clock skip
+    // cannot apply).
+    if key.starts_with("vtime.") || key.starts_with("durable.") {
         return KeyClass::Exact;
     }
     if key.starts_with("host.")
@@ -440,6 +441,12 @@ fn gate_against_baseline(
 /// `BENCH_vtime_baseline.json`). Its values live on a simulated clock,
 /// so this section is gated **exactly** — every key byte-for-byte, with
 /// no noise band and no cross-host skip.
+///
+/// A fourth section, the durability-tax report ([`crate::durable`]), is
+/// written as `BENCH_durable.json` (baseline
+/// `BENCH_durable_baseline.json`) and gated under the same exact regime
+/// as vtime: log traffic, fsync counts and the crash-recovery drill are
+/// modeled integers, byte-identical everywhere.
 pub fn run(args: &SnapshotArgs) -> Result<bool, String> {
     // The nanosecond probes run first, in a pristine process: the fig
     // pipelines leave behind a warmed allocator whose hot size classes
@@ -473,6 +480,14 @@ pub fn run(args: &SnapshotArgs) -> Result<bool, String> {
     std::fs::write(&vout, &vtext).map_err(|e| format!("cannot write {}: {e}", vout.display()))?;
     println!("vtime snapshot written to {}", vout.display());
 
+    println!("== bench-snapshot: durability tax + crash-recovery drill (exact cross-host) ==");
+    let dsnap = crate::durable::collect();
+    let dtext = render(&dsnap);
+    let dout = args.out.with_file_name("BENCH_durable.json");
+    let dbaseline = args.baseline.with_file_name("BENCH_durable_baseline.json");
+    std::fs::write(&dout, &dtext).map_err(|e| format!("cannot write {}: {e}", dout.display()))?;
+    println!("durable snapshot written to {}", dout.display());
+
     if args.update_baseline {
         std::fs::write(&args.baseline, &text)
             .map_err(|e| format!("cannot write {}: {e}", args.baseline.display()))?;
@@ -483,12 +498,16 @@ pub fn run(args: &SnapshotArgs) -> Result<bool, String> {
         std::fs::write(&vbaseline, &vtext)
             .map_err(|e| format!("cannot write {}: {e}", vbaseline.display()))?;
         println!("vtime baseline updated at {}", vbaseline.display());
+        std::fs::write(&dbaseline, &dtext)
+            .map_err(|e| format!("cannot write {}: {e}", dbaseline.display()))?;
+        println!("durable baseline updated at {}", dbaseline.display());
         return Ok(fok);
     }
     let ok = gate_against_baseline(&snap, &args.baseline, args.noise)?;
     let f_base_ok = gate_against_baseline(&fsnap, &fbaseline, args.noise)?;
     let v_ok = gate_against_baseline(&vsnap, &vbaseline, args.noise)?;
-    Ok(ok && fok && f_base_ok && v_ok)
+    let d_ok = gate_against_baseline(&dsnap, &dbaseline, args.noise)?;
+    Ok(ok && fok && f_base_ok && v_ok && d_ok)
 }
 
 #[cfg(test)]
@@ -606,6 +625,20 @@ mod tests {
             "vtime.machine-a.htm.t4.bytes",
             "vtime.machine-a.wall_plain_ns",
             "vtime.seed",
+        ] {
+            assert_eq!(classify(key), KeyClass::Exact, "{key}");
+        }
+    }
+
+    #[test]
+    fn durable_keys_always_classify_exact() {
+        for key in [
+            "durable.machine-a.strict.t8.tx_per_sec",
+            "durable.machine-b.drill.recovery_ns",
+            "durable.machine-a.buffered.t4.mean",
+            "durable.machine-a.buffered.t4.bytes",
+            "durable.machine-a.wall_plain_ns",
+            "durable.seed",
         ] {
             assert_eq!(classify(key), KeyClass::Exact, "{key}");
         }

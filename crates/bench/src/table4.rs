@@ -156,6 +156,7 @@ pub fn run_with(ops: u64) {
                 backend: *id,
                 threads,
                 htm: id.is_hardware().then_some(polytm::HtmSetting::DEFAULT),
+                durability: txcore::DurabilityMode::Volatile,
             };
             let poly = poly_ops_per_sec(cfg, ops);
             let overhead = ((bare - poly) / bare * 100.0).max(0.0);

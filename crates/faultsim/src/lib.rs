@@ -73,16 +73,23 @@ pub enum Site {
     KpiCorrupt,
     /// The adapter thread panics while serving a reconfiguration.
     AdapterPanic,
+    /// The process *model* dies at a numbered persistence step of the
+    /// durable heap (`txcore::PHeap`): mid-log-append, pre-fsync,
+    /// post-fsync-pre-truncate, or mid-replay. With `probability: 1`,
+    /// `after: N`, `max_fires: 1` the crash lands deterministically on
+    /// step `N` — the basis of the exhaustive crash-point sweep.
+    CrashPoint,
 }
 
 impl Site {
     /// All sites, in a stable order.
-    pub const ALL: [Site; 5] = [
+    pub const ALL: [Site; 6] = [
         Site::HtmSpurious,
         Site::GateStall,
         Site::SwitchApply,
         Site::KpiCorrupt,
         Site::AdapterPanic,
+        Site::CrashPoint,
     ];
 
     /// Stable small index (for per-site state arrays).
@@ -94,6 +101,7 @@ impl Site {
             Site::SwitchApply => 2,
             Site::KpiCorrupt => 3,
             Site::AdapterPanic => 4,
+            Site::CrashPoint => 5,
         }
     }
 
@@ -106,6 +114,7 @@ impl Site {
             Site::SwitchApply => "switch_apply",
             Site::KpiCorrupt => "kpi_corrupt",
             Site::AdapterPanic => "adapter_panic",
+            Site::CrashPoint => "crash_point",
         }
     }
 
@@ -120,6 +129,7 @@ impl Site {
             0xBB67_AE85_84CA_A73B,
             0x3C6E_F372_FE94_F82B,
             0xA54F_F53A_5F1D_36F1,
+            0x510E_527F_ADE6_82D1,
         ][self.index()]
     }
 }
@@ -190,7 +200,8 @@ mod inject {
     }
 
     static ARMED: AtomicBool = AtomicBool::new(false);
-    static SLOTS: [Slot; 5] = [
+    static SLOTS: [Slot; 6] = [
+        Slot::new(),
         Slot::new(),
         Slot::new(),
         Slot::new(),

@@ -12,7 +12,8 @@
 //!   "gate_stall":    {"probability": 0.002, "stall_ms": 5},
 //!   "switch_apply":  {"probability": 0.2},
 //!   "kpi_corrupt":   {"probability": 0.05},
-//!   "adapter_panic": {"probability": 0.1}
+//!   "adapter_panic": {"probability": 0.1},
+//!   "crash_point":   {"probability": 1, "after": 17, "max_fires": 1}
 //! }
 //! ```
 //!
@@ -245,6 +246,25 @@ impl<'a> Parser<'a> {
             }
         }
         self.expect(b'}')?;
+        // A spec that can never fire is almost always a typo (a missing
+        // "probability" key, "max_fires": 0, or an unreachable "after");
+        // silently-inert entries would mask a mis-spelled plan, so they
+        // are rejected up front.
+        if spec.probability == 0.0 {
+            return Err(self.err(format!(
+                "site \"{site}\" needs a positive \"probability\" (a spec without one is inert)"
+            )));
+        }
+        if spec.max_fires == 0 {
+            return Err(self.err(format!(
+                "\"max_fires\" for site \"{site}\" must be at least 1 (0 makes the spec inert)"
+            )));
+        }
+        if spec.after == u64::MAX {
+            return Err(self.err(format!(
+                "\"after\" for site \"{site}\" is out of range (no occurrence can follow it)"
+            )));
+        }
         Ok(spec)
     }
 
@@ -326,6 +346,20 @@ mod tests {
             (r#"{"switch_apply": {"chance": 0.5}}"#, "unknown spec key"),
             (r#"{"switch_apply": {"stall_ms": 5}}"#, "not valid for site"),
             (r#"{"seed": 1} trailing"#, "trailing content"),
+            // Silently-inert specs are typos until proven otherwise.
+            (r#"{"switch_apply": {}}"#, "positive \"probability\""),
+            (
+                r#"{"crash_point": {"after": 3}}"#,
+                "positive \"probability\"",
+            ),
+            (
+                r#"{"switch_apply": {"probability": 1, "max_fires": 0}}"#,
+                "at least 1",
+            ),
+            (
+                r#"{"crash_point": {"probability": 1, "after": 18446744073709551615}}"#,
+                "out of range",
+            ),
         ] {
             let err = FaultPlan::parse_json(text).expect_err(text);
             assert!(
@@ -333,6 +367,18 @@ mod tests {
                 "{text}: expected {needle:?} in {err}"
             );
         }
+    }
+
+    #[test]
+    fn crash_point_parses_as_a_deterministic_kill() {
+        let plan = FaultPlan::parse_json(
+            r#"{"seed": 3, "crash_point": {"probability": 1, "after": 17, "max_fires": 1}}"#,
+        )
+        .unwrap();
+        let spec = plan.spec(Site::CrashPoint).unwrap();
+        assert_eq!(spec.probability, 1.0);
+        assert_eq!(spec.after, 17);
+        assert_eq!(spec.max_fires, 1);
     }
 
     #[test]

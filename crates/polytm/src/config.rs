@@ -2,6 +2,7 @@
 
 use htm::CapacityPolicy;
 use std::fmt;
+use txcore::DurabilityMode;
 
 /// Identifies one of PolyTM's encapsulated TM implementations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -20,11 +21,13 @@ pub enum BackendId {
     HybridNOrec,
     /// Phased hybrid over TL2 (capacity-bounded fast path, TL2 slow path).
     HybridTl2,
+    /// Durable redo-log STM (NOrec concurrency, write-ahead persistence).
+    Durable,
 }
 
 impl BackendId {
     /// All backends, in registry order.
-    pub const ALL: [BackendId; 7] = [
+    pub const ALL: [BackendId; 8] = [
         BackendId::Tl2,
         BackendId::TinyStm,
         BackendId::NOrec,
@@ -32,6 +35,7 @@ impl BackendId {
         BackendId::Htm,
         BackendId::HybridNOrec,
         BackendId::HybridTl2,
+        BackendId::Durable,
     ];
 
     /// The STM subset (the only backends available on machines without
@@ -53,6 +57,7 @@ impl BackendId {
             BackendId::Htm => 4,
             BackendId::HybridNOrec => 5,
             BackendId::HybridTl2 => 6,
+            BackendId::Durable => 7,
         }
     }
 
@@ -79,6 +84,7 @@ impl BackendId {
             BackendId::Htm => "HTM",
             BackendId::HybridNOrec => "HyNOrec",
             BackendId::HybridTl2 => "HyTL2",
+            BackendId::Durable => "Durable",
         }
     }
 }
@@ -126,6 +132,10 @@ pub struct TmConfig {
     pub threads: usize,
     /// Contention management, for hardware-backed configurations.
     pub htm: Option<HtmSetting>,
+    /// Crash durability. [`DurabilityMode::Volatile`] for every classic
+    /// configuration; a durable mode is valid only with
+    /// [`BackendId::Durable`] (and vice versa).
+    pub durability: DurabilityMode,
 }
 
 impl TmConfig {
@@ -135,6 +145,7 @@ impl TmConfig {
             backend,
             threads,
             htm: None,
+            durability: DurabilityMode::Volatile,
         }
     }
 
@@ -144,7 +155,24 @@ impl TmConfig {
             backend,
             threads,
             htm: Some(setting),
+            durability: DurabilityMode::Volatile,
         }
+    }
+
+    /// A crash-durable configuration (always [`BackendId::Durable`]).
+    pub fn durable(threads: usize, durability: DurabilityMode) -> Self {
+        TmConfig {
+            backend: BackendId::Durable,
+            threads,
+            htm: None,
+            durability,
+        }
+    }
+
+    /// Whether the backend/durability pairing is coherent: the Durable
+    /// backend journals (non-Volatile), every other backend is volatile.
+    pub fn durability_coherent(&self) -> bool {
+        (self.backend == BackendId::Durable) == self.durability.is_durable()
     }
 }
 
@@ -153,6 +181,11 @@ impl fmt::Display for TmConfig {
         write!(f, "{}:{}t", self.backend, self.threads)?;
         if let Some(s) = self.htm {
             write!(f, " {}", s)?;
+        }
+        // Volatile is the classic, implicit case: golden traces of the
+        // pre-durability configuration space must render unchanged.
+        if self.durability.is_durable() {
+            write!(f, " +{}", self.durability)?;
         }
         Ok(())
     }
@@ -188,6 +221,8 @@ pub(crate) struct ConfigCell {
     /// policy's position in [`CapacityPolicy::ALL`], low 32 bits the
     /// budget. Zero = `None`.
     htm: std::sync::atomic::AtomicU64,
+    /// [`DurabilityMode::index`] of the durability dimension.
+    durability: std::sync::atomic::AtomicU64,
 }
 
 impl ConfigCell {
@@ -197,6 +232,7 @@ impl ConfigCell {
             backend: std::sync::atomic::AtomicU64::new(0),
             threads: std::sync::atomic::AtomicU64::new(0),
             htm: std::sync::atomic::AtomicU64::new(0),
+            durability: std::sync::atomic::AtomicU64::new(0),
         };
         cell.store(c);
         cell
@@ -236,6 +272,8 @@ impl ConfigCell {
             .store(c.backend.index() as u64, Ordering::Release);
         self.threads.store(c.threads as u64, Ordering::Release);
         self.htm.store(Self::encode_htm(c.htm), Ordering::Release);
+        self.durability
+            .store(c.durability.index() as u64, Ordering::Release);
         self.seq.fetch_add(1, Ordering::Release); // even: stable
     }
 
@@ -251,12 +289,15 @@ impl ConfigCell {
             let backend = self.backend.load(Ordering::Acquire);
             let threads = self.threads.load(Ordering::Acquire);
             let htm = self.htm.load(Ordering::Acquire);
+            let durability = self.durability.load(Ordering::Acquire);
             if self.seq.load(Ordering::Acquire) == s1 {
                 return TmConfig {
                     backend: BackendId::from_index(backend as usize)
                         .expect("config cell holds invalid backend index"),
                     threads: threads as usize,
                     htm: Self::decode_htm(htm),
+                    durability: DurabilityMode::from_index(durability as usize)
+                        .expect("config cell holds invalid durability index"),
                 };
             }
         }
@@ -351,6 +392,33 @@ impl ConfigSpace {
         }
     }
 
+    /// Machine A's space extended with the durability dimension: every
+    /// Table 3 column plus the Durable backend at each thread count in
+    /// both journaling modes (130 + 8 × 2 = 146 configurations).
+    pub fn machine_a_durable() -> Self {
+        let mut space = Self::machine_a();
+        for threads in 1..=8 {
+            for mode in [DurabilityMode::Buffered, DurabilityMode::Strict] {
+                space.configs.push(TmConfig::durable(threads, mode));
+            }
+        }
+        space.name = "machine-a+durable";
+        space
+    }
+
+    /// Machine B's space extended with the durability dimension
+    /// (32 + 8 × 2 = 48 configurations).
+    pub fn machine_b_durable() -> Self {
+        let mut space = Self::machine_b();
+        for threads in [1usize, 2, 4, 6, 8, 16, 32, 48] {
+            for mode in [DurabilityMode::Buffered, DurabilityMode::Strict] {
+                space.configs.push(TmConfig::durable(threads, mode));
+            }
+        }
+        space.name = "machine-b+durable";
+        space
+    }
+
     /// The configurations, in stable column order.
     pub fn configs(&self) -> &[TmConfig] {
         &self.configs
@@ -396,8 +464,28 @@ mod tests {
     }
 
     #[test]
+    fn durable_spaces_extend_the_classic_ones() {
+        let a = ConfigSpace::machine_a_durable();
+        assert_eq!(a.len(), 146);
+        assert_eq!(&a.configs()[..130], ConfigSpace::machine_a().configs());
+        let b = ConfigSpace::machine_b_durable();
+        assert_eq!(b.len(), 48);
+        assert_eq!(&b.configs()[..32], ConfigSpace::machine_b().configs());
+        for space in [&a, &b] {
+            for c in space.configs() {
+                assert!(c.durability_coherent(), "incoherent config {c}");
+            }
+        }
+    }
+
+    #[test]
     fn configs_are_unique() {
-        for space in [ConfigSpace::machine_a(), ConfigSpace::machine_b()] {
+        for space in [
+            ConfigSpace::machine_a(),
+            ConfigSpace::machine_b(),
+            ConfigSpace::machine_a_durable(),
+            ConfigSpace::machine_b_durable(),
+        ] {
             let mut seen = std::collections::HashSet::new();
             for c in space.configs() {
                 assert!(seen.insert(*c), "duplicate config {c}");
@@ -417,6 +505,10 @@ mod tests {
         );
         assert_eq!(c.to_string(), "HTM:8t Half-20");
         assert_eq!(TmConfig::stm(BackendId::NOrec, 4).to_string(), "NOrec:4t");
+        assert_eq!(
+            TmConfig::durable(4, DurabilityMode::Strict).to_string(),
+            "Durable:4t +strict"
+        );
     }
 
     #[test]
@@ -454,18 +546,21 @@ mod tests {
                         policy: CapacityPolicy::GiveUp,
                     }),
                 ] {
-                    let c = TmConfig {
-                        backend,
-                        threads,
-                        htm,
-                    };
-                    let cell = ConfigCell::new(c);
-                    assert_eq!(cell.load(), c);
-                    // Overwrite with something else and back.
-                    cell.store(TmConfig::stm(BackendId::NOrec, 3));
-                    assert_eq!(cell.load(), TmConfig::stm(BackendId::NOrec, 3));
-                    cell.store(c);
-                    assert_eq!(cell.load(), c);
+                    for durability in DurabilityMode::ALL {
+                        let c = TmConfig {
+                            backend,
+                            threads,
+                            htm,
+                            durability,
+                        };
+                        let cell = ConfigCell::new(c);
+                        assert_eq!(cell.load(), c);
+                        // Overwrite with something else and back.
+                        cell.store(TmConfig::stm(BackendId::NOrec, 3));
+                        assert_eq!(cell.load(), TmConfig::stm(BackendId::NOrec, 3));
+                        cell.store(c);
+                        assert_eq!(cell.load(), c);
+                    }
                 }
             }
         }

@@ -12,9 +12,10 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use stm::{NOrec, SwissTm, TinyStm, Tl2};
+use stm::{Durable, NOrec, SwissTm, TinyStm, Tl2};
 use txcore::{
-    run_tx, try_run_tx, StatsSnapshot, ThreadCtx, ThreadStats, TmBackend, TmSystem, Tx, TxResult,
+    run_tx, try_run_tx, PHeap, StatsSnapshot, ThreadCtx, ThreadStats, TmBackend, TmSystem, Tx,
+    TxResult,
 };
 
 /// A configuration-switch request that PolyTM cannot honour.
@@ -34,6 +35,14 @@ pub enum SwitchError {
     },
     /// A parallelism degree of zero is not a runnable configuration.
     ZeroThreads,
+    /// Backend and durability mode disagree: the Durable backend requires a
+    /// journaling mode (Buffered/Strict), every other backend requires
+    /// Volatile. See [`TmConfig::durability_coherent`].
+    IncoherentDurability,
+    /// The persistent heap is in its crashed state: the durable redo log
+    /// cannot be drained, so the switch was abandoned before the backend
+    /// pointer moved. Recover the heap first.
+    DurableCrashed,
     /// The quiescence drain exceeded the watchdog budget
     /// ([`PolyTmBuilder::drain_timeout`]): some thread held its RUN bit past
     /// the deadline. The half-applied switch was rolled back — every thread
@@ -91,6 +100,12 @@ impl fmt::Display for SwitchError {
                 )
             }
             SwitchError::ZeroThreads => f.write_str("parallelism degree must be positive"),
+            SwitchError::IncoherentDurability => f.write_str(
+                "durability mode and backend disagree (Durable needs Buffered/Strict, others Volatile)",
+            ),
+            SwitchError::DurableCrashed => {
+                f.write_str("persistent heap has crashed; recover it before switching")
+            }
             SwitchError::QuiesceTimeout { thread } => {
                 write!(f, "thread {thread} did not drain within the quiescence watchdog budget; switch rolled back")
             }
@@ -257,7 +272,8 @@ impl PolyTmBuilder {
         let htm = Arc::new(HtmSim::with_geometry(Arc::clone(&sys), self.geometry));
         let hybrid = Arc::new(HybridNOrec::with_geometry(Arc::clone(&sys), self.geometry));
         let hybrid_tl2 = Arc::new(HybridTl2::with_geometry(Arc::clone(&sys), self.geometry));
-        let backends: [Arc<dyn TmBackend>; 7] = [
+        let durable = Arc::new(Durable::with_new_pheap(Arc::clone(&sys)));
+        let backends: [Arc<dyn TmBackend>; 8] = [
             Arc::new(Tl2::new(Arc::clone(&sys))),
             Arc::new(TinyStm::new(Arc::clone(&sys))),
             Arc::new(NOrec::new(Arc::clone(&sys))),
@@ -265,6 +281,7 @@ impl PolyTmBuilder {
             Arc::clone(&htm) as Arc<dyn TmBackend>,
             Arc::clone(&hybrid) as Arc<dyn TmBackend>,
             Arc::clone(&hybrid_tl2) as Arc<dyn TmBackend>,
+            Arc::clone(&durable) as Arc<dyn TmBackend>,
         ];
         let stats = (0..self.max_threads)
             .map(|_| Arc::new(ThreadStats::new()))
@@ -275,6 +292,7 @@ impl PolyTmBuilder {
             htm,
             hybrid,
             hybrid_tl2,
+            durable,
             current: AtomicUsize::new(initial.backend.index()),
             gate: ThreadGate::new(self.max_threads),
             max_threads: self.max_threads,
@@ -300,10 +318,11 @@ impl PolyTmBuilder {
 /// The polymorphic TM runtime (see the crate docs).
 pub struct PolyTm {
     sys: Arc<TmSystem>,
-    backends: [Arc<dyn TmBackend>; 7],
+    backends: [Arc<dyn TmBackend>; 8],
     htm: Arc<HtmSim>,
     hybrid: Arc<HybridNOrec>,
     hybrid_tl2: Arc<HybridTl2>,
+    durable: Arc<Durable>,
     current: AtomicUsize,
     gate: ThreadGate,
     max_threads: usize,
@@ -526,6 +545,9 @@ impl PolyTm {
                 max: self.max_threads,
             });
         }
+        if !config.durability_coherent() {
+            return Err(SwitchError::IncoherentDurability);
+        }
         // Fault injection: fail the switch before it has any effect, as a
         // transient error the retry path must absorb. Initial construction
         // is exempt (`injectable: false`): it is not a switch, and there is
@@ -540,7 +562,13 @@ impl PolyTm {
         let _adapter = self.reconfig.lock();
         let from = self.config.load();
         let started = Instant::now();
-        let switch_algo = self.current.load(Ordering::Acquire) != config.backend.index();
+        // A durability-mode change (Buffered ⇄ Strict included) takes the
+        // full quiescence fence even when the backend pointer is unchanged:
+        // the redo log is drained with no commit in flight, so no
+        // committed-but-unsynced tail straddles the transition.
+        let durability_change = from.durability != config.durability;
+        let switch_algo =
+            self.current.load(Ordering::Acquire) != config.backend.index() || durability_change;
         // Spans on this path may be wall-clock `timed` because the whole
         // switch protocol runs serially under `reconfig` (the same carve-out
         // that lets `config.switch` carry `latency_ns` — DESIGN.md §7,
@@ -571,9 +599,9 @@ impl PolyTm {
             // thread blocked by this pass is unblocked and the switch is
             // abandoned before the backend pointer moves, so no thread can
             // ever run on a half-switched runtime.
+            let mut blocked = Vec::new();
             {
                 let _drain = obs::timed_span!("quiesce.drain", "epoch" => epoch);
-                let mut blocked = Vec::new();
                 for t in 0..self.max_threads {
                     if !self.gate.is_disabled(t) {
                         self.gate.block(t);
@@ -598,6 +626,30 @@ impl PolyTm {
                         return Err(SwitchError::QuiesceTimeout { thread: t });
                     }
                 }
+            }
+            // Every thread is drained: fold the durable redo log into the
+            // persisted image before anything else moves, so a commit
+            // acknowledged under the old durability regime cannot be lost
+            // by the new one. On a crashed persistent heap the switch is
+            // abandoned here — unblock and report, nothing has changed.
+            if durability_change && from.durability.is_durable() {
+                let (log, _) = self.durable.pheap().log_snapshot();
+                if self.durable.drain().is_err() {
+                    for &u in &blocked {
+                        self.gate.unblock(u);
+                    }
+                    return Err(SwitchError::DurableCrashed);
+                }
+                if obs::enabled() && !log.is_empty() {
+                    obs::event!(
+                        "durable.drain",
+                        "epoch" => epoch,
+                        "log_words" => log.len() as u64,
+                    );
+                }
+            }
+            if config.backend == BackendId::Durable {
+                self.durable.set_mode(config.durability);
             }
             {
                 let _swap = obs::span!("quiesce.switch", "epoch" => epoch);
@@ -819,6 +871,17 @@ impl PolyTm {
     pub fn backend(&self, id: BackendId) -> &Arc<dyn TmBackend> {
         &self.backends[id.index()]
     }
+
+    /// The durable redo-log backend (typed; also reachable through
+    /// [`PolyTm::backend`] with [`BackendId::Durable`]).
+    pub fn durable_backend(&self) -> &Arc<Durable> {
+        &self.durable
+    }
+
+    /// The simulated persistent heap backing [`BackendId::Durable`].
+    pub fn pheap(&self) -> &Arc<PHeap> {
+        self.durable.pheap()
+    }
 }
 
 impl fmt::Debug for PolyTm {
@@ -833,6 +896,20 @@ impl fmt::Debug for PolyTm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use txcore::DurabilityMode;
+
+    /// A coherent single-point configuration for any backend.
+    fn cfg_for(id: BackendId, threads: usize) -> TmConfig {
+        match id {
+            BackendId::Durable => TmConfig::durable(threads, DurabilityMode::Strict),
+            _ => TmConfig {
+                backend: id,
+                threads,
+                htm: id.is_hardware().then_some(HtmSetting::DEFAULT),
+                durability: DurabilityMode::Volatile,
+            },
+        }
+    }
 
     #[test]
     fn builder_defaults_and_basic_tx() {
@@ -940,12 +1017,7 @@ mod tests {
         let a = poly.system().heap.alloc(1);
         let mut w = poly.register_thread(0);
         for (i, id) in BackendId::ALL.iter().enumerate() {
-            poly.apply(&TmConfig {
-                backend: *id,
-                threads: 1,
-                htm: id.is_hardware().then_some(HtmSetting::DEFAULT),
-            })
-            .unwrap();
+            poly.apply(&cfg_for(*id, 1)).unwrap();
             poly.run_tx(&mut w, |tx| {
                 let v = tx.read(a)?;
                 tx.write(a, v + 1)
@@ -1138,6 +1210,78 @@ mod tests {
     }
 
     #[test]
+    fn incoherent_durability_is_rejected_before_any_effect() {
+        let poly = PolyTm::builder().heap_words(1 << 10).max_threads(2).build();
+        let before = poly.current_config();
+        // Durable backend without journaling…
+        let mut bad = TmConfig::stm(BackendId::Durable, 1);
+        assert_eq!(poly.apply(&bad), Err(SwitchError::IncoherentDurability));
+        // …and journaling without the Durable backend.
+        bad = TmConfig::stm(BackendId::Tl2, 1);
+        bad.durability = DurabilityMode::Buffered;
+        let err = poly.apply(&bad).unwrap_err();
+        assert_eq!(err, SwitchError::IncoherentDurability);
+        assert!(!err.is_transient());
+        assert!(!err.to_string().is_empty());
+        assert_eq!(poly.current_config(), before);
+        assert_eq!(poly.quiescence_epochs(), 0);
+    }
+
+    #[test]
+    fn durability_transition_drains_the_log_under_quiescence() {
+        let poly = PolyTm::builder().heap_words(1 << 10).max_threads(2).build();
+        let a = poly.system().heap.alloc(1);
+        poly.apply(&TmConfig::durable(2, DurabilityMode::Buffered))
+            .unwrap();
+        let mut w = poly.register_thread(0);
+        poly.run_tx(&mut w, |tx| tx.write(a, 77));
+        // Buffered: the commit is in the log but not yet synced or applied.
+        assert_eq!(poly.pheap().stats().fsyncs, 0);
+        assert_eq!(poly.pheap().read_persisted(a), 0);
+        let epochs = poly.quiescence_epochs();
+        // Buffered → Strict keeps the backend pointer but must quiesce and
+        // drain: afterwards the commit is in the persisted image.
+        poly.apply(&TmConfig::durable(2, DurabilityMode::Strict))
+            .unwrap();
+        assert_eq!(poly.quiescence_epochs(), epochs + 1, "mode change quiesces");
+        assert_eq!(poly.pheap().read_persisted(a), 77);
+        let (log, _) = poly.pheap().log_snapshot();
+        assert!(log.is_empty(), "drain truncated the log");
+        // Strict commits journal + sync per transaction from here on.
+        poly.run_tx(&mut w, |tx| tx.write(a, 78));
+        assert!(poly.pheap().stats().fsyncs >= 2);
+        // Leaving the Durable backend drains again and lands volatile.
+        poly.apply(&TmConfig::stm(BackendId::Tl2, 2)).unwrap();
+        assert_eq!(poly.pheap().read_persisted(a), 78);
+        assert_eq!(poly.current_config().durability, DurabilityMode::Volatile);
+    }
+
+    #[test]
+    fn crashed_pheap_aborts_the_switch_and_stays_usable() {
+        let poly = PolyTm::builder().heap_words(1 << 10).max_threads(2).build();
+        let a = poly.system().heap.alloc(1);
+        poly.apply(&TmConfig::durable(2, DurabilityMode::Buffered))
+            .unwrap();
+        let mut w = poly.register_thread(0);
+        poly.run_tx(&mut w, |tx| tx.write(a, 5));
+        // The drain's first persistence step dies.
+        poly.pheap().set_crash_at(poly.pheap().steps() + 1);
+        let err = poly.apply(&TmConfig::stm(BackendId::NOrec, 2)).unwrap_err();
+        assert_eq!(err, SwitchError::DurableCrashed);
+        assert!(!err.is_transient());
+        // Rolled back: still on the durable configuration.
+        assert_eq!(
+            poly.current_config(),
+            TmConfig::durable(2, DurabilityMode::Buffered)
+        );
+        // Recover the model, then the same switch succeeds.
+        poly.pheap().restart(&poly.system().heap);
+        poly.pheap().recover(&poly.system().heap).unwrap();
+        poly.apply(&TmConfig::stm(BackendId::NOrec, 2)).unwrap();
+        assert_eq!(poly.current_config().backend, BackendId::NOrec);
+    }
+
+    #[test]
     fn known_good_tracks_last_successful_apply() {
         let poly = PolyTm::builder().heap_words(1 << 10).max_threads(2).build();
         let initial = poly.known_good_config();
@@ -1172,12 +1316,7 @@ mod tests {
             // counter. Correctness = nothing lost, no deadlock.
             for _ in 0..3 {
                 for id in BackendId::ALL {
-                    poly.apply(&TmConfig {
-                        backend: id,
-                        threads: 3,
-                        htm: id.is_hardware().then_some(HtmSetting::DEFAULT),
-                    })
-                    .unwrap();
+                    poly.apply(&cfg_for(id, 3)).unwrap();
                     std::thread::sleep(Duration::from_millis(5));
                 }
             }

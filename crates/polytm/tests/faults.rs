@@ -249,6 +249,11 @@ fn chaos_run_completes_without_deadlock_or_lost_updates() {
                     backend: id,
                     threads: 1 + (round as usize) % WORKERS,
                     htm: id.is_hardware().then_some(polytm::HtmSetting::DEFAULT),
+                    durability: if id == BackendId::Durable {
+                        txcore::DurabilityMode::Strict
+                    } else {
+                        txcore::DurabilityMode::Volatile
+                    },
                 };
                 // Every failure mode is acceptable except a panic or hang;
                 // successes and degrades both count as recovery.

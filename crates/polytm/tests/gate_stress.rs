@@ -28,10 +28,20 @@ fn random_config(rng: &mut StdRng, max_threads: usize) -> TmConfig {
         budget: rng.gen_range(1..=8u32),
         policy: HtmSetting::DEFAULT.policy,
     });
+    let durability = if backend == BackendId::Durable {
+        if rng.gen_range(0..2u32) == 0 {
+            txcore::DurabilityMode::Buffered
+        } else {
+            txcore::DurabilityMode::Strict
+        }
+    } else {
+        txcore::DurabilityMode::Volatile
+    };
     TmConfig {
         backend,
         threads,
         htm,
+        durability,
     }
 }
 

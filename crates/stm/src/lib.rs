@@ -13,7 +13,13 @@
 //! * [`SwissTm`] — eager write/write and lazy read/write conflict detection
 //!   with a two-orec scheme (Dragojević, Guerraoui, Kapalka — PLDI'09).
 //!
-//! All four operate on a shared [`txcore::TmSystem`] and are safe to switch
+//! A fifth backend extends the roster beyond the paper's volatile set:
+//!
+//! * [`Durable`] — NOrec concurrency control plus a write-ahead redo log on
+//!   a simulated persistent heap ([`txcore::PHeap`]), giving
+//!   crash-recoverable commits at a modeled fsync/log-append cost.
+//!
+//! All five operate on a shared [`txcore::TmSystem`] and are safe to switch
 //! between under PolyTM's quiescence protocol.
 //!
 //! # Example
@@ -37,11 +43,13 @@
 #![warn(missing_docs)]
 
 mod common;
+mod durable;
 mod norec;
 mod swisstm;
 mod tinystm;
 mod tl2;
 
+pub use durable::Durable;
 pub use norec::NOrec;
 pub use swisstm::SwissTm;
 pub use tinystm::TinyStm;

@@ -46,7 +46,10 @@ mod workload;
 pub use corpus::{corpus, corpus_with_families, Workload};
 pub use dynamic::{Interference, PhasedApp};
 pub use machine::MachineModel;
-pub use model::{backend_coefs, BackendCoefs, PerfModel};
+pub use model::{backend_coefs, durability_tax_ns, BackendCoefs, PerfModel};
 pub use sched::{simulate, GateWindow, OpEvent, OpKind, Scenario, SimConfig, SimOutcome};
-pub use vtime::{det_pow, op_costs, vtime_report, OpCosts, VtimeReport};
+pub use vtime::{
+    det_pow, durable_report, op_costs, op_costs_for_config, recovery_drill, vtime_report,
+    DurablePoint, DurableReport, OpCosts, RecoveryDrill, VtimeReport,
+};
 pub use workload::{WorkloadFamily, WorkloadSpec};

@@ -107,7 +107,47 @@ fn coefs(backend: BackendId) -> BackendCoefs {
             socket_sens: 1.1,
             serial_commits: false,
         },
+        // NOrec's concurrency control plus redo-log bookkeeping: reads stay
+        // cheap, writes carry the log-entry cost, and the fixed overhead
+        // covers record framing. The fsync/replay tax is workload-dependent
+        // and added separately in [`PerfModel::throughput`] (and mirrored by
+        // the virtual-time scheduler's `op_costs_for_config`).
+        BackendId::Durable => BackendCoefs {
+            read_ns: 3.0,
+            write_ns: 4.0,
+            tx_ns: 40.0,
+            contention_sens: 1.25,
+            abort_cost: 0.8,
+            socket_sens: 2.2,
+            serial_commits: true,
+        },
     }
+}
+
+/// Modeled durability tax per committed transaction, in ns: log-append for
+/// the framed record, the amortized fsync share of the mode's group-commit
+/// cadence, and the amortized checkpoint replay. Zero for volatile
+/// configurations. Shared by the analytical model and the virtual-time
+/// scheduler so the two surfaces agree on what durability costs.
+pub fn durability_tax_ns(config: &TmConfig, writes_per_tx: f64) -> f64 {
+    if !config.durability.is_durable() {
+        return 0.0;
+    }
+    // Record framing: header + len + marker (3 words) + one (addr, value)
+    // pair per write.
+    let record_words = 3.0 + 2.0 * writes_per_tx;
+    let append = record_words * txcore::LOG_APPEND_NS_PER_WORD as f64;
+    let fsync_share = if config.durability == txcore::DurabilityMode::Strict {
+        1.0
+    } else {
+        1.0 / txcore::GROUP_COMMIT_TXS as f64
+    };
+    let fsync = fsync_share * txcore::FSYNC_NS as f64;
+    // Checkpoint folds one replay pass (one step per write) plus an fsync,
+    // amortized over its cadence.
+    let checkpoint = (writes_per_tx * txcore::REPLAY_NS_PER_WORD as f64 + txcore::FSYNC_NS as f64)
+        / txcore::CHECKPOINT_EVERY_TXS as f64;
+    append + fsync + checkpoint
 }
 
 /// The deterministic analytical model over one machine.
@@ -156,8 +196,11 @@ impl PerfModel {
         let c = coefs(config.backend);
         let u = spec.update_frac;
         let t_base = spec.base_tx_us * 1e-6 / self.machine.speed;
+        // The durability tax is modeled I/O, not computation: it does not
+        // shrink with machine speed, so it is added after the speed scaling.
+        let durable_ns = durability_tax_ns(config, u * spec.writes);
         let instr_ns = spec.reads * c.read_ns + u * spec.writes * c.write_ns + c.tx_ns;
-        let t_instr = t_base + instr_ns * 1e-9 / self.machine.speed;
+        let t_instr = t_base + instr_ns * 1e-9 / self.machine.speed + durable_ns * 1e-9;
 
         // Parallelism: SMT-aware effective cores, Amdahl limit, coherence.
         let eff = self.machine.effective_parallelism(n);
@@ -205,8 +248,10 @@ impl PerfModel {
         };
 
         // Global-sequence-lock designs cap the aggregate writer-commit rate.
+        // Durable commits hold the lock across the journaling phase too, so
+        // their tax lengthens the serial section.
         if c.serial_commits && u > 0.0 {
-            let t_commit = 150e-9 + u * spec.writes * 3e-9;
+            let t_commit = 150e-9 + u * spec.writes * 3e-9 + durable_ns * 1e-9;
             let cap = 1.0 / (t_commit * u);
             x = x.min(cap);
         }
@@ -460,6 +505,34 @@ mod tests {
             .map(|c| m.throughput(&spec, c))
             .fold(f64::INFINITY, f64::min);
         assert!(best / worst > 10.0, "best {best} / worst {worst}");
+    }
+
+    #[test]
+    fn durability_tax_orders_the_modes() {
+        let b = model_b();
+        let mut spec = WorkloadFamily::TpcC.base_spec();
+        spec.update_frac = 0.5;
+        let norec = b.throughput(&spec, &TmConfig::stm(BackendId::NOrec, 4));
+        let buffered = b.throughput(
+            &spec,
+            &TmConfig::durable(4, txcore::DurabilityMode::Buffered),
+        );
+        let strict = b.throughput(&spec, &TmConfig::durable(4, txcore::DurabilityMode::Strict));
+        assert!(
+            norec > buffered && buffered > strict,
+            "durability must cost: norec {norec} > buffered {buffered} > strict {strict}"
+        );
+        // The tax itself: zero when volatile, fsync-dominated when strict.
+        assert_eq!(
+            durability_tax_ns(&TmConfig::stm(BackendId::NOrec, 4), 3.0),
+            0.0
+        );
+        let tax_strict =
+            durability_tax_ns(&TmConfig::durable(4, txcore::DurabilityMode::Strict), 3.0);
+        let tax_buf =
+            durability_tax_ns(&TmConfig::durable(4, txcore::DurabilityMode::Buffered), 3.0);
+        assert!(tax_strict > txcore::FSYNC_NS as f64);
+        assert!(tax_buf < tax_strict);
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //!    poll whose result depends only on gate state.
 
 use crate::machine::MachineModel;
-use crate::vtime::{op_costs, splitmix64, OpCosts, TICKS_PER_NS};
+use crate::vtime::{op_costs_for_config, splitmix64, OpCosts, TICKS_PER_NS};
 use crate::workload::WorkloadSpec;
 use htm::{HtmGeometry, HtmSim, HybridNOrec, HybridTl2};
 use polytm::{BackendId, ThreadGate, TmConfig};
@@ -39,8 +39,8 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
-use stm::{NOrec, SwissTm, TinyStm, Tl2};
-use txcore::{Addr, ThreadCtx, TmBackend, TmSystem};
+use stm::{Durable, NOrec, SwissTm, TinyStm, Tl2};
+use txcore::{Addr, DurabilityMode, PHeapStats, ThreadCtx, TmBackend, TmSystem};
 
 /// Simulated HTM cache geometry: mid-sized so the report's small
 /// transactions run speculatively while capacity-hostile workloads
@@ -190,6 +190,9 @@ pub struct SimOutcome {
     pub ops: Vec<OpEvent>,
     /// Fully-drained gate windows the adapter produced.
     pub gate_windows: Vec<GateWindow>,
+    /// Persistent-heap counters when the (final) backend was [`Durable`]:
+    /// log traffic, fsyncs and checkpoints the run's commits generated.
+    pub durable: Option<PHeapStats>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -276,21 +279,29 @@ enum Adapter {
     Done,
 }
 
-fn make_backend(sys: &Arc<TmSystem>, config: &TmConfig) -> Arc<dyn TmBackend> {
+fn make_backend(
+    sys: &Arc<TmSystem>,
+    config: &TmConfig,
+) -> (Arc<dyn TmBackend>, Option<Arc<Durable>>) {
     match config.backend {
-        BackendId::Tl2 => Arc::new(Tl2::new(Arc::clone(sys))),
-        BackendId::TinyStm => Arc::new(TinyStm::new(Arc::clone(sys))),
-        BackendId::NOrec => Arc::new(NOrec::new(Arc::clone(sys))),
-        BackendId::SwissTm => Arc::new(SwissTm::new(Arc::clone(sys))),
+        BackendId::Tl2 => (Arc::new(Tl2::new(Arc::clone(sys))), None),
+        BackendId::TinyStm => (Arc::new(TinyStm::new(Arc::clone(sys))), None),
+        BackendId::NOrec => (Arc::new(NOrec::new(Arc::clone(sys))), None),
+        BackendId::SwissTm => (Arc::new(SwissTm::new(Arc::clone(sys))), None),
         BackendId::Htm => {
             let h = HtmSim::with_geometry(Arc::clone(sys), SIM_GEOMETRY);
             if let Some(s) = config.htm {
                 h.cm().set(s.budget, s.policy);
             }
-            Arc::new(h)
+            (Arc::new(h), None)
         }
-        BackendId::HybridNOrec => Arc::new(HybridNOrec::new(Arc::clone(sys))),
-        BackendId::HybridTl2 => Arc::new(HybridTl2::new(Arc::clone(sys))),
+        BackendId::HybridNOrec => (Arc::new(HybridNOrec::new(Arc::clone(sys))), None),
+        BackendId::HybridTl2 => (Arc::new(HybridTl2::new(Arc::clone(sys))), None),
+        BackendId::Durable => {
+            let d = Arc::new(Durable::with_new_pheap(Arc::clone(sys)));
+            d.set_mode(config.durability);
+            (Arc::clone(&d) as Arc<dyn TmBackend>, Some(d))
+        }
     }
 }
 
@@ -300,6 +311,7 @@ struct Engine<'a> {
     sys: Arc<TmSystem>,
     gate: ThreadGate,
     backend: Arc<dyn TmBackend>,
+    durable: Option<Arc<Durable>>,
     costs: OpCosts,
     tasks: Vec<Task>,
     heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
@@ -339,8 +351,8 @@ impl<'a> Engine<'a> {
                 priv_base: sys.heap.alloc(PRIV_SLOTS as usize * STRIDE as usize),
             })
             .collect();
-        let backend = make_backend(&sys, &cfg.config);
-        let costs = op_costs(cfg.machine, cfg.spec, cfg.config.backend, n);
+        let (backend, durable) = make_backend(&sys, &cfg.config);
+        let costs = op_costs_for_config(cfg.machine, cfg.spec, &cfg.config, n);
         let total_txs = n as u64 * u64::from(cfg.txs_per_thread);
         let adapter = match cfg.scenario {
             Scenario::Steady => Adapter::Idle,
@@ -358,6 +370,7 @@ impl<'a> Engine<'a> {
             sys,
             gate: ThreadGate::new(n),
             backend,
+            durable,
             costs,
             tasks,
             heap: BinaryHeap::new(),
@@ -653,9 +666,20 @@ impl<'a> Engine<'a> {
                         } else {
                             None
                         },
+                        durability: if to == BackendId::Durable {
+                            if self.cfg.config.durability.is_durable() {
+                                self.cfg.config.durability
+                            } else {
+                                DurabilityMode::Strict
+                            }
+                        } else {
+                            DurabilityMode::Volatile
+                        },
                     };
-                    self.backend = make_backend(&self.sys, &cfg);
-                    self.costs = op_costs(self.cfg.machine, self.cfg.spec, to, self.n);
+                    let (backend, durable) = make_backend(&self.sys, &cfg);
+                    self.backend = backend;
+                    self.durable = durable;
+                    self.costs = op_costs_for_config(self.cfg.machine, self.cfg.spec, &cfg, self.n);
                     self.gate.advance_epoch();
                     self.adapter = Adapter::SwitchApplying {
                         started,
@@ -827,6 +851,7 @@ impl<'a> Engine<'a> {
             grow_latency_vns: self.grow_latency,
             ops: self.ops,
             gate_windows: self.gate_windows,
+            durable: self.durable.as_ref().map(|d| d.pheap().stats()),
         }
     }
 }

@@ -24,6 +24,9 @@ use crate::sched::{simulate, Scenario, SimConfig};
 use crate::workload::{WorkloadFamily, WorkloadSpec};
 use polytm::{BackendId, HtmSetting, TmConfig};
 use std::fmt::Write as _;
+use std::sync::Arc;
+use stm::Durable;
+use txcore::{run_tx, DurabilityMode, ThreadCtx, TmBackend, TmSystem};
 
 /// Virtual-clock resolution: vticks per nanosecond. All scheduler math is
 /// u64 vticks; only reports divide back down to whole virtual ns.
@@ -160,6 +163,27 @@ pub fn op_costs(
         switch_apply: q(2500.0 * slow),
         resize_apply: q(800.0 * slow),
     }
+}
+
+/// [`op_costs`] plus the commit-time durability tax of `config`'s
+/// [`DurabilityMode`](txcore::DurabilityMode). For volatile configs this is
+/// bit-identical to [`op_costs`] (the tax is exactly zero), so the classic
+/// vtime curves are unchanged; durable configs pay the modeled
+/// log-append/fsync/checkpoint cost on every commit. Like the analytical
+/// model, the tax is *not* divided by machine speed: it models I/O, not
+/// instructions.
+pub fn op_costs_for_config(
+    machine: &MachineModel,
+    spec: &WorkloadSpec,
+    config: &TmConfig,
+    threads: usize,
+) -> OpCosts {
+    let mut costs = op_costs(machine, spec, config.backend, threads);
+    let tax = crate::model::durability_tax_ns(config, spec.writes);
+    if tax > 0.0 {
+        costs.commit += q(tax);
+    }
+    costs
 }
 
 /// One point of a scalability curve, all in exact integers.
@@ -396,6 +420,221 @@ pub fn vtime_report(machine: &MachineModel, seed: u64) -> VtimeReport {
     }
 }
 
+/// One cell of the durability-tax curve: a (mode, threads) run's exact
+/// integer outcome plus the persistent-heap counters it generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurablePoint {
+    /// Durability mode of the cell ([`DurabilityMode::Volatile`] rows run
+    /// plain NOrec, the concurrency-equal baseline).
+    pub mode: DurabilityMode,
+    /// Thread count of the cell.
+    pub threads: usize,
+    /// Committed transactions per virtual second.
+    pub tx_per_sec: u64,
+    /// Committed transactions.
+    pub commits: u64,
+    /// Virtual time the run took, whole ns.
+    pub virtual_ns: u64,
+    /// Redo-log words the run appended.
+    pub log_words: u64,
+    /// Modeled fsyncs the run issued.
+    pub fsyncs: u64,
+    /// Checkpoints (fsync + apply + truncate) the run folded.
+    pub checkpoints: u64,
+}
+
+/// Outcome of the deterministic crash-recovery drill: one seeded
+/// single-thread workload, a crash armed two persistence steps into the
+/// next commit's journal append, then restart + recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryDrill {
+    /// Transactions committed (and acked) before the crash was armed.
+    pub committed_before_crash: u64,
+    /// The 1-based persistence step the crash landed on.
+    pub crash_step: u64,
+    /// Complete log records recovery replayed into the persisted image.
+    pub replayed_txs: u64,
+    /// Payload words recovery applied.
+    pub replayed_words: u64,
+    /// Words of the torn tail record discarded as a unit.
+    pub torn_words: u64,
+    /// Modeled recovery latency (constants × counts), ns.
+    pub recovery_ns: u64,
+}
+
+/// The durable scalability report of one machine: volatile-NOrec baseline
+/// vs the Durable backend in Buffered and Strict modes, plus one crash
+/// drill. Same (machine, seed) → byte-identical [`DurableReport::render`].
+#[derive(Debug, Clone)]
+pub struct DurableReport {
+    /// Machine name (`machine-a` / `machine-b`).
+    pub machine: &'static str,
+    /// Scheduler seed the report was generated under.
+    pub seed: u64,
+    /// Mode-major curve cells, threads ascending within each mode.
+    pub points: Vec<DurablePoint>,
+    /// The crash-recovery drill outcome.
+    pub drill: RecoveryDrill,
+}
+
+impl DurableReport {
+    /// Stable text rendering: pure integers, fixed column widths, no
+    /// floats and no host-dependent content.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "durable vtime on {} (genome workload, seed {})",
+            self.machine, self.seed
+        );
+        let _ = writeln!(
+            out,
+            "{:<9} {:>7} {:>12} {:>8} {:>10} {:>7} {:>12} {:>14}",
+            "mode",
+            "threads",
+            "tx_per_sec",
+            "commits",
+            "log_words",
+            "fsyncs",
+            "checkpoints",
+            "virtual_ns"
+        );
+        for p in &self.points {
+            let _ = writeln!(
+                out,
+                "{:<9} {:>7} {:>12} {:>8} {:>10} {:>7} {:>12} {:>14}",
+                p.mode.slug(),
+                p.threads,
+                p.tx_per_sec,
+                p.commits,
+                p.log_words,
+                p.fsyncs,
+                p.checkpoints,
+                p.virtual_ns
+            );
+        }
+        let d = &self.drill;
+        let _ = writeln!(
+            out,
+            "recovery drill: crash at step {} after {} commits; replayed {} txs \
+             ({} words, {} torn), recovery {} ns",
+            d.crash_step,
+            d.committed_before_crash,
+            d.replayed_txs,
+            d.replayed_words,
+            d.torn_words,
+            d.recovery_ns
+        );
+        out
+    }
+}
+
+fn durable_cell(
+    machine: &MachineModel,
+    spec: &WorkloadSpec,
+    mode: DurabilityMode,
+    threads: usize,
+    seed: u64,
+) -> DurablePoint {
+    let config = if mode.is_durable() {
+        TmConfig::durable(threads, mode)
+    } else {
+        TmConfig::stm(BackendId::NOrec, threads)
+    };
+    let out = simulate(&SimConfig {
+        machine,
+        spec,
+        config,
+        txs_per_thread: TXS_PER_THREAD,
+        seed,
+        record_ops: false,
+        scenario: Scenario::Steady,
+    });
+    let stats = out.durable.unwrap_or_default();
+    DurablePoint {
+        mode,
+        threads,
+        tx_per_sec: out.tx_per_sec,
+        commits: out.commits,
+        virtual_ns: out.elapsed_vns,
+        log_words: stats.log_words,
+        fsyncs: stats.fsyncs,
+        checkpoints: stats.checkpoints,
+    }
+}
+
+/// The deterministic crash-recovery drill: 20 seeded buffered commits,
+/// then a crash armed on the next commit's second persistence step, then
+/// restart + recovery. Everything downstream of `seed` is exact integer
+/// work on one thread, so the outcome is byte-identical everywhere.
+pub fn recovery_drill(seed: u64) -> RecoveryDrill {
+    const DRILL_TXS: u64 = 20;
+    let sys = Arc::new(TmSystem::new(256));
+    let tm = Durable::with_new_pheap(Arc::clone(&sys));
+    tm.set_mode(DurabilityMode::Buffered);
+    let mut ctx = ThreadCtx::new(0);
+    let slots: Vec<_> = (0..8).map(|_| sys.heap.alloc(1)).collect();
+    let mut r = seed;
+    for i in 0..DRILL_TXS {
+        r = splitmix64(r);
+        let a = slots[(r % 8) as usize];
+        let b = slots[((r >> 8) % 8) as usize];
+        let (va, vb) = (r ^ i, r.rotate_left(13));
+        run_tx(&tm, &mut ctx, |tx| {
+            tx.write(a, va)?;
+            tx.write(b, vb)
+        });
+    }
+    // The next commit journals its header at steps+1; dying at steps+2
+    // leaves a torn (header-only) tail record for recovery to discard.
+    tm.pheap().set_crash_at(tm.pheap().steps() + 2);
+    tm.begin(&mut ctx).unwrap();
+    tm.write(&mut ctx, slots[0], 0xDEAD).unwrap();
+    let _ = tm.commit(&mut ctx);
+    let crash_step = tm.pheap().crash_step();
+    tm.pheap().restart(&sys.heap);
+    let report = tm.pheap().recover(&sys.heap).expect("recovery completes");
+    RecoveryDrill {
+        committed_before_crash: DRILL_TXS,
+        crash_step,
+        replayed_txs: report.replayed_seqs.len() as u64,
+        replayed_words: report.replayed_words,
+        torn_words: report.torn_words,
+        recovery_ns: report.recovery_ns,
+    }
+}
+
+/// The deterministic durability report of `machine` under `seed`: a
+/// volatile NOrec baseline against Durable-Buffered and Durable-Strict
+/// over a shared thread sweep, plus [`recovery_drill`]. The volatile rows
+/// reuse the classic cost table ([`op_costs_for_config`] is bit-identical
+/// to [`op_costs`] when the tax is zero), so the gap between rows *is* the
+/// durability tax.
+pub fn durable_report(machine: &MachineModel, seed: u64) -> DurableReport {
+    let spec = report_spec();
+    let threads: Vec<usize> = if machine.hw_threads >= 16 {
+        vec![1, 4, 8, 16]
+    } else {
+        vec![1, 2, 4, 8]
+    };
+    let modes = [
+        DurabilityMode::Volatile,
+        DurabilityMode::Buffered,
+        DurabilityMode::Strict,
+    ];
+    let points = modes
+        .iter()
+        .flat_map(|&m| threads.iter().map(move |&n| (m, n)).collect::<Vec<_>>())
+        .map(|(m, n)| durable_cell(machine, &spec, m, n, seed))
+        .collect();
+    DurableReport {
+        machine: machine.name,
+        seed,
+        points,
+        drill: recovery_drill(seed),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -462,5 +701,86 @@ mod tests {
     fn quantizer_never_returns_zero() {
         assert_eq!(q(0.0), 1);
         assert_eq!(q(1.0), TICKS_PER_NS);
+    }
+
+    #[test]
+    fn config_costs_match_classic_costs_for_volatile_configs() {
+        let m = MachineModel::machine_a();
+        let spec = report_spec();
+        for id in [BackendId::Tl2, BackendId::NOrec, BackendId::Htm] {
+            for n in [1usize, 4, 8] {
+                let cfg = if id.is_hardware() {
+                    TmConfig::htm(id, n, HtmSetting::DEFAULT)
+                } else {
+                    TmConfig::stm(id, n)
+                };
+                let classic = op_costs(&m, &spec, id, n);
+                let by_cfg = op_costs_for_config(&m, &spec, &cfg, n);
+                assert_eq!(classic.commit, by_cfg.commit, "{id:?} t{n}");
+                assert_eq!(classic.read, by_cfg.read);
+            }
+        }
+    }
+
+    #[test]
+    fn durable_configs_pay_the_tax_on_commit_only() {
+        let m = MachineModel::machine_a();
+        let spec = report_spec();
+        let volatile = op_costs(&m, &spec, BackendId::Durable, 4);
+        let buffered = op_costs_for_config(
+            &m,
+            &spec,
+            &TmConfig::durable(4, DurabilityMode::Buffered),
+            4,
+        );
+        let strict =
+            op_costs_for_config(&m, &spec, &TmConfig::durable(4, DurabilityMode::Strict), 4);
+        assert!(buffered.commit > volatile.commit);
+        assert!(strict.commit > buffered.commit, "per-tx fsync dominates");
+        assert_eq!(strict.read, volatile.read, "reads are never taxed");
+        assert_eq!(strict.begin, volatile.begin);
+    }
+
+    #[test]
+    fn durable_report_is_deterministic_and_shows_the_tax() {
+        let m = MachineModel::machine_a();
+        let a = durable_report(&m, REPORT_SEED);
+        let b = durable_report(&m, REPORT_SEED);
+        assert_eq!(a.render(), b.render(), "byte-identical reruns");
+        // Strict throughput never beats the volatile baseline at equal
+        // threads: the modeled fsync is pure added latency.
+        for (v, s) in a
+            .points
+            .iter()
+            .filter(|p| p.mode == DurabilityMode::Volatile)
+            .zip(a.points.iter().filter(|p| p.mode == DurabilityMode::Strict))
+        {
+            assert_eq!(v.threads, s.threads);
+            assert!(
+                s.tx_per_sec < v.tx_per_sec,
+                "t{}: strict {} vs volatile {}",
+                v.threads,
+                s.tx_per_sec,
+                v.tx_per_sec
+            );
+            // Read-only commits never journal, so fsyncs track update
+            // transactions, not total commits.
+            assert!(s.fsyncs > 0 && s.log_words > 0, "strict run journaled");
+        }
+        // Buffered amortizes: strictly fewer fsyncs than strict at equal
+        // threads, but the log traffic (words appended) is identical.
+        for (bu, st) in a
+            .points
+            .iter()
+            .filter(|p| p.mode == DurabilityMode::Buffered)
+            .zip(a.points.iter().filter(|p| p.mode == DurabilityMode::Strict))
+        {
+            assert!(bu.fsyncs < st.fsyncs, "t{}", bu.threads);
+        }
+        let d = a.drill;
+        assert_eq!(d.committed_before_crash, 20);
+        assert!(d.replayed_txs > 0, "acked commits recovered");
+        assert!(d.torn_words > 0, "the armed crash left a torn tail");
+        assert!(d.recovery_ns >= txcore::RECOVERY_BASE_NS);
     }
 }

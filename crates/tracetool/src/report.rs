@@ -155,6 +155,7 @@ pub fn render(trace: &Trace, epsilon: f64) -> String {
     render_oracle_convergence(&mut out, trace, epsilon);
     render_switches(&mut out, trace, &forest);
     render_fault_audit(&mut out, trace);
+    render_recovery_audit(&mut out, trace);
     out
 }
 
@@ -593,6 +594,53 @@ fn render_fault_audit(out: &mut String, trace: &Trace) {
     }
 }
 
+fn render_recovery_audit(out: &mut String, trace: &Trace) {
+    // The durable backend's crash ledger: every `durable.crash` (a modeled
+    // process kill at a persistence step, emitted on restart) must be
+    // matched by a completed `durable.recovery` replay. Crashes armed by
+    // the faultsim `crash_point` site also tick the fired counter;
+    // internally-armed ones (the sweep tests' absolute-step trigger) only
+    // emit the event, so the crash count takes the max of both signals.
+    let crashes =
+        (trace.count_kind("durable.crash") as u64).max(trace.counter("fault.fired.crash_point"));
+    let recoveries: Vec<&Record> = trace.of_kind("durable.recovery").collect();
+    if crashes == 0 && recoveries.is_empty() {
+        return;
+    }
+    section(out, "crash recovery audit");
+    let injected = trace.counter("fault.fired.crash_point");
+    let _ = writeln!(
+        out,
+        "  crashes: {crashes} ({injected} via faultsim crash_point)"
+    );
+    let sum = |key: &str| -> u64 { recoveries.iter().filter_map(|r| r.u64(key)).sum() };
+    let replayed_txs = sum("replayed_txs");
+    let replayed_words = sum("replayed_words");
+    let torn_words = sum("torn_words");
+    let _ = writeln!(
+        out,
+        "  recoveries: {} (replayed {replayed_txs} txs / {replayed_words} words, discarded {torn_words} torn words)",
+        recoveries.len()
+    );
+    let recovery_ns = sum("recovery_ns");
+    if !recoveries.is_empty() {
+        let _ = writeln!(
+            out,
+            "  modeled replay time: {} total, {} mean",
+            fmt_ns(recovery_ns as f64),
+            fmt_ns(recovery_ns as f64 / recoveries.len() as f64)
+        );
+    }
+    // A crash without a matching recovery means the trace ended on a dirty
+    // heap — the recovery checker never ran, so durability is unproven.
+    let verdict = if recoveries.len() as u64 >= crashes {
+        "recovered (every crash replayed to a consistent heap)"
+    } else {
+        "UNRECOVERED (crashed heap never replayed)"
+    };
+    let _ = writeln!(out, "  verdict: {verdict}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -695,6 +743,58 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("kpi_corrupt            1          1         0  contained"));
+    }
+
+    #[test]
+    fn recovery_audit_matches_crashes_with_recoveries() {
+        let t = trace_of(&[
+            r#"{"seq":0,"kind":"durable.crash","step":140,"log_words":12,"durable_words":8}"#
+                .to_string(),
+            r#"{"seq":1,"kind":"durable.recovery","replayed_txs":2,"replayed_words":6,"torn_words":1,"recovery_ns":2600}"#
+                .to_string(),
+            r#"{"seq":2,"kind":"durable.crash","step":220,"log_words":4,"durable_words":20}"#
+                .to_string(),
+            r#"{"seq":3,"kind":"durable.recovery","replayed_txs":1,"replayed_words":4,"torn_words":0,"recovery_ns":1400}"#
+                .to_string(),
+            r#"{"seq":4,"kind":"counter","name":"fault.fired.crash_point","value":1}"#.to_string(),
+        ]);
+        let text = render(&t, 0.05);
+        assert!(text.contains("crash recovery audit"), "{text}");
+        assert!(
+            text.contains("crashes: 2 (1 via faultsim crash_point)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("recoveries: 2 (replayed 3 txs / 10 words, discarded 1 torn words)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("modeled replay time: 4.00us total, 2.00us mean"),
+            "{text}"
+        );
+        assert!(
+            text.contains("verdict: recovered (every crash replayed to a consistent heap)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn recovery_audit_flags_a_crash_without_recovery() {
+        let t = trace_of(&[
+            r#"{"seq":0,"kind":"durable.crash","step":9,"log_words":3,"durable_words":0}"#
+                .to_string(),
+        ]);
+        let text = render(&t, 0.05);
+        assert!(
+            text.contains("verdict: UNRECOVERED (crashed heap never replayed)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn recovery_audit_absent_without_durable_activity() {
+        let t = trace_of(&[r#"{"seq":0,"kind":"fault.switch_apply","to":"b"}"#.to_string()]);
+        assert!(!render(&t, 0.05).contains("crash recovery audit"));
     }
 
     #[test]

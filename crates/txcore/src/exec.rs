@@ -193,10 +193,100 @@ pub fn try_run_tx<T>(
     // would swamp the histogram. One `Instant::now` per traced transaction;
     // nothing at all when telemetry is inactive.
     let ladder_t0 = telemetry.then(std::time::Instant::now);
+    // First attempt, specialized: a first-try commit — the overwhelming
+    // majority of transactions — resolves with one shared fetch-add and
+    // never touches the ladder accumulator, so the hot path neither zeroes
+    // a `LocalStats` nor runs the loop's budget bookkeeping. Everything
+    // else falls through to the out-of-line retry ladder with its first
+    // abort pre-recorded; the backoff draw below keeps the rng sequence
+    // identical to a ladder that ran the first attempt itself.
+    let first_abort = if budget > 0 {
+        match attempt_once(backend, ctx, &mut f) {
+            Ok((value, via_fallback)) => {
+                ctx.stats.record_commit(via_fallback);
+                if telemetry {
+                    let c = counters(ctx, backend);
+                    c.commit.inc();
+                    if via_fallback {
+                        c.commit_fallback.inc();
+                    }
+                }
+                return Some(value);
+            }
+            Err(a) => {
+                ctx.attempt = 1;
+                backoff(&mut ctx.rng, 1);
+                Some(a)
+            }
+        }
+    } else {
+        None
+    };
+    retry_ladder(
+        backend,
+        ctx,
+        budget,
+        first_abort,
+        telemetry,
+        ladder_t0,
+        &mut f,
+    )
+}
+
+/// One full transaction attempt: begin, body, commit — rolling back on a
+/// body or commit abort (a failed `begin` has nothing to roll back, as in
+/// the ladder). Returns the committed value and whether the commit ran
+/// under the HTM fallback lock.
+#[inline(always)]
+fn attempt_once<T>(
+    backend: &dyn TmBackend,
+    ctx: &mut ThreadCtx,
+    f: &mut impl FnMut(&mut Tx<'_>) -> TxResult<T>,
+) -> TxResult<(T, bool)> {
+    backend.begin(ctx)?;
+    let result = {
+        let mut tx = Tx { backend, ctx };
+        f(&mut tx)
+    };
+    match result {
+        Ok(value) => {
+            let via_fallback = ctx.in_fallback;
+            match backend.commit(ctx) {
+                Ok(()) => Ok((value, via_fallback)),
+                Err(a) => {
+                    backend.rollback(ctx);
+                    Err(a)
+                }
+            }
+        }
+        Err(a) => {
+            backend.rollback(ctx);
+            Err(a)
+        }
+    }
+}
+
+/// The retry ladder behind [`try_run_tx`]'s first-attempt fast path:
+/// entered only after a first-attempt abort (with that abort in
+/// `first_abort`) or with a zero budget. Cold so its register and stack
+/// traffic never burdens the one-shot commit path.
+#[cold]
+fn retry_ladder<T>(
+    backend: &dyn TmBackend,
+    ctx: &mut ThreadCtx,
+    budget: u32,
+    first_abort: Option<crate::Abort>,
+    telemetry: bool,
+    ladder_t0: Option<std::time::Instant>,
+    f: &mut impl FnMut(&mut Tx<'_>) -> TxResult<T>,
+) -> Option<T> {
     // The whole retry ladder accumulates into these plain stack cells —
     // zero shared-memory traffic per attempt — and folds into the shared
     // `ThreadStats` / metrics registry exactly once, below the loop.
     let mut local = LocalStats::default();
+    if let Some(a) = first_abort {
+        local.record_abort(a.code);
+    }
     let outcome = loop {
         if ctx.attempt >= budget {
             break None;

@@ -11,9 +11,11 @@
 //! * a [`GlobalClock`] (global version clock / commit timestamp source),
 //! * read/write access-set containers ([`ReadSet`], [`WriteSet`]),
 //! * the polymorphic backend interface ([`TmBackend`]) that PolyTM hides
-//!   behind a single ABI, and
+//!   behind a single ABI,
 //! * the transaction driver ([`run_tx`]) that retries atomic blocks until
-//!   they commit.
+//!   they commit, and
+//! * a simulated persistent heap ([`PHeap`]) with a redo log and numbered,
+//!   crashable persistence steps, backing the durable TM backend.
 //!
 //! # Example
 //!
@@ -37,6 +39,7 @@ mod clock;
 mod exec;
 mod heap;
 mod orec;
+pub mod pheap;
 mod sets;
 mod stats;
 mod system;
@@ -48,6 +51,10 @@ pub use clock::GlobalClock;
 pub use exec::{run_read_tx, run_tx, try_run_tx, Tx};
 pub use heap::{Addr, Heap, NULL_ADDR};
 pub use orec::{OrecState, OrecTable, OwnerTag};
+pub use pheap::{
+    Crashed, DurabilityMode, PHeap, PHeapStats, RecoveryReport, CHECKPOINT_EVERY_TXS, FSYNC_NS,
+    GROUP_COMMIT_TXS, LOG_APPEND_NS_PER_WORD, RECOVERY_BASE_NS, REPLAY_NS_PER_WORD,
+};
 pub use sets::{ReadSet, WriteSet};
 pub use stats::{LocalStats, StatsSnapshot, ThreadStats};
 pub use system::{ThreadCtx, TmSystem};

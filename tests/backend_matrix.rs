@@ -17,6 +17,11 @@ fn all_configs(threads: usize) -> Vec<TmConfig> {
             backend: id,
             threads,
             htm: id.is_hardware().then_some(HtmSetting::DEFAULT),
+            durability: if id == BackendId::Durable {
+                txcore::DurabilityMode::Strict
+            } else {
+                txcore::DurabilityMode::Volatile
+            },
         })
         .collect()
 }

@@ -97,6 +97,11 @@ fn tpcc_conserves_money_across_every_backend() {
             backend: id,
             threads: 4,
             htm: id.is_hardware().then_some(polytm::HtmSetting::DEFAULT),
+            durability: if id == polytm::BackendId::Durable {
+                txcore::DurabilityMode::Strict
+            } else {
+                txcore::DurabilityMode::Volatile
+            },
         })
         .unwrap();
         drive(

@@ -128,6 +128,112 @@ fn distillation_predicts_better_than_no_normalization() {
 }
 
 #[test]
+fn rectm_recommends_across_the_durability_dimension() {
+    // The durability-extended space (§ Durable-TM): the Table-3 column set
+    // plus the Durable backend at each thread count in both journaling
+    // modes. RecTM is generic over the column set, so the axis needs no
+    // recommender changes — this exercises the whole loop over it.
+    let model = PerfModel::new(MachineModel::machine_a());
+    let space = polytm::ConfigSpace::machine_a_durable();
+    let all = corpus(60, 0xD0BB);
+    let (train_ws, test_ws) = all.split_at(40);
+    let truth_of = |ws: &[tmsim::Workload]| -> Vec<Vec<f64>> {
+        ws.iter()
+            .map(|w| {
+                space
+                    .configs()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| model.noisy_kpi(w.id, &w.spec, c, i, Kpi::Throughput, 0))
+                    .collect()
+            })
+            .collect()
+    };
+    let train_truth = truth_of(train_ws);
+    let test_truth = truth_of(test_ws);
+
+    // The new columns price the journaling tax. On the *clean* model (the
+    // matrix adds per-cell measurement noise on top) at equal thread count
+    // a strict column never beats its buffered twin, and neither beats the
+    // volatile NOrec column (Durable runs NOrec concurrency + a redo log).
+    use txcore::DurabilityMode;
+    let col = |c: &polytm::TmConfig| space.configs().iter().position(|x| x == c).unwrap();
+    let mut strict_pays = 0usize;
+    for threads in [1usize, 2, 4, 8] {
+        let vol = &space.configs()[col(&polytm::TmConfig::stm(polytm::BackendId::NOrec, threads))];
+        let buf = &space.configs()[col(&polytm::TmConfig::durable(
+            threads,
+            DurabilityMode::Buffered,
+        ))];
+        let strict =
+            &space.configs()[col(&polytm::TmConfig::durable(threads, DurabilityMode::Strict))];
+        for w in &all {
+            let x_vol = model.kpi(&w.spec, vol, Kpi::Throughput);
+            let x_buf = model.kpi(&w.spec, buf, Kpi::Throughput);
+            let x_strict = model.kpi(&w.spec, strict, Kpi::Throughput);
+            assert!(x_strict <= x_buf + 1e-9, "strict beat buffered");
+            assert!(x_buf <= x_vol + 1e-9, "buffered beat volatile");
+            if x_strict < 0.99 * x_vol {
+                strict_pays += 1;
+            }
+        }
+    }
+    assert!(
+        strict_pays > 100,
+        "the durability tax must be visible in the model ({strict_pays} cells)"
+    );
+
+    let matrix_of = |truth: &[Vec<f64>], cols: &[usize]| {
+        UtilityMatrix::from_rows(
+            truth
+                .iter()
+                .map(|r| cols.iter().map(|&c| Some(r[c])).collect())
+                .collect(),
+        )
+    };
+    let knn = recsys::CfAlgorithm::Knn {
+        similarity: recsys::Similarity::Cosine,
+        k: 3,
+    };
+    let opts = |algo| RecTmOptions {
+        goal: Goal::Maximize,
+        fixed_algorithm: Some(algo),
+        ..RecTmOptions::default()
+    };
+    let mdfo_over = |cols: &[usize]| {
+        let rectm = RecTm::offline(&matrix_of(&train_truth, cols), opts(knn));
+        let mut total = 0.0;
+        for row in &test_truth {
+            let out = rectm.optimize_workload(&mut |c| row[cols[c]]);
+            let best = cols.iter().map(|&c| row[c]).fold(0.0, f64::max);
+            total += (best - row[cols[out.recommended]]) / best;
+        }
+        total / test_truth.len() as f64
+    };
+
+    // Unconstrained: the extended space recommends as well as the classic
+    // one (the volatile optimum dominates, and RecTM must find it among
+    // the extra columns).
+    let full: Vec<usize> = (0..space.len()).collect();
+    let mdfo_full = mdfo_over(&full);
+    assert!(mdfo_full < 0.10, "extended-space MDFO {mdfo_full:.3}");
+
+    // Durability-mandated: a deployment that must journal chooses among
+    // the durable columns only — RecTM picks threads × mode near-optimally
+    // within that slice.
+    let durable_cols: Vec<usize> = space
+        .configs()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.durability.is_durable())
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(durable_cols.len(), 16);
+    let mdfo_durable = mdfo_over(&durable_cols);
+    assert!(mdfo_durable < 0.10, "durable-slice MDFO {mdfo_durable:.3}");
+}
+
+#[test]
 fn wrong_static_configs_are_catastrophic_in_the_model() {
     // The premise that makes tuning worthwhile (Fig. 1): static
     // configurations can be orders of magnitude off.
