@@ -19,12 +19,20 @@
 use crate::snapshot::Val;
 use std::collections::BTreeMap;
 use tmsim::vtime::REPORT_SEED;
-use tmsim::{vtime_report, MachineModel, VtimeReport};
+use tmsim::{conflict_profile, vtime_report, ConflictProfile, MachineModel, VtimeReport};
+use txcore::AbortCode;
 
 fn reports() -> [VtimeReport; 2] {
     [
         vtime_report(&MachineModel::machine_a(), REPORT_SEED),
         vtime_report(&MachineModel::machine_b(), REPORT_SEED),
+    ]
+}
+
+fn profiles() -> [ConflictProfile; 2] {
+    [
+        conflict_profile(&MachineModel::machine_a(), REPORT_SEED),
+        conflict_profile(&MachineModel::machine_b(), REPORT_SEED),
     ]
 }
 
@@ -53,6 +61,35 @@ fn rows(rep: &VtimeReport) -> Vec<(String, u64)> {
     ));
     out.push((format!("vtime.{m}.resize.shrink_ns"), rep.resize.shrink_ns));
     out.push((format!("vtime.{m}.resize.grow_ns"), rep.resize.grow_ns));
+    out
+}
+
+/// Flatten one conflict profile into `vtime.<machine>.conflict.*` rows,
+/// all exact integers. Per backend cell: the wasted-work ledger, the
+/// goodput per-mille, every non-zero abort cause (`cause.<slug>`) and the
+/// top-K hot stripes as `stripe<rank>.{id,hits}` pairs.
+fn conflict_rows(profile: &ConflictProfile) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let m = profile.machine;
+    for cell in &profile.cells {
+        let b = cell.backend.label().to_ascii_lowercase();
+        let key = |metric: &str| format!("vtime.{m}.conflict.{b}.{metric}");
+        out.push((key("aborts"), cell.aborts));
+        out.push((key("goodput_pm"), cell.goodput_permille));
+        out.push((key("committed_ops"), cell.committed_ops));
+        out.push((key("wasted_ops"), cell.wasted_ops));
+        out.push((key("wasted_vns"), cell.wasted_vns));
+        for code in AbortCode::ALL {
+            let n = cell.abort_causes[code.index()];
+            if n > 0 {
+                out.push((key(&format!("cause.{}", code.slug())), n));
+            }
+        }
+        for (rank, &(stripe, hits)) in cell.top_stripes.iter().enumerate() {
+            out.push((key(&format!("stripe{}.id", rank + 1)), stripe as u64));
+            out.push((key(&format!("stripe{}.hits", rank + 1)), hits));
+        }
+    }
     out
 }
 
@@ -100,6 +137,53 @@ pub fn run() {
             obs::ts_tick();
         }
     }
+    // Conflict observatory (DESIGN.md §12): the deterministic per-machine
+    // conflict profiles. The series reuse the wall-clock observatory names
+    // (`abort.cause.*`, `wasted.ops`, `goodput.ratio`,
+    // `conflict.stripe_topk`) so `proteus-trace conflicts` reads both
+    // sources the same way — here every sample is derived from exact
+    // integers, so the windows are byte-identical across hosts.
+    for profile in profiles() {
+        print!("{}", profile.render());
+        println!();
+        if obs::enabled() {
+            for cell in &profile.cells {
+                obs::event!(
+                    "vtime.conflict",
+                    "machine" => profile.machine,
+                    "backend" => cell.backend.label(),
+                    "threads" => profile.threads as u64,
+                    "aborts" => cell.aborts,
+                    "goodput_pm" => cell.goodput_permille,
+                    "wasted_ops" => cell.wasted_ops,
+                );
+                for code in txcore::AbortCode::ALL {
+                    let n = cell.abort_causes[code.index()];
+                    if n > 0 {
+                        obs::ts_record(&format!("abort.cause.{}", code.slug()), n as f64);
+                    }
+                }
+                obs::ts_record("wasted.ops", cell.wasted_ops as f64);
+                // Exactly-rounded division of exact integers: identical
+                // bytes on every IEEE-754 host.
+                obs::ts_record("goodput.ratio", cell.goodput_permille as f64 / 1000.0);
+                if let Some(&(stripe, _)) = cell.top_stripes.first() {
+                    obs::ts_record("conflict.stripe_topk", stripe as f64);
+                }
+                for (rank, &(stripe, hits)) in cell.top_stripes.iter().enumerate() {
+                    obs::event!(
+                        "conflict.stripe",
+                        "machine" => profile.machine,
+                        "backend" => cell.backend.label(),
+                        "rank" => (rank + 1) as u64,
+                        "stripe" => stripe as u64,
+                        "hits" => hits,
+                    );
+                }
+                obs::ts_tick();
+            }
+        }
+    }
 }
 
 /// The `BENCH_vtime.json` section: every row of both machines' reports,
@@ -113,6 +197,11 @@ pub fn collect() -> BTreeMap<String, Val> {
     snap.insert("vtime.seed".into(), Val::U(REPORT_SEED));
     for rep in reports() {
         for (k, v) in rows(&rep) {
+            snap.insert(k, Val::U(v));
+        }
+    }
+    for profile in profiles() {
+        for (k, v) in conflict_rows(&profile) {
             snap.insert(k, Val::U(v));
         }
     }
@@ -148,6 +237,10 @@ mod tests {
             "vtime.machine-b.swiss.t48.virtual_ns",
             "vtime.machine-b.resize.shrink_ns",
             "vtime.machine-b.resize.grow_ns",
+            "vtime.machine-a.conflict.tl2.goodput_pm",
+            "vtime.machine-a.conflict.htm.cause.fallback",
+            "vtime.machine-b.conflict.swiss.wasted_vns",
+            "vtime.machine-b.conflict.norec.stripe1.id",
         ] {
             assert!(snap.contains_key(key), "missing {key}");
         }

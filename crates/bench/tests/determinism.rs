@@ -193,6 +193,12 @@ fn vtime_trace_is_byte_identical_across_job_counts_and_reruns() {
         "\"series\":\"vtime.machine-a.tl2.t1.tx_per_sec\"",
         "\"series\":\"vtime.machine-b.swiss.t48.virtual_ns\"",
         "\"series\":\"vtime.machine-a.switch.latency_ns\"",
+        "\"kind\":\"vtime.conflict\"",
+        "\"kind\":\"conflict.stripe\"",
+        "\"series\":\"abort.cause.conflict\"",
+        "\"series\":\"wasted.ops\"",
+        "\"series\":\"goodput.ratio\"",
+        "\"series\":\"conflict.stripe_topk\"",
     ] {
         assert!(text.contains(needle), "missing {needle} in trace");
     }
@@ -209,6 +215,48 @@ fn vtime_trace_is_byte_identical_across_job_counts_and_reruns() {
     assert_eq!(first, run(1), "same-seed rerun must reproduce the bytes");
 }
 
+/// The conflict observatory rides the same rails: the `proteus-trace
+/// conflicts` view (plain and JSON) over a captured trace must be
+/// byte-identical at jobs 1, 2, and 4. The vtime stage exercises every
+/// section of the view — per-backend ledgers, the exact cross-host vtime
+/// cells, hot-stripe tables, and the windowed cause mix.
+#[cfg(feature = "telemetry")]
+#[test]
+fn conflicts_view_is_byte_identical_across_job_counts() {
+    let run = |jobs: usize| {
+        let (_, bytes) = obs::capture_trace(|| {
+            parx::with_jobs(jobs, || {
+                bench::fig4::run_with(24);
+                bench::vtime::run();
+            })
+        });
+        let text = String::from_utf8(bytes).expect("trace is UTF-8 JSONL");
+        let trace = tracetool::parse_trace(&text).expect("trace parses");
+        (
+            tracetool::conflicts::render(&trace),
+            tracetool::conflicts::render_json(&trace),
+        )
+    };
+    let (plain1, json1) = run(1);
+    for section in [
+        "abort attribution & wasted work",
+        "vtime conflict profile",
+        "hot stripes",
+        "goodput timeline",
+    ] {
+        assert!(
+            plain1.contains(section),
+            "conflicts view must render its {section:?} section:\n{plain1}"
+        );
+    }
+    assert!(
+        json1.contains("\"vtime\":") && json1.contains("\"stripes\":"),
+        "JSON view carries the vtime cells and stripe tables: {json1}"
+    );
+    assert_eq!((plain1.clone(), json1.clone()), run(2), "differs at jobs=2");
+    assert_eq!((plain1, json1), run(4), "differs at jobs=4");
+}
+
 /// Likewise the `BENCH_vtime.json` section: rendered bytes, not parsed
 /// values, must match across job counts and reruns — this is the file the
 /// snapshot gate compares exactly against a baseline that may have been
@@ -221,6 +269,11 @@ fn vtime_snapshot_section_is_byte_identical_across_job_counts_and_reruns() {
     assert!(
         first.contains("\"vtime.machine-b.swiss.t48.virtual_ns\""),
         "{first}"
+    );
+    assert!(
+        first.contains("\"vtime.machine-a.conflict.htm.cause.fallback\"")
+            && first.contains("\"vtime.machine-b.conflict.tl2.goodput_pm\""),
+        "the vtime section must carry the conflict profile rows: {first}"
     );
     assert!(
         !first.contains("host.") && !first.contains("\"jobs\""),

@@ -1,0 +1,24 @@
+//! The fastpath same-run gate as an explicitly invoked test.
+//!
+//! `bench::fastpath::collect` measures the new stack and its frozen
+//! legacy replica in the same process on the same host, and `verdict`
+//! gates new ≤ legacy on the commit-latency pairs — a host-independent
+//! comparison (DESIGN.md §9). Running it here proves the conflict
+//! observatory's always-on attribution (the issued-op ledger in
+//! `Tx::read`/`Tx::write`, cause recording on the cold ladder) has not
+//! dented the nanosecond fast path.
+//!
+//! `#[ignore]`d so plain `cargo test` stays free of wall-clock
+//! sensitivity; the CI `conflicts` job runs it with `-- --ignored`.
+
+#[test]
+#[ignore = "wall-clock measurement; run explicitly (CI conflicts job)"]
+fn same_run_gates_pass_with_attribution_enabled() {
+    let snap = bench::fastpath::collect();
+    let (verdict, ok) = bench::fastpath::verdict(&snap);
+    println!("{verdict}");
+    assert!(
+        ok,
+        "fastpath same-run gates must pass with the conflict observatory enabled:\n{verdict}"
+    );
+}

@@ -38,6 +38,7 @@ fn snapshot_has_the_documented_shape() {
     let order = [
         "{\"schema\":",
         "\"counters\":{",
+        "\"conflict\":{\"committed_ops\":",
         "\"obs_overhead\":{\"events\":",
         "\"exemplars\":[",
         "\"wallclock\":{\"gauges\":{",
@@ -63,6 +64,27 @@ fn snapshot_has_the_documented_shape() {
     assert!(
         json.contains("\"per_subsystem\":{\"fig4\":"),
         "per-subsystem attribution includes fig4:\n{json}"
+    );
+}
+
+/// The conflict-observatory rollup (DESIGN.md §12) lives in the
+/// deterministic prefix: fig4 is ML-only, so its snapshot carries an
+/// idle ledger — zero committed/wasted ops and a goodput ratio pinned
+/// to 1 (the "nothing executed means nothing wasted" convention). The
+/// value-bearing path is covered by the `conflicts` trace tests, which
+/// drive a transactional stage.
+#[test]
+fn snapshot_carries_the_conflict_rollup() {
+    let json = snapshot_at(1);
+    assert!(
+        json.contains("\"conflict\":{\"committed_ops\":0,\"wasted_ops\":0,\"goodput_ratio\":1"),
+        "an ML-only run snapshots an idle ledger:\n{json}"
+    );
+    let conflict_at = json.find("\"conflict\":").unwrap();
+    let wallclock_at = json.find("\"wallclock\":").unwrap();
+    assert!(
+        conflict_at < wallclock_at,
+        "the rollup belongs to the byte-compared prefix, not the wallclock tail"
     );
 }
 

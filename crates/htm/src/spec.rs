@@ -96,11 +96,14 @@ impl SpecCore {
         let idx = self.lines.index_for(addr);
         match self.lines.load(idx) {
             OrecState::Locked(o) if o == ctx.owner_tag() => Ok(sys.heap.read_raw(addr)),
-            OrecState::Locked(_) => Err(Abort::CONFLICT),
+            // Conflict attribution uses the private line-table index — the
+            // HTM conflict granule is the cache line, and heatmaps are read
+            // per backend (DESIGN.md §12).
+            OrecState::Locked(_) => Err(Abort::conflict_at(idx)),
             OrecState::Version(v1) => {
                 let val = sys.heap.read_raw(addr);
                 if self.lines.load(idx) != OrecState::Version(v1) || v1 > ctx.rv {
-                    return Err(Abort::CONFLICT);
+                    return Err(Abort::conflict_at(idx));
                 }
                 // Software committers do not touch the line orecs, so the
                 // sequence lock must be re-checked after the value load
@@ -138,7 +141,7 @@ impl SpecCore {
         if !ctx.locks.iter().any(|&(i, _)| i as usize == idx) {
             match self.lines.try_lock(idx, ctx.owner_tag(), None) {
                 Ok(prev) => ctx.locks.push((idx as u32, prev)),
-                Err(_) => return Err(Abort::CONFLICT),
+                Err(_) => return Err(Abort::conflict_at(idx)),
             }
         }
         ctx.write_set.insert(addr, val);
@@ -148,24 +151,24 @@ impl SpecCore {
         Ok(())
     }
 
-    fn read_set_intact(&self, ctx: &ThreadCtx) -> bool {
+    fn read_set_intact(&self, ctx: &ThreadCtx) -> Result<(), usize> {
         let me = ctx.owner_tag();
         for &(idx, observed) in ctx.read_set.orecs() {
             match self.lines.load(idx as usize) {
                 OrecState::Version(v) => {
                     if v != observed {
-                        return false;
+                        return Err(idx as usize);
                     }
                 }
                 OrecState::Locked(o) => {
                     let saved = ctx.locks.iter().find(|&&(i, _)| i == idx).map(|&(_, v)| v);
                     if o != me || saved != Some(observed) {
-                        return false;
+                        return Err(idx as usize);
                     }
                 }
             }
         }
-        true
+        Ok(())
     }
 
     /// Commit the speculative attempt.
@@ -193,8 +196,10 @@ impl SpecCore {
             return Ok(());
         }
         let wv = sys.clock.tick();
-        if wv != ctx.rv + 1 && !self.read_set_intact(ctx) {
-            return Err(Abort::CONFLICT);
+        if wv != ctx.rv + 1 {
+            if let Err(line) = self.read_set_intact(ctx) {
+                return Err(Abort::conflict_at(line));
+            }
         }
         if publish {
             // Win the sequence lock for the write-back window, exactly as a

@@ -91,6 +91,55 @@ pub fn render(report: &TraceReport) -> String {
         }
     }
 
+    // Conflict observatory (DESIGN.md §12): goodput and the hottest
+    // stripes, derived purely from the registry (`tx.work.*`/`tx.wasted.*`
+    // counters, `conflict.top_stripe.*` gauges published by the KPI probe)
+    // so this crate stays free of txcore.
+    let snapshot = metrics::snapshot();
+    let counter_sum = |prefix: &str| -> u64 {
+        snapshot
+            .iter()
+            .filter_map(|(n, v)| match v {
+                MetricValue::Counter(c) if n.starts_with(prefix) => Some(*c),
+                _ => None,
+            })
+            .sum()
+    };
+    let gauge_val = |name: &str| -> Option<f64> {
+        snapshot.iter().find_map(|(n, v)| match v {
+            MetricValue::Gauge(g) if n == name => Some(*g),
+            _ => None,
+        })
+    };
+    let committed = counter_sum("tx.work.");
+    let wasted = counter_sum("tx.wasted.");
+    if committed + wasted > 0 {
+        let total = committed + wasted;
+        let _ = writeln!(out, "conflict observatory:");
+        let _ = writeln!(
+            out,
+            "  goodput.ratio                {:.4}  ({committed} committed / {total} total ops)",
+            committed as f64 / total as f64
+        );
+        let _ = writeln!(out, "  wasted.ops                   {wasted:>8}");
+        let mut hot = String::new();
+        for i in 1..=3 {
+            let stripe = gauge_val(&format!("conflict.top_stripe.{i}"));
+            let count = gauge_val(&format!("conflict.top_stripe.{i}.count"));
+            if let (Some(s), Some(c)) = (stripe, count) {
+                if c > 0.0 {
+                    if !hot.is_empty() {
+                        hot.push_str(", ");
+                    }
+                    let _ = write!(hot, "stripe {} x{}", s as u64, c as u64);
+                }
+            }
+        }
+        if !hot.is_empty() {
+            let _ = writeln!(out, "  hot stripes: {hot}");
+        }
+    }
+
     // Instrumentation self-overhead: what observability itself cost.
     let oh = &report.overhead;
     if oh.events > 0 || oh.histogram_updates > 0 {
@@ -124,7 +173,8 @@ pub fn render(report: &TraceReport) -> String {
 /// Render every registered metric as one JSON object (machine-readable
 /// counterpart of [`render`], dumped by `experiments --metrics-out`).
 ///
-/// Shape: `{"schema":N,"counters":{...},"obs_overhead":{...},
+/// Shape: `{"schema":N,"counters":{...},"conflict":{"committed_ops":..,
+/// "wasted_ops":..,"goodput_ratio":..},"obs_overhead":{...},
 /// "exemplars":[...],"wallclock":{"gauges":{...},"histograms":
 /// {name:{"count":..,"mean_ns":..,"p50_ns":..,"p95_ns":..,"p99_ns":..,
 /// "buckets":[..]}}}}`. All registered metrics are included (zeros too)
@@ -159,6 +209,33 @@ pub fn metrics_json() -> String {
             let _ = write!(out, ":{v}");
         }
     }
+    // Conflict observatory rollup (DESIGN.md §12), derived from the
+    // deterministic `tx.work.*`/`tx.wasted.*` counters — part of the
+    // byte-compared prefix. The per-stripe heatmap is wall-clock-ordered,
+    // so the top-3 stripes surface as `conflict.top_stripe.*` gauges in
+    // the `wallclock` section instead.
+    let sum_prefix = |prefix: &str| -> u64 {
+        snapshot
+            .iter()
+            .filter_map(|(n, v)| match v {
+                MetricValue::Counter(c) if n.starts_with(prefix) => Some(*c),
+                _ => None,
+            })
+            .sum()
+    };
+    let committed = sum_prefix("tx.work.");
+    let wasted = sum_prefix("tx.wasted.");
+    let goodput = if committed + wasted == 0 {
+        1.0
+    } else {
+        committed as f64 / (committed + wasted) as f64
+    };
+    let _ = write!(
+        out,
+        "}},\"conflict\":{{\"committed_ops\":{committed},\"wasted_ops\":{wasted},\
+         \"goodput_ratio\":"
+    );
+    crate::Value::from(goodput).encode(&mut out);
     let oh = crate::overhead_snapshot();
     let _ = write!(
         out,

@@ -4,7 +4,7 @@ use crate::energy::EnergyModel;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use txcore::{StatsSnapshot, ThreadStats};
+use txcore::{AbortCode, StatsSnapshot, ThreadStats};
 
 /// KPIs observed over one monitoring window.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -99,6 +99,26 @@ impl KpiProbe {
                     obs::ts_record(&format!("kpi.commit_mix.{backend}"), d as f64);
                 }
             }
+            // Conflict observatory (DESIGN.md §12): per-cause abort
+            // breakdown, wasted work and goodput over the same window, and
+            // the hottest stripes as gauges for the end-of-run summary.
+            for code in AbortCode::ALL {
+                let n = delta.aborts_of(code);
+                if n > 0 {
+                    obs::ts_record(&format!("abort.cause.{}", code.slug()), n as f64);
+                }
+            }
+            obs::ts_record("wasted.ops", delta.wasted_ops() as f64);
+            obs::ts_record("goodput.ratio", delta.goodput_ratio());
+            let top = txcore::conflict::top_stripes(3);
+            if let Some(&(stripe, _)) = top.first() {
+                obs::ts_record("conflict.stripe_topk", stripe as f64);
+            }
+            for (i, &(stripe, count)) in top.iter().enumerate() {
+                obs::gauge(&format!("conflict.top_stripe.{}", i + 1)).set(stripe as f64);
+                obs::gauge(&format!("conflict.top_stripe.{}.count", i + 1)).set(count as f64);
+            }
+            obs::gauge("conflict.goodput_ratio").set(delta.goodput_ratio());
             obs::ts_tick();
         }
         WindowKpis {

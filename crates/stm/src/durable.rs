@@ -112,19 +112,23 @@ impl Durable {
         }
     }
 
-    /// Value-based revalidation, exactly as NOrec.
+    /// Value-based revalidation, exactly as NOrec — including the stripe
+    /// attribution of the clashing address (DESIGN.md §12).
     fn revalidate(&self, ctx: &ThreadCtx) -> Result<u64, Abort> {
         loop {
             let s = self.wait_even();
-            let mut ok = true;
+            let mut clash = None;
             for &(a, v) in ctx.read_set.values() {
                 if self.sys.heap.read_raw(a) != v {
-                    ok = false;
+                    clash = Some(a);
                     break;
                 }
             }
             if self.sys.norec_seq.load(Ordering::Acquire) == s {
-                return if ok { Ok(s) } else { Err(Abort::CONFLICT) };
+                return match clash {
+                    None => Ok(s),
+                    Some(a) => Err(Abort::conflict_at(self.sys.orecs.index_for(a))),
+                };
             }
         }
     }
@@ -163,7 +167,7 @@ impl TmBackend for Durable {
 
     fn begin(&self, ctx: &mut ThreadCtx) -> TxResult<()> {
         if self.pheap.crashed() {
-            return Err(Abort::EXPLICIT);
+            return Err(Abort::JOURNAL);
         }
         ctx.reset_logs();
         ctx.start_seq = self.wait_even();
@@ -195,7 +199,7 @@ impl TmBackend for Durable {
         }
         if self.pheap.crashed() {
             ctx.reset_logs();
-            return Err(Abort::EXPLICIT);
+            return Err(Abort::JOURNAL);
         }
         loop {
             match self.sys.norec_seq.compare_exchange(
@@ -218,7 +222,7 @@ impl TmBackend for Durable {
         if self.persist(ctx.write_set.entries()).is_err() {
             self.sys.norec_seq.store(ctx.start_seq, Ordering::Release);
             ctx.reset_logs();
-            return Err(Abort::EXPLICIT);
+            return Err(Abort::JOURNAL);
         }
         for &(a, v) in ctx.write_set.entries() {
             self.sys.heap.write_raw(a, v);
@@ -309,10 +313,10 @@ mod tests {
         tm.pheap().set_crash_at(tm.pheap().steps() + 1);
         tm.begin(&mut ctx).unwrap();
         tm.write(&mut ctx, b, 7).unwrap();
-        assert_eq!(tm.commit(&mut ctx), Err(Abort::EXPLICIT));
+        assert_eq!(tm.commit(&mut ctx), Err(Abort::JOURNAL));
         assert_eq!(sys.heap.read_raw(b), 0, "crashed commit never wrote back");
         assert!(tm.pheap().crashed());
-        assert_eq!(tm.begin(&mut ctx), Err(Abort::EXPLICIT), "dead model");
+        assert_eq!(tm.begin(&mut ctx), Err(Abort::JOURNAL), "dead model");
 
         tm.pheap().restart(&sys.heap);
         let report = tm.pheap().recover(&sys.heap).unwrap();
@@ -328,7 +332,7 @@ mod tests {
         tm.pheap().set_crash_at(1);
         tm.begin(&mut ctx).unwrap();
         tm.write(&mut ctx, a, 1).unwrap();
-        assert_eq!(tm.commit(&mut ctx), Err(Abort::EXPLICIT));
+        assert_eq!(tm.commit(&mut ctx), Err(Abort::JOURNAL));
         let s = sys.norec_seq.load(Ordering::Relaxed);
         assert_eq!(s & 1, 0, "sequence lock must be released (even)");
         assert_eq!(s, 0, "crashed commit must not publish a new snapshot");

@@ -42,20 +42,26 @@ impl NOrec {
 
     /// Value-based revalidation: re-read every logged location and compare.
     /// On success returns the new (even) snapshot the transaction may adopt.
+    /// A changed value aborts with the clashing address's stripe attributed
+    /// (NOrec has no orecs of its own, but the observatory heatmap is keyed
+    /// by the shared stripe geometry so profiles compare across backends).
     fn revalidate(&self, ctx: &ThreadCtx) -> Result<u64, Abort> {
         loop {
             let s = self.wait_even();
-            let mut ok = true;
+            let mut clash = None;
             for &(a, v) in ctx.read_set.values() {
                 if self.sys.heap.read_raw(a) != v {
-                    ok = false;
+                    clash = Some(a);
                     break;
                 }
             }
             // The snapshot is only valid if the sequence did not move while
             // we were re-reading.
             if self.sys.norec_seq.load(Ordering::Acquire) == s {
-                return if ok { Ok(s) } else { Err(Abort::CONFLICT) };
+                return match clash {
+                    None => Ok(s),
+                    Some(a) => Err(Abort::conflict_at(self.sys.orecs.index_for(a))),
+                };
             }
         }
     }

@@ -44,37 +44,36 @@ impl SwissTm {
 
     /// Read-set validation against the read-orec table. `r_locks` carries
     /// the pre-lock versions of read orecs we hold during commit write-back.
-    fn read_set_intact(&self, ctx: &ThreadCtx, r_locks: &[(u32, u64)]) -> bool {
+    /// On failure, names the invalidated stripe (conflict attribution,
+    /// DESIGN.md §12).
+    fn read_set_intact(&self, ctx: &ThreadCtx, r_locks: &[(u32, u64)]) -> Result<(), usize> {
         let me = ctx.owner_tag();
         for &(idx, observed) in ctx.read_set.orecs() {
             match self.rvers().load(idx as usize) {
                 OrecState::Version(v) => {
                     if v != observed {
-                        return false;
+                        return Err(idx as usize);
                     }
                 }
                 OrecState::Locked(o) => {
                     if o != me {
-                        return false;
+                        return Err(idx as usize);
                     }
                     let saved = r_locks.iter().find(|&&(i, _)| i == idx).map(|&(_, v)| v);
                     if saved != Some(observed) {
-                        return false;
+                        return Err(idx as usize);
                     }
                 }
             }
         }
-        true
+        Ok(())
     }
 
-    fn try_extend(&self, ctx: &mut ThreadCtx) -> bool {
+    fn try_extend(&self, ctx: &mut ThreadCtx) -> Result<(), usize> {
         let now = self.sys.clock.now();
-        if self.read_set_intact(ctx, &[]) {
-            ctx.rv = now;
-            true
-        } else {
-            false
-        }
+        self.read_set_intact(ctx, &[])?;
+        ctx.rv = now;
+        Ok(())
     }
 }
 
@@ -108,18 +107,18 @@ impl TmBackend for SwissTm {
         let before = self.rvers().load(r_idx);
         let OrecState::Version(v1) = before else {
             // A committer is writing this stripe back right now.
-            return Err(Abort::CONFLICT);
+            return Err(Abort::conflict_at(r_idx));
         };
         let val = self.sys.heap.read_raw(addr);
         if self.rvers().load(r_idx) != before {
-            return Err(Abort::CONFLICT);
+            return Err(Abort::conflict_at(r_idx));
         }
         if v1 > ctx.rv {
-            if !self.try_extend(ctx) {
-                return Err(Abort::CONFLICT);
+            if let Err(stale) = self.try_extend(ctx) {
+                return Err(Abort::conflict_at(stale));
             }
             if self.rvers().load(r_idx) != before || v1 > ctx.rv {
-                return Err(Abort::CONFLICT);
+                return Err(Abort::conflict_at(r_idx));
             }
         }
         ctx.read_set.push_orec(r_idx, v1);
@@ -138,7 +137,7 @@ impl TmBackend for SwissTm {
                 ctx.write_set.insert(addr, val);
                 Ok(())
             }
-            Err(_) => Err(Abort::CONFLICT),
+            Err(_) => Err(Abort::conflict_at(idx)),
         }
     }
 
@@ -175,12 +174,14 @@ impl TmBackend for SwissTm {
             }
         }
         let wv = self.sys.clock.tick();
-        if wv != ctx.rv + 1 && !self.read_set_intact(ctx, &ctx.scratch) {
-            for &(idx, prev) in &ctx.scratch {
-                self.rvers().unlock(idx as usize, prev);
+        if wv != ctx.rv + 1 {
+            if let Err(stale) = self.read_set_intact(ctx, &ctx.scratch) {
+                for &(idx, prev) in &ctx.scratch {
+                    self.rvers().unlock(idx as usize, prev);
+                }
+                release_saved_locks(ctx, self.wlocks());
+                return Err(Abort::conflict_at(stale));
             }
-            release_saved_locks(ctx, self.wlocks());
-            return Err(Abort::CONFLICT);
         }
         for &(a, v) in ctx.write_set.entries() {
             self.sys.heap.write_raw(a, v);

@@ -34,36 +34,34 @@ impl TinyStm {
 
     /// Whether every read-set entry still observes the exact version it was
     /// read at (stripes we locked ourselves validate against the saved
-    /// pre-lock version).
-    fn read_set_intact(&self, ctx: &ThreadCtx) -> bool {
+    /// pre-lock version). On failure, names the stale stripe (conflict
+    /// attribution, DESIGN.md §12).
+    fn read_set_intact(&self, ctx: &ThreadCtx) -> Result<(), usize> {
         let me = ctx.owner_tag();
         for &(idx, observed) in ctx.read_set.orecs() {
             match self.orecs().load(idx as usize) {
                 OrecState::Version(v) => {
                     if v != observed {
-                        return false;
+                        return Err(idx as usize);
                     }
                 }
                 OrecState::Locked(o) => {
                     if o != me || saved_version(ctx, idx as usize) != Some(observed) {
-                        return false;
+                        return Err(idx as usize);
                     }
                 }
             }
         }
-        true
+        Ok(())
     }
 
     /// Timestamp extension: adopt the current clock as the new snapshot if
-    /// the read set is still intact.
-    fn try_extend(&self, ctx: &mut ThreadCtx) -> bool {
+    /// the read set is still intact; otherwise name the stale stripe.
+    fn try_extend(&self, ctx: &mut ThreadCtx) -> Result<(), usize> {
         let now = self.sys.clock.now();
-        if self.read_set_intact(ctx) {
-            ctx.rv = now;
-            true
-        } else {
-            false
-        }
+        self.read_set_intact(ctx)?;
+        ctx.rv = now;
+        Ok(())
     }
 }
 
@@ -93,20 +91,20 @@ impl TmBackend for TinyStm {
                 // holds the last committed value, stable under our lock.
                 Ok(self.sys.heap.read_raw(addr))
             }
-            OrecState::Locked(_) => Err(Abort::CONFLICT),
+            OrecState::Locked(_) => Err(Abort::conflict_at(idx)),
             OrecState::Version(v1) => {
                 let val = self.sys.heap.read_raw(addr);
                 if self.orecs().load(idx) != OrecState::Version(v1) {
-                    return Err(Abort::CONFLICT);
+                    return Err(Abort::conflict_at(idx));
                 }
                 if v1 > ctx.rv {
                     // The stripe is fresher than our snapshot: extend.
-                    if !self.try_extend(ctx) {
-                        return Err(Abort::CONFLICT);
+                    if let Err(stale) = self.try_extend(ctx) {
+                        return Err(Abort::conflict_at(stale));
                     }
                     // Re-check the stripe after extension.
                     if self.orecs().load(idx) != OrecState::Version(v1) || v1 > ctx.rv {
-                        return Err(Abort::CONFLICT);
+                        return Err(Abort::conflict_at(idx));
                     }
                 }
                 ctx.read_set.push_orec(idx, v1);
@@ -129,7 +127,7 @@ impl TmBackend for TinyStm {
             }
             // Encounter-time W-W conflict: the suicide contention manager
             // aborts self (the driver backs off before retrying).
-            Err(_) => Err(Abort::CONFLICT),
+            Err(_) => Err(Abort::conflict_at(idx)),
         }
     }
 
@@ -139,9 +137,11 @@ impl TmBackend for TinyStm {
             return Ok(());
         }
         let wv = self.sys.clock.tick();
-        if wv != ctx.rv + 1 && !self.read_set_intact(ctx) {
-            release_saved_locks(ctx, self.orecs());
-            return Err(Abort::CONFLICT);
+        if wv != ctx.rv + 1 {
+            if let Err(stale) = self.read_set_intact(ctx) {
+                release_saved_locks(ctx, self.orecs());
+                return Err(Abort::conflict_at(stale));
+            }
         }
         for &(a, v) in ctx.write_set.entries() {
             self.sys.heap.write_raw(a, v);

@@ -33,29 +33,30 @@ impl Tl2 {
 
     /// Read-set validation at commit: every stripe read must still be
     /// unlocked at a version ≤ `rv`, or locked by us at a saved version ≤
-    /// `rv` (it may be in our write set).
-    fn validate_read_set(&self, ctx: &ThreadCtx) -> bool {
+    /// `rv` (it may be in our write set). On failure, names the stripe
+    /// that invalidated the read set (conflict attribution, DESIGN.md §12).
+    fn validate_read_set(&self, ctx: &ThreadCtx) -> Result<(), usize> {
         let me = ctx.owner_tag();
         for &(idx, _) in ctx.read_set.orecs() {
             let idx = idx as usize;
             match self.orecs().load(idx) {
                 txcore::OrecState::Version(v) => {
                     if v > ctx.rv {
-                        return false;
+                        return Err(idx);
                     }
                 }
                 txcore::OrecState::Locked(o) => {
                     if o != me {
-                        return false;
+                        return Err(idx);
                     }
                     match saved_version(ctx, idx) {
                         Some(prev) if prev <= ctx.rv => {}
-                        _ => return false,
+                        _ => return Err(idx),
                     }
                 }
             }
         }
-        true
+        Ok(())
     }
 }
 
@@ -81,12 +82,12 @@ impl TmBackend for Tl2 {
         let idx = self.orecs().index_for(addr);
         let before = self.orecs().load(idx);
         let txcore::OrecState::Version(v1) = before else {
-            return Err(Abort::CONFLICT);
+            return Err(Abort::conflict_at(idx));
         };
         let val = self.sys.heap.read_raw(addr);
         let after = self.orecs().load(idx);
         if after != before || v1 > ctx.rv {
-            return Err(Abort::CONFLICT);
+            return Err(Abort::conflict_at(idx));
         }
         // Read-only blocks skip the read log altogether — the TL2 paper's
         // read-only optimization. Each read just validated itself against
@@ -126,12 +127,14 @@ impl TmBackend for Tl2 {
             let idx = self.orecs().index_for(a) as u32;
             match self.orecs().try_lock(idx as usize, ctx.owner_tag(), None) {
                 Ok(prev) => ctx.locks.push((idx, prev)),
-                Err(_) => return Err(Abort::CONFLICT),
+                Err(_) => return Err(Abort::conflict_at(idx as usize)),
             }
             let wv = self.sys.clock.tick();
-            if wv != ctx.rv + 1 && !self.validate_read_set(ctx) {
-                release_saved_locks(ctx, self.orecs());
-                return Err(Abort::CONFLICT);
+            if wv != ctx.rv + 1 {
+                if let Err(stripe) = self.validate_read_set(ctx) {
+                    release_saved_locks(ctx, self.orecs());
+                    return Err(Abort::conflict_at(stripe));
+                }
             }
             self.sys.heap.write_raw(a, v);
             release_locks_with(ctx, self.orecs(), wv);
@@ -156,16 +159,18 @@ impl TmBackend for Tl2 {
                 Ok(prev) => ctx.locks.push((idx, prev)),
                 Err(_) => {
                     release_saved_locks(ctx, self.orecs());
-                    return Err(Abort::CONFLICT);
+                    return Err(Abort::conflict_at(idx as usize));
                 }
             }
         }
         let wv = self.sys.clock.tick();
         // TL2 fast path: if wv == rv + 1 nobody committed since we started,
         // so the read set cannot have been invalidated.
-        if wv != ctx.rv + 1 && !self.validate_read_set(ctx) {
-            release_saved_locks(ctx, self.orecs());
-            return Err(Abort::CONFLICT);
+        if wv != ctx.rv + 1 {
+            if let Err(stripe) = self.validate_read_set(ctx) {
+                release_saved_locks(ctx, self.orecs());
+                return Err(Abort::conflict_at(stripe));
+            }
         }
         for &(a, v) in ctx.write_set.entries() {
             self.sys.heap.write_raw(a, v);

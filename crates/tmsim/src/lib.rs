@@ -49,7 +49,8 @@ pub use machine::MachineModel;
 pub use model::{backend_coefs, durability_tax_ns, BackendCoefs, PerfModel};
 pub use sched::{simulate, GateWindow, OpEvent, OpKind, Scenario, SimConfig, SimOutcome};
 pub use vtime::{
-    det_pow, durable_report, op_costs, op_costs_for_config, recovery_drill, vtime_report,
-    DurablePoint, DurableReport, OpCosts, RecoveryDrill, VtimeReport,
+    conflict_profile, det_pow, durable_report, op_costs, op_costs_for_config, recovery_drill,
+    vtime_report, ConflictCell, ConflictProfile, DurablePoint, DurableReport, OpCosts,
+    RecoveryDrill, VtimeReport,
 };
 pub use workload::{WorkloadFamily, WorkloadSpec};

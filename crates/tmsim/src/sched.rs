@@ -35,12 +35,13 @@ use crate::workload::WorkloadSpec;
 use htm::{HtmGeometry, HtmSim, HybridNOrec, HybridTl2};
 use polytm::{BackendId, ThreadGate, TmConfig};
 use std::cmp::Reverse;
+use std::collections::BTreeMap;
 use std::collections::BinaryHeap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 use stm::{Durable, NOrec, SwissTm, TinyStm, Tl2};
-use txcore::{Addr, DurabilityMode, PHeapStats, ThreadCtx, TmBackend, TmSystem};
+use txcore::{Abort, AbortCode, Addr, DurabilityMode, PHeapStats, ThreadCtx, TmBackend, TmSystem};
 
 /// Simulated HTM cache geometry: mid-sized so the report's small
 /// transactions run speculatively while capacity-hostile workloads
@@ -193,6 +194,50 @@ pub struct SimOutcome {
     /// Persistent-heap counters when the (final) backend was [`Durable`]:
     /// log traffic, fsyncs and checkpoints the run's commits generated.
     pub durable: Option<PHeapStats>,
+    /// Aborted attempts per cause, indexed by [`AbortCode::index`]
+    /// (conflict observatory, DESIGN.md §12). Sums to `aborts`.
+    pub abort_causes: [u64; AbortCode::ALL.len()],
+    /// Attributed conflict heatmap: `(stripe, conflicts)` ordered by count
+    /// descending then stripe ascending — a total order, so renders are
+    /// byte-stable. Stripe ids are the backend's own conflict granule
+    /// (orec index for STMs, line-table index for the simulated HTM).
+    pub conflict_stripes: Vec<(u32, u64)>,
+    /// Transactional reads retired by committing attempts.
+    pub committed_reads: u64,
+    /// Transactional writes retired by committing attempts.
+    pub committed_writes: u64,
+    /// Transactional reads executed by attempts that rolled back.
+    pub wasted_reads: u64,
+    /// Transactional writes executed by attempts that rolled back.
+    pub wasted_writes: u64,
+}
+
+impl SimOutcome {
+    /// Ops retired by committed attempts (goodput numerator).
+    pub fn committed_ops(&self) -> u64 {
+        self.committed_reads + self.committed_writes
+    }
+
+    /// Ops executed and then discarded by rolled-back attempts.
+    pub fn wasted_ops(&self) -> u64 {
+        self.wasted_reads + self.wasted_writes
+    }
+
+    /// Committed work / total work in exact integer per-mille (`1000`
+    /// when no work ran — nothing executed means nothing wasted).
+    pub fn goodput_permille(&self) -> u64 {
+        let total = self.committed_ops() + self.wasted_ops();
+        (self.committed_ops() * 1000)
+            .checked_div(total)
+            .unwrap_or(1000)
+    }
+
+    /// Modeled virtual ticks thrown away by rolled-back attempts
+    /// ([`txcore::conflict::modeled_vticks`] — pure integers, byte-exact
+    /// cross-host).
+    pub fn wasted_vticks(&self) -> u64 {
+        txcore::conflict::modeled_vticks(self.wasted_reads, self.wasted_writes)
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -227,6 +272,11 @@ struct Task {
     op_idx: usize,
     plan: Vec<PlannedOp>,
     priv_base: Addr,
+    /// Reads executed by the in-flight attempt (work-ledger attribution;
+    /// credited as committed or wasted when the attempt resolves).
+    att_reads: u64,
+    /// Writes executed by the in-flight attempt.
+    att_writes: u64,
 }
 
 impl Task {
@@ -331,6 +381,15 @@ struct Engine<'a> {
     switch_latency: Option<u64>,
     shrink_latency: Option<u64>,
     grow_latency: Option<u64>,
+    // Conflict observatory (DESIGN.md §12). Strictly passive bookkeeping:
+    // nothing below feeds `record`, the rng streams, or step costs, so the
+    // fingerprint and every pre-observatory golden stay byte-identical.
+    abort_causes: [u64; AbortCode::ALL.len()],
+    conflict_stripes: BTreeMap<u32, u64>,
+    committed_reads: u64,
+    committed_writes: u64,
+    wasted_reads: u64,
+    wasted_writes: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -349,6 +408,8 @@ impl<'a> Engine<'a> {
                 op_idx: 0,
                 plan: Vec::new(),
                 priv_base: sys.heap.alloc(PRIV_SLOTS as usize * STRIDE as usize),
+                att_reads: 0,
+                att_writes: 0,
             })
             .collect();
         let (backend, durable) = make_backend(&sys, &cfg.config);
@@ -390,6 +451,12 @@ impl<'a> Engine<'a> {
             switch_latency: None,
             shrink_latency: None,
             grow_latency: None,
+            abort_causes: [0; AbortCode::ALL.len()],
+            conflict_stripes: BTreeMap::new(),
+            committed_reads: 0,
+            committed_writes: 0,
+            wasted_reads: 0,
+            wasted_writes: 0,
         }
     }
 
@@ -493,6 +560,8 @@ impl<'a> Engine<'a> {
         task.attempt = 0;
         task.ctx.attempt = 0;
         task.op_idx = 0;
+        task.att_reads = 0;
+        task.att_writes = 0;
         task.state = State::Begin;
         let cost = task.jitter(self.costs.think);
         task.clock = now + cost;
@@ -527,7 +596,7 @@ impl<'a> Engine<'a> {
                 let at = self.tasks[ti].clock;
                 self.push(at, ti as u32);
             }
-            Err(_) => self.abort_path(ti, now),
+            Err(a) => self.abort_path(ti, now, a),
         }
     }
 
@@ -543,16 +612,20 @@ impl<'a> Engine<'a> {
                     if via_fallback {
                         self.fallback_commits += 1;
                     }
+                    self.committed_reads += self.tasks[ti].att_reads;
+                    self.committed_writes += self.tasks[ti].att_writes;
                     self.gate.exit(ti);
                     let cost = self.tasks[ti].jitter(self.costs.commit);
                     let task = &mut self.tasks[ti];
+                    task.att_reads = 0;
+                    task.att_writes = 0;
                     task.txs_done += 1;
                     task.state = State::StartTx;
                     task.clock = now + cost;
                     let at = task.clock;
                     self.push(at, ti as u32);
                 }
-                Err(_) => self.abort_path(ti, now),
+                Err(a) => self.abort_path(ti, now, a),
             }
             return;
         }
@@ -574,23 +647,36 @@ impl<'a> Engine<'a> {
                 };
                 let cost = self.tasks[ti].jitter(base);
                 let task = &mut self.tasks[ti];
+                match kind {
+                    OpKind::Read => task.att_reads += 1,
+                    _ => task.att_writes += 1,
+                }
                 task.op_idx += 1;
                 task.clock = now + cost;
                 let at = task.clock;
                 self.push(at, ti as u32);
             }
-            Err(_) => self.abort_path(ti, now),
+            Err(a) => self.abort_path(ti, now, a),
         }
     }
 
-    /// Shared abort handling: rollback through the real backend, charge
-    /// the abort + seeded exponential backoff, retry the same plan.
-    fn abort_path(&mut self, ti: usize, now: u64) {
+    /// Shared abort handling: rollback through the real backend, attribute
+    /// the abort (cause, conflicting stripe, wasted ops), charge the abort
+    /// + seeded exponential backoff, retry the same plan.
+    fn abort_path(&mut self, ti: usize, now: u64, a: Abort) {
         let backend = Arc::clone(&self.backend);
         backend.rollback(&mut self.tasks[ti].ctx);
         self.record(ti as u32, OpKind::Abort, now);
         self.aborts += 1;
+        self.abort_causes[a.code.index()] += 1;
+        if let Some(stripe) = a.stripe() {
+            *self.conflict_stripes.entry(stripe).or_insert(0) += 1;
+        }
+        self.wasted_reads += self.tasks[ti].att_reads;
+        self.wasted_writes += self.tasks[ti].att_writes;
         let task = &mut self.tasks[ti];
+        task.att_reads = 0;
+        task.att_writes = 0;
         task.attempt += 1;
         task.ctx.attempt = task.attempt;
         task.op_idx = 0;
@@ -839,6 +925,12 @@ impl<'a> Engine<'a> {
         let elapsed_vns = (elapsed_ticks / TICKS_PER_NS).max(1);
         let tx_per_sec =
             (u128::from(self.commits) * 1_000_000_000u128 / u128::from(elapsed_vns)) as u64;
+        let mut conflict_stripes: Vec<(u32, u64)> = self
+            .conflict_stripes
+            .iter()
+            .map(|(&s, &n)| (s, n))
+            .collect();
+        conflict_stripes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         SimOutcome {
             commits: self.commits,
             aborts: self.aborts,
@@ -852,6 +944,12 @@ impl<'a> Engine<'a> {
             ops: self.ops,
             gate_windows: self.gate_windows,
             durable: self.durable.as_ref().map(|d| d.pheap().stats()),
+            abort_causes: self.abort_causes,
+            conflict_stripes,
+            committed_reads: self.committed_reads,
+            committed_writes: self.committed_writes,
+            wasted_reads: self.wasted_reads,
+            wasted_writes: self.wasted_writes,
         }
     }
 }
@@ -999,5 +1097,90 @@ mod tests {
         });
         assert_eq!(out.commits, 96);
         assert!(out.aborts > 0, "hot workload must conflict");
+    }
+
+    #[test]
+    fn attribution_conserves_the_op_log() {
+        // Conservation law (DESIGN.md §12): every transactional read/write
+        // the scheduler executed is attributed exactly once — either to a
+        // committing attempt or to the rollback that discarded it.
+        for backend in [BackendId::Tl2, BackendId::NOrec, BackendId::Htm] {
+            let out = steady(backend, 8, 11);
+            let executed = out
+                .ops
+                .iter()
+                .filter(|e| matches!(e.kind, OpKind::Read | OpKind::Write))
+                .count() as u64;
+            assert_eq!(
+                out.committed_ops() + out.wasted_ops(),
+                executed,
+                "{backend:?}: attributed ops must equal executed ops"
+            );
+            let by_cause: u64 = out.abort_causes.iter().sum();
+            assert_eq!(by_cause, out.aborts, "{backend:?}: every abort has a cause");
+            let stripe_hits: u64 = out.conflict_stripes.iter().map(|&(_, n)| n).sum();
+            assert!(
+                stripe_hits <= out.aborts,
+                "{backend:?}: at most one stripe per abort"
+            );
+            if out.aborts == 0 {
+                assert_eq!(out.wasted_ops(), 0, "{backend:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn contended_aborts_carry_conflict_stripes() {
+        let machine = MachineModel::machine_a();
+        let mut spec = report_spec();
+        spec.contention = 0.9;
+        spec.update_frac = 1.0;
+        let out = simulate(&SimConfig {
+            machine: &machine,
+            spec: &spec,
+            config: TmConfig::stm(BackendId::Tl2, 8),
+            txs_per_thread: 12,
+            seed: 2,
+            record_ops: false,
+            scenario: Scenario::Steady,
+        });
+        assert!(out.aborts > 0);
+        assert_eq!(
+            out.abort_causes[AbortCode::Conflict.index()],
+            out.aborts,
+            "pure-STM contention aborts are all conflict-coded"
+        );
+        let stripe_hits: u64 = out.conflict_stripes.iter().map(|&(_, n)| n).sum();
+        assert_eq!(stripe_hits, out.aborts, "every conflict names its stripe");
+        assert!(out.wasted_ops() > 0);
+        assert!(out.goodput_permille() < 1000);
+        // The heatmap is a total order: count descending, stripe ascending.
+        for w in out.conflict_stripes.windows(2) {
+            assert!(w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0));
+        }
+    }
+
+    #[test]
+    fn capacity_hostile_htm_attributes_capacity_aborts() {
+        let machine = MachineModel::machine_a();
+        let mut spec = report_spec();
+        spec.reads = 4000.0;
+        spec.writes = 40.0;
+        spec.update_frac = 1.0;
+        let out = simulate(&SimConfig {
+            machine: &machine,
+            spec: &spec,
+            config: TmConfig::htm(BackendId::Htm, 4, HtmSetting::DEFAULT),
+            txs_per_thread: 6,
+            seed: 3,
+            record_ops: false,
+            scenario: Scenario::Steady,
+        });
+        assert!(out.fallback_commits > 0);
+        assert!(
+            out.abort_causes[AbortCode::Capacity.index()] > 0,
+            "oversized HTM attempts must be attributed to capacity: {:?}",
+            out.abort_causes
+        );
     }
 }

@@ -26,7 +26,7 @@ use polytm::{BackendId, HtmSetting, TmConfig};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use stm::Durable;
-use txcore::{run_tx, DurabilityMode, ThreadCtx, TmBackend, TmSystem};
+use txcore::{run_tx, AbortCode, DurabilityMode, ThreadCtx, TmBackend, TmSystem};
 
 /// Virtual-clock resolution: vticks per nanosecond. All scheduler math is
 /// u64 vticks; only reports divide back down to whole virtual ns.
@@ -420,6 +420,172 @@ pub fn vtime_report(machine: &MachineModel, seed: u64) -> VtimeReport {
     }
 }
 
+/// Hot stripes a conflict-profile cell reports (DESIGN.md §12).
+pub const CONFLICT_TOP_K: usize = 3;
+
+/// One backend's conflict-observatory cell at the machine's contended
+/// thread count: abort attribution, wasted-work ledger and hot stripes,
+/// all exact integers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictCell {
+    /// The backend the cell profiles.
+    pub backend: BackendId,
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted attempts.
+    pub aborts: u64,
+    /// Aborts per cause, indexed by [`AbortCode::index`]. Sums to
+    /// `aborts`.
+    pub abort_causes: [u64; AbortCode::ALL.len()],
+    /// Top-[`CONFLICT_TOP_K`] `(stripe, conflicts)`, count descending then
+    /// stripe ascending.
+    pub top_stripes: Vec<(u32, u64)>,
+    /// Ops retired by committed attempts.
+    pub committed_ops: u64,
+    /// Ops executed and discarded by rolled-back attempts.
+    pub wasted_ops: u64,
+    /// Committed / total work in exact integer per-mille.
+    pub goodput_permille: u64,
+    /// Modeled virtual ns thrown away by rolled-back attempts.
+    pub wasted_vns: u64,
+}
+
+/// The deterministic conflict profile of one machine: every swept backend
+/// at the machine's contended thread count (where the switch/resize
+/// measurements also run). Same (machine, seed) → byte-identical
+/// [`ConflictProfile::render`] on any host.
+#[derive(Debug, Clone)]
+pub struct ConflictProfile {
+    /// Machine name (`machine-a` / `machine-b`).
+    pub machine: &'static str,
+    /// Scheduler seed the profile was generated under.
+    pub seed: u64,
+    /// The contended thread count every cell ran at.
+    pub threads: usize,
+    /// One cell per swept backend, in sweep order.
+    pub cells: Vec<ConflictCell>,
+}
+
+impl ConflictProfile {
+    /// Stable text rendering (the golden-fixture format): pure integers,
+    /// fixed column widths, no floats and no host-dependent content.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "vtime conflict profile on {} (genome workload, seed {}, {} threads)",
+            self.machine, self.seed, self.threads
+        );
+        let _ = writeln!(
+            out,
+            "{:<8} {:>8} {:>7} {:>10} {:>13} {:>10} {:>12}",
+            "backend",
+            "commits",
+            "aborts",
+            "goodput_pm",
+            "committed_ops",
+            "wasted_ops",
+            "wasted_vns"
+        );
+        for cell in &self.cells {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>8} {:>7} {:>10} {:>13} {:>10} {:>12}",
+                cell.backend.label(),
+                cell.commits,
+                cell.aborts,
+                cell.goodput_permille,
+                cell.committed_ops,
+                cell.wasted_ops,
+                cell.wasted_vns
+            );
+            let causes: Vec<String> = AbortCode::ALL
+                .iter()
+                .filter(|c| cell.abort_causes[c.index()] > 0)
+                .map(|c| format!("{} x{}", c.slug(), cell.abort_causes[c.index()]))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  causes: {}",
+                if causes.is_empty() {
+                    "none".to_string()
+                } else {
+                    causes.join(", ")
+                }
+            );
+            let stripes: Vec<String> = cell
+                .top_stripes
+                .iter()
+                .map(|&(s, n)| format!("stripe {s} x{n}"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  hot stripes: {}",
+                if stripes.is_empty() {
+                    "none".to_string()
+                } else {
+                    stripes.join(", ")
+                }
+            );
+        }
+        out
+    }
+}
+
+/// The deterministic conflict profile of `machine` under `seed`: the same
+/// backend sweep as [`vtime_report`], each run once at the machine's
+/// contended thread count (8 with HTM, 16 without — where the report also
+/// measures its switch and resize). Attribution is passive bookkeeping in
+/// the scheduler, so these cells replay byte-identical schedules to the
+/// report's own curve cells at that thread count.
+pub fn conflict_profile(machine: &MachineModel, seed: u64) -> ConflictProfile {
+    let spec = report_spec();
+    let backends: Vec<BackendId> = if machine.has_htm {
+        vec![BackendId::Tl2, BackendId::NOrec, BackendId::Htm]
+    } else {
+        vec![BackendId::Tl2, BackendId::NOrec, BackendId::SwissTm]
+    };
+    let threads = if machine.has_htm { 8 } else { 16 };
+    let cells = backends
+        .iter()
+        .map(|&b| {
+            let config = if b.is_hardware() {
+                TmConfig::htm(b, threads, HtmSetting::DEFAULT)
+            } else {
+                TmConfig::stm(b, threads)
+            };
+            let out = simulate(&SimConfig {
+                machine,
+                spec: &spec,
+                config,
+                txs_per_thread: TXS_PER_THREAD,
+                seed,
+                record_ops: false,
+                scenario: Scenario::Steady,
+            });
+            let mut top_stripes = out.conflict_stripes.clone();
+            top_stripes.truncate(CONFLICT_TOP_K);
+            ConflictCell {
+                backend: b,
+                commits: out.commits,
+                aborts: out.aborts,
+                abort_causes: out.abort_causes,
+                top_stripes,
+                committed_ops: out.committed_ops(),
+                wasted_ops: out.wasted_ops(),
+                goodput_permille: out.goodput_permille(),
+                wasted_vns: out.wasted_vticks() / TICKS_PER_NS,
+            }
+        })
+        .collect();
+    ConflictProfile {
+        machine: machine.name,
+        seed,
+        threads,
+        cells,
+    }
+}
+
 /// One cell of the durability-tax curve: a (mode, threads) run's exact
 /// integer outcome plus the persistent-heap counters it generated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -739,6 +905,72 @@ mod tests {
         assert!(strict.commit > buffered.commit, "per-tx fsync dominates");
         assert_eq!(strict.read, volatile.read, "reads are never taxed");
         assert_eq!(strict.begin, volatile.begin);
+    }
+
+    #[test]
+    fn virtual_clock_matches_the_wasted_work_model() {
+        // The wasted-work ledger models vticks with txcore's constant; a
+        // drift between the two clocks would silently skew wasted_vns.
+        assert_eq!(TICKS_PER_NS, txcore::conflict::VTICKS_PER_NS);
+    }
+
+    #[test]
+    fn conflict_profile_is_deterministic_and_conserves_attribution() {
+        let m = MachineModel::machine_a();
+        let a = conflict_profile(&m, REPORT_SEED);
+        let b = conflict_profile(&m, REPORT_SEED);
+        assert_eq!(a.render(), b.render(), "byte-identical reruns");
+        assert_eq!(a.threads, 8);
+        assert_eq!(a.cells.len(), 3);
+        for cell in &a.cells {
+            let by_cause: u64 = cell.abort_causes.iter().sum();
+            assert_eq!(
+                by_cause, cell.aborts,
+                "{:?}: every abort has a cause",
+                cell.backend
+            );
+            assert!(cell.goodput_permille <= 1000);
+            assert!(cell.top_stripes.len() <= CONFLICT_TOP_K);
+            // Top stripes are a prefix of a total order: count descending,
+            // stripe ascending on ties.
+            for w in cell.top_stripes.windows(2) {
+                assert!(w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0));
+            }
+            if cell.aborts == 0 {
+                assert_eq!(cell.wasted_ops, 0, "no rollbacks, no waste");
+                assert_eq!(cell.goodput_permille, 1000);
+            }
+        }
+        // Attribution is passive: the profile's cells replay the report's
+        // own t8 schedules, so commits/aborts must agree exactly.
+        let report = vtime_report(&m, REPORT_SEED);
+        for (cell, curve) in a.cells.iter().zip(&report.curves) {
+            assert_eq!(cell.backend, curve.backend);
+            let p = curve.points.iter().find(|p| p.threads == 8).unwrap();
+            assert_eq!(cell.commits, p.commits, "{:?}", cell.backend);
+            assert_eq!(cell.aborts, p.aborts, "{:?}", cell.backend);
+        }
+    }
+
+    #[test]
+    fn contended_stm_cells_attribute_stripes_and_waste() {
+        // At 16 threads on the hot-slot genome workload the STM backends
+        // must see real conflicts — and every conflict-coded abort carries
+        // a stripe, so the heatmap cannot be empty.
+        let profile = conflict_profile(&MachineModel::machine_b(), REPORT_SEED);
+        assert_eq!(profile.threads, 16);
+        let contended: Vec<_> = profile.cells.iter().filter(|c| c.aborts > 0).collect();
+        assert!(!contended.is_empty(), "no cell saw contention at t16");
+        for cell in contended {
+            assert!(
+                cell.abort_causes[AbortCode::Conflict.index()] > 0,
+                "{:?}: contended aborts should include conflicts",
+                cell.backend
+            );
+            assert!(!cell.top_stripes.is_empty(), "{:?}", cell.backend);
+            assert!(cell.wasted_ops > 0, "{:?}", cell.backend);
+            assert!(cell.goodput_permille < 1000, "{:?}", cell.backend);
+        }
     }
 
     #[test]

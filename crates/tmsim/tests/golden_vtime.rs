@@ -10,11 +10,10 @@
 //! ```
 
 use std::path::Path;
-use tmsim::vtime::{vtime_report, REPORT_SEED};
+use tmsim::vtime::{conflict_profile, vtime_report, REPORT_SEED};
 use tmsim::MachineModel;
 
-fn check(machine: &MachineModel, name: &str) {
-    let got = vtime_report(machine, REPORT_SEED).render();
+fn check_render(machine: &MachineModel, name: &str, got: String) {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/golden")
         .join(name);
@@ -33,6 +32,10 @@ fn check(machine: &MachineModel, name: &str) {
     );
 }
 
+fn check(machine: &MachineModel, name: &str) {
+    check_render(machine, name, vtime_report(machine, REPORT_SEED).render());
+}
+
 #[test]
 fn machine_a_scalability_curves_match_golden() {
     check(&MachineModel::machine_a(), "vtime_machine_a.txt");
@@ -41,4 +44,24 @@ fn machine_a_scalability_curves_match_golden() {
 #[test]
 fn machine_b_scalability_curves_match_golden() {
     check(&MachineModel::machine_b(), "vtime_machine_b.txt");
+}
+
+#[test]
+fn machine_a_conflict_profile_matches_golden() {
+    let m = MachineModel::machine_a();
+    check_render(
+        &m,
+        "vtime_conflict_machine_a.txt",
+        conflict_profile(&m, REPORT_SEED).render(),
+    );
+}
+
+#[test]
+fn machine_b_conflict_profile_matches_golden() {
+    let m = MachineModel::machine_b();
+    check_render(
+        &m,
+        "vtime_conflict_machine_b.txt",
+        conflict_profile(&m, REPORT_SEED).render(),
+    );
 }

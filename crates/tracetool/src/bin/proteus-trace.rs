@@ -5,11 +5,12 @@
 //! proteus-trace diff <a.jsonl> <b.jsonl>
 //! proteus-trace perf <trace.jsonl>
 //! proteus-trace perf-diff <a.jsonl> <b.jsonl> [--noise F]
+//! proteus-trace conflicts <trace.jsonl> [--json]
 //! ```
 //!
-//! Exit codes: `report` and `perf` exit 0 on success, 1 on schema
-//! violations, empty traces, or I/O errors. `diff` exits 0 when the traces
-//! are structurally identical, 1 when they differ or fail to parse.
+//! Exit codes: `report`, `perf` and `conflicts` exit 0 on success, 1 on
+//! schema violations, empty traces, or I/O errors. `diff` exits 0 when the
+//! traces are structurally identical, 1 when they differ or fail to parse.
 //! `perf-diff` exits 0 when no KPI degraded beyond the noise band, 1 on a
 //! regression or a parse failure. Usage errors exit 2.
 
@@ -20,6 +21,7 @@ const USAGE: &str = "usage:
   proteus-trace diff <a.jsonl> <b.jsonl>                      structural comparison
   proteus-trace perf <trace.jsonl>                            KPI time-series & overhead audit
   proteus-trace perf-diff <a.jsonl> <b.jsonl> [--noise F]     window-by-window KPI gate
+  proteus-trace conflicts <trace.jsonl> [--json]              abort attribution & hot stripes
 
 The trace must start with a {\"kind\":\"trace.meta\",\"schema\":N} header
 (written by obs::trace::start); schemas outside the supported range are
@@ -180,6 +182,41 @@ fn main() -> ExitCode {
             } else {
                 ExitCode::from(1)
             }
+        }
+        Some("conflicts") => {
+            let mut path = None;
+            let mut json = false;
+            for arg in &args[1..] {
+                if arg == "--json" {
+                    json = true;
+                } else if path.is_none() {
+                    path = Some(arg.clone());
+                } else {
+                    eprintln!("unexpected argument {arg:?}\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            }
+            let Some(path) = path else {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            };
+            let trace = match load(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(1);
+                }
+            };
+            if trace.records.is_empty() && trace.counters.is_empty() {
+                eprintln!("error: {path}: trace holds a header but no records — nothing to report");
+                return ExitCode::from(1);
+            }
+            if json {
+                print!("{}", tracetool::conflicts::render_json(&trace));
+            } else {
+                print!("{}", tracetool::conflicts::render(&trace));
+            }
+            ExitCode::SUCCESS
         }
         _ => {
             eprintln!("{USAGE}");

@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod conflicts;
 pub mod diff;
 pub mod json;
 pub mod perf;

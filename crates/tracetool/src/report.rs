@@ -159,7 +159,7 @@ pub fn render(trace: &Trace, epsilon: f64) -> String {
     out
 }
 
-fn esc(out: &mut String, s: &str) {
+pub(crate) fn esc(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -177,7 +177,7 @@ fn esc(out: &mut String, s: &str) {
     out.push('"');
 }
 
-fn fnum(out: &mut String, v: f64) {
+pub(crate) fn fnum(out: &mut String, v: f64) {
     if v.is_finite() {
         let _ = write!(out, "{v}");
     } else {

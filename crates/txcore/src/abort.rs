@@ -1,7 +1,15 @@
 //! Abort causes and the result alias threaded through transactional code.
+//!
+//! Since the conflict observatory (DESIGN.md §12) every [`Abort`] is a
+//! *structured* cause: the code says **why** the attempt died and, for
+//! data conflicts, the stripe id says **where**. Equality and hashing
+//! deliberately ignore the stripe so protocol code (and the extensive
+//! `assert_eq!(..., Err(Abort::CONFLICT))` test surface) keeps comparing
+//! causes, not attribution payloads.
 
 use std::error::Error;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// Why a transaction attempt failed.
 ///
@@ -29,17 +37,23 @@ pub enum AbortCode {
     /// instrumentation. Frequent `mode` aborts mean a caller is passing the
     /// hint for blocks that are not actually read-only.
     Mode,
+    /// Durable-journal pressure: the persistent heap refused the commit
+    /// (crashed redo log, failed persistence step). Distinct from
+    /// [`AbortCode::Explicit`] so a dying journal is never mistaken for a
+    /// user-requested retry.
+    Journal,
 }
 
 impl AbortCode {
     /// All codes, in a stable order (useful for per-code statistics).
-    pub const ALL: [AbortCode; 6] = [
+    pub const ALL: [AbortCode; 7] = [
         AbortCode::Conflict,
         AbortCode::Capacity,
         AbortCode::Explicit,
         AbortCode::Fallback,
         AbortCode::Spurious,
         AbortCode::Mode,
+        AbortCode::Journal,
     ];
 
     /// Stable small index of this code, for counter arrays.
@@ -52,6 +66,7 @@ impl AbortCode {
             AbortCode::Fallback => 3,
             AbortCode::Spurious => 4,
             AbortCode::Mode => 5,
+            AbortCode::Journal => 6,
         }
     }
 
@@ -67,6 +82,7 @@ impl AbortCode {
             AbortCode::Fallback => "fallback",
             AbortCode::Spurious => "spurious",
             AbortCode::Mode => "mode",
+            AbortCode::Journal => "journal",
         }
     }
 }
@@ -80,54 +96,122 @@ impl fmt::Display for AbortCode {
             AbortCode::Fallback => "fallback lock held",
             AbortCode::Spurious => "spurious",
             AbortCode::Mode => "write under read-only hint",
+            AbortCode::Journal => "durable journal pressure",
         };
         f.write_str(s)
     }
 }
 
+/// Sentinel stripe id for aborts with no attributable location (capacity,
+/// spurious, explicit, mode, journal, fallback-lock takes).
+pub const NO_STRIPE: u32 = u32::MAX;
+
 /// A transaction attempt was aborted and must be retried (or given up).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Equality and hashing compare the **cause only** — two conflicts on
+/// different stripes are the same abort as far as contention management
+/// (and test assertions) are concerned; the stripe is attribution payload
+/// for the conflict observatory, read via [`Abort::stripe`].
+#[derive(Debug, Clone, Copy)]
 pub struct Abort {
     /// The cause of the abort.
     pub code: AbortCode,
+    /// Conflicting stripe id ([`NO_STRIPE`] when not attributable). For
+    /// orec-based backends this is the ownership-record index; NOrec and
+    /// the durable backend map the failing address through the shared orec
+    /// geometry so every STM reports in one stripe space; the simulated
+    /// HTM reports its private cache-line index.
+    stripe: u32,
+}
+
+impl PartialEq for Abort {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.code == other.code
+    }
+}
+
+impl Eq for Abort {}
+
+impl Hash for Abort {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.code.hash(state);
+    }
 }
 
 impl Abort {
-    /// Abort due to a data conflict.
+    /// Abort due to a data conflict (no stripe attribution; prefer
+    /// [`Abort::conflict_at`] when the conflicting stripe is known).
     pub const CONFLICT: Abort = Abort {
         code: AbortCode::Conflict,
+        stripe: NO_STRIPE,
     };
     /// Abort due to exceeded speculative capacity.
     pub const CAPACITY: Abort = Abort {
         code: AbortCode::Capacity,
+        stripe: NO_STRIPE,
     };
     /// Explicit, user-requested abort.
     pub const EXPLICIT: Abort = Abort {
         code: AbortCode::Explicit,
+        stripe: NO_STRIPE,
     };
     /// Abort because the HTM fallback lock is held.
     pub const FALLBACK: Abort = Abort {
         code: AbortCode::Fallback,
+        stripe: NO_STRIPE,
     };
     /// Transient, non-attributable abort.
     pub const SPURIOUS: Abort = Abort {
         code: AbortCode::Spurious,
+        stripe: NO_STRIPE,
     };
     /// Write attempted under a read-only hint; retry in full mode.
     pub const MODE: Abort = Abort {
         code: AbortCode::Mode,
+        stripe: NO_STRIPE,
+    };
+    /// The durable journal refused the attempt (crashed or failing PHeap).
+    pub const JOURNAL: Abort = Abort {
+        code: AbortCode::Journal,
+        stripe: NO_STRIPE,
     };
 
-    /// Construct an abort with the given cause.
+    /// Construct an abort with the given cause and no stripe attribution.
     #[inline]
     pub fn new(code: AbortCode) -> Self {
-        Abort { code }
+        Abort {
+            code,
+            stripe: NO_STRIPE,
+        }
+    }
+
+    /// A data-conflict abort attributed to stripe `idx`.
+    #[inline]
+    pub fn conflict_at(idx: usize) -> Self {
+        Abort {
+            code: AbortCode::Conflict,
+            // Saturate rather than wrap: an implausibly large table index
+            // must not alias the sentinel by accident.
+            stripe: u32::try_from(idx).unwrap_or(NO_STRIPE - 1),
+        }
+    }
+
+    /// The conflicting stripe id, when the backend could attribute one.
+    #[inline]
+    pub fn stripe(&self) -> Option<u32> {
+        (self.stripe != NO_STRIPE).then_some(self.stripe)
     }
 }
 
 impl fmt::Display for Abort {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "transaction aborted: {}", self.code)
+        write!(f, "transaction aborted: {}", self.code)?;
+        if let Some(s) = self.stripe() {
+            write!(f, " (stripe {s})")?;
+        }
+        Ok(())
     }
 }
 
@@ -178,5 +262,37 @@ mod tests {
     fn abort_is_a_std_error() {
         fn takes_err<E: Error + Send + Sync + 'static>(_e: E) {}
         takes_err(Abort::CAPACITY);
+    }
+
+    #[test]
+    fn equality_ignores_the_stripe_payload() {
+        assert_eq!(Abort::conflict_at(3), Abort::CONFLICT);
+        assert_eq!(Abort::conflict_at(3), Abort::conflict_at(9));
+        assert_ne!(Abort::conflict_at(3), Abort::CAPACITY);
+        let mut set = std::collections::HashSet::new();
+        set.insert(Abort::conflict_at(1));
+        assert!(set.contains(&Abort::conflict_at(2)), "hash follows eq");
+    }
+
+    #[test]
+    fn stripe_attribution_round_trips() {
+        assert_eq!(Abort::conflict_at(7).stripe(), Some(7));
+        assert_eq!(Abort::CONFLICT.stripe(), None);
+        assert_eq!(Abort::JOURNAL.stripe(), None);
+        assert_eq!(Abort::new(AbortCode::Journal), Abort::JOURNAL);
+        let huge = Abort::conflict_at(usize::MAX);
+        assert!(huge.stripe().is_some(), "saturation must not hit sentinel");
+    }
+
+    #[test]
+    fn display_carries_the_stripe() {
+        assert_eq!(
+            Abort::conflict_at(12).to_string(),
+            "transaction aborted: conflict (stripe 12)"
+        );
+        assert_eq!(
+            Abort::JOURNAL.to_string(),
+            "transaction aborted: durable journal pressure"
+        );
     }
 }

@@ -1,0 +1,163 @@
+//! The conflict observatory's hot-stripe registry (DESIGN.md §12).
+//!
+//! Every attributed conflict abort names a stripe ([`crate::Abort::stripe`]).
+//! Worker threads accumulate those stripe ids in a bounded per-thread
+//! [`StripeMap`] (plain memory, no shared traffic) that the transaction
+//! driver drains into this process-wide table at cold points only — retry-
+//! ladder resolution and explicit [`crate::ThreadCtx::flush_work`] calls —
+//! so the nanosecond first-try commit path never touches it. Serial
+//! drivers read [`top_stripes`] to publish `conflict.stripe_topk` flight-
+//! recorder data and call [`reset`] at run start so captures are
+//! independent.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Virtual ticks per modeled nanosecond — mirrors the vtime harness
+/// (`tmsim::TICKS_PER_NS`; tmsim depends on this crate, so the constant is
+/// restated here and cross-checked by a tmsim test).
+pub const VTICKS_PER_NS: u64 = 1024;
+
+/// Modeled cost of one transactional read, in vticks (the TL2 reference
+/// row of `tmsim`'s cost table: 8 ns).
+pub const MODELED_READ_VTICKS: u64 = 8 * VTICKS_PER_NS;
+
+/// Modeled cost of one transactional write, in vticks (8 ns — the middle
+/// of the backends' 6–12 ns range in `tmsim`'s cost table).
+pub const MODELED_WRITE_VTICKS: u64 = 8 * VTICKS_PER_NS;
+
+/// Modeled virtual ticks represented by `reads` + `writes` transactional
+/// ops. The wasted-work ledger reports discarded work in these units so
+/// wall-clock noise never enters byte-compared telemetry.
+#[inline]
+pub fn modeled_vticks(reads: u64, writes: u64) -> u64 {
+    reads * MODELED_READ_VTICKS + writes * MODELED_WRITE_VTICKS
+}
+
+/// Bounded per-thread accumulator of conflict stripe ids.
+///
+/// A plain `Vec` of `(stripe, count)` pairs: conflict sets are tiny (a few
+/// hot stripes dominate by construction — that is the signal the
+/// observatory exists to catch), so a linear scan beats any map. When the
+/// map hits [`StripeMap::CAP`] distinct stripes, [`StripeMap::note`]
+/// reports that a drain is due.
+#[derive(Debug, Default)]
+pub struct StripeMap {
+    entries: Vec<(u32, u64)>,
+}
+
+impl StripeMap {
+    /// Distinct stripes buffered before a drain is requested.
+    pub const CAP: usize = 64;
+
+    /// Count one conflict on `stripe`. Returns `true` when the map is full
+    /// and should be drained with [`StripeMap::drain_into_global`].
+    #[inline]
+    pub fn note(&mut self, stripe: u32) -> bool {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == stripe) {
+            e.1 += 1;
+        } else {
+            self.entries.push((stripe, 1));
+        }
+        self.entries.len() >= Self::CAP
+    }
+
+    /// Whether no conflicts are buffered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Fold the buffered counts into the process-wide table and clear the
+    /// buffer (capacity retained). One mutex acquisition per drain.
+    pub fn drain_into_global(&mut self) {
+        if self.entries.is_empty() {
+            return;
+        }
+        let mut table = global();
+        for &(stripe, n) in &self.entries {
+            *table.entry(stripe).or_insert(0) += n;
+        }
+        self.entries.clear();
+    }
+}
+
+static GLOBAL: Mutex<BTreeMap<u32, u64>> = Mutex::new(BTreeMap::new());
+
+fn global() -> std::sync::MutexGuard<'static, BTreeMap<u32, u64>> {
+    GLOBAL.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The `k` hottest stripes, ordered by count descending then stripe id
+/// ascending — a total order, so every reader renders identical tables.
+pub fn top_stripes(k: usize) -> Vec<(u32, u64)> {
+    let table = global();
+    let mut all: Vec<(u32, u64)> = table.iter().map(|(&s, &n)| (s, n)).collect();
+    drop(table);
+    all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+/// Total attributed conflicts folded into the global table so far.
+pub fn total_attributed() -> u64 {
+    global().values().sum()
+}
+
+/// Clear the global table (per-thread maps are owned by their threads and
+/// drain on flush). Serial drivers call this at run/trace start so
+/// successive captures see independent heatmaps.
+pub fn reset() {
+    global().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripe_map_counts_and_drains() {
+        // Serialize against other tests touching the global table.
+        reset();
+        let mut m = StripeMap::default();
+        assert!(m.is_empty());
+        for _ in 0..3 {
+            assert!(!m.note(7));
+        }
+        m.note(9);
+        m.drain_into_global();
+        assert!(m.is_empty());
+        m.note(7);
+        m.drain_into_global();
+        assert_eq!(top_stripes(2), vec![(7, 4), (9, 1)]);
+        assert_eq!(total_attributed(), 5);
+        reset();
+        assert_eq!(total_attributed(), 0);
+    }
+
+    #[test]
+    fn note_requests_drain_at_capacity() {
+        let mut m = StripeMap::default();
+        for s in 0..(StripeMap::CAP as u32 - 1) {
+            assert!(!m.note(s));
+        }
+        assert!(m.note(StripeMap::CAP as u32));
+        m.entries.clear(); // discard, don't pollute the global table
+    }
+
+    #[test]
+    fn top_stripes_orders_by_count_then_id() {
+        let mut all = vec![(5u32, 2u64), (1, 3), (9, 3), (2, 1)];
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        assert_eq!(all, vec![(1, 3), (9, 3), (5, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn modeled_vticks_is_linear() {
+        assert_eq!(modeled_vticks(0, 0), 0);
+        assert_eq!(
+            modeled_vticks(3, 2),
+            3 * MODELED_READ_VTICKS + 2 * MODELED_WRITE_VTICKS
+        );
+    }
+}

@@ -30,6 +30,10 @@ pub(crate) struct TxCounters {
     ladder: &'static obs::Histogram,
     /// Ladders that ran out of budget (the caller's serial-escape signal).
     ladder_exhausted: &'static obs::Counter,
+    /// Ops retired by committed attempts (`tx.work.<backend>.ops`).
+    work_ops: &'static obs::Counter,
+    /// Ops discarded by rolled-back attempts (`tx.wasted.<backend>.ops`).
+    wasted_ops: &'static obs::Counter,
 }
 
 impl TxCounters {
@@ -45,6 +49,8 @@ impl TxCounters {
                 .map(|code| obs::counter(&format!("tx.abort.{backend}.{}", code.slug()))),
             ladder: obs::histogram(&format!("tx.ladder.{backend}_ns")),
             ladder_exhausted: obs::counter(&format!("tx.ladder.{backend}.exhausted")),
+            work_ops: obs::counter(&format!("tx.work.{backend}.ops")),
+            wasted_ops: obs::counter(&format!("tx.wasted.{backend}.ops")),
         }
     }
 }
@@ -70,6 +76,18 @@ fn counters(ctx: &mut ThreadCtx, backend: &dyn TmBackend) -> TxCounters {
 /// orders of magnitude below this.
 const LIVELOCK_LIMIT: u32 = 50_000_000;
 
+/// Buffer an attributed conflict's stripe id in the thread's hot-stripe
+/// map, draining to the global table when the buffer fills. Only called
+/// from the cold retry ladder — aborts already left the fast path.
+#[inline]
+fn note_conflict(ctx: &mut ThreadCtx, a: Abort) {
+    if let Some(stripe) = a.stripe() {
+        if ctx.conflicts.note(stripe) {
+            ctx.conflicts.drain_into_global();
+        }
+    }
+}
+
 /// Handle through which an atomic block performs its memory accesses.
 ///
 /// Obtained from [`run_tx`]; mirrors the instrumented loads/stores the GCC
@@ -88,6 +106,10 @@ impl Tx<'_> {
     /// can retry the block.
     #[inline]
     pub fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        // Wasted-work ledger: count the op as *issued* (even if it aborts,
+        // the attempt executed it before rolling back). A plain add on an
+        // already-hot struct — the fast path's whole ledger cost.
+        self.ctx.ops_reads += 1;
         self.backend.read(self.ctx, addr)
     }
 
@@ -98,6 +120,7 @@ impl Tx<'_> {
     /// Returns an [`Abort`] that must be propagated (with `?`).
     #[inline]
     pub fn write(&mut self, addr: Addr, val: u64) -> TxResult<()> {
+        self.ctx.ops_writes += 1;
         self.backend.write(self.ctx, addr, val)
     }
 
@@ -204,11 +227,16 @@ pub fn try_run_tx<T>(
         match attempt_once(backend, ctx, &mut f) {
             Ok((value, via_fallback)) => {
                 ctx.stats.record_commit(via_fallback);
+                ctx.credit_committed_ops();
                 if telemetry {
                     let c = counters(ctx, backend);
                     c.commit.inc();
                     if via_fallback {
                         c.commit_fallback.inc();
+                    }
+                    let ops = ctx.ops_reads + ctx.ops_writes;
+                    if ops > 0 {
+                        c.work_ops.add(ops);
                     }
                 }
                 return Some(value);
@@ -243,6 +271,8 @@ fn attempt_once<T>(
     ctx: &mut ThreadCtx,
     f: &mut impl FnMut(&mut Tx<'_>) -> TxResult<T>,
 ) -> TxResult<(T, bool)> {
+    ctx.ops_reads = 0;
+    ctx.ops_writes = 0;
     backend.begin(ctx)?;
     let result = {
         let mut tx = Tx { backend, ctx };
@@ -285,14 +315,21 @@ fn retry_ladder<T>(
     // `ThreadStats` / metrics registry exactly once, below the loop.
     let mut local = LocalStats::default();
     if let Some(a) = first_abort {
+        // The fast path's aborted first attempt: its issued ops are still
+        // in `ctx.ops_*` (nothing resets them between the abort and here).
         local.record_abort(a.code);
+        local.record_wasted(ctx.ops_reads, ctx.ops_writes);
+        note_conflict(ctx, a);
     }
     let outcome = loop {
         if ctx.attempt >= budget {
             break None;
         }
+        ctx.ops_reads = 0;
+        ctx.ops_writes = 0;
         if let Err(a) = backend.begin(ctx) {
             local.record_abort(a.code);
+            note_conflict(ctx, a);
             ctx.attempt += 1;
             backoff(&mut ctx.rng, ctx.attempt);
             continue;
@@ -307,17 +344,22 @@ fn retry_ladder<T>(
                 match backend.commit(ctx) {
                     Ok(()) => {
                         local.record_commit(via_fallback);
+                        local.record_committed(ctx.ops_reads, ctx.ops_writes);
                         break Some(value);
                     }
                     Err(a) => {
                         backend.rollback(ctx);
                         local.record_abort(a.code);
+                        local.record_wasted(ctx.ops_reads, ctx.ops_writes);
+                        note_conflict(ctx, a);
                     }
                 }
             }
             Err(a) => {
                 backend.rollback(ctx);
                 local.record_abort(a.code);
+                local.record_wasted(ctx.ops_reads, ctx.ops_writes);
+                note_conflict(ctx, a);
             }
         }
         ctx.attempt += 1;
@@ -331,12 +373,24 @@ fn retry_ladder<T>(
     } else {
         ctx.stats.fold(&local);
     }
+    // Ladder resolution is a window boundary for the conflict observatory:
+    // flush the pending fast-path ledger and drain the hot-stripe buffer,
+    // so shared state is exact after every retried transaction.
+    ctx.flush_work();
     if telemetry {
         let c = counters(ctx, backend);
         for (n, counter) in local.aborts.iter().zip(c.aborts) {
             if *n > 0 {
                 counter.add(*n);
             }
+        }
+        let wasted = local.wasted_reads + local.wasted_writes;
+        if wasted > 0 {
+            c.wasted_ops.add(wasted);
+        }
+        let committed = local.committed_reads + local.committed_writes;
+        if committed > 0 {
+            c.work_ops.add(committed);
         }
         if outcome.is_some() {
             c.commit.inc();
@@ -494,6 +548,51 @@ mod tests {
             Ok(tx.attempt())
         });
         assert_eq!(out, Some(3));
+    }
+
+    #[test]
+    fn work_ledger_splits_committed_and_wasted_ops() {
+        let sys = Arc::new(TmSystem::new(16));
+        let tm = GlobalLockTm::new(Arc::clone(&sys));
+        let a = sys.heap.alloc(1);
+        let mut ctx = ThreadCtx::new(0);
+        // Two aborted attempts of 2 ops each, then a committing attempt
+        // of 2 ops: 4 wasted, 2 committed.
+        run_tx(&tm, &mut ctx, |tx| {
+            let v = tx.read(a)?;
+            tx.write(a, v + 1)?;
+            if tx.attempt() < 2 {
+                return tx.retry();
+            }
+            Ok(())
+        });
+        // First-try commits land in the pending ledger until flushed.
+        for _ in 0..3 {
+            run_tx(&tm, &mut ctx, |tx| tx.write(a, 7));
+        }
+        ctx.flush_work();
+        let snap = ctx.stats.snapshot();
+        assert_eq!(snap.wasted_reads, 2);
+        assert_eq!(snap.wasted_writes, 2);
+        assert_eq!(snap.committed_reads, 1);
+        assert_eq!(snap.committed_writes, 1 + 3);
+        assert_eq!(snap.total_ops(), 9);
+    }
+
+    #[test]
+    fn pending_ledger_flushes_on_cadence() {
+        let sys = Arc::new(TmSystem::new(16));
+        let tm = GlobalLockTm::new(Arc::clone(&sys));
+        let a = sys.heap.alloc(1);
+        let mut ctx = ThreadCtx::new(0);
+        for _ in 0..crate::system::WORK_FLUSH_EVERY {
+            run_tx(&tm, &mut ctx, |tx| tx.write(a, 1));
+        }
+        // No explicit flush: the cadence alone must have folded the ops.
+        assert_eq!(
+            ctx.stats.snapshot().committed_writes,
+            u64::from(crate::system::WORK_FLUSH_EVERY)
+        );
     }
 
     #[test]

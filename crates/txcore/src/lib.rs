@@ -36,6 +36,7 @@
 mod abort;
 mod backend;
 mod clock;
+pub mod conflict;
 mod exec;
 mod heap;
 mod orec;
@@ -45,7 +46,7 @@ mod stats;
 mod system;
 pub mod util;
 
-pub use abort::{Abort, AbortCode, TxResult};
+pub use abort::{Abort, AbortCode, TxResult, NO_STRIPE};
 pub use backend::{BackendKind, TmBackend};
 pub use clock::GlobalClock;
 pub use exec::{run_read_tx, run_tx, try_run_tx, Tx};
@@ -57,4 +58,4 @@ pub use pheap::{
 };
 pub use sets::{ReadSet, WriteSet};
 pub use stats::{LocalStats, StatsSnapshot, ThreadStats};
-pub use system::{ThreadCtx, TmSystem};
+pub use system::{ThreadCtx, TmSystem, WORK_FLUSH_EVERY};

@@ -19,6 +19,10 @@ pub struct ThreadStats {
     commits: AtomicU64,
     fallback_commits: AtomicU64,
     aborts: [AtomicU64; AbortCode::ALL.len()],
+    committed_reads: AtomicU64,
+    committed_writes: AtomicU64,
+    wasted_reads: AtomicU64,
+    wasted_writes: AtomicU64,
 }
 
 impl ThreadStats {
@@ -43,6 +47,28 @@ impl ThreadStats {
         self.aborts[code.index()].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Fold a batch of work-ledger ops: `committed` ops retired by commits,
+    /// `wasted` ops executed by attempts that later rolled back. Batched
+    /// (the driver's pending ledger flushes every few transactions) so the
+    /// first-try commit path never pays these RMWs per transaction.
+    #[inline]
+    pub fn record_work(&self, committed: (u64, u64), wasted: (u64, u64)) {
+        if committed.0 > 0 {
+            self.committed_reads
+                .fetch_add(committed.0, Ordering::Relaxed);
+        }
+        if committed.1 > 0 {
+            self.committed_writes
+                .fetch_add(committed.1, Ordering::Relaxed);
+        }
+        if wasted.0 > 0 {
+            self.wasted_reads.fetch_add(wasted.0, Ordering::Relaxed);
+        }
+        if wasted.1 > 0 {
+            self.wasted_writes.fetch_add(wasted.1, Ordering::Relaxed);
+        }
+    }
+
     /// Consistent-enough snapshot of the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut aborts = [0u64; AbortCode::ALL.len()];
@@ -53,6 +79,10 @@ impl ThreadStats {
             commits: self.commits.load(Ordering::Relaxed),
             fallback_commits: self.fallback_commits.load(Ordering::Relaxed),
             aborts,
+            committed_reads: self.committed_reads.load(Ordering::Relaxed),
+            committed_writes: self.committed_writes.load(Ordering::Relaxed),
+            wasted_reads: self.wasted_reads.load(Ordering::Relaxed),
+            wasted_writes: self.wasted_writes.load(Ordering::Relaxed),
         }
     }
 
@@ -63,6 +93,10 @@ impl ThreadStats {
         for a in &self.aborts {
             a.store(0, Ordering::Relaxed);
         }
+        self.committed_reads.store(0, Ordering::Relaxed);
+        self.committed_writes.store(0, Ordering::Relaxed);
+        self.wasted_reads.store(0, Ordering::Relaxed);
+        self.wasted_writes.store(0, Ordering::Relaxed);
     }
 
     /// Fold a transaction's locally-accumulated events into the shared
@@ -84,6 +118,10 @@ impl ThreadStats {
                 dst.fetch_add(src, Ordering::Relaxed);
             }
         }
+        self.record_work(
+            (local.committed_reads, local.committed_writes),
+            (local.wasted_reads, local.wasted_writes),
+        );
     }
 }
 
@@ -101,6 +139,14 @@ pub struct LocalStats {
     pub fallback_commits: u64,
     /// Aborted attempts, indexed by [`AbortCode::index`].
     pub aborts: [u64; AbortCode::ALL.len()],
+    /// Transactional reads retired by the committing attempt.
+    pub committed_reads: u64,
+    /// Transactional writes retired by the committing attempt.
+    pub committed_writes: u64,
+    /// Transactional reads executed by attempts that rolled back.
+    pub wasted_reads: u64,
+    /// Transactional writes executed by attempts that rolled back.
+    pub wasted_writes: u64,
 }
 
 impl LocalStats {
@@ -117,6 +163,20 @@ impl LocalStats {
     #[inline]
     pub fn record_abort(&mut self, code: AbortCode) {
         self.aborts[code.index()] += 1;
+    }
+
+    /// Record the ops an attempt executed before rolling back.
+    #[inline]
+    pub fn record_wasted(&mut self, reads: u64, writes: u64) {
+        self.wasted_reads += reads;
+        self.wasted_writes += writes;
+    }
+
+    /// Record the ops retired by the committing attempt.
+    #[inline]
+    pub fn record_committed(&mut self, reads: u64, writes: u64) {
+        self.committed_reads += reads;
+        self.committed_writes += writes;
     }
 
     /// Whether nothing has been recorded (folding would be a no-op).
@@ -136,6 +196,14 @@ pub struct StatsSnapshot {
     pub fallback_commits: u64,
     /// Aborted attempts, indexed by [`AbortCode::index`].
     pub aborts: [u64; AbortCode::ALL.len()],
+    /// Transactional reads retired by committed attempts.
+    pub committed_reads: u64,
+    /// Transactional writes retired by committed attempts.
+    pub committed_writes: u64,
+    /// Transactional reads discarded by rolled-back attempts.
+    pub wasted_reads: u64,
+    /// Transactional writes discarded by rolled-back attempts.
+    pub wasted_writes: u64,
 }
 
 impl StatsSnapshot {
@@ -147,6 +215,32 @@ impl StatsSnapshot {
     /// Aborts with the given cause.
     pub fn aborts_of(&self, code: AbortCode) -> u64 {
         self.aborts[code.index()]
+    }
+
+    /// Ops retired by committed attempts (goodput numerator).
+    pub fn committed_ops(&self) -> u64 {
+        self.committed_reads + self.committed_writes
+    }
+
+    /// Ops executed and then discarded by rolled-back attempts.
+    pub fn wasted_ops(&self) -> u64 {
+        self.wasted_reads + self.wasted_writes
+    }
+
+    /// Every transactional op executed, kept or not.
+    pub fn total_ops(&self) -> u64 {
+        self.committed_ops() + self.wasted_ops()
+    }
+
+    /// Committed work / total work, in `[0, 1]`; `1.0` when idle (no work
+    /// executed means none was wasted).
+    pub fn goodput_ratio(&self) -> f64 {
+        let total = self.total_ops();
+        if total == 0 {
+            1.0
+        } else {
+            self.committed_ops() as f64 / total as f64
+        }
     }
 
     /// Fraction of attempts that aborted, in `[0, 1]`; zero when idle.
@@ -174,6 +268,12 @@ impl StatsSnapshot {
                 .fallback_commits
                 .saturating_sub(earlier.fallback_commits),
             aborts,
+            committed_reads: self.committed_reads.saturating_sub(earlier.committed_reads),
+            committed_writes: self
+                .committed_writes
+                .saturating_sub(earlier.committed_writes),
+            wasted_reads: self.wasted_reads.saturating_sub(earlier.wasted_reads),
+            wasted_writes: self.wasted_writes.saturating_sub(earlier.wasted_writes),
         }
     }
 
@@ -187,6 +287,10 @@ impl StatsSnapshot {
             commits: self.commits + other.commits,
             fallback_commits: self.fallback_commits + other.fallback_commits,
             aborts,
+            committed_reads: self.committed_reads + other.committed_reads,
+            committed_writes: self.committed_writes + other.committed_writes,
+            wasted_reads: self.wasted_reads + other.wasted_reads,
+            wasted_writes: self.wasted_writes + other.wasted_writes,
         }
     }
 }
@@ -276,5 +380,31 @@ mod tests {
     #[test]
     fn thread_stats_are_cache_line_aligned() {
         assert_eq!(std::mem::align_of::<ThreadStats>(), 64);
+    }
+
+    #[test]
+    fn work_ledger_folds_and_derives_goodput() {
+        let s = ThreadStats::new();
+        s.record_work((6, 2), (3, 1));
+        let mut local = LocalStats::default();
+        local.record_committed(4, 0);
+        local.record_wasted(0, 2);
+        s.fold(&local);
+        let snap = s.snapshot();
+        assert_eq!(snap.committed_ops(), 12);
+        assert_eq!(snap.wasted_ops(), 6);
+        assert_eq!(snap.total_ops(), 18);
+        assert!((snap.goodput_ratio() - 12.0 / 18.0).abs() < 1e-12);
+        // Deltas and merges carry the ledger.
+        let d = snap.since(&StatsSnapshot::default());
+        assert_eq!(d.total_ops(), 18);
+        assert_eq!(snap.merge(&snap).wasted_ops(), 12);
+        s.reset();
+        assert_eq!(s.snapshot().total_ops(), 0);
+    }
+
+    #[test]
+    fn goodput_of_idle_stats_is_one() {
+        assert_eq!(StatsSnapshot::default().goodput_ratio(), 1.0);
     }
 }

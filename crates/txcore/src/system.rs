@@ -1,6 +1,7 @@
 //! Shared TM system state and the per-thread transaction context.
 
 use crate::clock::GlobalClock;
+use crate::conflict::StripeMap;
 use crate::heap::Heap;
 use crate::orec::{OrecTable, OwnerTag};
 use crate::sets::{ReadSet, WriteSet};
@@ -125,7 +126,28 @@ pub struct ThreadCtx {
     /// thread last ran transactions on, so the traced commit/abort path
     /// never formats metric names or locks the registry.
     pub(crate) tx_counters: Option<crate::exec::TxCounters>,
+    /// Transactional reads issued by the current attempt (driver-counted;
+    /// reset at attempt start, classified committed/wasted at resolution).
+    pub(crate) ops_reads: u64,
+    /// Transactional writes issued by the current attempt.
+    pub(crate) ops_writes: u64,
+    /// Committed reads awaiting a ledger flush into [`ThreadStats`].
+    pub(crate) pending_committed_reads: u64,
+    /// Committed writes awaiting a ledger flush into [`ThreadStats`].
+    pub(crate) pending_committed_writes: u64,
+    /// First-try commits since the last ledger flush (flush cadence).
+    pub(crate) pending_txs: u32,
+    /// Per-thread hot-stripe accumulator for attributed conflict aborts
+    /// (drained into the global [`crate::conflict`] table at cold points).
+    pub(crate) conflicts: StripeMap,
 }
+
+/// First-try commits buffered in the pending work ledger before it folds
+/// into the shared [`ThreadStats`] — the "window boundary" of the conflict
+/// observatory's fast-path contract (DESIGN.md §12): the one-shot commit
+/// path does plain per-thread adds only, and pays the shared RMWs once per
+/// this many transactions (retried ladders flush exactly, at resolution).
+pub const WORK_FLUSH_EVERY: u32 = 64;
 
 impl ThreadCtx {
     /// Context for thread slot `id`, with a deterministic per-thread RNG.
@@ -149,7 +171,48 @@ impl ThreadCtx {
             rng: XorShift64::new(0x5DEECE66D ^ ((id as u64 + 1) << 16)),
             stats: Arc::new(ThreadStats::new()),
             tx_counters: None,
+            ops_reads: 0,
+            ops_writes: 0,
+            pending_committed_reads: 0,
+            pending_committed_writes: 0,
+            pending_txs: 0,
+            conflicts: StripeMap::default(),
         }
+    }
+
+    /// Credit the just-committed attempt's ops to the pending ledger,
+    /// folding into the shared stats every [`WORK_FLUSH_EVERY`] first-try
+    /// commits. Plain adds plus one predictable branch — the whole cost
+    /// the nanosecond fast path pays for the wasted-work ledger.
+    #[inline]
+    pub(crate) fn credit_committed_ops(&mut self) {
+        self.pending_committed_reads += self.ops_reads;
+        self.pending_committed_writes += self.ops_writes;
+        self.pending_txs += 1;
+        if self.pending_txs >= WORK_FLUSH_EVERY {
+            self.flush_work();
+        }
+    }
+
+    /// Fold the pending work ledger into the shared [`ThreadStats`] and
+    /// drain this thread's hot-stripe buffer into the global
+    /// [`crate::conflict`] table.
+    ///
+    /// The driver flushes automatically at retry-ladder resolution and
+    /// every [`WORK_FLUSH_EVERY`] first-try commits; serial drivers call
+    /// this at window/sample boundaries (and before reading
+    /// [`ThreadStats::snapshot`] for exact op accounting).
+    pub fn flush_work(&mut self) {
+        if self.pending_committed_reads | self.pending_committed_writes != 0 {
+            self.stats.record_work(
+                (self.pending_committed_reads, self.pending_committed_writes),
+                (0, 0),
+            );
+            self.pending_committed_reads = 0;
+            self.pending_committed_writes = 0;
+        }
+        self.pending_txs = 0;
+        self.conflicts.drain_into_global();
     }
 
     /// The tag identifying this thread as a lock owner.
