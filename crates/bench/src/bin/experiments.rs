@@ -8,6 +8,9 @@
 //! experiments --trace-out t.jsonl fig4   # JSONL telemetry trace (or PROTEUS_TRACE)
 //! experiments --metrics-out m.json fig4  # final metrics snapshot (or PROTEUS_METRICS)
 //! experiments --faults plan.json fig5    # seeded fault injection (or PROTEUS_FAULTS)
+//! experiments --slo default fig4         # arm the SLO engine (or PROTEUS_SLO)
+//! experiments --health-out h.prom fig4   # final SLO health exposition (or PROTEUS_HEALTH)
+//! experiments slo-drill                  # deterministic SLO chaos drill
 //! experiments bench-snapshot             # perf-regression gate (see below)
 //! experiments vtime             # virtual-time scalability (byte-identical everywhere)
 //! ```
@@ -33,7 +36,7 @@ use std::collections::BTreeMap;
 type Runner = (&'static str, fn(bool));
 
 /// The canonical experiments, in the paper's order.
-const RUNNERS: [Runner; 11] = [
+const RUNNERS: [Runner; 12] = [
     ("table23", |_| bench::table23::run()),
     ("fig1", |_| bench::fig1::run()),
     ("table4", |quick| {
@@ -60,6 +63,9 @@ const RUNNERS: [Runner; 11] = [
     ("vtime", |_| bench::vtime::run()),
     // Durability tax + crash-recovery drill: same exact-integer contract.
     ("durable", |_| bench::durable::run()),
+    // SLO chaos drill: deterministic alert fire/resolve schedule under a
+    // fault plan; healthy (and alert-free) without one. Ignores --quick.
+    ("slo-drill", |_| bench::slodrill::run()),
 ];
 
 /// Aliases: paper artifact name → canonical experiment.
@@ -82,13 +88,20 @@ fn snapshot_rest(args: &[String]) -> Vec<String> {
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--quick" | "bench-snapshot" => {}
-            "--jobs" | "--trace-out" | "--metrics-out" | "--faults" => {
+            "--jobs" | "--trace-out" | "--metrics-out" | "--faults" | "--slo" | "--health-out" => {
                 let _ = iter.next();
             }
             other => {
-                let owned = ["--jobs=", "--trace-out=", "--metrics-out=", "--faults="]
-                    .iter()
-                    .any(|p| other.starts_with(p));
+                let owned = [
+                    "--jobs=",
+                    "--trace-out=",
+                    "--metrics-out=",
+                    "--faults=",
+                    "--slo=",
+                    "--health-out=",
+                ]
+                .iter()
+                .any(|p| other.starts_with(p));
                 if !owned {
                     rest.push(a.clone());
                 }
@@ -116,10 +129,15 @@ fn main() {
     if opts.targets.iter().any(|t| t == "bench-snapshot") {
         // Other positionals may be values of snapshot-only flags (e.g.
         // `--noise 0.6`); SnapshotArgs::parse rejects genuine strays.
-        if opts.trace_out.is_some() || opts.metrics_out.is_some() || opts.faults.is_some() {
+        if opts.trace_out.is_some()
+            || opts.metrics_out.is_some()
+            || opts.faults.is_some()
+            || opts.slo.is_some()
+            || opts.health_out.is_some()
+        {
             fail_usage(
                 "bench-snapshot runs its own in-memory traces; \
-                 --trace-out/--metrics-out/--faults do not apply",
+                 --trace-out/--metrics-out/--faults/--slo/--health-out do not apply",
             );
         }
         let snap_args =
@@ -137,8 +155,8 @@ fn main() {
     if opts.targets.is_empty() {
         fail_usage(&format!(
             "usage: experiments [--quick] [--jobs N] [--trace-out PATH] \
-             [--metrics-out PATH] [--faults PLAN.json] \
-             <all | bench-snapshot | {} ...>",
+             [--metrics-out PATH] [--faults PLAN.json] [--slo default|SPECS] \
+             [--health-out PATH] <all | bench-snapshot | {} ...>",
             index.keys().cloned().collect::<Vec<_>>().join(" | ")
         ));
     }
@@ -180,6 +198,30 @@ fn main() {
         }
         None => false,
     };
+    // Arm the SLO engine before the trace starts (mirrors the fault plan):
+    // a malformed spec file exits before any trace file is created, and
+    // every window of the run is evaluated from the first flush on.
+    let slo_armed = match opts.slo.as_deref() {
+        Some("default") => {
+            obs::slo::install(obs::slo::default_specs());
+            true
+        }
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail_usage(&format!("cannot read SLO specs {path}: {e}")));
+            let specs = obs::slo::parse_specs(&text)
+                .unwrap_or_else(|e| fail_usage(&format!("invalid SLO specs {path}: {e}")));
+            obs::slo::install(specs);
+            true
+        }
+        None => false,
+    };
+    if slo_armed && opts.trace_out.is_none() {
+        eprintln!(
+            "warning: --slo without --trace-out; windows only close while \
+             a trace is active, so no objective will ever be evaluated"
+        );
+    }
     let tracing = match &opts.trace_out {
         Some(path) => {
             if !obs::telemetry_compiled() {
@@ -234,6 +276,26 @@ fn main() {
         if let Some(path) = &opts.trace_out {
             println!("trace written to {}", path.display());
         }
+    }
+    // The health exposition reads the live engine, so write it after
+    // finish_trace (whose final partial-window flush is the last SLO
+    // evaluation of the run) but before the engine is disarmed.
+    if let Some(path) = &opts.health_out {
+        if !slo_armed {
+            eprintln!(
+                "warning: --health-out without --slo; {} will report a \
+                 disarmed engine",
+                path.display()
+            );
+        }
+        if let Err(e) = std::fs::write(path, obs::slo::render_health()) {
+            eprintln!("cannot write health file {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        println!("slo health written to {}", path.display());
+    }
+    if slo_armed {
+        obs::slo::uninstall();
     }
 }
 

@@ -2,7 +2,8 @@
 //!
 //! Every knob comes in a flag/env pair (`--jobs`/`PROTEUS_JOBS`,
 //! `--trace-out`/`PROTEUS_TRACE`, `--metrics-out`/`PROTEUS_METRICS`,
-//! `--faults`/`PROTEUS_FAULTS`); the flag always wins so a CI matrix can
+//! `--faults`/`PROTEUS_FAULTS`, `--slo`/`PROTEUS_SLO`,
+//! `--health-out`/`PROTEUS_HEALTH`); the flag always wins so a CI matrix can
 //! export a default and individual legs can still override it. Parsing is
 //! pure (`parse_with` takes the environment as a closure) so the precedence
 //! rules are unit-testable without mutating the process environment.
@@ -24,6 +25,12 @@ pub struct Options {
     pub metrics_out: Option<PathBuf>,
     /// `--faults PLAN.json` / `PROTEUS_FAULTS`: seeded fault plan.
     pub faults: Option<PathBuf>,
+    /// `--slo <default|SPECS>` / `PROTEUS_SLO`: arm the online SLO engine
+    /// with the built-in objectives (`default`) or a spec file.
+    pub slo: Option<String>,
+    /// `--health-out PATH` / `PROTEUS_HEALTH`: write the final SLO health
+    /// exposition (Prometheus text format) to PATH.
+    pub health_out: Option<PathBuf>,
     /// Positional arguments (experiment names). Unknown `--flags` are
     /// ignored, matching the historical parser.
     pub targets: Vec<String>,
@@ -54,6 +61,8 @@ impl Options {
             trace_out: env("PROTEUS_TRACE").map(PathBuf::from),
             metrics_out: env("PROTEUS_METRICS").map(PathBuf::from),
             faults: env("PROTEUS_FAULTS").map(PathBuf::from),
+            slo: env("PROTEUS_SLO").map(|v| v.to_string_lossy().into_owned()),
+            health_out: env("PROTEUS_HEALTH").map(PathBuf::from),
             ..Options::default()
         };
         let mut iter = args.iter();
@@ -66,6 +75,14 @@ impl Options {
                 }
                 "--trace-out" => opts.trace_out = Some(take_path(&mut iter, a, "a path")?),
                 "--metrics-out" => opts.metrics_out = Some(take_path(&mut iter, a, "a path")?),
+                "--health-out" => opts.health_out = Some(take_path(&mut iter, a, "a path")?),
+                "--slo" => {
+                    opts.slo = Some(
+                        iter.next()
+                            .cloned()
+                            .ok_or_else(|| format!("{a} expects `default` or a spec-file path"))?,
+                    );
+                }
                 "--jobs" => {
                     opts.jobs = Some(parse_jobs(iter.next().map(String::as_str))?);
                 }
@@ -76,6 +93,10 @@ impl Options {
                         opts.trace_out = Some(PathBuf::from(v));
                     } else if let Some(v) = a.strip_prefix("--metrics-out=") {
                         opts.metrics_out = Some(PathBuf::from(v));
+                    } else if let Some(v) = a.strip_prefix("--health-out=") {
+                        opts.health_out = Some(PathBuf::from(v));
+                    } else if let Some(v) = a.strip_prefix("--slo=") {
+                        opts.slo = Some(v.to_string());
                     } else if let Some(v) = a.strip_prefix("--jobs=") {
                         opts.jobs = Some(parse_jobs(Some(v))?);
                     } else if !a.starts_with("--") {
@@ -131,6 +152,8 @@ mod tests {
                 "PROTEUS_TRACE" => Some("env-trace.jsonl".into()),
                 "PROTEUS_METRICS" => Some("env-metrics.json".into()),
                 "PROTEUS_FAULTS" => Some("env-plan.json".into()),
+                "PROTEUS_SLO" => Some("env-specs.slo".into()),
+                "PROTEUS_HEALTH" => Some("env-health.prom".into()),
                 _ => None,
             }
         };
@@ -141,6 +164,9 @@ mod tests {
             "--metrics-out",
             "flag.json",
             "--faults=flag-plan.json",
+            "--slo=default",
+            "--health-out",
+            "flag-health.prom",
             "fig4",
         ]);
         let o = Options::parse_with(&args, env).unwrap();
@@ -148,6 +174,8 @@ mod tests {
         assert_eq!(o.trace_out.as_deref(), Some("flag.jsonl".as_ref()));
         assert_eq!(o.metrics_out.as_deref(), Some("flag.json".as_ref()));
         assert_eq!(o.faults.as_deref(), Some("flag-plan.json".as_ref()));
+        assert_eq!(o.slo.as_deref(), Some("default"));
+        assert_eq!(o.health_out.as_deref(), Some("flag-health.prom".as_ref()));
         assert_eq!(o.targets, vec!["fig4".to_string()]);
 
         // Without flags the environment fills the same slots.
@@ -156,6 +184,8 @@ mod tests {
         assert_eq!(o.trace_out.as_deref(), Some("env-trace.jsonl".as_ref()));
         assert_eq!(o.metrics_out.as_deref(), Some("env-metrics.json".as_ref()));
         assert_eq!(o.faults.as_deref(), Some("env-plan.json".as_ref()));
+        assert_eq!(o.slo.as_deref(), Some("env-specs.slo"));
+        assert_eq!(o.health_out.as_deref(), Some("env-health.prom".as_ref()));
     }
 
     #[test]
@@ -176,6 +206,8 @@ mod tests {
         assert!(Options::parse_with(&s(&["--trace-out"]), no_env).is_err());
         assert!(Options::parse_with(&s(&["--metrics-out"]), no_env).is_err());
         assert!(Options::parse_with(&s(&["--faults"]), no_env).is_err());
+        assert!(Options::parse_with(&s(&["--slo"]), no_env).is_err());
+        assert!(Options::parse_with(&s(&["--health-out"]), no_env).is_err());
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! `experiments slo-drill` — a deterministic chaos drill for the SLO
+//! engine (DESIGN.md §13).
+//!
+//! The drill runs a fixed, fully serial transaction workload — 160
+//! logical ticks of 64 modeled transactions each, i.e. 20 flight-recorder
+//! windows — and records the four KPI series the default SLO specs judge
+//! (`kpi.abort_rate`, `goodput.ratio`, `kpi.commit_latency_ns`,
+//! `recovery.success`). On its own the workload is healthy and, with SLOs
+//! armed, produces twenty in-objective windows and zero alerts.
+//!
+//! The interesting runs install a fault plan first. Two sites matter:
+//!
+//! * [`faultsim::Site::HtmSpurious`], consumed through a local
+//!   [`faultsim::FaultStream`] one occurrence per modeled transaction
+//!   (64/tick), turns fired occurrences into aborts — an abort storm that
+//!   drags `kpi.abort_rate` through its objective and stretches
+//!   `kpi.commit_latency_ns` past its ceiling.
+//! * [`faultsim::Site::CrashPoint`], consulted once per tick via the
+//!   global counter, models the durable heap crashing: the following
+//!   [`OUTAGE_TICKS`] ticks report `recovery.success = 0` while the
+//!   redo log replays, then the probe goes green again.
+//!
+//! Both schedules are pure functions of the plan seed, so with a
+//! deterministic plan (`probability: 1`, `after: N`, `max_fires: M`) the
+//! storm and the outage land on exact ticks — and therefore the
+//! `alert.fire` / `alert.resolve` records land on exact windows. The
+//! regression test in `tests/slo_drill.rs` asserts those golden ticks.
+//!
+//! Phase edges are published as `drill.*` events, which the
+//! `proteus-trace watch` dashboard renders as timeline markers alongside
+//! the alerts they explain.
+
+use faultsim::{FaultStream, Site};
+
+/// Logical ticks in one drill run (20 windows of 8).
+pub const TICKS: u64 = 160;
+/// Modeled transactions per tick; also the per-tick `HtmSpurious`
+/// occurrence budget.
+pub const TX_PER_TICK: u64 = 64;
+/// Ticks the recovery probe stays red after a `CrashPoint` fire.
+pub const OUTAGE_TICKS: u64 = 8;
+/// Virtual commit latency of a clean batch (nanoseconds).
+pub const BASE_LATENCY_NS: u64 = 20_000;
+/// Virtual retry penalty per aborted transaction (nanoseconds).
+pub const ABORT_PENALTY_NS: u64 = 1_000;
+
+/// One tick of the drill, fully determined by the fault schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TickSample {
+    aborts: u64,
+    latency_ns: u64,
+    recovery_ok: bool,
+}
+
+impl TickSample {
+    fn abort_rate(&self) -> f64 {
+        self.aborts as f64 / TX_PER_TICK as f64
+    }
+
+    fn goodput(&self) -> f64 {
+        (TX_PER_TICK - self.aborts) as f64 / TX_PER_TICK as f64
+    }
+}
+
+/// Run the drill and print a deterministic phase report.
+///
+/// `--quick` is ignored on purpose: the drill is already short, and its
+/// whole value is that the same plan yields the same bytes everywhere.
+pub fn run() {
+    let mut htm = FaultStream::for_site(Site::HtmSpurious);
+    let mut storming = false;
+    let mut storm_spans: Vec<(u64, u64)> = Vec::new();
+    let mut crash_ticks: Vec<u64> = Vec::new();
+    let mut outage_left = 0u64;
+    let mut total_aborts = 0u64;
+
+    for tick in 0..TICKS {
+        // The crash probe runs first: a fire makes *this* tick's recovery
+        // probe red, so a plan with `after: N` maps to window `N / 8`.
+        if outage_left == 0 && faultsim::should_fire(Site::CrashPoint) {
+            outage_left = OUTAGE_TICKS;
+            crash_ticks.push(tick);
+            obs::event!(
+                "drill.crash",
+                "tick" => tick,
+                "site" => Site::CrashPoint.slug(),
+                "outage_ticks" => OUTAGE_TICKS,
+            );
+        }
+
+        // Model the batch: a fixed 1-in-32 baseline conflict rate, plus
+        // every spurious-abort injection the stream fires this tick.
+        let mut aborts = 0u64;
+        for tx in 0..TX_PER_TICK {
+            let injected = htm.as_mut().map(|s| s.fire()).unwrap_or(false);
+            if injected || tx % 32 == 0 {
+                aborts += 1;
+            }
+        }
+        total_aborts += aborts;
+        let sample = TickSample {
+            aborts,
+            latency_ns: BASE_LATENCY_NS + aborts * ABORT_PENALTY_NS,
+            recovery_ok: outage_left == 0,
+        };
+
+        // Storm edges: more than half the batch aborting is never the
+        // baseline schedule, so the edge marks injection on/off exactly.
+        let storm_now = aborts * 2 > TX_PER_TICK;
+        if storm_now != storming {
+            storming = storm_now;
+            if storm_now {
+                storm_spans.push((tick, tick));
+                obs::event!("drill.storm", "edge" => "start", "tick" => tick, "aborts" => aborts);
+            } else {
+                storm_spans.last_mut().expect("start precedes end").1 = tick;
+                obs::event!("drill.storm", "edge" => "end", "tick" => tick, "aborts" => aborts);
+            }
+        }
+
+        obs::ts_record("kpi.abort_rate", sample.abort_rate());
+        obs::ts_record("goodput.ratio", sample.goodput());
+        obs::ts_record("kpi.commit_latency_ns", sample.latency_ns as f64);
+        obs::ts_record(
+            "recovery.success",
+            if sample.recovery_ok { 1.0 } else { 0.0 },
+        );
+        obs::ts_tick();
+
+        if outage_left > 0 {
+            outage_left -= 1;
+            if outage_left == 0 {
+                obs::event!(
+                    "drill.recovery",
+                    "tick" => tick + 1,
+                    "outage_ticks" => OUTAGE_TICKS,
+                );
+            }
+        }
+    }
+    if storming {
+        storm_spans.last_mut().expect("open storm has a start").1 = TICKS;
+    }
+
+    println!(
+        "slo-drill: {TICKS} ticks x {TX_PER_TICK} tx ({} windows of {})",
+        TICKS / obs::TICKS_PER_WINDOW,
+        obs::TICKS_PER_WINDOW
+    );
+    println!("  total aborts      {total_aborts}");
+    match storm_spans.as_slice() {
+        [] => println!("  abort storms      none"),
+        spans => {
+            for (start, end) in spans {
+                println!("  abort storm       ticks {start}..{end}");
+            }
+        }
+    }
+    match crash_ticks.as_slice() {
+        [] => println!("  crashes           none"),
+        ticks => {
+            for t in ticks {
+                println!(
+                    "  crash             tick {t} (recovered tick {})",
+                    t + OUTAGE_TICKS
+                );
+            }
+        }
+    }
+    let firing = obs::slo::firing();
+    if firing.is_empty() {
+        println!("  slo alerts firing none");
+    } else {
+        println!("  slo alerts firing {}", firing.join(", "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_drill_is_healthy() {
+        // No plan, no trace: the modeled workload never storms and the
+        // recovery probe never goes red, so a run is just arithmetic.
+        // 1-in-32 baseline conflicts over 64 tx = 2 aborts/tick.
+        let base_aborts = TX_PER_TICK / 32;
+        assert_eq!(base_aborts, 2);
+        let s = TickSample {
+            aborts: base_aborts,
+            latency_ns: BASE_LATENCY_NS + base_aborts * ABORT_PENALTY_NS,
+            recovery_ok: true,
+        };
+        assert!(s.abort_rate() < 0.5, "baseline must sit inside the SLO");
+        assert!(s.goodput() > 0.5);
+        assert!(s.latency_ns < 50_000);
+    }
+
+    #[test]
+    fn drill_length_is_whole_windows() {
+        assert_eq!(TICKS % obs::TICKS_PER_WINDOW, 0);
+        assert_eq!(OUTAGE_TICKS, obs::TICKS_PER_WINDOW);
+    }
+}

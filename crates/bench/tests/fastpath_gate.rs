@@ -8,17 +8,24 @@
 //! `Tx::read`/`Tx::write`, cause recording on the cold ladder) has not
 //! dented the nanosecond fast path.
 //!
+//! The gate runs with the default SLO specs armed: the engine's armed
+//! check is one relaxed atomic load on the window-flush path and nothing
+//! at all on the commit path, and this is where that claim is enforced.
+//!
 //! `#[ignore]`d so plain `cargo test` stays free of wall-clock
 //! sensitivity; the CI `conflicts` job runs it with `-- --ignored`.
 
 #[test]
 #[ignore = "wall-clock measurement; run explicitly (CI conflicts job)"]
-fn same_run_gates_pass_with_attribution_enabled() {
-    let snap = bench::fastpath::collect();
-    let (verdict, ok) = bench::fastpath::verdict(&snap);
-    println!("{verdict}");
-    assert!(
-        ok,
-        "fastpath same-run gates must pass with the conflict observatory enabled:\n{verdict}"
-    );
+fn same_run_gates_pass_with_attribution_and_slo_enabled() {
+    obs::slo::with_specs(obs::slo::default_specs(), || {
+        let snap = bench::fastpath::collect();
+        let (verdict, ok) = bench::fastpath::verdict(&snap);
+        println!("{verdict}");
+        assert!(
+            ok,
+            "fastpath same-run gates must pass with the conflict observatory \
+             and the SLO engine enabled:\n{verdict}"
+        );
+    });
 }

@@ -44,6 +44,7 @@
 mod event;
 pub mod metrics;
 mod ring;
+pub mod slo;
 mod span;
 pub mod summary;
 mod timeseries;
@@ -56,9 +57,9 @@ pub use span::Span;
 pub use timeseries::{TsSeries, TICKS_PER_WINDOW};
 pub use trace::{
     capture_trace, emit, emit_pending, exemplar, exemplar_snapshot, finish_trace,
-    overhead_snapshot, recent_events, span_begin_detached, span_end_detached, start_trace_file,
-    start_trace_memory, ts_tick, Exemplar, OverheadSnapshot, TraceReport, METRICS_WINDOW,
-    SPAN_BEGIN, SPAN_END,
+    overhead_snapshot, recent_events, recorder_health, span_begin_detached, span_end_detached,
+    start_trace_file, start_trace_memory, ts_tick, Exemplar, OverheadSnapshot, RecorderHealth,
+    TraceReport, METRICS_WINDOW, SPAN_BEGIN, SPAN_END,
 };
 
 /// Version of the JSONL trace schema, written as the
@@ -70,9 +71,12 @@ pub use trace::{
 /// kinds they do not know. Version history: 1 = events + counter dump
 /// (PR 2–3, no header line); 2 = header line + span records; 3 =
 /// windowed time-series (`metrics.window`) + self-overhead audit
-/// (`obs.overhead`) records. Analyzers accept 2–3: a v2 trace is a v3
-/// trace with no windows and no audit.
-pub const SCHEMA_VERSION: u32 = 3;
+/// (`obs.overhead`) records; 4 = online SLO evaluation (`slo.state`,
+/// `alert.fire`, `alert.resolve` — see [`slo`]) riding behind each
+/// window flush. Analyzers accept 2–4: a v2 trace is a v4 trace with no
+/// windows, no audit and no SLO stream, and a v3 trace is a v4 trace
+/// whose run never armed the SLO engine.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Oldest schema version analyzers still accept (see [`SCHEMA_VERSION`]).
 pub const MIN_SUPPORTED_SCHEMA: u32 = 2;

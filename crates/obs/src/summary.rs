@@ -140,6 +140,17 @@ pub fn render(report: &TraceReport) -> String {
         }
     }
 
+    // Flight-recorder health: always printed, so a run that sampled KPIs
+    // but flushed zero windows (a silently truncated trace) is visible at
+    // a glance instead of just missing.
+    let rec = &report.recorder;
+    let _ = writeln!(out, "flight recorder:");
+    let _ = writeln!(
+        out,
+        "  windows={} last_window_tick={} series={}",
+        rec.windows, rec.last_window_tick, rec.series
+    );
+
     // Instrumentation self-overhead: what observability itself cost.
     let oh = &report.overhead;
     if oh.events > 0 || oh.histogram_updates > 0 {
@@ -175,6 +186,7 @@ pub fn render(report: &TraceReport) -> String {
 ///
 /// Shape: `{"schema":N,"counters":{...},"conflict":{"committed_ops":..,
 /// "wasted_ops":..,"goodput_ratio":..},"obs_overhead":{...},
+/// "flight_recorder":{"windows":..,"last_window_tick":..,"series":..},
 /// "exemplars":[...],"wallclock":{"gauges":{...},"histograms":
 /// {name:{"count":..,"mean_ns":..,"p50_ns":..,"p95_ns":..,"p99_ns":..,
 /// "buckets":[..]}}}}`. All registered metrics are included (zeros too)
@@ -250,7 +262,16 @@ pub fn metrics_json() -> String {
         crate::event::encode_str(&mut out, sub);
         let _ = write!(out, ":{{\"events\":{events},\"bytes\":{bytes}}}");
     }
-    out.push_str("}},\"exemplars\":[");
+    // Flight-recorder health: serial-tick bookkeeping, part of the
+    // deterministic prefix. Reads the *live* trace state like
+    // `obs_overhead` above.
+    let rec = crate::recorder_health();
+    let _ = write!(
+        out,
+        "}}}},\"flight_recorder\":{{\"windows\":{},\"last_window_tick\":{},\"series\":{}}}",
+        rec.windows, rec.last_window_tick, rec.series
+    );
+    out.push_str(",\"exemplars\":[");
     for (i, e) in crate::exemplar_snapshot().iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -340,6 +361,11 @@ mod tests {
                 value: 9.5,
                 seq: 2,
             }],
+            recorder: crate::RecorderHealth {
+                windows: 1,
+                last_window_tick: 8,
+                series: 2,
+            },
         };
         metrics::counter("test.summary.commits").add(7);
         metrics::gauge("test.summary.workers").set(4.0);
@@ -351,6 +377,8 @@ mod tests {
         assert!(text.contains("test.summary.workers"));
         assert!(text.contains("test.summary.lat"));
         assert!(text.contains("p50=") && text.contains("p95=") && text.contains("p99="));
+        assert!(text.contains("flight recorder:"));
+        assert!(text.contains("windows=1 last_window_tick=8 series=2"));
         assert!(text.contains("obs.overhead:"));
         assert!(text.contains("records=3 bytes=120 spans=0 windows=1 histogram_updates=1"));
         assert!(text.contains("config"));
@@ -368,6 +396,14 @@ mod tests {
         assert!(a.starts_with(&format!("{{\"schema\":{}", crate::SCHEMA_VERSION)));
         assert!(a.contains("\"test.mjson.commits\":3"));
         assert!(a.contains("\"obs_overhead\":{\"events\":"));
+        assert!(
+            a.contains("\"flight_recorder\":{\"windows\":0,\"last_window_tick\":0,\"series\":0}")
+        );
+        let fr = a.find("\"flight_recorder\":").unwrap();
+        assert!(
+            a.find("\"obs_overhead\":").unwrap() < fr && fr < a.find("\"exemplars\":[").unwrap(),
+            "flight_recorder sits between obs_overhead and exemplars: {a}"
+        );
         assert!(a.contains("\"exemplars\":["));
         // Wall-clock metrics live behind the deterministic prefix.
         let wall = a.find("\"wallclock\":").expect("wallclock section");

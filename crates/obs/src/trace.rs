@@ -54,6 +54,13 @@ struct TraceState {
     /// transaction exemplars. Never enters the JSONL stream; surfaced via
     /// [`TraceReport`] and the metrics snapshot.
     exemplars: Reservoir,
+    /// Flight-recorder health: non-empty window flushes so far.
+    windows_flushed: u64,
+    /// Flight-recorder health: tick of the most recent window flush.
+    last_window_tick: u64,
+    /// Flight-recorder health: every series name that appeared in a
+    /// flushed window.
+    window_series: std::collections::BTreeSet<String>,
 }
 
 static ACTIVE: AtomicBool = AtomicBool::new(false);
@@ -117,17 +124,36 @@ pub fn ts_tick() {
 /// Flush the current window of every non-empty series, in name order.
 /// Emits nothing when no series has pending samples (so traces without
 /// KPI sample points stay byte-for-byte as they were under schema v2).
+/// After the `metrics.window` records, the armed SLO engine (if any)
+/// evaluates the same drained aggregates and appends its `slo.state` /
+/// `alert.*` records — still on the serial flush path, so the whole
+/// block inherits the byte-identity guarantee.
 fn flush_windows(tick: u64) {
     let drained = timeseries::drain_windows();
     if drained.is_empty() {
         return;
     }
     let window = timeseries::next_window_index();
-    for (name, agg) in drained {
+    {
+        // Recorder-health bookkeeping, under its own short STATE section
+        // (emit re-locks per record, and the SLO engine takes its lock
+        // before STATE — never hold STATE across either).
+        let mut state = lock(&STATE);
+        if let Some(state) = state.as_mut() {
+            state.windows_flushed += 1;
+            state.last_window_tick = tick;
+            for (name, _) in &drained {
+                if !state.window_series.contains(name) {
+                    state.window_series.insert(name.clone());
+                }
+            }
+        }
+    }
+    for (name, agg) in &drained {
         emit(
             METRICS_WINDOW,
             vec![
-                ("series", Value::Str(name)),
+                ("series", Value::Str(name.clone())),
                 ("window", Value::U64(window)),
                 ("tick", Value::U64(tick)),
                 ("n", Value::U64(agg.n)),
@@ -138,6 +164,7 @@ fn flush_windows(tick: u64) {
             ],
         );
     }
+    crate::slo::evaluate_window(window, tick, &drained);
 }
 
 /// Emit one event into the active trace.
@@ -297,6 +324,10 @@ fn write_line(sink: &mut Sink, json: &str) {
 }
 
 fn start(sink: Sink) {
+    // Reset the SLO engine's rolling state *before* taking STATE: the
+    // engine locks its own mutex and the evaluation path acquires the
+    // locks in the opposite order (engine, then STATE via emit).
+    crate::slo::reset_run();
     let mut state = lock(&STATE);
     metrics::reset();
     timeseries::reset_all();
@@ -328,6 +359,9 @@ fn start(sink: Sink) {
         spans: 0,
         windows: 0,
         exemplars: Reservoir::new(),
+        windows_flushed: 0,
+        last_window_tick: 0,
+        window_series: std::collections::BTreeSet::new(),
     });
     ACTIVE.store(true, Ordering::Relaxed);
 }
@@ -483,6 +517,35 @@ pub fn overhead_snapshot() -> OverheadSnapshot {
     lock(&STATE).as_ref().map(overhead_of).unwrap_or_default()
 }
 
+/// Flight-recorder health: did the windowed KPI layer actually run, and
+/// how far did it get? A trace whose run sampled KPIs but shows zero
+/// windows (or a stale `last_window_tick`) was silently truncated —
+/// exactly the failure the summary surfaces this for.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecorderHealth {
+    /// Non-empty window flushes (each may carry several series records).
+    pub windows: u64,
+    /// Sample tick of the most recent flush (0 when none happened).
+    pub last_window_tick: u64,
+    /// Distinct series that appeared in at least one flushed window.
+    pub series: u64,
+}
+
+fn recorder_of(state: &TraceState) -> RecorderHealth {
+    RecorderHealth {
+        windows: state.windows_flushed,
+        last_window_tick: state.last_window_tick,
+        series: state.window_series.len() as u64,
+    }
+}
+
+/// Live flight-recorder health for the active trace (zeros when none is
+/// active). Embedded in the metrics snapshot and the end-of-trace
+/// summary.
+pub fn recorder_health() -> RecorderHealth {
+    lock(&STATE).as_ref().map(recorder_of).unwrap_or_default()
+}
+
 /// End-of-trace accounting returned by [`finish_trace`].
 #[derive(Debug, Clone)]
 pub struct TraceReport {
@@ -499,6 +562,8 @@ pub struct TraceReport {
     pub overhead: OverheadSnapshot,
     /// The exemplar reservoir at end of trace.
     pub exemplars: Vec<Exemplar>,
+    /// Flight-recorder health (windows flushed, last tick, series seen).
+    pub recorder: RecorderHealth,
 }
 
 impl TraceReport {
@@ -510,6 +575,7 @@ impl TraceReport {
             bytes: None,
             overhead: OverheadSnapshot::default(),
             exemplars: Vec::new(),
+            recorder: RecorderHealth::default(),
         }
     }
 }
@@ -577,6 +643,7 @@ fn end(dump_counters: bool) -> TraceReport {
         state.seq += 1;
         write_line(&mut state.sink, &total.to_json());
     }
+    let recorder = recorder_of(&state);
     let bytes = match state.sink {
         Sink::File(mut w) => {
             let _ = w.flush();
@@ -591,6 +658,7 @@ fn end(dump_counters: bool) -> TraceReport {
         bytes,
         overhead,
         exemplars: state.exemplars.slots,
+        recorder,
     }
 }
 

@@ -1,0 +1,128 @@
+//! Property tests for the SLO burn-rate machinery (DESIGN.md §13).
+//!
+//! The determinism claim for `slo.state`/`alert.*` records rests on two
+//! legs: windows close from serial driver code (trace-layer contract,
+//! covered elsewhere), and the evaluation itself is insensitive to *how*
+//! a window's samples were folded — concurrent threads race their
+//! `record()` calls in arbitrary order, so any fold-order sensitivity in
+//! the judged statistic would leak scheduling into the alert stream.
+//! These properties pin the second leg: for the fold-order-independent
+//! statistics (`min`, `max`, `count`), any permutation of a window's
+//! samples yields the same verdict and therefore the same burn-rate
+//! trajectory, transition for transition; and the state machine itself is
+//! a coherent pure fold of the verdict sequence.
+
+use obs::slo::{AlertState, BurnTracker, Op, SloSpec, Stat, WindowStats};
+use proptest::prelude::*;
+
+fn spec(stat: Stat, fast: u64, slow: u64, fpm: u64, spm: u64, pending: u64) -> SloSpec {
+    SloSpec {
+        name: "prop".to_string(),
+        series: "prop.series".to_string(),
+        stat,
+        op: Op::AtMost,
+        target: 5.0,
+        fast,
+        slow,
+        fast_burn_pm: fpm,
+        slow_burn_pm: spm,
+        pending,
+    }
+}
+
+fn xorshift(mut x: u64) -> u64 {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+/// Deterministic Fisher–Yates permutation — a stand-in for "the threads
+/// raced their samples in some other order this run".
+fn shuffled(samples: &[f64], mut seed: u64) -> Vec<f64> {
+    let mut out = samples.to_vec();
+    for i in (1..out.len()).rev() {
+        seed = xorshift(seed);
+        out.swap(i, (seed % (i as u64 + 1)) as usize);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Permuting every window's samples (per-thread fold order) leaves the
+    /// whole burn-rate trajectory — state, fire/resolve edges, reported
+    /// burn values — bit-identical for the order-independent statistics.
+    #[test]
+    fn transitions_invariant_to_per_thread_fold_order(
+        windows in prop::collection::vec(
+            prop::collection::vec(0.0f64..10.0, 1..12),
+            1..40,
+        ),
+        seed in 1u64..u64::MAX,
+        fast in 1u64..4,
+        extra in 0u64..6,
+        fpm in 1u64..=1000,
+        spm in 1u64..=1000,
+        pending in 1u64..4,
+    ) {
+        for stat in [Stat::Min, Stat::Max, Stat::Count] {
+            let s = spec(stat, fast, fast + extra, fpm, spm, pending);
+            let mut original = BurnTracker::new();
+            let mut permuted = BurnTracker::new();
+            let mut sd = seed;
+            for (i, w) in windows.iter().enumerate() {
+                sd = xorshift(sd);
+                let a = WindowStats::from_samples(w).unwrap();
+                let b = WindowStats::from_samples(&shuffled(w, sd)).unwrap();
+                prop_assert_eq!(s.stat.of(&a), s.stat.of(&b), "stat {:?} window {}", stat, i);
+                let ta = original.observe(&s, s.op.ok(s.stat.of(&a), s.target));
+                let tb = permuted.observe(&s, s.op.ok(s.stat.of(&b), s.target));
+                prop_assert_eq!(ta, tb, "trajectory diverged at window {} for {:?}", i, stat);
+            }
+            prop_assert_eq!(original.fires(), permuted.fires());
+            prop_assert_eq!(original.resolves(), permuted.resolves());
+        }
+    }
+
+    /// The state machine is a coherent pure fold of the verdicts: edge
+    /// flags match the counters, fires lead resolves by at most one (the
+    /// still-open alert), burn never exceeds 1000 per mille, and a fresh
+    /// tracker replaying the same verdicts reproduces every transition.
+    #[test]
+    fn lifecycle_is_a_coherent_pure_fold(
+        verdicts in prop::collection::vec(0u8..2, 1..300),
+        fast in 1u64..4,
+        extra in 0u64..6,
+        pending in 1u64..4,
+    ) {
+        let s = spec(Stat::Mean, fast, fast + extra, 500, 334, pending);
+        let mut t = BurnTracker::new();
+        let mut fired = 0u64;
+        let mut resolved = 0u64;
+        let mut log = Vec::new();
+        for &v in &verdicts {
+            let tr = t.observe(&s, v == 0);
+            log.push(tr);
+            if tr.fired {
+                fired += 1;
+                prop_assert_eq!(tr.state, AlertState::Firing);
+            }
+            if tr.resolved {
+                resolved += 1;
+                prop_assert_eq!(tr.state, AlertState::Inactive);
+            }
+            prop_assert!(!(tr.fired && tr.resolved));
+            prop_assert!(tr.burn_fast_pm <= 1000 && tr.burn_slow_pm <= 1000);
+        }
+        prop_assert_eq!(t.fires(), fired);
+        prop_assert_eq!(t.resolves(), resolved);
+        prop_assert!(fired == resolved || fired == resolved + 1);
+        prop_assert_eq!(t.windows(), verdicts.len() as u64);
+        // Replay: the fold has no hidden inputs.
+        let mut replay = BurnTracker::new();
+        let again: Vec<_> = verdicts.iter().map(|&v| replay.observe(&s, v == 0)).collect();
+        prop_assert_eq!(log, again);
+    }
+}

@@ -6,13 +6,17 @@
 //! proteus-trace perf <trace.jsonl>
 //! proteus-trace perf-diff <a.jsonl> <b.jsonl> [--noise F]
 //! proteus-trace conflicts <trace.jsonl> [--json]
+//! proteus-trace watch <trace.jsonl> [--json] [--poll-ms N] [--idle-timeout-ms N]
 //! ```
 //!
 //! Exit codes: `report`, `perf` and `conflicts` exit 0 on success, 1 on
 //! schema violations, empty traces, or I/O errors. `diff` exits 0 when the
 //! traces are structurally identical, 1 when they differ or fail to parse.
 //! `perf-diff` exits 0 when no KPI degraded beyond the noise band, 1 on a
-//! regression or a parse failure. Usage errors exit 2.
+//! regression or a parse failure. `watch` exits 0 once the end-of-trace
+//! trailer arrives, 1 on a parse error or when the file stops growing
+//! before the trailer (idle timeout). Missing or unknown subcommands print
+//! the usage block and exit 2.
 
 use std::process::ExitCode;
 
@@ -22,6 +26,9 @@ const USAGE: &str = "usage:
   proteus-trace perf <trace.jsonl>                            KPI time-series & overhead audit
   proteus-trace perf-diff <a.jsonl> <b.jsonl> [--noise F]     window-by-window KPI gate
   proteus-trace conflicts <trace.jsonl> [--json]              abort attribution & hot stripes
+  proteus-trace watch <trace.jsonl> [--json] [--poll-ms N] [--idle-timeout-ms N]
+                                                              follow-mode dashboard (SLO gauges,
+                                                              sparklines, alerts; schema v4)
 
 The trace must start with a {\"kind\":\"trace.meta\",\"schema\":N} header
 (written by obs::trace::start); schemas outside the supported range are
@@ -30,6 +37,23 @@ rejected.";
 fn load(path: &str) -> Result<tracetool::Trace, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     tracetool::parse_trace(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Parse `--flag V` / `--flag=V` as a `u64`, or report a usage error.
+fn int_flag(flag: &str, arg: &str, next: Option<&String>) -> Result<Option<(u64, bool)>, String> {
+    if arg == flag {
+        let v = next
+            .and_then(|v| v.parse::<u64>().ok())
+            .ok_or_else(|| format!("{flag} needs an integer argument"))?;
+        Ok(Some((v, true))) // consumed the next arg
+    } else if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+        let v = v
+            .parse::<u64>()
+            .map_err(|_| format!("{flag} needs an integer argument"))?;
+        Ok(Some((v, false)))
+    } else {
+        Ok(None)
+    }
 }
 
 /// Parse `--flag V` / `--flag=V` as an `f64`, or report a usage error.
@@ -218,9 +242,138 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        _ => {
+        Some("watch") => {
+            let mut path = None;
+            let mut json = false;
+            let mut poll_ms = 50u64;
+            let mut idle_timeout_ms = 15_000u64;
+            let rest = &args[1..];
+            let mut i = 0;
+            'args: while i < rest.len() {
+                let arg = &rest[i];
+                for (flag, slot) in [
+                    ("--poll-ms", &mut poll_ms),
+                    ("--idle-timeout-ms", &mut idle_timeout_ms),
+                ] {
+                    match int_flag(flag, arg, rest.get(i + 1)) {
+                        Ok(Some((v, consumed))) => {
+                            *slot = v;
+                            i += 1 + usize::from(consumed);
+                            continue 'args;
+                        }
+                        Ok(None) => {}
+                        Err(e) => {
+                            eprintln!("{e}");
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+                if arg == "--json" {
+                    json = true;
+                } else if path.is_none() {
+                    path = Some(arg.clone());
+                } else {
+                    eprintln!("unexpected argument {arg:?}\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+                i += 1;
+            }
+            let Some(path) = path else {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            };
+            let mode = if json {
+                tracetool::watch::Mode::Json
+            } else {
+                tracetool::watch::Mode::Plain
+            };
+            match run_watch(&path, mode, poll_ms, idle_timeout_ms) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(1)
+                }
+            }
+        }
+        None => {
             eprintln!("{USAGE}");
             ExitCode::from(2)
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand {other:?}\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Tail `path`, rendering dashboard frames as windows seal. Returns once
+/// the end-of-trace trailer arrives; errors when the file stops growing
+/// for `idle_timeout_ms` first (the writer died or never materialized),
+/// or on a parse error.
+fn run_watch(
+    path: &str,
+    mode: tracetool::watch::Mode,
+    poll_ms: u64,
+    idle_timeout_ms: u64,
+) -> Result<(), String> {
+    use std::io::Read as _;
+
+    let mut watcher = tracetool::watch::Watcher::new(mode);
+    let mut offset = 0u64;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut idle = std::time::Instant::now();
+    let out = std::io::stdout();
+    loop {
+        let mut grew = false;
+        if let Ok(mut file) = std::fs::File::open(path) {
+            use std::io::Seek as _;
+            let len = file.metadata().map_err(|e| format!("{path}: {e}"))?.len();
+            if len > offset {
+                file.seek(std::io::SeekFrom::Start(offset))
+                    .map_err(|e| format!("{path}: {e}"))?;
+                let mut chunk = Vec::with_capacity((len - offset) as usize);
+                (&mut file)
+                    .take(len - offset)
+                    .read_to_end(&mut chunk)
+                    .map_err(|e| format!("{path}: {e}"))?;
+                offset = len;
+                pending.extend_from_slice(&chunk);
+                grew = true;
+            }
+        }
+        if grew {
+            idle = std::time::Instant::now();
+            // Hand the watcher whole lines only, so a chunk ending inside
+            // a multi-byte character cannot corrupt the UTF-8 stream.
+            if let Some(nl) = pending.iter().rposition(|&b| b == b'\n') {
+                let complete: Vec<u8> = pending.drain(..=nl).collect();
+                let text = String::from_utf8(complete)
+                    .map_err(|_| format!("{path}: trace is not valid UTF-8"))?;
+                for frame in watcher.feed(&text).map_err(|e| format!("{path}: {e}"))? {
+                    use std::io::Write as _;
+                    let mut lock = out.lock();
+                    let _ = lock.write_all(frame.as_bytes());
+                    let _ = lock.flush();
+                }
+            }
+            if watcher.done() {
+                return Ok(());
+            }
+        } else if idle.elapsed() >= std::time::Duration::from_millis(idle_timeout_ms) {
+            // Flush whatever is open so a truncated trace still shows its
+            // last window, then report the stall.
+            for frame in watcher.finish() {
+                use std::io::Write as _;
+                let mut lock = out.lock();
+                let _ = lock.write_all(frame.as_bytes());
+                let _ = lock.flush();
+            }
+            return Err(format!(
+                "{path}: no end-of-trace trailer after {idle_timeout_ms}ms idle \
+                 (writer gone?)"
+            ));
+        } else {
+            std::thread::sleep(std::time::Duration::from_millis(poll_ms));
         }
     }
 }

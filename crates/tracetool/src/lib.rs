@@ -27,6 +27,7 @@ pub mod json;
 pub mod perf;
 pub mod report;
 pub mod spans;
+pub mod watch;
 
 use json::JsonValue;
 use std::collections::BTreeMap;
